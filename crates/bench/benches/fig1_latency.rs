@@ -1,0 +1,39 @@
+//! Criterion benchmark: the cost of regenerating one operating point of
+//! Figure 1 (model evaluation vs one quick simulator run at the same point).
+//!
+//! The full figures are produced by the `figure1` harness binary; this bench
+//! tracks how expensive each half of a figure point is, which is the
+//! model-vs-simulation cost argument made in the paper's introduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use star_workloads::{run_model_point, run_sim_point, ExperimentPoint, SimBudget};
+
+fn fig1_point(v: usize, rate: f64) -> ExperimentPoint {
+    ExperimentPoint { symbols: 5, virtual_channels: v, message_length: 32, traffic_rate: rate }
+}
+
+fn bench_fig1_model_points(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_model_point");
+    for &v in &[6usize, 9, 12] {
+        group.bench_function(format!("s5_v{v}_rate0.006"), |b| {
+            b.iter(|| black_box(run_model_point(fig1_point(v, 0.006))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig1_sim_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_sim_point");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(15));
+    group.bench_function("s5_v6_rate0.004_quick", |b| {
+        b.iter(|| black_box(run_sim_point(fig1_point(6, 0.004), SimBudget::Quick, 5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1_model_points, bench_fig1_sim_point);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benchmark: cost of one analytical-model evaluation.
+//!
+//! The selling point of the model over simulation is that one operating point
+//! costs microseconds-to-milliseconds instead of seconds; this bench
+//! quantifies that for the paper's configurations (`S5`, `V = 6/9/12`) and for
+//! the larger networks the model is meant to reach (`S6`, `S7`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use star_core::{AnalyticalModel, DestinationSpectrum, ModelConfig, ModelResult};
+
+fn config(symbols: usize, v: usize, rate: f64) -> ModelConfig {
+    ModelConfig::builder()
+        .symbols(symbols)
+        .virtual_channels(v)
+        .message_length(32)
+        .traffic_rate(rate)
+        .build()
+}
+
+fn solve(symbols: usize, v: usize, rate: f64) -> ModelResult {
+    AnalyticalModel::new(config(symbols, v, rate)).solve()
+}
+
+fn bench_model_solve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_solve");
+    for &v in &[6usize, 9, 12] {
+        group.bench_function(format!("s5_v{v}_moderate_load"), |b| {
+            b.iter(|| black_box(solve(5, v, 0.006)));
+        });
+    }
+    group.bench_function("s6_v6_moderate_load", |b| {
+        b.iter(|| black_box(solve(6, 6, 0.004)));
+    });
+    group.bench_function("s7_v8_light_load", |b| {
+        b.iter(|| black_box(solve(7, 8, 0.001)));
+    });
+    group.finish();
+}
+
+fn bench_spectrum_and_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("model_components");
+    group.bench_function("destination_spectrum_s5", |b| {
+        b.iter(|| black_box(DestinationSpectrum::new(5)));
+    });
+    group.bench_function("sweep_reusing_spectrum_s5_v6_8pts", |b| {
+        let rates: Vec<f64> = (1..=8).map(|i| 0.0015 * i as f64).collect();
+        b.iter(|| black_box(star_core::sweep_traffic(config(5, 6, 0.001), &rates)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_solve, bench_spectrum_and_sweep);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmark: the star-graph primitives on the simulator's and the
+//! model's hot paths — distance evaluation, profitable-dimension enumeration,
+//! rank/unrank, minimal-path DAG construction and the exact distance
+//! distribution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use star_graph::path::MinimalPathDag;
+use star_graph::rank::{rank, unrank};
+use star_graph::{distance, factorial, Permutation, StarGraph, Topology};
+
+fn bench_permutation_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("permutation_ops");
+    let perms: Vec<Permutation> = (0..factorial(7)).step_by(97).map(|r| unrank(7, r)).collect();
+    group.bench_function("distance_to_identity_s7", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &perms {
+                acc += black_box(p.distance_to_identity());
+            }
+            acc
+        });
+    });
+    group.bench_function("profitable_dimensions_s7", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for p in &perms {
+                acc += black_box(p.profitable_dimensions().len());
+            }
+            acc
+        });
+    });
+    group.bench_function("rank_unrank_roundtrip_s7", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for r in (0..factorial(7)).step_by(97) {
+                acc += black_box(rank(&unrank(7, r)));
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+fn bench_topology_and_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("topology_and_paths");
+    group.bench_function("stargraph_construction_s6", |b| {
+        b.iter(|| black_box(StarGraph::new(6)));
+    });
+    let s5 = StarGraph::new(5);
+    group.bench_function("min_route_ports_all_pairs_s5", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for src in 0..s5.node_count() as u32 {
+                acc += s5.min_route_ports(src, 0).len();
+            }
+            black_box(acc)
+        });
+    });
+    group.bench_function("minimal_path_dag_diameter_s5", |b| {
+        let rel = Permutation::from_symbols(&[2, 1, 4, 3, 5]).unwrap();
+        b.iter(|| black_box(MinimalPathDag::build(&rel).adaptivity_profile()));
+    });
+    group.bench_function("distance_distribution_s9", |b| {
+        b.iter(|| black_box(distance::star_distance_distribution(9)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_permutation_ops, bench_topology_and_paths);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Regenerates Figure 1 of the paper: mean message latency vs traffic
+//! generation rate for `S5` with `V = 6, 9, 12` virtual channels and message
+//! lengths `M = 32, 64` flits — one curve from the analytical model and one
+//! from the flit-level simulator.
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin figure1 -- [--v 6|9|12] [--m 32|64]
+//!     [--points N] [--budget quick|standard|thorough] [--seed S]
+//! ```
+//!
+//! Prints a Markdown table and an ASCII plot per curve and writes
+//! `target/experiments/<curve>.csv`.
+
+use star_bench::{arg_value, budget_from_args, experiments_dir, run_figure1_curve};
+use star_core::validation::mean_absolute_relative_error;
+use star_core::ValidationRow;
+use star_workloads::{ascii_plot, figure1_experiments, markdown_table, write_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let v_filter: Option<usize> = arg_value(&args, "--v").and_then(|s| s.parse().ok());
+    let m_filter: Option<usize> = arg_value(&args, "--m").and_then(|s| s.parse().ok());
+    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(20_060_425);
+    let budget = budget_from_args(&args);
+
+    let experiments: Vec<_> = figure1_experiments(points)
+        .into_iter()
+        .filter(|e| v_filter.is_none_or(|v| e.virtual_channels == v))
+        .filter(|e| m_filter.is_none_or(|m| e.message_length == m))
+        .collect();
+    if experiments.is_empty() {
+        eprintln!("no experiment matches the given filters");
+        std::process::exit(1);
+    }
+
+    println!("# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {budget:?})\n");
+    for experiment in experiments {
+        println!(
+            "## {} (V = {}, M = {} flits)\n",
+            experiment.id, experiment.virtual_channels, experiment.message_length
+        );
+        let rows = run_figure1_curve(&experiment, budget, seed);
+        print_curve(&experiment.id, &experiment.rates, &rows);
+        let csv_rows: Vec<String> = rows.iter().map(ValidationRow::to_csv_row).collect();
+        let path = experiments_dir().join(format!("{}.csv", experiment.id));
+        match write_csv(&path, &ValidationRow::csv_header(), &csv_rows) {
+            Ok(()) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn print_curve(id: &str, rates: &[f64], rows: &[ValidationRow]) {
+    let table_rows: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.4}", r.traffic_rate),
+                r.model_latency.map_or("saturated".into(), |v| format!("{v:.1}")),
+                r.simulated_latency.map_or("saturated".into(), |v| format!("{v:.1}")),
+                r.relative_error().map_or("-".into(), |e| format!("{:.1}%", e * 100.0)),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        markdown_table(&["traffic rate (λ_g)", "model latency", "sim latency", "model error"], &table_rows)
+    );
+    if let Some(mare) = mean_absolute_relative_error(rows) {
+        println!("mean absolute relative error below saturation: {:.1}%\n", mare * 100.0);
+    }
+    let model_series: Vec<f64> =
+        rows.iter().map(|r| r.model_latency.unwrap_or(f64::INFINITY)).collect();
+    let sim_series: Vec<f64> =
+        rows.iter().map(|r| r.simulated_latency.unwrap_or(f64::INFINITY)).collect();
+    println!(
+        "{}",
+        ascii_plot(
+            &format!("{id}: latency vs traffic rate"),
+            rates,
+            &[("model", model_series), ("simulation", sim_series)],
+            60,
+            16,
+        )
+    );
+}

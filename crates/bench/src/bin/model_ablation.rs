@@ -1,0 +1,85 @@
+//! Extension study D: the analytical model applied to the other routing
+//! schemes the paper mentions ("the modelling approach used here can be
+//! equally applied for other routing schemes after few changes") — plain
+//! negative-hop (NHop), negative-hop with bonus cards (Nbc) and Enhanced-Nbc
+//! — side by side with the simulated latencies of the same algorithms, so the
+//! analytical ablation can be checked against the simulated one
+//! (`routing_comparison`).
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin model_ablation -- [--n 5] [--v 6]
+//!     [--m 32] [--points N] [--budget quick|standard|thorough] [--seed S] [--no-sim]
+//! ```
+
+use star_bench::{arg_present, arg_value, budget_from_args, experiments_dir, simulate_star};
+use star_core::{AnalyticalModel, ModelConfig, RoutingDiscipline};
+use star_workloads::{markdown_table, write_csv};
+
+const DISCIPLINES: [(RoutingDiscipline, &str); 3] = [
+    (RoutingDiscipline::EnhancedNbc, "enhanced-nbc"),
+    (RoutingDiscipline::Nbc, "nbc"),
+    (RoutingDiscipline::NHop, "nhop"),
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(424_242);
+    let with_sim = !arg_present(&args, "--no-sim");
+    let budget = budget_from_args(&args);
+    let max_rate = 0.012 * 32.0 / m as f64;
+    let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+
+    println!("# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for &rate in &rates {
+        let mut cells = vec![format!("{rate:.4}")];
+        for &(discipline, name) in &DISCIPLINES {
+            let model = AnalyticalModel::new(
+                ModelConfig::builder()
+                    .symbols(symbols)
+                    .virtual_channels(v)
+                    .message_length(m)
+                    .traffic_rate(rate)
+                    .discipline(discipline)
+                    .build(),
+            )
+            .solve();
+            let model_cell = if model.saturated {
+                "saturated".to_string()
+            } else {
+                format!("{:.1}", model.mean_latency)
+            };
+            let sim_cell = if with_sim {
+                let report = simulate_star(symbols, name, v, m, rate, budget, seed);
+                if report.saturated {
+                    "saturated".to_string()
+                } else {
+                    format!("{:.1}", report.mean_message_latency)
+                }
+            } else {
+                "-".to_string()
+            };
+            csv_rows.push(format!("{name},{rate},{model_cell},{sim_cell}"));
+            cells.push(format!("{model_cell} / {sim_cell}"));
+        }
+        rows.push(cells);
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["traffic rate (λ_g)", "Enhanced-Nbc (model/sim)", "Nbc (model/sim)", "NHop (model/sim)"],
+            &rows
+        )
+    );
+    println!("Each cell is `analytical model latency / simulated latency` in cycles.");
+    let path = experiments_dir().join("model_ablation.csv");
+    match write_csv(&path, "discipline,traffic_rate,model_latency,sim_latency", &csv_rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,50 @@
+//! Regenerates the topological comparison quoted in Section 2 of the paper:
+//! the star graph against the hypercube with at least as many nodes — node
+//! count, degree, diameter, channel count and mean distance (the `d̄` of
+//! Eq. 2).
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin properties_table -- [--max-n N]
+//! ```
+
+use star_bench::{arg_value, experiments_dir};
+use star_graph::{Hypercube, StarGraph, Topology, TopologyProperties};
+use star_workloads::{markdown_table, write_csv};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let max_n: usize = arg_value(&args, "--max-n").and_then(|s| s.parse().ok()).unwrap_or(7);
+    let max_n = max_n.clamp(3, StarGraph::MAX_TABLED_SYMBOLS);
+
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for n in 3..=max_n {
+        let star = StarGraph::new(n);
+        let cube = Hypercube::at_least(star.node_count());
+        for props in [TopologyProperties::of(&star), TopologyProperties::of(&cube)] {
+            rows.push(vec![
+                props.name.clone(),
+                props.nodes.to_string(),
+                props.degree.to_string(),
+                props.diameter.to_string(),
+                props.channels.to_string(),
+                format!("{:.4}", props.mean_distance),
+            ]);
+            csv_rows.push(format!(
+                "{},{},{},{},{},{:.6}",
+                props.name, props.nodes, props.degree, props.diameter, props.channels, props.mean_distance
+            ));
+        }
+    }
+
+    println!("# Star graph vs hypercube — topological properties (paper §2)\n");
+    println!(
+        "{}",
+        markdown_table(&["network", "nodes", "degree", "diameter", "channels", "mean distance"], &rows)
+    );
+    let path = experiments_dir().join("properties_table.csv");
+    match write_csv(&path, "network,nodes,degree,diameter,channels,mean_distance", &csv_rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,70 @@
+//! Extension study A: simulated latency of the routing algorithms the paper
+//! builds on — plain negative-hop (NHop), negative-hop with bonus cards
+//! (Nbc), Enhanced-Nbc, and a deterministic minimal baseline — on the same
+//! network.  This reproduces the comparison (from the authors' earlier
+//! HPC-Asia'05 study) that motivates the model's focus on Enhanced-Nbc.
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin routing_comparison -- [--n 5] [--v 6]
+//!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//! ```
+
+use star_bench::{arg_value, budget_from_args, experiments_dir, simulate_star};
+use star_workloads::{ascii_plot, markdown_table, write_csv};
+
+const ALGORITHMS: [&str; 4] = ["enhanced-nbc", "nbc", "nhop", "deterministic"];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1_993);
+    let budget = budget_from_args(&args);
+    let max_rate = 0.012 * 32.0 / m as f64;
+    let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+
+    println!("# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {budget:?})\n");
+    let mut table_rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut series: Vec<(&str, Vec<f64>)> = ALGORITHMS.iter().map(|&a| (a, Vec::new())).collect();
+    for &rate in &rates {
+        let mut cells = vec![format!("{rate:.4}")];
+        for (ai, &algo) in ALGORITHMS.iter().enumerate() {
+            let report = simulate_star(symbols, algo, v, m, rate, budget, seed);
+            let cell = if report.saturated {
+                series[ai].1.push(f64::INFINITY);
+                "saturated".to_string()
+            } else {
+                series[ai].1.push(report.mean_message_latency);
+                format!("{:.1}", report.mean_message_latency)
+            };
+            csv_rows.push(format!(
+                "{algo},{rate},{},{:.4},{:.6}",
+                report.saturated, report.mean_message_latency, report.blocking_probability
+            ));
+            cells.push(cell);
+        }
+        table_rows.push(cells);
+    }
+
+    let mut header = vec!["traffic rate (λ_g)"];
+    header.extend(ALGORITHMS);
+    println!("{}", markdown_table(&header, &table_rows));
+    println!(
+        "{}",
+        ascii_plot(
+            "mean message latency vs traffic rate",
+            &rates,
+            &series.iter().map(|(n, s)| (*n, s.clone())).collect::<Vec<_>>(),
+            60,
+            16,
+        )
+    );
+    let path = experiments_dir().join("routing_comparison.csv");
+    match write_csv(&path, "algorithm,traffic_rate,saturated,mean_latency,blocking_probability", &csv_rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,85 @@
+//! Extension study C: model accuracy and scalability across network sizes.
+//!
+//! For `S4` and `S5` the binary runs both the analytical model and the
+//! simulator at a light and a moderate load; for `S6` and `S7` (720 and 5 040
+//! nodes) it runs the model alone — exactly the regime the paper argues
+//! analytical models are for, where flit-level simulation stops being
+//! practical.
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin size_sweep --
+//!     [--v 6] [--m 32] [--budget quick|standard|thorough] [--seed S]
+//! ```
+
+use star_bench::{arg_value, budget_from_args, experiments_dir};
+use star_core::{AnalyticalModel, ModelConfig};
+use star_workloads::{markdown_table, run_sim_point, write_csv, ExperimentPoint};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(11);
+    let budget = budget_from_args(&args);
+
+    println!("# Model accuracy and scalability across network sizes (V = {v}, M = {m})\n");
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    for symbols in 4..=7usize {
+        // scale the load with the mean distance so the relative utilisation is
+        // comparable across sizes
+        let probe = AnalyticalModel::new(
+            ModelConfig::builder().symbols(symbols).virtual_channels(v).message_length(m).traffic_rate(0.0).build(),
+        )
+        .solve();
+        let degree = (symbols - 1) as f64;
+        for &utilisation in &[0.15, 0.35] {
+            let rate = utilisation * degree / (probe.mean_distance * m as f64);
+            let model = AnalyticalModel::new(
+                ModelConfig::builder()
+                    .symbols(symbols)
+                    .virtual_channels(v)
+                    .message_length(m)
+                    .traffic_rate(rate)
+                    .build(),
+            )
+            .solve();
+            let sim_cell = if symbols <= 5 {
+                let report = run_sim_point(
+                    ExperimentPoint { symbols, virtual_channels: v, message_length: m, traffic_rate: rate },
+                    budget,
+                    seed,
+                );
+                if report.saturated {
+                    "saturated".to_string()
+                } else {
+                    format!("{:.1}", report.mean_message_latency)
+                }
+            } else {
+                "(model only)".to_string()
+            };
+            let model_cell =
+                if model.saturated { "saturated".to_string() } else { format!("{:.1}", model.mean_latency) };
+            rows.push(vec![
+                format!("S{symbols}"),
+                format!("{:.0}%", utilisation * 100.0),
+                format!("{rate:.5}"),
+                model_cell.clone(),
+                sim_cell.clone(),
+            ]);
+            csv_rows.push(format!("S{symbols},{utilisation},{rate},{model_cell},{sim_cell}"));
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["network", "target channel utilisation", "traffic rate (λ_g)", "model latency", "sim latency"],
+            &rows
+        )
+    );
+    let path = experiments_dir().join("size_sweep.csv");
+    match write_csv(&path, "network,utilisation,traffic_rate,model_latency,sim_latency", &csv_rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

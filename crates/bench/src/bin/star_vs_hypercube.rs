@@ -1,0 +1,92 @@
+//! Extension study B (the paper's stated future work): latency of the star
+//! graph against the hypercube with at least as many nodes, both running the
+//! same adaptive routing scheme in the same simulator.
+//!
+//! ```text
+//! cargo run --release -p star-bench --bin star_vs_hypercube -- [--n 5] [--v 6]
+//!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//! ```
+
+use std::sync::Arc;
+
+use star_bench::{arg_value, budget_from_args, experiments_dir};
+use star_graph::{Hypercube, StarGraph, Topology};
+use star_routing::EnhancedNbc;
+use star_sim::{Simulation, TrafficPattern};
+use star_workloads::{ascii_plot, markdown_table, write_csv, SimBudget};
+
+fn simulate(
+    topology: Arc<dyn Topology>,
+    v: usize,
+    m: usize,
+    rate: f64,
+    budget: SimBudget,
+    seed: u64,
+) -> (bool, f64) {
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), v));
+    let config = budget.apply(m, rate, seed);
+    let report = Simulation::new(topology, routing, config, TrafficPattern::Uniform).run();
+    (report.saturated, report.mean_message_latency)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
+    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7_771);
+    let budget = budget_from_args(&args);
+
+    let star = Arc::new(StarGraph::new(symbols));
+    let cube = Arc::new(Hypercube::at_least(star.node_count()));
+    let max_rate = 0.012 * 32.0 / m as f64;
+    let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+
+    println!(
+        "# {} ({} nodes) vs {} ({} nodes) — Enhanced-Nbc, V = {v}, M = {m} (budget {budget:?})\n",
+        star.name(),
+        star.node_count(),
+        cube.name(),
+        cube.node_count()
+    );
+    let mut rows = Vec::new();
+    let mut csv_rows = Vec::new();
+    let mut star_series = Vec::new();
+    let mut cube_series = Vec::new();
+    for &rate in &rates {
+        let (s_sat, s_lat) = simulate(star.clone(), v, m, rate, budget, seed);
+        let (c_sat, c_lat) = simulate(cube.clone(), v, m, rate, budget, seed);
+        star_series.push(if s_sat { f64::INFINITY } else { s_lat });
+        cube_series.push(if c_sat { f64::INFINITY } else { c_lat });
+        rows.push(vec![
+            format!("{rate:.4}"),
+            if s_sat { "saturated".into() } else { format!("{s_lat:.1}") },
+            if c_sat { "saturated".into() } else { format!("{c_lat:.1}") },
+        ]);
+        csv_rows.push(format!("{rate},{},{s_lat:.4},{},{c_lat:.4}", s_sat, c_sat));
+    }
+    let star_col = format!("{} latency", star.name());
+    let cube_col = format!("{} latency", cube.name());
+    let star_name = star.name();
+    let cube_name = cube.name();
+    println!(
+        "{}",
+        markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
+    );
+    println!(
+        "{}",
+        ascii_plot(
+            "star vs hypercube latency",
+            &rates,
+            &[(star_name.as_str(), star_series), (cube_name.as_str(), cube_series)],
+            60,
+            16,
+        )
+    );
+    let path = experiments_dir().join("star_vs_hypercube.csv");
+    match write_csv(&path, "traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency", &csv_rows) {
+        Ok(()) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
+}

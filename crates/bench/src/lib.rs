@@ -1,0 +1,167 @@
+//! # star-bench
+//!
+//! The benchmark harness: shared plumbing for the binaries that regenerate
+//! every figure of the paper (`figure1`) and the extension studies
+//! (`properties_table`, `routing_comparison`, `star_vs_hypercube`,
+//! `size_sweep`), plus Criterion micro-benchmarks (`benches/`).
+//!
+//! Each binary prints a Markdown table (and an ASCII plot where a figure is
+//! being reproduced) to stdout and writes a CSV next to it under
+//! `target/experiments/`, so EXPERIMENTS.md can quote the numbers directly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use star_core::ValidationRow;
+use star_graph::{StarGraph, Topology};
+use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
+use star_sim::{SimReport, Simulation, TrafficPattern};
+use star_workloads::{run_model_point, run_sim_point, Figure1Experiment, SimBudget};
+
+/// Directory where harness binaries drop their CSV outputs.
+#[must_use]
+pub fn experiments_dir() -> PathBuf {
+    PathBuf::from("target/experiments")
+}
+
+/// Runs one Figure-1 curve: for every traffic rate, evaluate the analytical
+/// model and the simulator, and pair them into validation rows.
+#[must_use]
+pub fn run_figure1_curve(
+    experiment: &Figure1Experiment,
+    budget: SimBudget,
+    seed: u64,
+) -> Vec<ValidationRow> {
+    experiment
+        .points()
+        .into_iter()
+        .map(|point| {
+            let model = run_model_point(point);
+            let sim = run_sim_point(point, budget, seed);
+            let sim_latency = if sim.saturated { None } else { Some(sim.mean_message_latency) };
+            ValidationRow::new(&model, sim_latency)
+        })
+        .collect()
+}
+
+/// Builds a routing algorithm by name for the ablation harness
+/// (`enhanced-nbc`, `nbc`, `nhop`, `deterministic`).
+///
+/// # Panics
+/// Panics on an unknown name.
+#[must_use]
+pub fn routing_by_name(
+    name: &str,
+    topology: &dyn Topology,
+    virtual_channels: usize,
+) -> Arc<dyn RoutingAlgorithm> {
+    match name {
+        "enhanced-nbc" => Arc::new(EnhancedNbc::for_topology(topology, virtual_channels)),
+        "nbc" => Arc::new(Nbc::for_topology(topology, virtual_channels)),
+        "nhop" => Arc::new(NHop::for_topology(topology, virtual_channels)),
+        "deterministic" => Arc::new(DeterministicMinimal::for_topology(topology, virtual_channels)),
+        other => panic!("unknown routing algorithm {other:?}"),
+    }
+}
+
+/// Simulates one operating point of `S_n` with a named routing algorithm.
+#[must_use]
+pub fn simulate_star(
+    symbols: usize,
+    routing_name: &str,
+    virtual_channels: usize,
+    message_length: usize,
+    traffic_rate: f64,
+    budget: SimBudget,
+    seed: u64,
+) -> SimReport {
+    let topology = Arc::new(StarGraph::new(symbols));
+    let routing = routing_by_name(routing_name, topology.as_ref(), virtual_channels);
+    let config = budget.apply(message_length, traffic_rate, seed);
+    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
+}
+
+/// Parses a `--flag value` style argument list used by the harness binaries
+/// (no external CLI dependency).  Returns the value following `flag`, if any.
+#[must_use]
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Whether a bare `--flag` is present.
+#[must_use]
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Chooses the simulation budget from `--budget quick|standard|thorough`
+/// (default quick, so the harness finishes promptly on one core).
+#[must_use]
+pub fn budget_from_args(args: &[String]) -> SimBudget {
+    match arg_value(args, "--budget").as_deref() {
+        Some("standard") => SimBudget::Standard,
+        Some("thorough") => SimBudget::Thorough,
+        _ => SimBudget::Quick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_workloads::ExperimentPoint;
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> =
+            ["--v", "9", "--budget", "standard", "--plot"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--v").as_deref(), Some("9"));
+        assert_eq!(arg_value(&args, "--missing"), None);
+        assert!(arg_present(&args, "--plot"));
+        assert!(!arg_present(&args, "--csv"));
+        assert_eq!(budget_from_args(&args), SimBudget::Standard);
+        assert_eq!(budget_from_args(&[]), SimBudget::Quick);
+    }
+
+    #[test]
+    fn routing_by_name_builds_all_algorithms() {
+        let s5 = StarGraph::new(5);
+        for name in ["enhanced-nbc", "nbc", "nhop", "deterministic"] {
+            let algo = routing_by_name(name, &s5, 6);
+            assert_eq!(algo.virtual_channels(), 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown routing algorithm")]
+    fn unknown_routing_name_panics() {
+        let _ = routing_by_name("xy", &StarGraph::new(4), 4);
+    }
+
+    #[test]
+    fn figure1_curve_produces_one_row_per_rate() {
+        // tiny S4 stand-in so the test stays fast; the real curves use S5
+        let experiment = Figure1Experiment {
+            id: "test".into(),
+            symbols: 4,
+            virtual_channels: 6,
+            message_length: 16,
+            rates: vec![0.002, 0.004],
+        };
+        let rows = run_figure1_curve(&experiment, SimBudget::Quick, 3);
+        assert_eq!(rows.len(), 2);
+        for row in &rows {
+            assert_eq!(row.virtual_channels, 6);
+            assert!(row.model_latency.is_some());
+            assert!(row.simulated_latency.is_some());
+        }
+        let _ = ExperimentPoint {
+            symbols: 4,
+            virtual_channels: 6,
+            message_length: 16,
+            traffic_rate: 0.002,
+        };
+    }
+}

@@ -1,0 +1,216 @@
+//! The destination spectrum: everything the model needs to know about the
+//! possible destinations of a message, aggregated by permutation cycle type.
+//!
+//! Under uniform traffic, the paper fixes the source at the identity
+//! permutation (node 0) and averages the network latency over the `n! − 1`
+//! possible destinations (Eq. 5).  Two destinations whose *relative*
+//! permutations have the same cycle type are indistinguishable to the model:
+//! they are at the same distance, have the same number of minimal paths and
+//! the same per-hop adaptivity distribution `f(i, j, k)`.  The model therefore
+//! enumerates cycle types (a few dozen for `S5`-`S9`) instead of all `n! − 1`
+//! destinations, which is what keeps it cheap enough to evaluate far beyond
+//! the sizes a flit-level simulator can handle.
+
+use serde::{Deserialize, Serialize};
+use star_graph::path::MinimalPathDag;
+use star_graph::{AdaptivityProfile, CycleType};
+
+/// One class of destinations (a cycle type) together with how many
+/// destinations belong to it.
+#[derive(Debug, Clone)]
+pub struct DestinationClass {
+    /// The cycle type of the destination relative to the source.
+    pub cycle_type: CycleType,
+    /// Number of destinations of this type.
+    pub count: u64,
+    /// Distance from the source.
+    pub distance: usize,
+    /// Per-hop adaptivity distribution over all minimal paths.
+    pub profile: AdaptivityProfile,
+}
+
+/// The full spectrum of destination classes of `S_n`, excluding the source
+/// itself.
+#[derive(Debug, Clone)]
+pub struct DestinationSpectrum {
+    symbols: usize,
+    classes: Vec<DestinationClass>,
+}
+
+/// Summary statistics of a spectrum that are cheap to serialise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumSummary {
+    /// Number of symbols `n`.
+    pub symbols: usize,
+    /// Number of destination classes.
+    pub classes: usize,
+    /// Total number of destinations covered.
+    pub destinations: u64,
+    /// Mean distance over all destinations.
+    pub mean_distance: f64,
+}
+
+impl DestinationSpectrum {
+    /// Builds the spectrum for `S_n`.
+    ///
+    /// # Panics
+    /// Panics if `n` is outside the supported range of the underlying
+    /// permutation machinery.
+    #[must_use]
+    pub fn new(symbols: usize) -> Self {
+        let mut classes = Vec::new();
+        for (cycle_type, count) in star_graph::distance::enumerate_types(symbols) {
+            if cycle_type.cycle_lengths.is_empty() {
+                continue; // the source itself
+            }
+            let representative = cycle_type.representative(symbols);
+            let dag = MinimalPathDag::build(&representative);
+            let profile = dag.adaptivity_profile();
+            debug_assert_eq!(profile.distance, cycle_type.distance());
+            classes.push(DestinationClass {
+                distance: profile.distance,
+                cycle_type,
+                count,
+                profile,
+            });
+        }
+        classes.sort_by_key(|c| (c.distance, c.cycle_type.cycle_lengths.clone()));
+        Self { symbols, classes }
+    }
+
+    /// Number of symbols `n`.
+    #[must_use]
+    pub fn symbols(&self) -> usize {
+        self.symbols
+    }
+
+    /// The destination classes, sorted by distance.
+    #[must_use]
+    pub fn classes(&self) -> &[DestinationClass] {
+        &self.classes
+    }
+
+    /// Total number of destinations (must be `n! − 1`).
+    #[must_use]
+    pub fn destination_count(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Mean distance over all destinations (the `d̄` of Eq. 2).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        let weighted: f64 =
+            self.classes.iter().map(|c| c.distance as f64 * c.count as f64).sum();
+        weighted / self.destination_count() as f64
+    }
+
+    /// Mean adaptivity offered to a header over all destinations and hops
+    /// (a coarse measure of how much choice fully adaptive routing has).
+    #[must_use]
+    pub fn mean_adaptivity(&self) -> f64 {
+        let mut weighted = 0.0;
+        let mut hops = 0.0;
+        for class in &self.classes {
+            for k in 0..class.distance {
+                weighted += class.profile.mean_adaptivity(k) * class.count as f64;
+                hops += class.count as f64;
+            }
+        }
+        weighted / hops
+    }
+
+    /// Cheap summary of the spectrum.
+    #[must_use]
+    pub fn summary(&self) -> SpectrumSummary {
+        SpectrumSummary {
+            symbols: self.symbols,
+            classes: self.classes.len(),
+            destinations: self.destination_count(),
+            mean_distance: self.mean_distance(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::{factorial, StarGraph, Topology};
+
+    #[test]
+    fn covers_all_destinations() {
+        for n in 3..=6 {
+            let spectrum = DestinationSpectrum::new(n);
+            assert_eq!(spectrum.destination_count(), factorial(n) - 1);
+            assert_eq!(spectrum.symbols(), n);
+        }
+    }
+
+    #[test]
+    fn mean_distance_matches_topology() {
+        for n in 3..=6 {
+            let spectrum = DestinationSpectrum::new(n);
+            let topo = StarGraph::new(n);
+            assert!(
+                (spectrum.mean_distance() - topo.mean_distance()).abs() < 1e-12,
+                "spectrum mean distance must equal the topology's"
+            );
+        }
+    }
+
+    #[test]
+    fn class_distances_and_profiles_are_consistent() {
+        let spectrum = DestinationSpectrum::new(5);
+        for class in spectrum.classes() {
+            assert_eq!(class.profile.distance, class.distance);
+            assert_eq!(class.profile.hop_adaptivity.len(), class.distance);
+            assert!(class.count > 0);
+            // first hop adaptivity can never exceed the degree
+            assert!(class.profile.mean_adaptivity(0) <= 4.0);
+            // last hop of any minimal path is forced
+            let last = &class.profile.hop_adaptivity[class.distance - 1];
+            assert_eq!(last, &vec![(1, 1.0)]);
+        }
+    }
+
+    #[test]
+    fn s5_has_expected_class_count_and_diameter_classes() {
+        let spectrum = DestinationSpectrum::new(5);
+        // S5 distance distribution: [1, 4, 12, 30, 44, 26, 3]
+        let max_distance = spectrum.classes().iter().map(|c| c.distance).max().unwrap();
+        assert_eq!(max_distance, 6);
+        let at_diameter: u64 = spectrum
+            .classes()
+            .iter()
+            .filter(|c| c.distance == 6)
+            .map(|c| c.count)
+            .sum();
+        assert_eq!(at_diameter, 3);
+        let at_one: u64 = spectrum
+            .classes()
+            .iter()
+            .filter(|c| c.distance == 1)
+            .map(|c| c.count)
+            .sum();
+        assert_eq!(at_one, 4);
+    }
+
+    #[test]
+    fn mean_adaptivity_is_between_one_and_degree() {
+        for n in 4..=6 {
+            let spectrum = DestinationSpectrum::new(n);
+            let mean = spectrum.mean_adaptivity();
+            assert!(mean >= 1.0);
+            assert!(mean <= (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn summary_reports_the_same_numbers() {
+        let spectrum = DestinationSpectrum::new(5);
+        let s = spectrum.summary();
+        assert_eq!(s.symbols, 5);
+        assert_eq!(s.destinations, 119);
+        assert_eq!(s.classes, spectrum.classes().len());
+        assert!((s.mean_distance - spectrum.mean_distance()).abs() < 1e-15);
+    }
+}

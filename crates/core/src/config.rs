@@ -1,0 +1,271 @@
+//! Analytical-model configuration.
+
+use serde::{Deserialize, Serialize};
+use star_graph::coloring;
+
+/// Which routing scheme the model evaluates.
+///
+/// The paper derives the model for Enhanced-Nbc and notes that "the modelling
+/// approach used here can be equally applied for other routing schemes after
+/// few changes"; the other two disciplines implement exactly those changes —
+/// they only differ in how the virtual channels of a physical channel are
+/// split and in how many of them a header may request on one hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RoutingDiscipline {
+    /// The paper's algorithm: a minimal set of escape levels plus fully
+    /// adaptive class-a channels, with bonus cards on the escape levels.
+    #[default]
+    EnhancedNbc,
+    /// Negative-hop with bonus cards over all `V` virtual channels
+    /// (no class-a channels).
+    Nbc,
+    /// Plain negative-hop: exactly one admissible virtual channel per
+    /// admissible physical channel.
+    NHop,
+}
+
+/// Configuration of one analytical-model evaluation: a star graph `S_n`, the
+/// number of virtual channels per physical channel, the message length and
+/// the per-node traffic generation rate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelConfig {
+    /// Number of symbols `n` of the star graph (`S_n` has `n!` nodes).
+    pub symbols: usize,
+    /// Virtual channels `V` per physical channel.
+    pub virtual_channels: usize,
+    /// Message length `M` in flits.
+    pub message_length: usize,
+    /// Traffic generation rate `λ_g` in messages per node per cycle.
+    pub traffic_rate: f64,
+    /// Routing discipline being modelled (Enhanced-Nbc in the paper).
+    pub discipline: RoutingDiscipline,
+}
+
+impl ModelConfig {
+    /// Starts a builder with the paper's `S5`, `V = 6`, `M = 32`,
+    /// Enhanced-Nbc configuration at a low load.
+    #[must_use]
+    pub fn builder() -> ModelConfigBuilder {
+        ModelConfigBuilder {
+            config: Self {
+                symbols: 5,
+                virtual_channels: 6,
+                message_length: 32,
+                traffic_rate: 0.001,
+                discipline: RoutingDiscipline::EnhancedNbc,
+            },
+        }
+    }
+
+    /// Network diameter `⌈3(n−1)/2⌉`.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        3 * (self.symbols - 1) / 2
+    }
+
+    /// Minimum number of negative-hop levels the topology requires
+    /// (`⌊H/2⌋ + 1` for the 2-colourable star graph).
+    #[must_use]
+    pub fn required_levels(&self) -> usize {
+        coloring::max_negative_hops(self.diameter(), 2) + 1
+    }
+
+    /// Number of class-b (escape) virtual channels `V2` the modelled
+    /// discipline uses: the minimum for Enhanced-Nbc, all `V` channels for
+    /// Nbc and NHop.
+    #[must_use]
+    pub fn escape_levels(&self) -> usize {
+        match self.discipline {
+            RoutingDiscipline::EnhancedNbc => self.required_levels(),
+            RoutingDiscipline::Nbc | RoutingDiscipline::NHop => self.virtual_channels,
+        }
+    }
+
+    /// Number of class-a (fully adaptive) virtual channels (`V − V2` for
+    /// Enhanced-Nbc, none for the escape-only disciplines).
+    #[must_use]
+    pub fn adaptive_channels(&self) -> usize {
+        match self.discipline {
+            RoutingDiscipline::EnhancedNbc => self.virtual_channels - self.required_levels(),
+            RoutingDiscipline::Nbc | RoutingDiscipline::NHop => 0,
+        }
+    }
+
+    /// Whether the modelled discipline lets headers climb above their
+    /// mandatory escape level (bonus cards).
+    #[must_use]
+    pub fn bonus_cards(&self) -> bool {
+        !matches!(self.discipline, RoutingDiscipline::NHop)
+    }
+
+    /// Router degree `n − 1`.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.symbols - 1
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on out-of-range parameters (too few virtual channels for the
+    /// modelled discipline, zero-length messages, negative traffic,
+    /// unsupported `n`).
+    pub fn validate(&self) {
+        assert!(
+            (3..=9).contains(&self.symbols),
+            "the exact model supports S_3 … S_9, got S_{}",
+            self.symbols
+        );
+        assert!(self.message_length >= 1, "messages need at least one flit");
+        assert!(
+            self.traffic_rate >= 0.0 && self.traffic_rate.is_finite(),
+            "traffic rate must be finite and non-negative"
+        );
+        match self.discipline {
+            RoutingDiscipline::EnhancedNbc => assert!(
+                self.virtual_channels > self.required_levels(),
+                "Enhanced-Nbc on S_{} needs more than {} virtual channels, got {}",
+                self.symbols,
+                self.required_levels(),
+                self.virtual_channels
+            ),
+            RoutingDiscipline::Nbc | RoutingDiscipline::NHop => assert!(
+                self.virtual_channels >= self.required_levels(),
+                "{:?} on S_{} needs at least {} virtual channels, got {}",
+                self.discipline,
+                self.symbols,
+                self.required_levels(),
+                self.virtual_channels
+            ),
+        }
+    }
+}
+
+/// Builder for [`ModelConfig`].
+#[derive(Debug, Clone)]
+pub struct ModelConfigBuilder {
+    config: ModelConfig,
+}
+
+impl ModelConfigBuilder {
+    /// Sets the number of symbols `n`.
+    #[must_use]
+    pub fn symbols(mut self, n: usize) -> Self {
+        self.config.symbols = n;
+        self
+    }
+
+    /// Sets the number of virtual channels per physical channel.
+    #[must_use]
+    pub fn virtual_channels(mut self, v: usize) -> Self {
+        self.config.virtual_channels = v;
+        self
+    }
+
+    /// Sets the message length in flits.
+    #[must_use]
+    pub fn message_length(mut self, m: usize) -> Self {
+        self.config.message_length = m;
+        self
+    }
+
+    /// Sets the traffic generation rate (messages/node/cycle).
+    #[must_use]
+    pub fn traffic_rate(mut self, rate: f64) -> Self {
+        self.config.traffic_rate = rate;
+        self
+    }
+
+    /// Sets the routing discipline being modelled (defaults to Enhanced-Nbc,
+    /// the paper's algorithm).
+    #[must_use]
+    pub fn discipline(mut self, discipline: RoutingDiscipline) -> Self {
+        self.config.discipline = discipline;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn build(self) -> ModelConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configurations_are_valid() {
+        for &v in &[6usize, 9, 12] {
+            for &m in &[32usize, 64] {
+                let c = ModelConfig::builder()
+                    .symbols(5)
+                    .virtual_channels(v)
+                    .message_length(m)
+                    .traffic_rate(0.005)
+                    .build();
+                assert_eq!(c.diameter(), 6);
+                assert_eq!(c.escape_levels(), 4);
+                assert_eq!(c.adaptive_channels(), v - 4);
+                assert_eq!(c.degree(), 4);
+            }
+        }
+    }
+
+    #[test]
+    fn s6_and_s7_derived_values() {
+        let c6 = ModelConfig::builder().symbols(6).virtual_channels(6).build();
+        assert_eq!(c6.diameter(), 7);
+        assert_eq!(c6.escape_levels(), 4);
+        let c7 = ModelConfig::builder().symbols(7).virtual_channels(8).build();
+        assert_eq!(c7.diameter(), 9);
+        assert_eq!(c7.escape_levels(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs more than")]
+    fn too_few_virtual_channels_rejected() {
+        let _ = ModelConfig::builder().symbols(5).virtual_channels(4).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "S_3 … S_9")]
+    fn unsupported_size_rejected() {
+        let _ = ModelConfig::builder().symbols(10).virtual_channels(8).build();
+    }
+
+    #[test]
+    fn escape_only_disciplines_use_every_virtual_channel_as_a_level() {
+        let nbc = ModelConfig::builder()
+            .symbols(5)
+            .virtual_channels(6)
+            .discipline(RoutingDiscipline::Nbc)
+            .build();
+        assert_eq!(nbc.escape_levels(), 6);
+        assert_eq!(nbc.adaptive_channels(), 0);
+        assert!(nbc.bonus_cards());
+        let nhop = ModelConfig::builder()
+            .symbols(5)
+            .virtual_channels(4)
+            .discipline(RoutingDiscipline::NHop)
+            .build();
+        assert_eq!(nhop.escape_levels(), 4);
+        assert_eq!(nhop.adaptive_channels(), 0);
+        assert!(!nhop.bonus_cards());
+    }
+
+    #[test]
+    #[should_panic(expected = "needs at least")]
+    fn escape_only_disciplines_still_need_the_minimum_levels() {
+        let _ = ModelConfig::builder()
+            .symbols(5)
+            .virtual_channels(3)
+            .discipline(RoutingDiscipline::Nbc)
+            .build();
+    }
+}

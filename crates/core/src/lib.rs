@@ -1,0 +1,59 @@
+//! # star-core
+//!
+//! The paper's contribution: an analytical model of the mean message latency
+//! of fully adaptive (Enhanced-Nbc) wormhole routing in the star
+//! interconnection network `S_n` under uniform Poisson traffic
+//! (Kiasari, Sarbazi-Azad & Ould-Khaoua, IPDPS 2006).
+//!
+//! The model composes (equation numbers refer to the paper):
+//!
+//! * the mean minimal distance `d̄` of `S_n` (Eq. 2), computed exactly from
+//!   the permutation cycle structure by `star-graph`;
+//! * the per-channel traffic rate `λ_c = λ_g·d̄/(n−1)` (Eq. 3);
+//! * the per-destination network latency `S_i = M + h_i + Σ_k B_{i,k}`
+//!   (Eq. 4-5), averaged over destinations weighted by how many nodes of each
+//!   *cycle type* exist;
+//! * the per-hop blocking time `B_{i,k} = P_block(i,k) · w̄` (Eq. 6) where the
+//!   blocking probability accounts for the number of alternative output
+//!   channels `f(i,j,k)` (Eq. 7-8) and for which virtual channels the
+//!   Enhanced-Nbc scheme lets the message use (Eq. 9-11);
+//! * M/G/1 waiting times at the channels and at the source queue with the
+//!   paper's variance approximation `σ² ≈ (S̄ − M)²` (Eq. 12-16);
+//! * the Markovian virtual-channel occupancy distribution (Eq. 18) and
+//!   Dally's multiplexing factor `V̄` (Eq. 19);
+//! * the final mean latency `(S̄ + W_s)·V̄` (Eq. 1), obtained by damped
+//!   fixed-point iteration over the circular dependency between `S̄` and the
+//!   waiting times.
+//!
+//! ```
+//! use star_core::{AnalyticalModel, ModelConfig};
+//!
+//! let config = ModelConfig::builder()
+//!     .symbols(5)            // S5: 120 nodes, the network of Figure 1
+//!     .virtual_channels(6)
+//!     .message_length(32)
+//!     .traffic_rate(0.004)
+//!     .build();
+//! let result = AnalyticalModel::new(config).solve();
+//! assert!(!result.saturated);
+//! // latency is above the zero-load bound M + d̄ and finite below saturation
+//! assert!(result.mean_latency > 32.0 + 3.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptivity;
+pub mod blocking;
+pub mod config;
+pub mod model;
+pub mod occupancy;
+pub mod sweep;
+pub mod validation;
+pub mod waiting;
+
+pub use adaptivity::{DestinationClass, DestinationSpectrum};
+pub use config::{ModelConfig, ModelConfigBuilder, RoutingDiscipline};
+pub use model::{AnalyticalModel, ModelResult};
+pub use sweep::{saturation_rate, sweep_traffic, SweepPoint};
+pub use validation::ValidationRow;

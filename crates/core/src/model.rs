@@ -1,0 +1,360 @@
+//! The full analytical latency model (Eq. 1) and its fixed-point solution.
+
+use serde::{Deserialize, Serialize};
+use star_queueing::{FixedPointOutcome, FixedPointSolver};
+
+use crate::adaptivity::DestinationSpectrum;
+use crate::blocking::{total_blocking_delay, VcSplit};
+use crate::config::ModelConfig;
+use crate::occupancy::ChannelOccupancy;
+use crate::waiting::{channel_waiting_time, source_waiting_time};
+
+/// Result of evaluating the analytical model at one operating point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelResult {
+    /// The configuration that was evaluated.
+    pub config: ModelConfig,
+    /// Whether the operating point is beyond saturation (the fixed point
+    /// diverged or a queue became unstable).
+    pub saturated: bool,
+    /// Mean network latency `S̄` (time to cross the network), in cycles.
+    pub mean_network_latency: f64,
+    /// Mean waiting time at the source queue `W_s`, in cycles.
+    pub source_waiting: f64,
+    /// Average degree of virtual-channel multiplexing `V̄`.
+    pub multiplexing: f64,
+    /// Mean message latency `(S̄ + W_s)·V̄`, in cycles.
+    pub mean_latency: f64,
+    /// Mean minimal distance `d̄` (Eq. 2).
+    pub mean_distance: f64,
+    /// Traffic rate per channel `λ_c` (Eq. 3).
+    pub channel_rate: f64,
+    /// Channel utilisation `λ_c · S̄` at the solution.
+    pub channel_utilization: f64,
+    /// Mean waiting time `w̄` at a channel when blocking occurs (Eq. 15).
+    pub channel_waiting: f64,
+    /// Number of fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl ModelResult {
+    /// A saturated placeholder result (infinite latency).
+    fn saturated(config: ModelConfig, mean_distance: f64, channel_rate: f64, iterations: usize) -> Self {
+        Self {
+            config,
+            saturated: true,
+            mean_network_latency: f64::INFINITY,
+            source_waiting: f64::INFINITY,
+            multiplexing: config.virtual_channels as f64,
+            mean_latency: f64::INFINITY,
+            mean_distance,
+            channel_rate,
+            channel_utilization: 1.0,
+            channel_waiting: f64::INFINITY,
+            iterations,
+        }
+    }
+}
+
+/// The analytical model of mean message latency for Enhanced-Nbc routing on
+/// `S_n` (the paper's contribution).
+#[derive(Debug, Clone)]
+pub struct AnalyticalModel {
+    config: ModelConfig,
+    spectrum: DestinationSpectrum,
+}
+
+impl AnalyticalModel {
+    /// Builds the model, precomputing the destination spectrum of `S_n`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: ModelConfig) -> Self {
+        config.validate();
+        let spectrum = DestinationSpectrum::new(config.symbols);
+        Self { config, spectrum }
+    }
+
+    /// Builds the model reusing an already computed destination spectrum
+    /// (useful when sweeping traffic rates: the spectrum only depends on `n`).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the spectrum was built for a
+    /// different `n`.
+    #[must_use]
+    pub fn with_spectrum(config: ModelConfig, spectrum: DestinationSpectrum) -> Self {
+        config.validate();
+        assert_eq!(spectrum.symbols(), config.symbols, "spectrum size mismatch");
+        Self { config, spectrum }
+    }
+
+    /// The configuration being evaluated.
+    #[must_use]
+    pub fn config(&self) -> &ModelConfig {
+        &self.config
+    }
+
+    /// The destination spectrum (shared across operating points of the same
+    /// `S_n`).
+    #[must_use]
+    pub fn spectrum(&self) -> &DestinationSpectrum {
+        &self.spectrum
+    }
+
+    /// Evaluates the mean network latency implied by a current estimate of
+    /// `S̄`: one application of Eqs. 4-15.
+    fn network_latency_step(&self, mean_service: f64, channel_rate: f64) -> f64 {
+        let cfg = &self.config;
+        let split = VcSplit {
+            adaptive: cfg.adaptive_channels(),
+            escape_levels: cfg.escape_levels(),
+            bonus_cards: cfg.bonus_cards(),
+        };
+        let occupancy = ChannelOccupancy::new(channel_rate, mean_service, cfg.virtual_channels);
+        let mean_wait = channel_waiting_time(channel_rate, mean_service, cfg.message_length);
+        if !mean_wait.is_finite() {
+            return f64::INFINITY;
+        }
+        let mut weighted = 0.0;
+        for class in self.spectrum.classes() {
+            let blocking = total_blocking_delay(split, &occupancy, &class.profile, mean_wait);
+            let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+            weighted += latency * class.count as f64;
+        }
+        weighted / self.spectrum.destination_count() as f64
+    }
+
+    /// Solves the model at the configured operating point.
+    #[must_use]
+    pub fn solve(&self) -> ModelResult {
+        let cfg = &self.config;
+        let mean_distance = self.spectrum.mean_distance();
+        let channel_rate = cfg.traffic_rate * mean_distance / cfg.degree() as f64;
+        let zero_load = cfg.message_length as f64 + mean_distance;
+
+        // Quick stability screen: a channel can never serve more than one
+        // message of M flits at a time, so λ_c·M ≥ 1 is beyond saturation.
+        if channel_rate * cfg.message_length as f64 >= 1.0 {
+            return ModelResult::saturated(*cfg, mean_distance, channel_rate, 0);
+        }
+
+        let solver = FixedPointSolver {
+            damping: 0.5,
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            divergence_ceiling: 1e7,
+        };
+        let outcome = solver.solve(vec![zero_load], |state| {
+            vec![self.network_latency_step(state[0], channel_rate)]
+        });
+        let (mean_network_latency, iterations) = match outcome {
+            FixedPointOutcome::Converged { state, iterations } => (state[0], iterations),
+            FixedPointOutcome::Diverged { iterations, .. } => {
+                return ModelResult::saturated(*cfg, mean_distance, channel_rate, iterations);
+            }
+            FixedPointOutcome::MaxIterations { state, .. } => (state[0], solver.max_iterations),
+        };
+
+        let occupancy =
+            ChannelOccupancy::new(channel_rate, mean_network_latency, cfg.virtual_channels);
+        let multiplexing = occupancy.multiplexing_degree();
+        let channel_waiting =
+            channel_waiting_time(channel_rate, mean_network_latency, cfg.message_length);
+        let source_waiting = source_waiting_time(
+            cfg.traffic_rate,
+            cfg.virtual_channels,
+            mean_network_latency,
+            cfg.message_length,
+        );
+        if !source_waiting.is_finite() || !channel_waiting.is_finite() {
+            return ModelResult::saturated(*cfg, mean_distance, channel_rate, iterations);
+        }
+        let mean_latency = (mean_network_latency + source_waiting) * multiplexing;
+        ModelResult {
+            config: *cfg,
+            saturated: false,
+            mean_network_latency,
+            source_waiting,
+            multiplexing,
+            mean_latency,
+            mean_distance,
+            channel_rate,
+            channel_utilization: channel_rate * mean_network_latency,
+            channel_waiting,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(symbols: usize, v: usize, m: usize, rate: f64) -> ModelResult {
+        AnalyticalModel::new(
+            ModelConfig::builder()
+                .symbols(symbols)
+                .virtual_channels(v)
+                .message_length(m)
+                .traffic_rate(rate)
+                .build(),
+        )
+        .solve()
+    }
+
+    #[test]
+    fn zero_load_latency_equals_message_length_plus_mean_distance() {
+        let r = solve(5, 6, 32, 0.0);
+        assert!(!r.saturated);
+        assert!((r.mean_network_latency - (32.0 + r.mean_distance)).abs() < 1e-6);
+        assert_eq!(r.source_waiting, 0.0);
+        assert!((r.multiplexing - 1.0).abs() < 1e-9);
+        assert!((r.mean_latency - r.mean_network_latency).abs() < 1e-6);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load_until_saturation() {
+        let mut last = 0.0;
+        let mut saturated_seen = false;
+        for i in 1..=30 {
+            let rate = i as f64 * 0.001;
+            let r = solve(5, 6, 32, rate);
+            if r.saturated {
+                saturated_seen = true;
+                break;
+            }
+            assert!(
+                r.mean_latency > last,
+                "latency must grow with load (rate {rate}: {} vs {last})",
+                r.mean_latency
+            );
+            last = r.mean_latency;
+        }
+        assert!(saturated_seen, "the sweep must eventually saturate");
+    }
+
+    #[test]
+    fn more_virtual_channels_saturate_later_and_block_less() {
+        // At the same moderate load, more virtual channels give lower latency;
+        // this is the ordering Figure 1 (a)-(c) exhibits.
+        let rate = 0.008;
+        let r6 = solve(5, 6, 32, rate);
+        let r9 = solve(5, 9, 32, rate);
+        let r12 = solve(5, 12, 32, rate);
+        assert!(!r12.saturated);
+        if !r6.saturated && !r9.saturated {
+            assert!(r9.mean_latency <= r6.mean_latency + 1e-9);
+            assert!(r12.mean_latency <= r9.mean_latency + 1e-9);
+        }
+    }
+
+    #[test]
+    fn longer_messages_have_higher_latency_and_earlier_saturation() {
+        let rate = 0.004;
+        let m32 = solve(5, 6, 32, rate);
+        let m64 = solve(5, 6, 64, rate);
+        assert!(!m32.saturated);
+        if !m64.saturated {
+            assert!(m64.mean_latency > m32.mean_latency + 20.0);
+        }
+        // at a rate where M=64 is saturated, M=32 may still be fine
+        let high = 0.009;
+        let m32h = solve(5, 6, 32, high);
+        let m64h = solve(5, 6, 64, high);
+        assert!(m64h.saturated || m64h.mean_latency > m32h.mean_latency);
+    }
+
+    #[test]
+    fn heavy_load_is_reported_as_saturated() {
+        let r = solve(5, 6, 32, 0.05);
+        assert!(r.saturated);
+        assert!(r.mean_latency.is_infinite());
+    }
+
+    #[test]
+    fn channel_rate_follows_equation_three() {
+        let r = solve(5, 9, 32, 0.006);
+        let expected = 0.006 * r.mean_distance / 4.0;
+        assert!((r.channel_rate - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiplexing_between_one_and_v() {
+        for &rate in &[0.001, 0.004, 0.008] {
+            let r = solve(5, 9, 32, rate);
+            if !r.saturated {
+                assert!(r.multiplexing >= 1.0);
+                assert!(r.multiplexing <= 9.0);
+            }
+        }
+    }
+
+    #[test]
+    fn larger_networks_have_higher_zero_load_latency() {
+        let s4 = solve(4, 6, 32, 0.0);
+        let s5 = solve(5, 6, 32, 0.0);
+        let s6 = solve(6, 6, 32, 0.0);
+        assert!(s5.mean_network_latency > s4.mean_network_latency);
+        assert!(s6.mean_network_latency > s5.mean_network_latency);
+    }
+
+    #[test]
+    fn with_spectrum_reuses_precomputed_spectrum() {
+        let spectrum = DestinationSpectrum::new(5);
+        let config = ModelConfig::builder().symbols(5).virtual_channels(6).traffic_rate(0.002).build();
+        let a = AnalyticalModel::with_spectrum(config, spectrum).solve();
+        let b = AnalyticalModel::new(config).solve();
+        assert!((a.mean_latency - b.mean_latency).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "spectrum size mismatch")]
+    fn mismatched_spectrum_is_rejected() {
+        let spectrum = DestinationSpectrum::new(4);
+        let config = ModelConfig::builder().symbols(5).virtual_channels(6).build();
+        let _ = AnalyticalModel::with_spectrum(config, spectrum);
+    }
+
+    #[test]
+    fn plain_negative_hop_is_the_slowest_discipline() {
+        // The model extension for the other routing schemes (the "few
+        // changes" the paper mentions): with the same V and load, the plain
+        // negative-hop scheme offers the least choice per hop and must show
+        // the highest latency, matching the simulated ablation.
+        use crate::config::RoutingDiscipline;
+        let rate = 0.008;
+        let solve_with = |discipline| {
+            AnalyticalModel::new(
+                ModelConfig::builder()
+                    .symbols(5)
+                    .virtual_channels(6)
+                    .message_length(32)
+                    .traffic_rate(rate)
+                    .discipline(discipline)
+                    .build(),
+            )
+            .solve()
+        };
+        let enhanced = solve_with(RoutingDiscipline::EnhancedNbc);
+        let nbc = solve_with(RoutingDiscipline::Nbc);
+        let nhop = solve_with(RoutingDiscipline::NHop);
+        assert!(!enhanced.saturated && !nbc.saturated);
+        if !nhop.saturated {
+            assert!(nhop.mean_latency >= nbc.mean_latency - 1e-9);
+            assert!(nhop.mean_latency >= enhanced.mean_latency - 1e-9);
+        }
+        // NHop never saturates later than the bonus-card schemes
+        let sat = |d| crate::sweep::saturation_rate(
+            ModelConfig::builder()
+                .symbols(5)
+                .virtual_channels(6)
+                .message_length(32)
+                .discipline(d)
+                .build(),
+            0.03,
+        );
+        assert!(sat(RoutingDiscipline::NHop) <= sat(RoutingDiscipline::Nbc) * 1.05);
+        assert!(sat(RoutingDiscipline::NHop) <= sat(RoutingDiscipline::EnhancedNbc) * 1.05);
+    }
+}

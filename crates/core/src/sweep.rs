@@ -1,0 +1,131 @@
+//! Traffic sweeps and saturation-point estimation.
+//!
+//! Figure 1 of the paper plots mean message latency against the traffic
+//! generation rate for a fixed network, message length and number of virtual
+//! channels; [`sweep_traffic`] produces exactly that curve from the model, and
+//! [`saturation_rate`] finds the largest generation rate the model still
+//! solves (by bisection on the saturation flag), which is how the model
+//! predicts the saturation point visible in the figure.
+
+use serde::{Deserialize, Serialize};
+
+use crate::adaptivity::DestinationSpectrum;
+use crate::config::ModelConfig;
+use crate::model::{AnalyticalModel, ModelResult};
+
+/// One point of a latency-vs-load curve.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Traffic generation rate `λ_g` (messages/node/cycle).
+    pub traffic_rate: f64,
+    /// Model result at this rate.
+    pub result: ModelResult,
+}
+
+/// Evaluates the model at each of the given traffic rates, reusing one
+/// destination spectrum for the whole sweep.
+#[must_use]
+pub fn sweep_traffic(base: ModelConfig, rates: &[f64]) -> Vec<SweepPoint> {
+    let spectrum = DestinationSpectrum::new(base.symbols);
+    rates
+        .iter()
+        .map(|&rate| {
+            let config = ModelConfig { traffic_rate: rate, ..base };
+            let result =
+                AnalyticalModel::with_spectrum(config, spectrum.clone()).solve();
+            SweepPoint { traffic_rate: rate, result }
+        })
+        .collect()
+}
+
+/// Evenly spaced traffic rates from `from` to `to` inclusive.
+#[must_use]
+pub fn linspace(from: f64, to: f64, points: usize) -> Vec<f64> {
+    assert!(points >= 2, "need at least two points");
+    (0..points)
+        .map(|i| from + (to - from) * i as f64 / (points - 1) as f64)
+        .collect()
+}
+
+/// Largest traffic generation rate at which the model still converges (the
+/// predicted saturation rate), found by bisection to the given relative
+/// tolerance.
+#[must_use]
+pub fn saturation_rate(base: ModelConfig, tolerance: f64) -> f64 {
+    assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
+    let spectrum = DestinationSpectrum::new(base.symbols);
+    let solves = |rate: f64| {
+        let config = ModelConfig { traffic_rate: rate, ..base };
+        !AnalyticalModel::with_spectrum(config, spectrum.clone()).solve().saturated
+    };
+    // establish an upper bound that saturates
+    let mut low = 0.0;
+    let mut high = 1.0 / base.message_length as f64; // λ_c·M ≥ 1 is certainly saturated
+    debug_assert!(!solves(high));
+    while (high - low) / high.max(1e-12) > tolerance {
+        let mid = 0.5 * (low + high);
+        if solves(mid) {
+            low = mid;
+        } else {
+            high = mid;
+        }
+    }
+    low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s5_config(v: usize, m: usize) -> ModelConfig {
+        ModelConfig::builder().symbols(5).virtual_channels(v).message_length(m).build()
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let pts = linspace(0.0, 0.01, 11);
+        assert_eq!(pts.len(), 11);
+        assert!((pts[0]).abs() < 1e-15);
+        assert!((pts[10] - 0.01).abs() < 1e-15);
+        assert!((pts[5] - 0.005).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_is_monotone_until_saturation() {
+        let points = sweep_traffic(s5_config(6, 32), &linspace(0.0005, 0.03, 20));
+        let mut last = 0.0;
+        for p in &points {
+            if p.result.saturated {
+                continue;
+            }
+            assert!(p.result.mean_latency >= last);
+            last = p.result.mean_latency;
+        }
+        assert!(points.iter().any(|p| !p.result.saturated), "some points must converge");
+        assert!(points.iter().any(|p| p.result.saturated), "the sweep must reach saturation");
+    }
+
+    #[test]
+    fn saturation_rate_orders_with_virtual_channels_and_message_length() {
+        let tol = 0.02;
+        let sat_v6 = saturation_rate(s5_config(6, 32), tol);
+        let sat_v12 = saturation_rate(s5_config(12, 32), tol);
+        let sat_m64 = saturation_rate(s5_config(6, 64), tol);
+        assert!(sat_v6 > 0.0);
+        // more virtual channels push saturation to higher load (Figure 1a→1c)
+        assert!(sat_v12 >= sat_v6 * 0.95);
+        // doubling the message length roughly halves the saturation rate
+        assert!(sat_m64 < sat_v6);
+        assert!(sat_m64 > sat_v6 * 0.3);
+    }
+
+    #[test]
+    fn saturation_rate_is_consistent_with_the_sweep() {
+        let cfg = s5_config(9, 32);
+        let sat = saturation_rate(cfg, 0.02);
+        let below = sweep_traffic(cfg, &[sat * 0.9]);
+        let above = sweep_traffic(cfg, &[sat * 1.2]);
+        assert!(!below[0].result.saturated);
+        assert!(above[0].result.saturated);
+    }
+}

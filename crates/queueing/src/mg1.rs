@@ -1,0 +1,170 @@
+//! M/G/1 mean waiting times.
+//!
+//! The analytical model treats every network channel and the source injection
+//! queue as M/G/1 servers (Eq. 12-16 of the paper).  The exact service-time
+//! distribution at a wormhole channel is intractable (service times at
+//! successive channels are correlated through the blocking mechanism), so the
+//! paper approximates its variance by `(S̄ − M)²`, where `M` is the minimum
+//! possible service time — the message length in flits.  Both the exact
+//! Pollaczek–Khinchine form and the approximated form are provided.
+
+/// Server utilisation `ρ = λ·S̄`.
+#[inline]
+#[must_use]
+pub fn utilization(arrival_rate: f64, mean_service: f64) -> f64 {
+    arrival_rate * mean_service
+}
+
+/// Pollaczek–Khinchine mean waiting time of an M/G/1 queue:
+/// `W = ρ·S̄·(1 + C_S²) / (2·(1 − ρ))` with `C_S² = σ_S²/S̄²` (Eq. 12-14).
+///
+/// Returns `f64::INFINITY` when the queue is unstable (`ρ >= 1`), which the
+/// model interprets as the network being saturated.
+///
+/// # Panics
+/// Panics if any argument is negative or `mean_service` is zero.
+#[must_use]
+pub fn mg1_waiting_time(arrival_rate: f64, mean_service: f64, service_variance: f64) -> f64 {
+    assert!(arrival_rate >= 0.0, "arrival rate must be non-negative");
+    assert!(mean_service > 0.0, "mean service time must be positive");
+    assert!(service_variance >= 0.0, "variance must be non-negative");
+    let rho = utilization(arrival_rate, mean_service);
+    if rho >= 1.0 {
+        return f64::INFINITY;
+    }
+    let cs2 = service_variance / (mean_service * mean_service);
+    rho * mean_service * (1.0 + cs2) / (2.0 * (1.0 - rho))
+}
+
+/// The paper's approximated M/G/1 waiting time (Eq. 15-16): the service-time
+/// variance is taken as `(S̄ − M)²` where `M` is the minimum service time
+/// (message length), giving
+/// `W = λ·S̄²·(1 + (1 − M/S̄)²) / (2·(1 − λ·S̄))`.
+///
+/// Returns `f64::INFINITY` when unstable.
+///
+/// # Panics
+/// Panics if arguments are negative, `mean_service` is zero, or the minimum
+/// service time exceeds the mean.
+#[must_use]
+pub fn mg1_waiting_time_min_service(arrival_rate: f64, mean_service: f64, min_service: f64) -> f64 {
+    assert!(min_service >= 0.0, "minimum service time must be non-negative");
+    assert!(
+        min_service <= mean_service + 1e-9,
+        "minimum service time ({min_service}) cannot exceed the mean ({mean_service})"
+    );
+    let sigma2 = (mean_service - min_service).powi(2);
+    mg1_waiting_time(arrival_rate, mean_service, sigma2)
+}
+
+/// Mean waiting time of an M/M/1 queue (exponential service), provided for
+/// reference and cross-checks: `W = ρ·S̄/(1 − ρ)`.
+#[must_use]
+pub fn mm1_waiting_time(arrival_rate: f64, mean_service: f64) -> f64 {
+    // An exponential service time has variance S̄².
+    mg1_waiting_time(arrival_rate, mean_service, mean_service * mean_service)
+}
+
+/// Mean waiting time of an M/D/1 queue (deterministic service):
+/// `W = ρ·S̄/(2(1 − ρ))`.
+#[must_use]
+pub fn md1_waiting_time(arrival_rate: f64, mean_service: f64) -> f64 {
+    mg1_waiting_time(arrival_rate, mean_service, 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_is_product() {
+        assert!((utilization(0.01, 40.0) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_load_means_zero_wait() {
+        assert_eq!(mg1_waiting_time(0.0, 32.0, 10.0), 0.0);
+        assert_eq!(mg1_waiting_time_min_service(0.0, 32.0, 32.0), 0.0);
+    }
+
+    #[test]
+    fn deterministic_service_matches_md1() {
+        let w = mg1_waiting_time(0.01, 50.0, 0.0);
+        let expected = 0.5 * 50.0 / (2.0 * 0.5);
+        assert!((w - expected).abs() < 1e-12);
+        assert!((md1_waiting_time(0.01, 50.0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_service_matches_mm1() {
+        let rho: f64 = 0.6;
+        let s = 20.0;
+        let lambda = rho / s;
+        let expected = rho * s / (1.0 - rho);
+        assert!((mm1_waiting_time(lambda, s) - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn saturated_queue_returns_infinity() {
+        assert!(mg1_waiting_time(0.05, 20.0, 1.0).is_infinite());
+        assert!(mg1_waiting_time(0.06, 20.0, 1.0).is_infinite());
+        assert!(mg1_waiting_time_min_service(1.0, 1.5, 1.0).is_infinite());
+    }
+
+    #[test]
+    fn waiting_time_grows_with_load_and_variance() {
+        let w1 = mg1_waiting_time(0.005, 40.0, 10.0);
+        let w2 = mg1_waiting_time(0.010, 40.0, 10.0);
+        let w3 = mg1_waiting_time(0.010, 40.0, 100.0);
+        assert!(w2 > w1);
+        assert!(w3 > w2);
+    }
+
+    #[test]
+    fn paper_approximation_reduces_to_md1_when_service_equals_minimum() {
+        // If every message experiences no blocking, S̄ = M and the
+        // approximated variance vanishes: the channel behaves like M/D/1.
+        let lambda = 0.004;
+        let m = 32.0;
+        let approx = mg1_waiting_time_min_service(lambda, m, m);
+        assert!((approx - md1_waiting_time(lambda, m)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed the mean")]
+    fn min_service_above_mean_is_rejected() {
+        let _ = mg1_waiting_time_min_service(0.001, 30.0, 40.0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn waiting_time_is_finite_and_nonnegative_below_saturation(
+                rho in 0.0f64..0.95,
+                s in 1.0f64..500.0,
+                extra in 0.0f64..1.0,
+            ) {
+                let lambda = rho / s;
+                let min_service = s * (1.0 - extra);
+                let w = mg1_waiting_time_min_service(lambda, s, min_service);
+                prop_assert!(w.is_finite());
+                prop_assert!(w >= 0.0);
+            }
+
+            #[test]
+            fn monotone_in_arrival_rate(
+                s in 1.0f64..200.0,
+                rho1 in 0.01f64..0.9,
+                bump in 0.01f64..0.09,
+            ) {
+                let rho2 = rho1 + bump;
+                let w1 = mg1_waiting_time(rho1 / s, s, s);
+                let w2 = mg1_waiting_time(rho2 / s, s, s);
+                prop_assert!(w2 >= w1);
+            }
+        }
+    }
+}

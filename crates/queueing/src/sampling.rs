@@ -1,0 +1,170 @@
+//! Random sampling utilities for the simulator's traffic sources.
+//!
+//! The paper assumes each node generates messages according to a Poisson
+//! process with rate `λ_g` messages/cycle.  [`PoissonProcess`] produces the
+//! corresponding exponential inter-arrival times and converts them to integer
+//! cycle timestamps; [`seeded_rng`] provides deterministic, stream-separable
+//! seeding so that simulation experiments are exactly reproducible.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Creates a deterministic RNG for a given experiment seed and stream id.
+///
+/// Different `stream` values (e.g. one per node) yield independent-looking
+/// generators while remaining fully reproducible for a fixed `seed`.
+#[must_use]
+pub fn seeded_rng(seed: u64, stream: u64) -> StdRng {
+    // SplitMix64 scrambling of (seed, stream) into a 32-byte seed.
+    let mut state = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut bytes = [0u8; 32];
+    for chunk in bytes.chunks_mut(8) {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        chunk.copy_from_slice(&z.to_le_bytes());
+    }
+    StdRng::from_seed(bytes)
+}
+
+/// A Poisson arrival process with a given rate in events per cycle.
+///
+/// Inter-arrival times are exponential with mean `1/rate`; arrival cycles are
+/// produced as (not necessarily strictly) increasing integer timestamps.
+#[derive(Debug, Clone)]
+pub struct PoissonProcess {
+    rate: f64,
+    next_arrival: f64,
+    rng: StdRng,
+}
+
+impl PoissonProcess {
+    /// Creates a process with the given rate (events/cycle).  A rate of zero
+    /// produces no events.
+    ///
+    /// # Panics
+    /// Panics if the rate is negative or not finite.
+    #[must_use]
+    pub fn new(rate: f64, seed: u64, stream: u64) -> Self {
+        assert!(rate >= 0.0 && rate.is_finite(), "rate must be finite and non-negative");
+        let mut p = Self { rate, next_arrival: 0.0, rng: seeded_rng(seed, stream) };
+        if rate > 0.0 {
+            p.next_arrival = p.sample_interval();
+        } else {
+            p.next_arrival = f64::INFINITY;
+        }
+        p
+    }
+
+    /// The configured rate.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    fn sample_interval(&mut self) -> f64 {
+        // Inverse-CDF sampling of an exponential with mean 1/rate.
+        let u: f64 = self.rng.random::<f64>();
+        // Guard against u == 0 which would give +inf.
+        let u = u.max(f64::MIN_POSITIVE);
+        -u.ln() / self.rate
+    }
+
+    /// Returns the number of new messages generated at the given cycle
+    /// (usually 0 or 1; can exceed 1 at very high rates).
+    pub fn arrivals_at(&mut self, cycle: u64) -> usize {
+        if self.rate == 0.0 {
+            return 0;
+        }
+        let mut count = 0;
+        while self.next_arrival <= cycle as f64 + 1.0 - f64::EPSILON {
+            count += 1;
+            let step = self.sample_interval();
+            self.next_arrival += step;
+        }
+        count
+    }
+
+    /// Time of the next arrival (in cycles, fractional), `+∞` for rate 0.
+    #[must_use]
+    pub fn next_arrival_time(&self) -> f64 {
+        self.next_arrival
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_fires() {
+        let mut p = PoissonProcess::new(0.0, 1, 0);
+        for cycle in 0..10_000 {
+            assert_eq!(p.arrivals_at(cycle), 0);
+        }
+        assert!(p.next_arrival_time().is_infinite());
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_stream_separated() {
+        let mut a = PoissonProcess::new(0.01, 42, 7);
+        let mut b = PoissonProcess::new(0.01, 42, 7);
+        let mut c = PoissonProcess::new(0.01, 42, 8);
+        let seq_a: Vec<usize> = (0..5000).map(|t| a.arrivals_at(t)).collect();
+        let seq_b: Vec<usize> = (0..5000).map(|t| b.arrivals_at(t)).collect();
+        let seq_c: Vec<usize> = (0..5000).map(|t| c.arrivals_at(t)).collect();
+        assert_eq!(seq_a, seq_b, "same seed/stream must reproduce exactly");
+        assert_ne!(seq_a, seq_c, "different streams must differ");
+    }
+
+    #[test]
+    fn empirical_rate_matches_configuration() {
+        for &rate in &[0.002, 0.01, 0.05] {
+            let mut p = PoissonProcess::new(rate, 7, 3);
+            let horizon = 200_000u64;
+            let total: usize = (0..horizon).map(|t| p.arrivals_at(t)).sum();
+            let empirical = total as f64 / horizon as f64;
+            let rel_err = (empirical - rate).abs() / rate;
+            assert!(rel_err < 0.05, "rate {rate}: empirical {empirical} off by {rel_err}");
+        }
+    }
+
+    #[test]
+    fn window_counts_have_poisson_dispersion() {
+        // For a Poisson process the number of arrivals in a fixed window has
+        // variance equal to its mean (index of dispersion 1).
+        let mut p = PoissonProcess::new(0.02, 11, 0);
+        let window = 200u64;
+        let mut stats = crate::stats::RunningStats::new();
+        for w in 0..5_000u64 {
+            let mut count = 0usize;
+            for cycle in w * window..(w + 1) * window {
+                count += p.arrivals_at(cycle);
+            }
+            stats.push(count as f64);
+        }
+        let dispersion = stats.variance() / stats.mean();
+        assert!(
+            (dispersion - 1.0).abs() < 0.1,
+            "index of dispersion should be ~1, got {dispersion}"
+        );
+        assert!((stats.mean() - 4.0).abs() < 0.2, "expected ~4 arrivals per window");
+    }
+
+    #[test]
+    fn seeded_rng_streams_do_not_collide() {
+        let mut r0 = seeded_rng(123, 0);
+        let mut r1 = seeded_rng(123, 1);
+        let a: Vec<u64> = (0..16).map(|_| r0.random()).collect();
+        let b: Vec<u64> = (0..16).map(|_| r1.random()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_rejected() {
+        let _ = PoissonProcess::new(-0.1, 0, 0);
+    }
+}

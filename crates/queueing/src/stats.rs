@@ -1,0 +1,380 @@
+//! Statistics collection for simulation output analysis.
+//!
+//! The simulator reports mean message latency, mean network latency and mean
+//! source-queueing time with confidence intervals.  [`RunningStats`] is a
+//! numerically stable (Welford) accumulator; [`BatchMeans`] implements the
+//! classic batch-means method for steady-state output analysis;
+//! [`Histogram`] records integer-valued samples (latencies in cycles) for
+//! distribution plots.
+
+use serde::{Deserialize, Serialize};
+
+/// Numerically stable running mean/variance accumulator (Welford's method).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator into this one (parallel reduction).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        let mean = self.mean + delta * other.count as f64 / total as f64;
+        let m2 = self.m2
+            + other.m2
+            + delta * delta * self.count as f64 * other.count as f64 / total as f64;
+        self.count = total;
+        self.mean = mean;
+        self.m2 = m2;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    #[must_use]
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Standard error of the mean.
+    #[must_use]
+    pub fn std_error(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen (`+∞` when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen (`-∞` when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Approximate 95% confidence half-width for the mean (normal
+    /// approximation, `1.96 · SE`).
+    #[must_use]
+    pub fn confidence_95(&self) -> f64 {
+        1.96 * self.std_error()
+    }
+}
+
+/// Batch-means estimator for steady-state simulation output: samples are
+/// grouped into fixed-size batches and the batch means are treated as
+/// (approximately independent) observations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchMeans {
+    batch_size: u64,
+    current_sum: f64,
+    current_count: u64,
+    batch_stats: RunningStats,
+}
+
+impl BatchMeans {
+    /// Creates an estimator with the given batch size.
+    ///
+    /// # Panics
+    /// Panics if `batch_size` is zero.
+    #[must_use]
+    pub fn new(batch_size: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Self { batch_size, current_sum: 0.0, current_count: 0, batch_stats: RunningStats::new() }
+    }
+
+    /// Adds one raw sample.
+    pub fn push(&mut self, x: f64) {
+        self.current_sum += x;
+        self.current_count += 1;
+        if self.current_count == self.batch_size {
+            self.batch_stats.push(self.current_sum / self.batch_size as f64);
+            self.current_sum = 0.0;
+            self.current_count = 0;
+        }
+    }
+
+    /// Number of completed batches.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batch_stats.count()
+    }
+
+    /// Mean over completed batches.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        self.batch_stats.mean()
+    }
+
+    /// 95% confidence half-width over completed batches.
+    #[must_use]
+    pub fn confidence_95(&self) -> f64 {
+        self.batch_stats.confidence_95()
+    }
+
+    /// Relative half-width of the 95% confidence interval (0 when the mean is
+    /// zero); a common stopping criterion for steady-state simulations.
+    #[must_use]
+    pub fn relative_precision(&self) -> f64 {
+        let mean = self.mean();
+        if mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.confidence_95() / mean.abs()
+        }
+    }
+}
+
+/// Fixed-bin histogram over non-negative integer samples (e.g. message
+/// latencies in cycles); samples beyond the last bin are clamped into it.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Histogram {
+    bin_width: u64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` bins of width `bin_width`.
+    ///
+    /// # Panics
+    /// Panics if either argument is zero.
+    #[must_use]
+    pub fn new(bin_width: u64, bins: usize) -> Self {
+        assert!(bin_width > 0 && bins > 0, "histogram dimensions must be positive");
+        Self { bin_width, bins: vec![0; bins], total: 0 }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = ((value / self.bin_width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Total number of recorded samples.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw bin counts.
+    #[must_use]
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// The value below which `quantile` (in `[0,1]`) of the samples fall,
+    /// resolved to bin granularity.  Returns 0 when empty.
+    #[must_use]
+    pub fn quantile(&self, quantile: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&quantile), "quantile must be in [0,1]");
+        if self.total == 0 {
+            return 0;
+        }
+        let threshold = (quantile * self.total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            seen += c;
+            if seen >= threshold {
+                return (i as u64 + 1) * self.bin_width;
+            }
+        }
+        self.bins.len() as u64 * self.bin_width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_known_values() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert!(s.confidence_95() > 0.0);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunningStats::new();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.std_error(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| (i as f64).sin() * 10.0 + 3.0).collect();
+        let mut all = RunningStats::new();
+        for &x in &data {
+            all.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..300] {
+            a.push(x);
+        }
+        for &x in &data[300..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+        // merging an empty accumulator is a no-op
+        let before = a.mean();
+        a.merge(&RunningStats::new());
+        assert_eq!(a.mean(), before);
+    }
+
+    #[test]
+    fn batch_means_reduces_to_sample_mean() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..100 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 10);
+        assert!((bm.mean() - 49.5).abs() < 1e-12);
+        assert!(bm.relative_precision() > 0.0);
+    }
+
+    #[test]
+    fn batch_means_ignores_incomplete_batch() {
+        let mut bm = BatchMeans::new(10);
+        for i in 0..25 {
+            bm.push(i as f64);
+        }
+        assert_eq!(bm.batches(), 2);
+        assert!((bm.mean() - (4.5 + 14.5) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_quantiles() {
+        let mut h = Histogram::new(10, 20);
+        for v in 0..100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.quantile(0.5), 50);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.quantile(0.0), 10);
+    }
+
+    #[test]
+    fn histogram_clamps_overflow() {
+        let mut h = Histogram::new(10, 5);
+        h.record(1_000_000);
+        assert_eq!(h.bins()[4], 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size")]
+    fn zero_batch_size_rejected() {
+        let _ = BatchMeans::new(0);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn welford_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+                let mut s = RunningStats::new();
+                for &x in &data {
+                    s.push(x);
+                }
+                let n = data.len() as f64;
+                let mean: f64 = data.iter().sum::<f64>() / n;
+                let var: f64 =
+                    data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
+                prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+            }
+
+            #[test]
+            fn merge_is_associative_enough(
+                a in proptest::collection::vec(-1e3f64..1e3, 1..100),
+                b in proptest::collection::vec(-1e3f64..1e3, 1..100),
+            ) {
+                let mut ra = RunningStats::new();
+                for &x in &a { ra.push(x); }
+                let mut rb = RunningStats::new();
+                for &x in &b { rb.push(x); }
+                let mut merged = ra.clone();
+                merged.merge(&rb);
+                let mut all = RunningStats::new();
+                for &x in a.iter().chain(b.iter()) { all.push(x); }
+                prop_assert_eq!(merged.count(), all.count());
+                prop_assert!((merged.mean() - all.mean()).abs() < 1e-7 * (1.0 + all.mean().abs()));
+            }
+        }
+    }
+}

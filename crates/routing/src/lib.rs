@@ -1,0 +1,41 @@
+//! # star-routing
+//!
+//! Wormhole routing algorithms for the star graph (and any bipartite
+//! [`Topology`](star_graph::Topology)):
+//!
+//! * the **negative-hop** deadlock-free scheme (`NHop`) of Boppana &
+//!   Chalasani: the virtual-channel level a message must use equals the
+//!   number of negative hops it has taken;
+//! * the **bonus-card** augmentation (`Nbc`): a header may climb above its
+//!   mandatory level by the number of spare levels it still holds, balancing
+//!   virtual-channel usage;
+//! * **Enhanced-Nbc** (`EnhancedNbc`) — the algorithm the paper's analytical
+//!   model targets: a minimal set of Nbc *escape* (class-b) channels plus
+//!   `V1` fully adaptive *class-a* channels;
+//! * a **deterministic minimal** baseline (`DeterministicMinimal`);
+//! * **dimension-order** routing for the hypercube comparison
+//!   (`DimensionOrder`).
+//!
+//! All algorithms are expressed against the [`RoutingAlgorithm`] trait, which
+//! returns the set of admissible `(output port, virtual channel)` pairs for a
+//! message at a given node; the flit-level simulator (`star-sim`) performs the
+//! actual virtual-channel and switch allocation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bonus_card;
+pub mod classes;
+pub mod deterministic;
+pub mod enhanced_nbc;
+pub mod nbc;
+pub mod negative_hop;
+pub mod traits;
+
+pub use bonus_card::BonusCardPolicy;
+pub use classes::{VcClass, VirtualChannelLayout};
+pub use deterministic::{DeterministicMinimal, DimensionOrder};
+pub use enhanced_nbc::EnhancedNbc;
+pub use nbc::Nbc;
+pub use negative_hop::NHop;
+pub use traits::{CandidateVc, MessageRoutingState, RoutingAlgorithm};

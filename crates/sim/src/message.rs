@@ -1,0 +1,99 @@
+//! Messages and their lifecycle bookkeeping.
+
+use serde::{Deserialize, Serialize};
+use star_graph::NodeId;
+use star_routing::MessageRoutingState;
+
+/// Dense message identifier.
+pub type MessageId = u64;
+
+/// A message in flight (or waiting in a source queue).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Message {
+    /// Identifier, unique within a simulation run.
+    pub id: MessageId,
+    /// Source node.
+    pub source: NodeId,
+    /// Destination node.
+    pub dest: NodeId,
+    /// Length in flits.
+    pub length: usize,
+    /// Cycle at which the message was generated (entered the source queue).
+    pub generated_at: u64,
+    /// Cycle at which the header left the source queue and started competing
+    /// for its first network channel (`None` while still queued).
+    pub injected_at: Option<u64>,
+    /// Cycle at which the last flit was consumed at the destination.
+    pub delivered_at: Option<u64>,
+    /// Routing state (hops taken, negative hops, escape-level floor).
+    pub routing: MessageRoutingState,
+    /// Whether this message was generated inside the measurement window.
+    pub measured: bool,
+    /// Flits already consumed at the destination.
+    pub flits_consumed: usize,
+}
+
+impl Message {
+    /// Creates a freshly generated message.
+    #[must_use]
+    pub fn new(
+        id: MessageId,
+        source: NodeId,
+        dest: NodeId,
+        length: usize,
+        generated_at: u64,
+        measured: bool,
+    ) -> Self {
+        Self {
+            id,
+            source,
+            dest,
+            length,
+            generated_at,
+            injected_at: None,
+            delivered_at: None,
+            routing: MessageRoutingState::at_source(),
+            measured,
+            flits_consumed: 0,
+        }
+    }
+
+    /// Total latency in cycles (generation → last flit consumed), if delivered.
+    #[must_use]
+    pub fn total_latency(&self) -> Option<u64> {
+        self.delivered_at.map(|d| d - self.generated_at)
+    }
+
+    /// Network latency in cycles (injection → last flit consumed), if delivered.
+    #[must_use]
+    pub fn network_latency(&self) -> Option<u64> {
+        match (self.injected_at, self.delivered_at) {
+            (Some(i), Some(d)) => Some(d - i),
+            _ => None,
+        }
+    }
+
+    /// Time spent waiting in the source queue, if the message was injected.
+    #[must_use]
+    pub fn source_queueing(&self) -> Option<u64> {
+        self.injected_at.map(|i| i - self.generated_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_accessors() {
+        let mut m = Message::new(1, 0, 5, 32, 100, true);
+        assert_eq!(m.total_latency(), None);
+        assert_eq!(m.network_latency(), None);
+        assert_eq!(m.source_queueing(), None);
+        m.injected_at = Some(110);
+        m.delivered_at = Some(180);
+        assert_eq!(m.total_latency(), Some(80));
+        assert_eq!(m.network_latency(), Some(70));
+        assert_eq!(m.source_queueing(), Some(10));
+    }
+}

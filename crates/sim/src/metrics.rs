@@ -1,0 +1,170 @@
+//! Simulation output: the measured quantities the paper's Section 5 defines.
+
+use serde::{Deserialize, Serialize};
+use star_queueing::RunningStats;
+
+/// Result of one simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimReport {
+    /// Topology name (e.g. `"S5"`).
+    pub topology: String,
+    /// Routing algorithm name.
+    pub routing: String,
+    /// Offered traffic rate `λ_g` (messages/node/cycle).
+    pub offered_rate: f64,
+    /// Message length in flits.
+    pub message_length: usize,
+    /// Virtual channels per physical channel.
+    pub virtual_channels: usize,
+    /// Whether the run was declared saturated (queues grew beyond the limit or
+    /// the cycle budget was exhausted before enough messages were measured).
+    pub saturated: bool,
+    /// Whether the deadlock watchdog fired (must never happen for the
+    /// deadlock-free algorithms in this workspace).
+    pub deadlock_detected: bool,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Measured messages delivered.
+    pub measured_messages: u64,
+    /// Mean message latency (generation → last flit consumed), in cycles.
+    pub mean_message_latency: f64,
+    /// 95% confidence half-width of the mean message latency.
+    pub latency_ci95: f64,
+    /// Mean network latency (injection → last flit consumed), in cycles.
+    pub mean_network_latency: f64,
+    /// Mean time spent waiting in the source queue, in cycles.
+    pub mean_source_queueing: f64,
+    /// Mean hops taken by measured messages.
+    pub mean_hops: f64,
+    /// Accepted traffic (measured messages delivered per node per cycle).
+    pub accepted_rate: f64,
+    /// Mean utilisation of the network channels (flit transfers per channel
+    /// per cycle over the whole run).
+    pub channel_utilization: f64,
+    /// Observed average degree of virtual-channel multiplexing
+    /// (`Σ v² / Σ v` over sampled busy-VC counts).
+    pub observed_multiplexing: f64,
+    /// Fraction of header allocation attempts that found every admissible
+    /// virtual channel busy.
+    pub blocking_probability: f64,
+}
+
+impl SimReport {
+    /// A CSV header matching [`Self::to_csv_row`].
+    #[must_use]
+    pub fn csv_header() -> String {
+        "topology,routing,offered_rate,message_length,virtual_channels,saturated,cycles,\
+         measured_messages,mean_message_latency,latency_ci95,mean_network_latency,\
+         mean_source_queueing,mean_hops,accepted_rate,channel_utilization,\
+         observed_multiplexing,blocking_probability"
+            .to_string()
+    }
+
+    /// The report as one CSV row.
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.6},{:.4},{:.4},{:.6}",
+            self.topology,
+            self.routing,
+            self.offered_rate,
+            self.message_length,
+            self.virtual_channels,
+            self.saturated,
+            self.cycles,
+            self.measured_messages,
+            self.mean_message_latency,
+            self.latency_ci95,
+            self.mean_network_latency,
+            self.mean_source_queueing,
+            self.mean_hops,
+            self.accepted_rate,
+            self.channel_utilization,
+            self.observed_multiplexing,
+            self.blocking_probability,
+        )
+    }
+}
+
+/// Accumulates per-message observations during the measurement window.
+#[derive(Debug, Clone, Default)]
+pub struct MeasurementAccumulator {
+    /// Total latency statistics.
+    pub total_latency: RunningStats,
+    /// Network latency statistics.
+    pub network_latency: RunningStats,
+    /// Source queueing statistics.
+    pub source_queueing: RunningStats,
+    /// Hop count statistics.
+    pub hops: RunningStats,
+}
+
+impl MeasurementAccumulator {
+    /// Records a delivered, measured message.
+    pub fn record(&mut self, message: &crate::message::Message) {
+        if let Some(l) = message.total_latency() {
+            self.total_latency.push(l as f64);
+        }
+        if let Some(l) = message.network_latency() {
+            self.network_latency.push(l as f64);
+        }
+        if let Some(q) = message.source_queueing() {
+            self.source_queueing.push(q as f64);
+        }
+        self.hops.push(message.routing.hops_taken as f64);
+    }
+
+    /// Number of messages recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total_latency.count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Message;
+
+    #[test]
+    fn accumulator_records_all_quantities() {
+        let mut acc = MeasurementAccumulator::default();
+        let mut m = Message::new(0, 0, 3, 16, 100, true);
+        m.injected_at = Some(105);
+        m.delivered_at = Some(140);
+        m.routing.hops_taken = 3;
+        acc.record(&m);
+        assert_eq!(acc.count(), 1);
+        assert_eq!(acc.total_latency.mean(), 40.0);
+        assert_eq!(acc.network_latency.mean(), 35.0);
+        assert_eq!(acc.source_queueing.mean(), 5.0);
+        assert_eq!(acc.hops.mean(), 3.0);
+    }
+
+    #[test]
+    fn csv_row_has_same_field_count_as_header() {
+        let report = SimReport {
+            topology: "S5".into(),
+            routing: "Enhanced-Nbc".into(),
+            offered_rate: 0.004,
+            message_length: 32,
+            virtual_channels: 6,
+            saturated: false,
+            deadlock_detected: false,
+            cycles: 100_000,
+            measured_messages: 20_000,
+            mean_message_latency: 75.0,
+            latency_ci95: 1.5,
+            mean_network_latency: 70.0,
+            mean_source_queueing: 5.0,
+            mean_hops: 3.7,
+            accepted_rate: 0.004,
+            channel_utilization: 0.3,
+            observed_multiplexing: 1.8,
+            blocking_probability: 0.05,
+        };
+        let header_fields = SimReport::csv_header().split(',').count();
+        let row_fields = report.to_csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+    }
+}

@@ -1,0 +1,120 @@
+//! Lexicographic ranking and unranking of permutations.
+//!
+//! Every node of `S_n` gets a dense *linear address* in `0..n!` so that the
+//! simulator and the analytical model can index per-node state with plain
+//! vectors.  Rank 0 is the identity permutation, matching the paper's choice
+//! of the identity as the reference source node.
+
+use crate::permutation::Permutation;
+use crate::{factorial, MAX_SYMBOLS};
+
+/// Lexicographic rank of a permutation among all permutations of the same
+/// size, in `0..n!`.  The identity has rank 0.
+#[must_use]
+pub fn rank(perm: &Permutation) -> u64 {
+    let n = perm.len();
+    let mut rank = 0u64;
+    // `used[s]` marks symbols already consumed by earlier positions.
+    let mut used = [false; MAX_SYMBOLS + 1];
+    for pos in 1..=n {
+        let s = perm.symbol_at(pos) as usize;
+        // number of unused symbols smaller than s
+        let smaller = (1..s).filter(|&t| !used[t]).count() as u64;
+        rank += smaller * factorial(n - pos);
+        used[s] = true;
+    }
+    rank
+}
+
+/// Inverse of [`rank`]: the permutation of `n` symbols with the given
+/// lexicographic rank.
+///
+/// # Panics
+/// Panics if `r >= n!` or `n` is out of the supported range.
+#[must_use]
+pub fn unrank(n: usize, r: u64) -> Permutation {
+    assert!((2..=MAX_SYMBOLS).contains(&n), "size {n} out of range");
+    assert!(r < factorial(n), "rank {r} out of range for n = {n}");
+    let mut remaining: Vec<u8> = (1..=n as u8).collect();
+    let mut symbols = Vec::with_capacity(n);
+    let mut r = r;
+    for pos in 1..=n {
+        let f = factorial(n - pos);
+        let idx = (r / f) as usize;
+        r %= f;
+        symbols.push(remaining.remove(idx));
+    }
+    Permutation::from_symbols(&symbols).expect("unrank constructs a valid permutation")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_has_rank_zero() {
+        for n in 2..=9 {
+            assert_eq!(rank(&Permutation::identity(n)), 0);
+            assert_eq!(unrank(n, 0), Permutation::identity(n));
+        }
+    }
+
+    #[test]
+    fn last_rank_is_reversed_permutation() {
+        let n = 5;
+        let last = unrank(n, factorial(n) - 1);
+        assert_eq!(last.as_slice(), &[5, 4, 3, 2, 1]);
+    }
+
+    #[test]
+    fn rank_unrank_roundtrip_s5() {
+        let n = 5;
+        for r in 0..factorial(n) {
+            let p = unrank(n, r);
+            assert_eq!(rank(&p), r);
+        }
+    }
+
+    #[test]
+    fn rank_is_lexicographic_order() {
+        let n = 4;
+        let mut perms: Vec<_> = (0..factorial(n)).map(|r| unrank(n, r)).collect();
+        let sorted = {
+            let mut s = perms.clone();
+            s.sort_by(|a, b| a.as_slice().cmp(b.as_slice()));
+            s
+        };
+        perms.sort_by_key(|p| rank(p));
+        assert_eq!(perms, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn unrank_rejects_out_of_range() {
+        let _ = unrank(4, 24);
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #[test]
+            fn roundtrip_random(n in 2usize..=8, seed in 0u64..u64::MAX) {
+                let r = seed % factorial(n);
+                let p = unrank(n, r);
+                prop_assert_eq!(rank(&p), r);
+            }
+
+            #[test]
+            fn neighbours_have_distinct_ranks(n in 3usize..=7, seed in 0u64..u64::MAX) {
+                let r = seed % factorial(n);
+                let p = unrank(n, r);
+                for dim in 2..=n {
+                    let q = p.apply_generator(dim);
+                    prop_assert_ne!(rank(&q), r);
+                }
+            }
+        }
+    }
+}

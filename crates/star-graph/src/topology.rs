@@ -1,0 +1,75 @@
+//! The [`Topology`] trait: the minimal interface a direct network must expose
+//! to the wormhole simulator, the routing algorithms and the analytical model.
+//!
+//! Nodes are identified by dense *linear addresses* (`NodeId`, `0..node_count`)
+//! so per-node state can live in flat vectors.  Routers have `degree()`
+//! network ports, numbered `0..degree()`; port `p` of node `u` connects to
+//! `neighbor(u, p)`.  Links are bidirectional (two unidirectional channels),
+//! matching the channel model of the paper.
+
+use crate::coloring::Color;
+
+/// Dense node identifier (linear address) in `0..node_count()`.
+pub type NodeId = u32;
+
+/// A direct interconnection network with minimal-path adaptive routing
+/// information.
+pub trait Topology: Send + Sync {
+    /// Human-readable name, e.g. `"S5"` or `"Q7"`.
+    fn name(&self) -> String;
+
+    /// Total number of nodes.
+    fn node_count(&self) -> usize;
+
+    /// Router degree: number of network ports per node (excludes the
+    /// injection and ejection channels).
+    fn degree(&self) -> usize;
+
+    /// Network diameter (maximum minimal distance between any two nodes).
+    fn diameter(&self) -> usize;
+
+    /// The neighbour reached from `node` through port `port`
+    /// (`port < degree()`).
+    fn neighbor(&self, node: NodeId, port: usize) -> NodeId;
+
+    /// Minimal distance (in hops) between two nodes.
+    fn distance(&self, a: NodeId, b: NodeId) -> usize;
+
+    /// Ports that lie on *some* minimal path from `current` to `dest`
+    /// (the profitable output channels of a fully adaptive minimal router).
+    /// Empty iff `current == dest`.
+    fn min_route_ports(&self, current: NodeId, dest: NodeId) -> Vec<usize>;
+
+    /// Colour of a node in a 2-colouring (all topologies in this workspace are
+    /// bipartite); used by the negative-hop virtual-channel discipline.
+    fn color(&self, node: NodeId) -> Color;
+
+    /// Exact mean minimal distance over all ordered pairs of distinct nodes.
+    fn mean_distance(&self) -> f64;
+
+    /// Number of unidirectional network channels (`node_count * degree`).
+    fn channel_count(&self) -> usize {
+        self.node_count() * self.degree()
+    }
+
+    /// Convenience: verify that `a` and `b` are adjacent.
+    fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        (0..self.degree()).any(|p| self.neighbor(a, p) == b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // The trait itself is exercised through its implementations in
+    // `star.rs` and `hypercube.rs`; here we only check object safety.
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn takes_dyn(_t: &dyn Topology) {}
+        let s = crate::StarGraph::new(4);
+        takes_dyn(&s);
+        let q = crate::Hypercube::new(4);
+        takes_dyn(&q);
+    }
+}

@@ -1,0 +1,25 @@
+//! # star-workloads
+//!
+//! Experiment definitions and report emitters for the star-wormhole
+//! workspace:
+//!
+//! * [`experiment`] — the operating points of the paper's Figure 1 (and the
+//!   extension studies listed in DESIGN.md) plus runners that evaluate the
+//!   analytical model and the flit-level simulator at each point;
+//! * [`budget`] — simulation effort presets (quick smoke runs for CI,
+//!   full-fidelity runs for regenerating the figures);
+//! * [`report`] — CSV / Markdown / ASCII-plot emitters used by the benchmark
+//!   harness binaries and the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod budget;
+pub mod experiment;
+pub mod report;
+
+pub use budget::SimBudget;
+pub use experiment::{
+    figure1_experiments, run_model_point, run_sim_point, ExperimentPoint, Figure1Experiment,
+};
+pub use report::{ascii_plot, markdown_table, write_csv};

@@ -1,0 +1,174 @@
+//! Report emitters: CSV, Markdown tables and quick ASCII plots.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Writes rows as a CSV file (header first), creating parent directories as
+/// needed.
+///
+/// # Errors
+/// Returns any I/O error from creating directories or writing the file.
+pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::with_capacity(header.len() + rows.iter().map(String::len).sum::<usize>() + rows.len() * 2);
+    out.push_str(header);
+    out.push('\n');
+    for row in rows {
+        out.push_str(row);
+        out.push('\n');
+    }
+    fs::write(path, out)
+}
+
+/// Renders a Markdown table from a header and rows of cells.
+///
+/// # Panics
+/// Panics if any row has a different number of cells than the header.
+#[must_use]
+pub fn markdown_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", header.join(" | "));
+    let _ = writeln!(out, "|{}|", header.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    for row in rows {
+        assert_eq!(row.len(), header.len(), "row width must match the header");
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// A quick ASCII plot of one or more named series against a shared x axis,
+/// used by the examples and the harness binaries so that latency curves can be
+/// eyeballed without leaving the terminal.
+///
+/// Points with non-finite y values (saturated operating points) are drawn as
+/// `x` at the top of the plot.
+#[must_use]
+pub fn ascii_plot(
+    title: &str,
+    x: &[f64],
+    series: &[(&str, Vec<f64>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "plot must be at least 16x4");
+    assert!(!x.is_empty(), "need at least one x value");
+    for (name, ys) in series {
+        assert_eq!(ys.len(), x.len(), "series {name} length must match x");
+    }
+    let finite_max = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let finite_min = series
+        .iter()
+        .flat_map(|(_, ys)| ys.iter())
+        .copied()
+        .filter(|v| v.is_finite())
+        .fold(f64::INFINITY, f64::min);
+    let (lo, hi) = if finite_min.is_finite() && finite_max.is_finite() && finite_max > finite_min {
+        (finite_min, finite_max)
+    } else {
+        (0.0, 1.0)
+    };
+    let x_lo = x.iter().copied().fold(f64::INFINITY, f64::min);
+    let x_hi = x.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let markers = ['*', 'o', '+', '#', '@', '%'];
+
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, ys)) in series.iter().enumerate() {
+        let marker = markers[si % markers.len()];
+        for (xi, &y) in ys.iter().enumerate() {
+            let col = if x_hi > x_lo {
+                (((x[xi] - x_lo) / (x_hi - x_lo)) * (width - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            let row = if y.is_finite() {
+                let frac = ((y - lo) / (hi - lo)).clamp(0.0, 1.0);
+                height - 1 - (frac * (height - 1) as f64).round() as usize
+            } else {
+                0
+            };
+            grid[row.min(height - 1)][col.min(width - 1)] = if y.is_finite() { marker } else { 'x' };
+        }
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let legend: Vec<String> = series
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| format!("{} {name}", markers[i % markers.len()]))
+        .collect();
+    let _ = writeln!(out, "  [{}]   y: {:.1} .. {:.1}   x: {:.4} .. {:.4}", legend.join("  "), lo, hi, x_lo, x_hi);
+    for row in grid {
+        let _ = writeln!(out, "  |{}", row.into_iter().collect::<String>());
+    }
+    let _ = writeln!(out, "  +{}", "-".repeat(width));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_table_shape() {
+        let table = markdown_table(
+            &["rate", "model", "sim"],
+            &[
+                vec!["0.004".into(), "40.1".into(), "41.0".into()],
+                vec!["0.008".into(), "55.3".into(), "58.2".into()],
+            ],
+        );
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("| rate"));
+        assert!(lines[1].contains("---"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn markdown_table_rejects_ragged_rows() {
+        let _ = markdown_table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn ascii_plot_contains_markers_and_legend() {
+        let x = vec![0.0, 1.0, 2.0, 3.0];
+        let plot = ascii_plot(
+            "latency",
+            &x,
+            &[("model", vec![1.0, 2.0, 4.0, f64::INFINITY]), ("sim", vec![1.1, 2.2, 4.5, 9.0])],
+            40,
+            10,
+        );
+        assert!(plot.contains("latency"));
+        assert!(plot.contains("* model"));
+        assert!(plot.contains("o sim"));
+        assert!(plot.contains('x'), "saturated points are drawn as x");
+        assert!(plot.lines().count() >= 12);
+    }
+
+    #[test]
+    fn write_csv_roundtrip() {
+        let dir = std::env::temp_dir().join("star-workloads-test");
+        let path = dir.join("nested/out.csv");
+        write_csv(&path, "a,b", &["1,2".into(), "3,4".into()]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(content, "a,b\n1,2\n3,4\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ascii_plot_handles_flat_series() {
+        let plot = ascii_plot("flat", &[0.0, 1.0], &[("s", vec![5.0, 5.0])], 20, 5);
+        assert!(plot.contains('*'));
+    }
+}

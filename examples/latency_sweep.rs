@@ -1,0 +1,70 @@
+//! Latency-vs-load curves from the analytical model for the three
+//! virtual-channel configurations of the paper's Figure 1, rendered as an
+//! ASCII plot.  Pass `--with-sim` to overlay a few quick simulation points.
+//!
+//! ```text
+//! cargo run --release --example latency_sweep -- [--with-sim]
+//! ```
+
+use star_wormhole::workloads::{ascii_plot, markdown_table, ExperimentPoint, SimBudget};
+use star_wormhole::{model, ModelConfig};
+
+fn main() {
+    let with_sim = std::env::args().any(|a| a == "--with-sim");
+    let rates = model::sweep::linspace(0.001, 0.016, 13);
+
+    let mut series = Vec::new();
+    let mut rows = Vec::new();
+    for &v in &[6usize, 9, 12] {
+        let base = ModelConfig::builder()
+            .symbols(5)
+            .virtual_channels(v)
+            .message_length(32)
+            .traffic_rate(0.001)
+            .build();
+        let points = model::sweep_traffic(base, &rates);
+        let curve: Vec<f64> = points
+            .iter()
+            .map(|p| if p.result.saturated { f64::INFINITY } else { p.result.mean_latency })
+            .collect();
+        series.push((format!("V={v}"), curve));
+        for p in &points {
+            rows.push(vec![
+                format!("{v}"),
+                format!("{:.4}", p.traffic_rate),
+                if p.result.saturated {
+                    "saturated".into()
+                } else {
+                    format!("{:.1}", p.result.mean_latency)
+                },
+            ]);
+        }
+    }
+
+    println!("# Model latency vs traffic generation rate — S5, M = 32 flits\n");
+    println!("{}", markdown_table(&["V", "traffic rate", "model latency"], &rows));
+    let plot_series: Vec<(&str, Vec<f64>)> =
+        series.iter().map(|(name, data)| (name.as_str(), data.clone())).collect();
+    println!("{}", ascii_plot("model latency (cycles)", &rates, &plot_series, 64, 18));
+
+    if with_sim {
+        println!("quick simulation cross-checks (V = 6):");
+        for &rate in &[0.004, 0.008, 0.012] {
+            let point = ExperimentPoint {
+                symbols: 5,
+                virtual_channels: 6,
+                message_length: 32,
+                traffic_rate: rate,
+            };
+            let report = star_wormhole::workloads::run_sim_point(point, SimBudget::Quick, 7);
+            if report.saturated {
+                println!("  λ_g = {rate:.3}: simulator saturated");
+            } else {
+                println!(
+                    "  λ_g = {rate:.3}: simulated latency {:.1} ± {:.1} cycles",
+                    report.mean_message_latency, report.latency_ci95
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Compare the adaptive routing algorithms of the paper's Section 3 in the
+//! flit-level simulator on a small star graph: plain negative-hop, Nbc (bonus
+//! cards), Enhanced-Nbc and a deterministic minimal baseline.
+//!
+//! ```text
+//! cargo run --release --example routing_comparison
+//! ```
+
+use std::sync::Arc;
+
+use star_wormhole::workloads::markdown_table;
+use star_wormhole::{
+    DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm, SimBudget, Simulation,
+    StarGraph, TrafficPattern,
+};
+
+fn main() {
+    let topology = Arc::new(StarGraph::new(4));
+    let v = 6;
+    let m = 16;
+    let algorithms: Vec<(&str, Arc<dyn RoutingAlgorithm>)> = vec![
+        ("Enhanced-Nbc", Arc::new(EnhancedNbc::for_topology(topology.as_ref(), v))),
+        ("Nbc", Arc::new(Nbc::for_topology(topology.as_ref(), v))),
+        ("NHop", Arc::new(NHop::for_topology(topology.as_ref(), v))),
+        ("Deterministic", Arc::new(DeterministicMinimal::for_topology(topology.as_ref(), v))),
+    ];
+
+    println!("# Routing comparison — S4, V = {v}, M = {m} flits\n");
+    let mut rows = Vec::new();
+    for &rate in &[0.01, 0.02, 0.03] {
+        for (name, routing) in &algorithms {
+            let config = SimBudget::Quick.apply(m, rate, 11);
+            let report = Simulation::new(
+                topology.clone(),
+                routing.clone(),
+                config,
+                TrafficPattern::Uniform,
+            )
+            .run();
+            rows.push(vec![
+                format!("{rate:.3}"),
+                (*name).to_string(),
+                if report.saturated {
+                    "saturated".into()
+                } else {
+                    format!("{:.1}", report.mean_message_latency)
+                },
+                format!("{:.3}", report.blocking_probability),
+                format!("{:.2}", report.observed_multiplexing),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        markdown_table(
+            &["traffic rate", "algorithm", "mean latency", "blocking probability", "VC multiplexing"],
+            &rows
+        )
+    );
+    println!("Enhanced-Nbc keeps latency lowest and saturates last — the reason the paper's");
+    println!("analytical model focuses on it.");
+}

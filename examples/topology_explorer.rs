@@ -1,0 +1,61 @@
+//! Explore the topological properties that motivate the star graph: compare
+//! `S_n` against the hypercube with at least as many nodes (degree, diameter,
+//! mean distance — the Section 2 argument of the paper), print the exact
+//! distance distribution, and show how much routing adaptivity the topology
+//! offers.
+//!
+//! ```text
+//! cargo run --release --example topology_explorer -- [max_n]
+//! ```
+
+use star_wormhole::graph::distance::star_distance_distribution;
+use star_wormhole::model::DestinationSpectrum;
+use star_wormhole::workloads::markdown_table;
+use star_wormhole::{Hypercube, StarGraph, Topology, TopologyProperties};
+
+fn main() {
+    let max_n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(7)
+        .clamp(3, StarGraph::MAX_TABLED_SYMBOLS);
+
+    println!("# Star graph vs hypercube\n");
+    let mut rows = Vec::new();
+    for n in 3..=max_n {
+        let star = StarGraph::new(n);
+        let cube = Hypercube::at_least(star.node_count());
+        for props in [TopologyProperties::of(&star), TopologyProperties::of(&cube)] {
+            rows.push(vec![
+                props.name,
+                props.nodes.to_string(),
+                props.degree.to_string(),
+                props.diameter.to_string(),
+                format!("{:.3}", props.mean_distance),
+            ]);
+        }
+    }
+    println!("{}", markdown_table(&["network", "nodes", "degree", "diameter", "mean distance"], &rows));
+
+    println!("# Exact distance distributions of S_n (nodes at each distance)\n");
+    for n in 3..=max_n.min(7) {
+        let dist = star_distance_distribution(n);
+        println!("S{n}: {dist:?}");
+    }
+
+    println!("\n# Routing adaptivity (mean number of minimal-path output channels per hop)\n");
+    let mut rows = Vec::new();
+    for n in 4..=max_n.min(7) {
+        let spectrum = DestinationSpectrum::new(n);
+        rows.push(vec![
+            format!("S{n}"),
+            format!("{}", spectrum.classes().len()),
+            format!("{:.3}", spectrum.mean_distance()),
+            format!("{:.3}", spectrum.mean_adaptivity()),
+        ]);
+    }
+    println!(
+        "{}",
+        markdown_table(&["network", "destination classes", "mean distance", "mean adaptivity"], &rows)
+    );
+}

@@ -1,0 +1,54 @@
+//! # star-wormhole
+//!
+//! Facade crate for the star-wormhole workspace: a Rust reproduction of
+//! *Analytical Performance Modelling of Adaptive Wormhole Routing in the Star
+//! Interconnection Network* (Kiasari, Sarbazi-Azad & Ould-Khaoua, IPDPS 2006).
+//!
+//! The workspace contains:
+//!
+//! * [`graph`] (crate `star-graph`) — the star graph `S_n` and hypercube
+//!   `Q_d` topologies, permutations, minimal-path DAGs, distance
+//!   distributions;
+//! * [`queueing`] (crate `star-queueing`) — M/G/1 waiting times, the virtual
+//!   channel occupancy chain, fixed-point solvers and statistics;
+//! * [`routing`] (crate `star-routing`) — the NHop, Nbc, Enhanced-Nbc and
+//!   deterministic wormhole routing algorithms;
+//! * [`sim`] (crate `star-sim`) — the cycle-accurate flit-level wormhole
+//!   simulator used to validate the model;
+//! * [`model`] (crate `star-core`) — **the paper's contribution**: the
+//!   analytical latency model and its traffic sweeps;
+//! * [`workloads`] (crate `star-workloads`) — the Figure-1 experiment
+//!   definitions, simulation budgets and report emitters.
+//!
+//! The most common entry points are re-exported at the crate root:
+//!
+//! ```
+//! use star_wormhole::{AnalyticalModel, ModelConfig};
+//!
+//! let result = AnalyticalModel::new(
+//!     ModelConfig::builder()
+//!         .symbols(5)
+//!         .virtual_channels(9)
+//!         .message_length(32)
+//!         .traffic_rate(0.005)
+//!         .build(),
+//! )
+//! .solve();
+//! assert!(!result.saturated);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use star_core as model;
+pub use star_graph as graph;
+pub use star_queueing as queueing;
+pub use star_routing as routing;
+pub use star_sim as sim;
+pub use star_workloads as workloads;
+
+pub use star_core::{AnalyticalModel, ModelConfig, ModelResult, RoutingDiscipline, ValidationRow};
+pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
+pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
+pub use star_sim::{SimConfig, SimReport, Simulation, TrafficPattern};
+pub use star_workloads::SimBudget;

@@ -1,0 +1,102 @@
+//! Deadlock-freedom stress tests: every routing algorithm in the workspace
+//! must keep delivering messages even when driven beyond saturation, because
+//! the negative-hop / bonus-card virtual-channel disciplines guarantee the
+//! channel dependency graph stays acyclic.  The simulator's watchdog flags a
+//! deadlock if no flit moves for a long stretch while messages are in flight.
+
+use std::sync::Arc;
+
+use star_wormhole::{
+    DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm, SimConfig, Simulation,
+    StarGraph, TrafficPattern,
+};
+
+fn stress(routing: Arc<dyn RoutingAlgorithm>, rate: f64, seed: u64) -> star_wormhole::SimReport {
+    let topology = Arc::new(StarGraph::new(4));
+    let config = SimConfig::builder()
+        .message_length(24)
+        .traffic_rate(rate)
+        .warmup_cycles(1_000)
+        .measured_messages(3_000)
+        .max_cycles(120_000)
+        .saturation_queue_limit(10_000) // let queues grow: we want the network congested
+        .seed(seed)
+        .build();
+    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
+}
+
+#[test]
+fn enhanced_nbc_survives_overload() {
+    let topology = StarGraph::new(4);
+    for &v in &[5usize, 6, 9] {
+        let report = stress(Arc::new(EnhancedNbc::for_topology(&topology, v)), 0.08, 1);
+        assert!(!report.deadlock_detected, "Enhanced-Nbc V={v} deadlocked");
+        assert!(report.measured_messages > 0, "traffic must keep flowing under overload");
+    }
+}
+
+#[test]
+fn nbc_and_nhop_survive_overload() {
+    let topology = StarGraph::new(4);
+    for (name, routing) in [
+        ("Nbc", Arc::new(Nbc::for_topology(&topology, 6)) as Arc<dyn RoutingAlgorithm>),
+        ("NHop", Arc::new(NHop::for_topology(&topology, 6))),
+    ] {
+        let report = stress(routing, 0.08, 2);
+        assert!(!report.deadlock_detected, "{name} deadlocked");
+        assert!(report.measured_messages > 0);
+    }
+}
+
+#[test]
+fn deterministic_baseline_survives_overload() {
+    let topology = StarGraph::new(4);
+    let report = stress(Arc::new(DeterministicMinimal::for_topology(&topology, 6)), 0.08, 3);
+    assert!(!report.deadlock_detected);
+    assert!(report.measured_messages > 0);
+}
+
+#[test]
+fn hotspot_traffic_does_not_deadlock() {
+    let topology = Arc::new(StarGraph::new(4));
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
+    let config = SimConfig::builder()
+        .message_length(24)
+        .traffic_rate(0.05)
+        .warmup_cycles(1_000)
+        .measured_messages(2_000)
+        .max_cycles(120_000)
+        .saturation_queue_limit(10_000)
+        .seed(4)
+        .build();
+    let report = Simulation::new(
+        topology,
+        routing,
+        config,
+        TrafficPattern::HotSpot { node: 5, fraction: 0.5 },
+    )
+    .run();
+    assert!(!report.deadlock_detected);
+    assert!(report.measured_messages > 0);
+}
+
+#[test]
+fn minimum_virtual_channel_configuration_is_deadlock_free_on_s5() {
+    // S5 needs 4 escape levels; V = 5 is the minimum legal Enhanced-Nbc
+    // configuration and the most constrained one, so it is the most likely to
+    // expose an ordering bug in the escape discipline.
+    let topology = Arc::new(StarGraph::new(5));
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 5));
+    let config = SimConfig::builder()
+        .message_length(16)
+        .traffic_rate(0.02)
+        .warmup_cycles(1_000)
+        .measured_messages(3_000)
+        .max_cycles(100_000)
+        .saturation_queue_limit(10_000)
+        .seed(5)
+        .build();
+    let report = Simulation::new(topology, routing, config, TrafficPattern::Uniform).run();
+    assert!(!report.deadlock_detected);
+    assert!(report.measured_messages > 0);
+}

@@ -1,0 +1,121 @@
+//! Cross-crate integration tests: the analytical model (`star-core`) against
+//! the flit-level simulator (`star-sim`) on small networks, mirroring the
+//! validation methodology of the paper's Section 5 at a scale that stays fast
+//! in a debug test run.
+
+use std::sync::Arc;
+
+use star_wormhole::{
+    AnalyticalModel, EnhancedNbc, ModelConfig, SimConfig, Simulation, StarGraph, Topology as _,
+    TrafficPattern,
+};
+
+fn simulate(symbols: usize, v: usize, m: usize, rate: f64, seed: u64) -> star_wormhole::SimReport {
+    let topology = Arc::new(StarGraph::new(symbols));
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), v));
+    let config = SimConfig::builder()
+        .message_length(m)
+        .traffic_rate(rate)
+        .warmup_cycles(3_000)
+        .measured_messages(5_000)
+        .max_cycles(400_000)
+        .seed(seed)
+        .build();
+    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
+}
+
+fn model(symbols: usize, v: usize, m: usize, rate: f64) -> star_wormhole::ModelResult {
+    AnalyticalModel::new(
+        ModelConfig::builder()
+            .symbols(symbols)
+            .virtual_channels(v)
+            .message_length(m)
+            .traffic_rate(rate)
+            .build(),
+    )
+    .solve()
+}
+
+#[test]
+fn model_matches_simulation_at_light_load_s4() {
+    let rate = 0.003;
+    let m = model(4, 6, 16, rate);
+    let s = simulate(4, 6, 16, rate, 101);
+    assert!(!m.saturated);
+    assert!(!s.saturated);
+    let err = (m.mean_latency - s.mean_message_latency).abs() / s.mean_message_latency;
+    assert!(
+        err < 0.10,
+        "light-load error must be small: model {} vs sim {} ({:.1}%)",
+        m.mean_latency,
+        s.mean_message_latency,
+        err * 100.0
+    );
+}
+
+#[test]
+fn model_matches_simulation_at_moderate_load_s4() {
+    let rate = 0.015;
+    let m = model(4, 6, 16, rate);
+    let s = simulate(4, 6, 16, rate, 202);
+    assert!(!m.saturated && !s.saturated);
+    let err = (m.mean_latency - s.mean_message_latency).abs() / s.mean_message_latency;
+    assert!(
+        err < 0.25,
+        "moderate-load error should stay within 25%: model {} vs sim {} ({:.1}%)",
+        m.mean_latency,
+        s.mean_message_latency,
+        err * 100.0
+    );
+}
+
+#[test]
+fn model_and_simulation_agree_on_network_latency_split() {
+    // Below saturation the network latency (excluding source queueing) should
+    // also track between model and simulator.
+    let rate = 0.01;
+    let m = model(4, 6, 16, rate);
+    let s = simulate(4, 6, 16, rate, 303);
+    assert!(!m.saturated && !s.saturated);
+    let err = (m.mean_network_latency - s.mean_network_latency).abs() / s.mean_network_latency;
+    assert!(err < 0.25, "network latency: model {} vs sim {}", m.mean_network_latency, s.mean_network_latency);
+}
+
+#[test]
+fn both_model_and_simulation_show_latency_growth_with_load() {
+    let rates = [0.004, 0.010, 0.016];
+    let mut last_model = 0.0;
+    let mut last_sim = 0.0;
+    for (i, &rate) in rates.iter().enumerate() {
+        let m = model(4, 6, 16, rate);
+        let s = simulate(4, 6, 16, rate, 400 + i as u64);
+        assert!(!m.saturated && !s.saturated, "rate {rate} unexpectedly saturated");
+        assert!(m.mean_latency > last_model);
+        assert!(s.mean_message_latency > last_sim);
+        last_model = m.mean_latency;
+        last_sim = s.mean_message_latency;
+    }
+}
+
+#[test]
+fn simulated_hop_count_matches_mean_distance() {
+    let s = simulate(4, 6, 16, 0.005, 7);
+    let topo = StarGraph::new(4);
+    assert!(
+        (s.mean_hops - topo.mean_distance()).abs() < 0.15,
+        "uniform traffic must produce the analytic mean distance (got {}, want {})",
+        s.mean_hops,
+        topo.mean_distance()
+    );
+}
+
+#[test]
+fn model_multiplexing_tracks_observed_multiplexing() {
+    let rate = 0.015;
+    let m = model(4, 6, 16, rate);
+    let s = simulate(4, 6, 16, rate, 17);
+    assert!(!m.saturated && !s.saturated);
+    // Both are ≥ 1 and should agree loosely well below saturation.
+    assert!(m.multiplexing >= 1.0 && s.observed_multiplexing >= 1.0);
+    assert!((m.multiplexing - s.observed_multiplexing).abs() < 0.5);
+}

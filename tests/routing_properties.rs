@@ -1,0 +1,113 @@
+//! Cross-crate properties of the routing algorithms over the real topology:
+//! every admissible candidate leads the message along a minimal path, the
+//! escape discipline never runs out of levels, and random walks following the
+//! algorithms always reach the destination in exactly the minimal number of
+//! hops.  These are the invariants the analytical model silently relies on.
+
+use proptest::prelude::*;
+use star_wormhole::routing::MessageRoutingState;
+use star_wormhole::{
+    EnhancedNbc, NHop, Nbc, Permutation, RoutingAlgorithm, StarGraph, Topology,
+};
+
+fn walk_to_destination(
+    topology: &StarGraph,
+    algo: &dyn RoutingAlgorithm,
+    src: u32,
+    dest: u32,
+    pick: impl Fn(usize) -> usize,
+) -> usize {
+    let mut cur = src;
+    let mut state = MessageRoutingState::at_source();
+    let mut hops = 0;
+    while cur != dest {
+        let cands = algo.candidates(topology, cur, dest, &state);
+        assert!(!cands.is_empty(), "no candidate from {cur} to {dest} after {hops} hops");
+        let choice = cands[pick(cands.len())];
+        let next = topology.neighbor(cur, choice.port);
+        assert_eq!(
+            topology.distance(next, dest) + 1,
+            topology.distance(cur, dest),
+            "candidates must stay on minimal paths"
+        );
+        let layout = algo.layout();
+        let level = if layout.is_adaptive(choice.vc) { None } else { Some(choice.vc - layout.adaptive) };
+        state = state.after_hop(topology, cur, next, level);
+        cur = next;
+        hops += 1;
+        assert!(hops <= topology.diameter(), "walk exceeded the diameter");
+    }
+    hops
+}
+
+#[test]
+fn all_algorithms_route_every_pair_minimally_on_s4() {
+    let topology = StarGraph::new(4);
+    let algorithms: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(EnhancedNbc::for_topology(&topology, 5)),
+        Box::new(Nbc::for_topology(&topology, 4)),
+        Box::new(NHop::for_topology(&topology, 3)),
+    ];
+    for algo in &algorithms {
+        for src in 0..topology.node_count() as u32 {
+            for dest in 0..topology.node_count() as u32 {
+                if src == dest {
+                    continue;
+                }
+                let hops = walk_to_destination(&topology, algo.as_ref(), src, dest, |_| 0);
+                assert_eq!(hops, topology.distance(src, dest), "{}", algo.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn permutation_distance_equals_walk_length_through_routing() {
+    // The adaptivity function of `star-graph` and the candidate sets of
+    // `star-routing` must tell the same story about distances.
+    let topology = StarGraph::new(5);
+    let algo = EnhancedNbc::for_topology(&topology, 6);
+    for dest in (0..topology.node_count() as u32).step_by(11) {
+        for src in (0..topology.node_count() as u32).step_by(17) {
+            if src == dest {
+                continue;
+            }
+            let rel = topology.permutation(src).relative_to(topology.permutation(dest));
+            let hops = walk_to_destination(&topology, &algo, src, dest, |n| n / 2);
+            assert_eq!(hops, rel.distance_to_identity());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_adaptive_walks_reach_their_destination_on_s5(
+        src_rank in 0u64..120,
+        dest_rank in 0u64..120,
+        choice_seed in 0usize..1000,
+    ) {
+        prop_assume!(src_rank != dest_rank);
+        let topology = StarGraph::new(5);
+        let algo = EnhancedNbc::for_topology(&topology, 6);
+        let src = src_rank as u32;
+        let dest = dest_rank as u32;
+        let hops = walk_to_destination(&topology, &algo, src, dest, |n| choice_seed % n);
+        prop_assert_eq!(hops, topology.distance(src, dest));
+    }
+
+    #[test]
+    fn relative_permutation_distance_is_symmetric(
+        a in 0u64..120,
+        b in 0u64..120,
+    ) {
+        let topology = StarGraph::new(5);
+        let pa: &Permutation = topology.permutation(a as u32);
+        let pb: &Permutation = topology.permutation(b as u32);
+        prop_assert_eq!(
+            pa.relative_to(pb).distance_to_identity(),
+            pb.relative_to(pa).distance_to_identity()
+        );
+    }
+}

@@ -22,9 +22,7 @@ fn run_once(routing: Arc<dyn RoutingAlgorithm>, rate: f64, seed: u64) -> f64 {
         .max_cycles(100_000)
         .seed(seed)
         .build();
-    Simulation::new(topology, routing, config, TrafficPattern::Uniform)
-        .run()
-        .mean_message_latency
+    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run().mean_message_latency
 }
 
 fn bench_sim_throughput(c: &mut Criterion) {

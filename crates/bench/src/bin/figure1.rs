@@ -65,7 +65,10 @@ fn print_curve(id: &str, rates: &[f64], rows: &[ValidationRow]) {
         .collect();
     println!(
         "{}",
-        markdown_table(&["traffic rate (λ_g)", "model latency", "sim latency", "model error"], &table_rows)
+        markdown_table(
+            &["traffic rate (λ_g)", "model latency", "sim latency", "model error"],
+            &table_rows
+        )
     );
     if let Some(mare) = mean_absolute_relative_error(rows) {
         println!("mean absolute relative error below saturation: {:.1}%\n", mare * 100.0);

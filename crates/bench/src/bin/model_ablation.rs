@@ -33,7 +33,9 @@ fn main() {
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
-    println!("# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n");
+    println!(
+        "# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n"
+    );
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for &rate in &rates {
@@ -72,7 +74,12 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["traffic rate (λ_g)", "Enhanced-Nbc (model/sim)", "Nbc (model/sim)", "NHop (model/sim)"],
+            &[
+                "traffic rate (λ_g)",
+                "Enhanced-Nbc (model/sim)",
+                "Nbc (model/sim)",
+                "NHop (model/sim)"
+            ],
             &rows
         )
     );

@@ -32,7 +32,12 @@ fn main() {
             ]);
             csv_rows.push(format!(
                 "{},{},{},{},{},{:.6}",
-                props.name, props.nodes, props.degree, props.diameter, props.channels, props.mean_distance
+                props.name,
+                props.nodes,
+                props.degree,
+                props.diameter,
+                props.channels,
+                props.mean_distance
             ));
         }
     }
@@ -40,7 +45,10 @@ fn main() {
     println!("# Star graph vs hypercube — topological properties (paper §2)\n");
     println!(
         "{}",
-        markdown_table(&["network", "nodes", "degree", "diameter", "channels", "mean distance"], &rows)
+        markdown_table(
+            &["network", "nodes", "degree", "diameter", "channels", "mean distance"],
+            &rows
+        )
     );
     let path = experiments_dir().join("properties_table.csv");
     match write_csv(&path, "network,nodes,degree,diameter,channels,mean_distance", &csv_rows) {

@@ -63,7 +63,11 @@ fn main() {
         )
     );
     let path = experiments_dir().join("routing_comparison.csv");
-    match write_csv(&path, "algorithm,traffic_rate,saturated,mean_latency,blocking_probability", &csv_rows) {
+    match write_csv(
+        &path,
+        "algorithm,traffic_rate,saturated,mean_latency,blocking_probability",
+        &csv_rows,
+    ) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

@@ -29,7 +29,12 @@ fn main() {
         // scale the load with the mean distance so the relative utilisation is
         // comparable across sizes
         let probe = AnalyticalModel::new(
-            ModelConfig::builder().symbols(symbols).virtual_channels(v).message_length(m).traffic_rate(0.0).build(),
+            ModelConfig::builder()
+                .symbols(symbols)
+                .virtual_channels(v)
+                .message_length(m)
+                .traffic_rate(0.0)
+                .build(),
         )
         .solve();
         let degree = (symbols - 1) as f64;
@@ -46,7 +51,12 @@ fn main() {
             .solve();
             let sim_cell = if symbols <= 5 {
                 let report = run_sim_point(
-                    ExperimentPoint { symbols, virtual_channels: v, message_length: m, traffic_rate: rate },
+                    ExperimentPoint {
+                        symbols,
+                        virtual_channels: v,
+                        message_length: m,
+                        traffic_rate: rate,
+                    },
                     budget,
                     seed,
                 );
@@ -58,8 +68,11 @@ fn main() {
             } else {
                 "(model only)".to_string()
             };
-            let model_cell =
-                if model.saturated { "saturated".to_string() } else { format!("{:.1}", model.mean_latency) };
+            let model_cell = if model.saturated {
+                "saturated".to_string()
+            } else {
+                format!("{:.1}", model.mean_latency)
+            };
             rows.push(vec![
                 format!("S{symbols}"),
                 format!("{:.0}%", utilisation * 100.0),
@@ -73,12 +86,19 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["network", "target channel utilisation", "traffic rate (λ_g)", "model latency", "sim latency"],
+            &[
+                "network",
+                "target channel utilisation",
+                "traffic rate (λ_g)",
+                "model latency",
+                "sim latency"
+            ],
             &rows
         )
     );
     let path = experiments_dir().join("size_sweep.csv");
-    match write_csv(&path, "network,utilisation,traffic_rate,model_latency,sim_latency", &csv_rows) {
+    match write_csv(&path, "network,utilisation,traffic_rate,model_latency,sim_latency", &csv_rows)
+    {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

@@ -85,7 +85,11 @@ fn main() {
         )
     );
     let path = experiments_dir().join("star_vs_hypercube.csv");
-    match write_csv(&path, "traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency", &csv_rows) {
+    match write_csv(
+        &path,
+        "traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency",
+        &csv_rows,
+    ) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

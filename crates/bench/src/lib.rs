@@ -84,11 +84,16 @@ pub fn simulate_star(
     Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
 }
 
-/// Parses a `--flag value` style argument list used by the harness binaries
-/// (no external CLI dependency).  Returns the value following `flag`, if any.
+/// Parses a `--flag value` (or `--flag=value`) style argument list used by
+/// the harness binaries (no external CLI dependency).  Returns the value of
+/// `flag`, if any.
 #[must_use]
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned()).or_else(|| {
+        args.iter().find_map(|a| {
+            a.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')).map(str::to_string)
+        })
+    })
 }
 
 /// Whether a bare `--flag` is present.
@@ -119,6 +124,9 @@ mod tests {
             ["--v", "9", "--budget", "standard", "--plot"].iter().map(|s| s.to_string()).collect();
         assert_eq!(arg_value(&args, "--v").as_deref(), Some("9"));
         assert_eq!(arg_value(&args, "--missing"), None);
+        let eq_args: Vec<String> = ["--budget=thorough"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&eq_args, "--budget").as_deref(), Some("thorough"));
+        assert_eq!(budget_from_args(&eq_args), SimBudget::Thorough);
         assert!(arg_present(&args, "--plot"));
         assert!(!arg_present(&args, "--csv"));
         assert_eq!(budget_from_args(&args), SimBudget::Standard);

@@ -99,8 +99,7 @@ impl DestinationSpectrum {
     /// Mean distance over all destinations (the `d̄` of Eq. 2).
     #[must_use]
     pub fn mean_distance(&self) -> f64 {
-        let weighted: f64 =
-            self.classes.iter().map(|c| c.distance as f64 * c.count as f64).sum();
+        let weighted: f64 = self.classes.iter().map(|c| c.distance as f64 * c.count as f64).sum();
         weighted / self.destination_count() as f64
     }
 
@@ -178,19 +177,11 @@ mod tests {
         // S5 distance distribution: [1, 4, 12, 30, 44, 26, 3]
         let max_distance = spectrum.classes().iter().map(|c| c.distance).max().unwrap();
         assert_eq!(max_distance, 6);
-        let at_diameter: u64 = spectrum
-            .classes()
-            .iter()
-            .filter(|c| c.distance == 6)
-            .map(|c| c.count)
-            .sum();
+        let at_diameter: u64 =
+            spectrum.classes().iter().filter(|c| c.distance == 6).map(|c| c.count).sum();
         assert_eq!(at_diameter, 3);
-        let at_one: u64 = spectrum
-            .classes()
-            .iter()
-            .filter(|c| c.distance == 1)
-            .map(|c| c.count)
-            .sum();
+        let at_one: u64 =
+            spectrum.classes().iter().filter(|c| c.distance == 1).map(|c| c.count).sum();
         assert_eq!(at_one, 4);
     }
 

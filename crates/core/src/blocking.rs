@@ -54,12 +54,7 @@ impl VcSplit {
 ///
 /// Returns `V1 + (number of admissible escape levels)`.
 #[must_use]
-pub fn selectable_vcs(
-    split: VcSplit,
-    source_color: Color,
-    hop: usize,
-    distance: usize,
-) -> usize {
+pub fn selectable_vcs(split: VcSplit, source_color: Color, hop: usize, distance: usize) -> usize {
     assert!(hop >= 1 && hop <= distance, "hop {hop} out of range for distance {distance}");
     // Negative hops taken once the message arrives at the next node.
     let neg_taken = negative_hops_after(source_color, hop);
@@ -114,7 +109,9 @@ pub fn total_blocking_delay(
     mean_wait: f64,
 ) -> f64 {
     (1..=profile.distance)
-        .map(|hop| hop_blocking_probability(split, occupancy, profile, hop, profile.distance) * mean_wait)
+        .map(|hop| {
+            hop_blocking_probability(split, occupancy, profile, hop, profile.distance) * mean_wait
+        })
         .sum()
 }
 
@@ -140,7 +137,7 @@ mod tests {
                 for hop in 1..=distance {
                     for color in [Color::Zero, Color::One] {
                         let s = selectable_vcs(split, color, hop, distance);
-                        assert!(s >= split.adaptive + 1, "at least the mandatory escape level");
+                        assert!(s > split.adaptive, "at least the mandatory escape level");
                         assert!(s <= split.total(), "cannot exceed V");
                     }
                 }
@@ -157,7 +154,8 @@ mod tests {
             for color in [Color::Zero, Color::One] {
                 let s = selectable_vcs(split, color, distance, distance);
                 let neg_taken = negative_hops_after(color, distance);
-                let expected = split.adaptive + (split.escape_levels - neg_taken.min(split.escape_levels - 1));
+                let expected =
+                    split.adaptive + (split.escape_levels - neg_taken.min(split.escape_levels - 1));
                 assert_eq!(s, expected);
             }
         }
@@ -278,8 +276,7 @@ mod tests {
         for hop in 1..=profile.distance {
             let nhop =
                 hop_blocking_probability(SPLIT_NHOP_V6, &occ, &profile, hop, profile.distance);
-            let nbc =
-                hop_blocking_probability(SPLIT_NBC_V6, &occ, &profile, hop, profile.distance);
+            let nbc = hop_blocking_probability(SPLIT_NBC_V6, &occ, &profile, hop, profile.distance);
             assert!(nhop >= nbc - 1e-12, "hop {hop}: NHop must block at least as much as Nbc");
         }
     }

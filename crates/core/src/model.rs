@@ -39,7 +39,12 @@ pub struct ModelResult {
 
 impl ModelResult {
     /// A saturated placeholder result (infinite latency).
-    fn saturated(config: ModelConfig, mean_distance: f64, channel_rate: f64, iterations: usize) -> Self {
+    fn saturated(
+        config: ModelConfig,
+        mean_distance: f64,
+        channel_rate: f64,
+        iterations: usize,
+    ) -> Self {
         Self {
             config,
             saturated: true,
@@ -302,7 +307,8 @@ mod tests {
     #[test]
     fn with_spectrum_reuses_precomputed_spectrum() {
         let spectrum = DestinationSpectrum::new(5);
-        let config = ModelConfig::builder().symbols(5).virtual_channels(6).traffic_rate(0.002).build();
+        let config =
+            ModelConfig::builder().symbols(5).virtual_channels(6).traffic_rate(0.002).build();
         let a = AnalyticalModel::with_spectrum(config, spectrum).solve();
         let b = AnalyticalModel::new(config).solve();
         assert!((a.mean_latency - b.mean_latency).abs() < 1e-12);
@@ -345,15 +351,17 @@ mod tests {
             assert!(nhop.mean_latency >= enhanced.mean_latency - 1e-9);
         }
         // NHop never saturates later than the bonus-card schemes
-        let sat = |d| crate::sweep::saturation_rate(
-            ModelConfig::builder()
-                .symbols(5)
-                .virtual_channels(6)
-                .message_length(32)
-                .discipline(d)
-                .build(),
-            0.03,
-        );
+        let sat = |d| {
+            crate::sweep::saturation_rate(
+                ModelConfig::builder()
+                    .symbols(5)
+                    .virtual_channels(6)
+                    .message_length(32)
+                    .discipline(d)
+                    .build(),
+                0.03,
+            )
+        };
         assert!(sat(RoutingDiscipline::NHop) <= sat(RoutingDiscipline::Nbc) * 1.05);
         assert!(sat(RoutingDiscipline::NHop) <= sat(RoutingDiscipline::EnhancedNbc) * 1.05);
     }

@@ -146,13 +146,8 @@ mod tests {
         // With a = 1 the probability that "my one channel is busy" equals
         // E[v]/V by symmetry.
         let occ = ChannelOccupancy::new(0.005, 70.0, 8);
-        let expected: f64 = occ
-            .probabilities()
-            .iter()
-            .enumerate()
-            .map(|(v, &p)| v as f64 * p)
-            .sum::<f64>()
-            / 8.0;
+        let expected: f64 =
+            occ.probabilities().iter().enumerate().map(|(v, &p)| v as f64 * p).sum::<f64>() / 8.0;
         assert!((occ.prob_all_busy(1) - expected).abs() < 1e-12);
     }
 
@@ -165,21 +160,25 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn all_busy_probability_is_monotone_in_load(
-                v in 2usize..=12,
-                a in 1usize..=6,
-                s in 10.0f64..200.0,
-                rho1 in 0.05f64..0.5,
-            ) {
-                let a = a.min(v);
-                let rho2 = rho1 + 0.3;
-                let low = ChannelOccupancy::new(rho1 / s, s, v).prob_all_busy(a);
-                let high = ChannelOccupancy::new(rho2 / s, s, v).prob_all_busy(a);
-                prop_assert!(high >= low - 1e-12);
+        #[test]
+        fn all_busy_probability_is_monotone_in_load() {
+            for v in 2usize..=12 {
+                for a in 1usize..=6 {
+                    let a = a.min(v);
+                    for &s in &[10.0f64, 40.0, 111.0, 200.0] {
+                        for i in 0..10 {
+                            let rho1 = 0.05 + 0.45 * f64::from(i) / 10.0;
+                            let rho2 = rho1 + 0.3;
+                            let low = ChannelOccupancy::new(rho1 / s, s, v).prob_all_busy(a);
+                            let high = ChannelOccupancy::new(rho2 / s, s, v).prob_all_busy(a);
+                            assert!(
+                                high >= low - 1e-12,
+                                "v={v}, a={a}, s={s}: P({rho2})={high} < P({rho1})={low}"
+                            );
+                        }
+                    }
+                }
             }
         }
     }

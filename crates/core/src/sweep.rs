@@ -31,8 +31,7 @@ pub fn sweep_traffic(base: ModelConfig, rates: &[f64]) -> Vec<SweepPoint> {
         .iter()
         .map(|&rate| {
             let config = ModelConfig { traffic_rate: rate, ..base };
-            let result =
-                AnalyticalModel::with_spectrum(config, spectrum.clone()).solve();
+            let result = AnalyticalModel::with_spectrum(config, spectrum.clone()).solve();
             SweepPoint { traffic_rate: rate, result }
         })
         .collect()
@@ -42,9 +41,7 @@ pub fn sweep_traffic(base: ModelConfig, rates: &[f64]) -> Vec<SweepPoint> {
 #[must_use]
 pub fn linspace(from: f64, to: f64, points: usize) -> Vec<f64> {
     assert!(points >= 2, "need at least two points");
-    (0..points)
-        .map(|i| from + (to - from) * i as f64 / (points - 1) as f64)
-        .collect()
+    (0..points).map(|i| from + (to - from) * i as f64 / (points - 1) as f64).collect()
 }
 
 /// Largest traffic generation rate at which the model still converges (the

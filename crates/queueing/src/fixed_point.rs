@@ -159,9 +159,8 @@ mod tests {
     fn vector_fixed_point() {
         // Linear contraction toward (1, 2).
         let solver = FixedPointSolver::default();
-        let out = solver.solve(vec![10.0, -3.0], |x| {
-            vec![0.5 * (x[0] - 1.0) + 1.0, 0.25 * (x[1] - 2.0) + 2.0]
-        });
+        let out = solver
+            .solve(vec![10.0, -3.0], |x| vec![0.5 * (x[0] - 1.0) + 1.0, 0.25 * (x[1] - 2.0) + 2.0]);
         let s = out.converged_state().unwrap();
         assert!((s[0] - 1.0).abs() < 1e-6);
         assert!((s[1] - 2.0).abs() < 1e-6);
@@ -185,11 +184,7 @@ mod tests {
     #[test]
     fn reports_max_iterations_for_oscillation() {
         // Undamped period-2 oscillation between 0 and 1 never converges.
-        let solver = FixedPointSolver {
-            damping: 1.0,
-            max_iterations: 50,
-            ..Default::default()
-        };
+        let solver = FixedPointSolver { damping: 1.0, max_iterations: 50, ..Default::default() };
         let out = solver.solve_scalar(0.0, |x| 1.0 - x);
         assert!(matches!(out, FixedPointOutcome::MaxIterations { .. }));
         // With damping the same map converges to 0.5.
@@ -213,20 +208,27 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn linear_contractions_always_converge(
-                slope in -0.9f64..0.9,
-                intercept in -100.0f64..100.0,
-                start in -100.0f64..100.0,
-            ) {
-                let solver = FixedPointSolver::with_damping(0.8);
-                let out = solver.solve_scalar(start, |x| slope * x + intercept);
-                let expected = intercept / (1.0 - slope);
-                let s = out.converged_state().expect("contraction must converge");
-                prop_assert!((s[0] - expected).abs() < 1e-5 * (1.0 + expected.abs()));
+        #[test]
+        fn linear_contractions_always_converge() {
+            for i in 0..19 {
+                let slope = -0.9 + 1.8 * f64::from(i) / 18.0;
+                for &intercept in &[-100.0f64, -7.5, 0.0, 3.25, 100.0] {
+                    for &start in &[-100.0f64, 0.0, 42.0, 100.0] {
+                        let solver = FixedPointSolver::with_damping(0.8);
+                        let out = solver.solve_scalar(start, |x| slope * x + intercept);
+                        let expected = intercept / (1.0 - slope);
+                        let s = out
+                            .converged_state()
+                            .unwrap_or_else(|| panic!("contraction slope={slope} must converge"));
+                        assert!(
+                            (s[0] - expected).abs() < 1e-5 * (1.0 + expected.abs()),
+                            "slope={slope}, intercept={intercept}, start={start}: \
+                             got {}, want {expected}",
+                            s[0]
+                        );
+                    }
+                }
             }
         }
     }

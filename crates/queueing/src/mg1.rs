@@ -138,32 +138,36 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
 
-        proptest! {
-            #[test]
-            fn waiting_time_is_finite_and_nonnegative_below_saturation(
-                rho in 0.0f64..0.95,
-                s in 1.0f64..500.0,
-                extra in 0.0f64..1.0,
-            ) {
-                let lambda = rho / s;
-                let min_service = s * (1.0 - extra);
-                let w = mg1_waiting_time_min_service(lambda, s, min_service);
-                prop_assert!(w.is_finite());
-                prop_assert!(w >= 0.0);
+        #[test]
+        fn waiting_time_is_finite_and_nonnegative_below_saturation() {
+            for &s in &[1.0f64, 16.0, 77.0, 499.0] {
+                // inclusive top so the near-saturation regime is exercised
+                for i in 0..=19 {
+                    let rho = 0.949 * f64::from(i) / 19.0;
+                    for &extra in &[0.0f64, 0.25, 0.5, 0.99] {
+                        let lambda = rho / s;
+                        let min_service = s * (1.0 - extra);
+                        let w = mg1_waiting_time_min_service(lambda, s, min_service);
+                        assert!(w.is_finite(), "rho={rho}, s={s}, extra={extra}");
+                        assert!(w >= 0.0, "rho={rho}, s={s}, extra={extra}: w={w}");
+                    }
+                }
             }
+        }
 
-            #[test]
-            fn monotone_in_arrival_rate(
-                s in 1.0f64..200.0,
-                rho1 in 0.01f64..0.9,
-                bump in 0.01f64..0.09,
-            ) {
-                let rho2 = rho1 + bump;
-                let w1 = mg1_waiting_time(rho1 / s, s, s);
-                let w2 = mg1_waiting_time(rho2 / s, s, s);
-                prop_assert!(w2 >= w1);
+        #[test]
+        fn monotone_in_arrival_rate() {
+            for &s in &[1.0f64, 12.0, 64.0, 200.0] {
+                for i in 0..=30 {
+                    let rho1 = 0.01 + 0.89 * f64::from(i) / 30.0;
+                    for &bump in &[0.01f64, 0.05, 0.09] {
+                        let rho2 = rho1 + bump;
+                        let w1 = mg1_waiting_time(rho1 / s, s, s);
+                        let w2 = mg1_waiting_time(rho2 / s, s, s);
+                        assert!(w2 >= w1, "s={s}: W({rho2})={w2} < W({rho1})={w1}");
+                    }
+                }
             }
         }
     }

@@ -342,38 +342,56 @@ mod tests {
 
     mod prop {
         use super::*;
-        use proptest::prelude::*;
+        use crate::sampling::seeded_rng;
+        use rand::Rng;
 
-        proptest! {
-            #[test]
-            fn welford_matches_two_pass(data in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        /// Deterministic stand-in for the former proptest vector strategy.
+        fn random_vec(seed: u64, len: usize, scale: f64) -> Vec<f64> {
+            let mut rng = seeded_rng(seed, 0xDA7A);
+            (0..len).map(|_| (rng.random::<f64>() * 2.0 - 1.0) * scale).collect()
+        }
+
+        #[test]
+        fn welford_matches_two_pass() {
+            for seed in 0..32u64 {
+                let len = 2 + (seed as usize * 13) % 198;
+                let data = random_vec(seed, len, 1e6);
                 let mut s = RunningStats::new();
                 for &x in &data {
                     s.push(x);
                 }
                 let n = data.len() as f64;
                 let mean: f64 = data.iter().sum::<f64>() / n;
-                let var: f64 =
-                    data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
-                prop_assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()));
-                prop_assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()));
+                let var: f64 = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0);
+                assert!((s.mean() - mean).abs() < 1e-6 * (1.0 + mean.abs()), "seed {seed}");
+                assert!((s.variance() - var).abs() < 1e-5 * (1.0 + var.abs()), "seed {seed}");
             }
+        }
 
-            #[test]
-            fn merge_is_associative_enough(
-                a in proptest::collection::vec(-1e3f64..1e3, 1..100),
-                b in proptest::collection::vec(-1e3f64..1e3, 1..100),
-            ) {
+        #[test]
+        fn merge_is_associative_enough() {
+            for seed in 0..32u64 {
+                let a = random_vec(seed * 2 + 1, 1 + (seed as usize * 7) % 99, 1e3);
+                let b = random_vec(seed * 2 + 2, 1 + (seed as usize * 11) % 99, 1e3);
                 let mut ra = RunningStats::new();
-                for &x in &a { ra.push(x); }
+                for &x in &a {
+                    ra.push(x);
+                }
                 let mut rb = RunningStats::new();
-                for &x in &b { rb.push(x); }
+                for &x in &b {
+                    rb.push(x);
+                }
                 let mut merged = ra.clone();
                 merged.merge(&rb);
                 let mut all = RunningStats::new();
-                for &x in a.iter().chain(b.iter()) { all.push(x); }
-                prop_assert_eq!(merged.count(), all.count());
-                prop_assert!((merged.mean() - all.mean()).abs() < 1e-7 * (1.0 + all.mean().abs()));
+                for &x in a.iter().chain(b.iter()) {
+                    all.push(x);
+                }
+                assert_eq!(merged.count(), all.count());
+                assert!(
+                    (merged.mean() - all.mean()).abs() < 1e-7 * (1.0 + all.mean().abs()),
+                    "seed {seed}"
+                );
             }
         }
     }

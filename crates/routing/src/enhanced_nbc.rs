@@ -71,7 +71,12 @@ impl EnhancedNbc {
 
 impl RoutingAlgorithm for EnhancedNbc {
     fn name(&self) -> String {
-        format!("Enhanced-Nbc(V={},V1={},V2={})", self.layout.total(), self.layout.adaptive, self.layout.escape_levels)
+        format!(
+            "Enhanced-Nbc(V={},V1={},V2={})",
+            self.layout.total(),
+            self.layout.adaptive,
+            self.layout.escape_levels
+        )
     }
 
     fn layout(&self) -> VirtualChannelLayout {
@@ -94,7 +99,9 @@ impl RoutingAlgorithm for EnhancedNbc {
             }
             // class-b: the bonus-card window
             let next = topology.neighbor(current, port);
-            if let Some((low, high)) = self.policy.admissible_levels(topology, current, next, dest, state) {
+            if let Some((low, high)) =
+                self.policy.admissible_levels(topology, current, next, dest, state)
+            {
                 for level in low..=high {
                     out.push(CandidateVc { port, vc: self.layout.escape_vc(level) });
                 }

@@ -24,7 +24,10 @@ impl Nbc {
     /// Panics if `levels` is zero.
     #[must_use]
     pub fn new(levels: usize) -> Self {
-        Self { layout: VirtualChannelLayout::escape_only(levels), policy: BonusCardPolicy::new(levels) }
+        Self {
+            layout: VirtualChannelLayout::escape_only(levels),
+            policy: BonusCardPolicy::new(levels),
+        }
     }
 
     /// Builds the algorithm for a topology with `total_vcs` virtual channels,
@@ -65,7 +68,9 @@ impl RoutingAlgorithm for Nbc {
         let mut out = Vec::new();
         for port in topology.min_route_ports(current, dest) {
             let next = topology.neighbor(current, port);
-            if let Some((low, high)) = self.policy.admissible_levels(topology, current, next, dest, state) {
+            if let Some((low, high)) =
+                self.policy.admissible_levels(topology, current, next, dest, state)
+            {
                 for level in low..=high {
                     out.push(CandidateVc { port, vc: self.layout.escape_vc(level) });
                 }
@@ -129,11 +134,7 @@ mod tests {
     fn all_candidates_are_minimal_and_within_layout() {
         let s5 = StarGraph::new(5);
         let nbc = Nbc::for_topology(&s5, 9);
-        let state = MessageRoutingState {
-            hops_taken: 2,
-            negative_hops_taken: 1,
-            escape_level: 2,
-        };
+        let state = MessageRoutingState { hops_taken: 2, negative_hops_taken: 1, escape_level: 2 };
         for src in [5u32, 40, 77] {
             for dest in [0u32, 33, 119] {
                 if src == dest {

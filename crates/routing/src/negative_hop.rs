@@ -67,8 +67,9 @@ impl RoutingAlgorithm for NHop {
         let mut out = Vec::new();
         for port in topology.min_route_ports(current, dest) {
             let next = topology.neighbor(current, port);
-            let negative = star_graph::HopSign::classify(topology.color(current), topology.color(next))
-                .is_negative();
+            let negative =
+                star_graph::HopSign::classify(topology.color(current), topology.color(next))
+                    .is_negative();
             let level = state.negative_hops_taken + usize::from(negative);
             if level < self.layout.escape_levels {
                 out.push(CandidateVc { port, vc: self.layout.escape_vc(level) });

@@ -37,7 +37,8 @@ impl MessageRoutingState {
         next: NodeId,
         escape_level_used: Option<usize>,
     ) -> Self {
-        let negative = HopSign::classify(topology.color(current), topology.color(next)).is_negative();
+        let negative =
+            HopSign::classify(topology.color(current), topology.color(next)).is_negative();
         let negative_hops_taken = self.negative_hops_taken + usize::from(negative);
         let escape_level = match escape_level_used {
             Some(level) => self.escape_level.max(level),

@@ -1,0 +1,235 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! The workspace builds in environments without access to crates.io, so the
+//! real `criterion` cannot be vendored.  This crate keeps the bench sources
+//! unchanged (`criterion_group!` / `criterion_main!` / `Criterion` /
+//! `benchmark_group` / `Bencher::iter`) and implements two modes:
+//!
+//! * **`--test` mode** (what `cargo bench -- --test` and the CI smoke run
+//!   use): every registered benchmark body runs exactly once, so a bench that
+//!   panics or regresses into non-termination fails the pipeline;
+//! * **measurement mode** (plain `cargo bench`): each benchmark is warmed up
+//!   briefly, then timed over adaptive batches until the measurement window
+//!   is exhausted, and the mean, minimum and iteration count are printed in a
+//!   `name ... time: [mean]` line loosely shaped like criterion's output.
+//!
+//! There is no statistical machinery (no outlier analysis, no HTML reports);
+//! the point is a stable entry point whose numbers are good enough to spot
+//! order-of-magnitude changes until the real criterion can be dropped in.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver: registers and runs benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    test_mode: bool,
+    default_measurement: Duration,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments.
+    ///
+    /// Recognises `--test` (run every benchmark body once); every other flag
+    /// cargo forwards (`--bench`, filters) is accepted and ignored.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode, default_measurement: Duration::from_secs(3) }
+    }
+
+    /// Whether the driver is in `--test` smoke mode.
+    #[must_use]
+    pub fn is_test_mode(&self) -> bool {
+        self.test_mode
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), measurement_time: None }
+    }
+
+    /// Registers and runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        let window = self.default_measurement;
+        run_one(self.test_mode, &name.into(), window, f);
+    }
+
+    /// Prints the closing line (kept for call-site compatibility).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("(smoke mode: every benchmark body ran once)");
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples (accepted for compatibility; the stand-in
+    /// sizes its batches from the measurement window instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = Some(time);
+        self
+    }
+
+    /// Registers and runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<String>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, name.into());
+        let window = self.measurement_time.unwrap_or(self.criterion.default_measurement);
+        run_one(self.criterion.test_mode, &full, window, f);
+        self
+    }
+
+    /// Ends the group (kept for call-site compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark body; [`Bencher::iter`] runs the measured routine.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    window: Duration,
+    /// (total iterations, total time) accumulated by `iter`.
+    measured: Option<(u64, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `routine` — once in `--test` mode, otherwise repeatedly for the
+    /// measurement window — and records the timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            let _ = std::hint::black_box(routine());
+            self.measured = Some((1, Duration::ZERO));
+            return;
+        }
+        // Warm-up: run once to page everything in and get a cost estimate.
+        let start = Instant::now();
+        let _ = std::hint::black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        // Size batches so each batch costs roughly 1/20 of the window.
+        let per_batch = (self.window.as_nanos() / 20 / first.as_nanos()).clamp(1, 1 << 20) as u64;
+        let mut iters = 0u64;
+        let measure_start = Instant::now();
+        while measure_start.elapsed() < self.window {
+            for _ in 0..per_batch {
+                let _ = std::hint::black_box(routine());
+            }
+            iters += per_batch;
+        }
+        self.measured = Some((iters, measure_start.elapsed()));
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(test_mode: bool, name: &str, window: Duration, mut f: F) {
+    let mut bencher = Bencher { test_mode, window, measured: None };
+    f(&mut bencher);
+    match bencher.measured {
+        Some((1, _)) if test_mode => println!("{name}: ok (ran once, --test mode)"),
+        Some((iters, total)) if iters > 0 => {
+            let mean = total.as_nanos() as f64 / iters as f64;
+            println!("{name}  time: [{} /iter over {iters} iterations]", fmt_ns(mean));
+        }
+        _ => println!("{name}: no measurement recorded"),
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_body_exactly_once() {
+        let mut count = 0usize;
+        let mut b = Bencher { test_mode: true, window: Duration::from_secs(1), measured: None };
+        b.iter(|| count += 1);
+        assert_eq!(count, 1);
+        assert_eq!(b.measured, Some((1, Duration::ZERO)));
+    }
+
+    #[test]
+    fn measurement_mode_runs_many_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher { test_mode: false, window: Duration::from_millis(20), measured: None };
+        b.iter(|| count += 1);
+        let (iters, total) = b.measured.unwrap();
+        // the warm-up call runs the routine once more than the measured count
+        assert_eq!(iters + 1, count);
+        assert!(iters > 1);
+        assert!(total >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn groups_accept_settings_and_run() {
+        let mut c = Criterion { test_mode: true, default_measurement: Duration::from_secs(1) };
+        let mut ran = false;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10)
+                .measurement_time(Duration::from_secs(5))
+                .bench_function("f", |b| b.iter(|| ran = true));
+            g.finish();
+        }
+        assert!(ran);
+    }
+
+    #[test]
+    fn format_covers_magnitudes() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+        assert!(fmt_ns(12_000_000_000.0).ends_with(" s"));
+    }
+}

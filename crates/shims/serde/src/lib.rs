@@ -1,0 +1,26 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! The workspace builds in environments without access to crates.io, so the
+//! real `serde` cannot be vendored.  Nothing in the workspace serializes at
+//! runtime today — the `#[derive(Serialize, Deserialize)]` attributes on the
+//! domain types only declare intent for future wire formats — so this crate
+//! provides the two derive macros as no-ops: they parse to an empty token
+//! stream and generate no impls.
+//!
+//! Swapping in the real `serde` later is a one-line change in the workspace
+//! manifest; no source file needs to change because the derive invocations
+//! and `use serde::{Deserialize, Serialize}` imports are already in place.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

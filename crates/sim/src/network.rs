@@ -241,8 +241,7 @@ impl Network {
                 let id = self.next_message_id;
                 self.next_message_id += 1;
                 let measured = cycle >= self.config.warmup_cycles;
-                let msg =
-                    Message::new(id, node, dest, self.config.message_length, cycle, measured);
+                let msg = Message::new(id, node, dest, self.config.message_length, cycle, measured);
                 self.messages.insert(id, msg);
                 self.source_queues[node as usize].push_back(id);
                 self.counters.generated += 1;
@@ -341,8 +340,7 @@ impl Network {
                 };
                 let msg = self.messages.get_mut(&msg_id).expect("message exists");
                 msg.routing =
-                    msg.routing
-                        .after_hop(self.topology.as_ref(), node, next, escape_level);
+                    msg.routing.after_hop(self.topology.as_ref(), node, next, escape_level);
                 if msg.injected_at.is_none() {
                     msg.injected_at = Some(cycle);
                 }
@@ -447,7 +445,11 @@ impl Network {
                     ivc.received = 0;
                     ivc.route = None;
                 }
-                debug_assert_eq!(ivc.owner, Some(arrival.message), "one message per virtual channel");
+                debug_assert_eq!(
+                    ivc.owner,
+                    Some(arrival.message),
+                    "one message per virtual channel"
+                );
                 ivc.buffered += 1;
                 ivc.received += 1;
             }

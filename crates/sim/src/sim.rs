@@ -249,20 +249,11 @@ mod tests {
             .max_cycles(500_000)
             .seed(42)
             .build();
-        let a = Simulation::new(
-            topology.clone(),
-            adaptive,
-            config.clone(),
-            TrafficPattern::Uniform,
-        )
-        .run();
-        let d = Simulation::new(
-            topology.clone(),
-            deterministic,
-            config,
-            TrafficPattern::Uniform,
-        )
-        .run();
+        let a =
+            Simulation::new(topology.clone(), adaptive, config.clone(), TrafficPattern::Uniform)
+                .run();
+        let d =
+            Simulation::new(topology.clone(), deterministic, config, TrafficPattern::Uniform).run();
         assert!(!a.deadlock_detected && !d.deadlock_detected);
         // the deterministic router either saturates or is slower
         assert!(
@@ -319,8 +310,6 @@ mod tests {
             TrafficPattern::HotSpot { node: 0, fraction: 0.4 },
         )
         .run();
-        assert!(
-            hotspot.saturated || hotspot.mean_message_latency > uniform.mean_message_latency
-        );
+        assert!(hotspot.saturated || hotspot.mean_message_latency > uniform.mean_message_latency);
     }
 }

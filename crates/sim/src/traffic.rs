@@ -123,9 +123,7 @@ mod tests {
         let mut rng = seeded_rng(5, 2);
         let pattern = TrafficPattern::HotSpot { node: 3, fraction: 0.3 };
         let trials = 20_000;
-        let hits = (0..trials)
-            .filter(|_| pattern.pick_destination(&s4, 0, &mut rng) == 3)
-            .count();
+        let hits = (0..trials).filter(|_| pattern.pick_destination(&s4, 0, &mut rng) == 3).count();
         let observed = hits as f64 / trials as f64;
         // 30% targeted plus the uniform share of the remaining 70%
         let expected = 0.3 + 0.7 / 23.0;

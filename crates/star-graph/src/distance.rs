@@ -91,7 +91,8 @@ impl CycleType {
             base * (n - k) as u128 / n as u128
         } else {
             let l = self.first_cycle_len;
-            let m = *mult.get(&l).expect("first cycle length must be one of the cycle lengths") as u128;
+            let m =
+                *mult.get(&l).expect("first cycle length must be one of the cycle lengths") as u128;
             base * (l as u128) * m / n as u128
         };
         u64::try_from(marked).expect("count fits in u64 for supported n")
@@ -210,11 +211,7 @@ pub fn star_distance_distribution(n: usize) -> Vec<u64> {
 pub fn star_mean_distance(n: usize) -> f64 {
     let dist = star_distance_distribution(n);
     let total_nodes: u64 = dist.iter().sum();
-    let weighted: u128 = dist
-        .iter()
-        .enumerate()
-        .map(|(d, &c)| d as u128 * c as u128)
-        .sum();
+    let weighted: u128 = dist.iter().enumerate().map(|(d, &c)| d as u128 * c as u128).sum();
     weighted as f64 / (total_nodes - 1) as f64
 }
 

@@ -49,10 +49,7 @@ impl AdaptivityProfile {
     /// Panics if `k >= distance`.
     #[must_use]
     pub fn mean_adaptivity(&self, k: usize) -> f64 {
-        self.hop_adaptivity[k]
-            .iter()
-            .map(|&(f, p)| f as f64 * p)
-            .sum()
+        self.hop_adaptivity[k].iter().map(|&(f, p)| f as f64 * p).sum()
     }
 
     /// Averages `g(f)` over the adaptivity distribution at hop `k + 1`;
@@ -83,8 +80,8 @@ impl MinimalPathDag {
             for node in current {
                 for dim in node.profitable_dimensions() {
                     let next = node.apply_generator(dim);
-                    if !discovered.contains_key(&next) {
-                        discovered.insert(next, level + 1);
+                    if let std::collections::hash_map::Entry::Vacant(e) = discovered.entry(next) {
+                        e.insert(level + 1);
                         levels[level + 1].push(next);
                     }
                 }
@@ -109,8 +106,8 @@ impl MinimalPathDag {
         // Prefix counts: paths from source to node, processed top-down.
         let mut prefix_counts: HashMap<Permutation, u128> = HashMap::new();
         prefix_counts.insert(*relative_source, 1);
-        for level in 0..distance {
-            for node in &levels[level] {
+        for level_nodes in levels.iter().take(distance) {
+            for node in level_nodes {
                 let from = prefix_counts[node];
                 for dim in node.profitable_dimensions() {
                     *prefix_counts.entry(node.apply_generator(dim)).or_insert(0) += from;
@@ -169,8 +166,7 @@ impl MinimalPathDag {
         for level in 0..distance {
             let mut dist: HashMap<usize, f64> = HashMap::new();
             for node in &self.levels[level] {
-                let weight =
-                    (self.prefix_counts[node] * self.suffix_counts[node]) as f64 / total;
+                let weight = (self.prefix_counts[node] * self.suffix_counts[node]) as f64 / total;
                 *dist.entry(node.adaptivity()).or_insert(0.0) += weight;
             }
             let mut pairs: Vec<(usize, f64)> = dist.into_iter().collect();
@@ -187,7 +183,11 @@ impl MinimalPathDag {
     pub fn enumerate_paths(&self) -> Vec<Vec<Permutation>> {
         let mut out = Vec::new();
         let mut current = vec![self.source];
-        fn rec(node: &Permutation, current: &mut Vec<Permutation>, out: &mut Vec<Vec<Permutation>>) {
+        fn rec(
+            node: &Permutation,
+            current: &mut Vec<Permutation>,
+            out: &mut Vec<Vec<Permutation>>,
+        ) {
             if node.is_identity() {
                 out.push(current.clone());
                 return;
@@ -214,8 +214,8 @@ pub fn profile_between(source: &Permutation, dest: &Permutation) -> AdaptivityPr
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rank::unrank;
     use crate::factorial;
+    use crate::rank::unrank;
 
     fn p(sym: &[u8]) -> Permutation {
         Permutation::from_symbols(sym).unwrap()
@@ -301,8 +301,8 @@ mod tests {
                 *hist.entry(path[k].adaptivity()).or_insert(0) += 1;
             }
             let expected: f64 = profile.mean_adaptivity(k);
-            let direct: f64 = hist.iter().map(|(&f, &c)| f as f64 * c as f64).sum::<f64>()
-                / paths.len() as f64;
+            let direct: f64 =
+                hist.iter().map(|(&f, &c)| f as f64 * c as f64).sum::<f64>() / paths.len() as f64;
             assert!((expected - direct).abs() < 1e-9, "hop {k} mean adaptivity mismatch");
         }
     }
@@ -316,7 +316,10 @@ mod tests {
             assert!((sum - 1.0).abs() < 1e-9, "level {level} weights must sum to 1");
         }
         // nodes outside the DAG have weight 0
-        assert_eq!(dag.node_weight(&p(&[2, 1, 3, 4, 5]).apply_generator(2).apply_generator(3)), 0.0);
+        assert_eq!(
+            dag.node_weight(&p(&[2, 1, 3, 4, 5]).apply_generator(2).apply_generator(3)),
+            0.0
+        );
     }
 
     #[test]

@@ -141,11 +141,7 @@ impl Permutation {
     /// Panics if `dim` is out of `2..=n`.
     #[must_use]
     pub fn apply_generator(&self, dim: usize) -> Self {
-        assert!(
-            (2..=self.len()).contains(&dim),
-            "dimension {dim} out of range 2..={}",
-            self.len()
-        );
+        assert!((2..=self.len()).contains(&dim), "dimension {dim} out of range 2..={}", self.len());
         let mut out = *self;
         out.symbols.swap(0, dim - 1);
         out
@@ -522,7 +518,10 @@ mod tests {
                 if profitable.contains(&dim) {
                     assert_eq!(dw, d - 1, "profitable move must reduce distance ({v:?} dim {dim})");
                 } else {
-                    assert!(dw >= d, "non-profitable move must not reduce distance ({v:?} dim {dim})");
+                    assert!(
+                        dw >= d,
+                        "non-profitable move must not reduce distance ({v:?} dim {dim})"
+                    );
                 }
                 if seen.insert(w) {
                     stack.push(w);

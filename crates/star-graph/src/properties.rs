@@ -87,9 +87,6 @@ mod tests {
     fn markdown_header_has_same_column_count_as_rows() {
         let header = TopologyProperties::markdown_header();
         let row = format!("{}", TopologyProperties::of(&Hypercube::new(4)));
-        assert_eq!(
-            header.lines().next().unwrap().matches('|').count(),
-            row.matches('|').count()
-        );
+        assert_eq!(header.lines().next().unwrap().matches('|').count(), row.matches('|').count());
     }
 }

@@ -10,10 +10,10 @@
 
 use crate::coloring::Color;
 use crate::distance;
+use crate::factorial;
 use crate::permutation::Permutation;
 use crate::rank::{rank, unrank};
 use crate::topology::{NodeId, Topology};
-use crate::factorial;
 
 /// The star interconnection network `S_n`.
 #[derive(Debug, Clone)]
@@ -135,17 +135,12 @@ impl Topology for StarGraph {
     }
 
     fn distance(&self, a: NodeId, b: NodeId) -> usize {
-        self.perms[a as usize]
-            .relative_to(&self.perms[b as usize])
-            .distance_to_identity()
+        self.perms[a as usize].relative_to(&self.perms[b as usize]).distance_to_identity()
     }
 
     fn min_route_ports(&self, current: NodeId, dest: NodeId) -> Vec<usize> {
         let rel = self.perms[current as usize].relative_to(&self.perms[dest as usize]);
-        rel.profitable_dimensions()
-            .into_iter()
-            .map(|dim| self.dimension_to_port(dim))
-            .collect()
+        rel.profitable_dimensions().into_iter().map(|dim| self.dimension_to_port(dim)).collect()
     }
 
     fn color(&self, node: NodeId) -> Color {
@@ -244,19 +239,14 @@ mod tests {
     #[test]
     fn diameter_is_achieved() {
         let s5 = StarGraph::new(5);
-        let max = (0..s5.node_count() as NodeId)
-            .map(|v| s5.distance(0, v))
-            .max()
-            .unwrap();
+        let max = (0..s5.node_count() as NodeId).map(|v| s5.distance(0, v)).max().unwrap();
         assert_eq!(max, s5.diameter());
     }
 
     #[test]
     fn color_classes_are_balanced_and_proper() {
         let s5 = StarGraph::new(5);
-        let zeros = (0..s5.node_count() as NodeId)
-            .filter(|&v| s5.color(v) == Color::Zero)
-            .count();
+        let zeros = (0..s5.node_count() as NodeId).filter(|&v| s5.color(v) == Color::Zero).count();
         assert_eq!(zeros, s5.node_count() / 2);
         for node in 0..s5.node_count() as NodeId {
             for port in 0..s5.degree() {

@@ -54,12 +54,7 @@ impl SimBudget {
     /// Applies the budget to a simulation configuration builder, returning the
     /// completed configuration.
     #[must_use]
-    pub fn apply(
-        self,
-        message_length: usize,
-        traffic_rate: f64,
-        seed: u64,
-    ) -> SimConfig {
+    pub fn apply(self, message_length: usize, traffic_rate: f64, seed: u64) -> SimConfig {
         SimConfig::builder()
             .message_length(message_length)
             .traffic_rate(traffic_rate)

@@ -81,9 +81,8 @@ pub fn figure1_experiments(points: usize) -> Vec<Figure1Experiment> {
                 (9, _) => 0.020,
                 _ => 0.022,
             };
-            let rates: Vec<f64> = (1..=points)
-                .map(|i| max_rate * i as f64 / points as f64)
-                .collect();
+            let rates: Vec<f64> =
+                (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
             out.push(Figure1Experiment {
                 id: format!("fig1{label}-M{m}"),
                 symbols: 5,
@@ -166,6 +165,11 @@ mod tests {
         assert!(!model.saturated);
         assert!(!sim.saturated);
         let err = (model.mean_latency - sim.mean_message_latency).abs() / sim.mean_message_latency;
-        assert!(err < 0.25, "model {} vs sim {} differ by {err}", model.mean_latency, sim.mean_message_latency);
+        assert!(
+            err < 0.25,
+            "model {} vs sim {} differ by {err}",
+            model.mean_latency,
+            sim.mean_message_latency
+        );
     }
 }

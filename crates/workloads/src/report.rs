@@ -14,7 +14,9 @@ pub fn write_csv(path: &Path, header: &str, rows: &[String]) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         fs::create_dir_all(parent)?;
     }
-    let mut out = String::with_capacity(header.len() + rows.iter().map(String::len).sum::<usize>() + rows.len() * 2);
+    let mut out = String::with_capacity(
+        header.len() + rows.iter().map(String::len).sum::<usize>() + rows.len() * 2,
+    );
     out.push_str(header);
     out.push('\n');
     for row in rows {
@@ -95,7 +97,8 @@ pub fn ascii_plot(
             } else {
                 0
             };
-            grid[row.min(height - 1)][col.min(width - 1)] = if y.is_finite() { marker } else { 'x' };
+            grid[row.min(height - 1)][col.min(width - 1)] =
+                if y.is_finite() { marker } else { 'x' };
         }
     }
 
@@ -106,7 +109,15 @@ pub fn ascii_plot(
         .enumerate()
         .map(|(i, (name, _))| format!("{} {name}", markers[i % markers.len()]))
         .collect();
-    let _ = writeln!(out, "  [{}]   y: {:.1} .. {:.1}   x: {:.4} .. {:.4}", legend.join("  "), lo, hi, x_lo, x_hi);
+    let _ = writeln!(
+        out,
+        "  [{}]   y: {:.1} .. {:.1}   x: {:.4} .. {:.4}",
+        legend.join("  "),
+        lo,
+        hi,
+        x_lo,
+        x_hi
+    );
     for row in grid {
         let _ = writeln!(out, "  |{}", row.into_iter().collect::<String>());
     }

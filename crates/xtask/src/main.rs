@@ -1,0 +1,109 @@
+//! Workspace automation, invoked as `cargo xtask <command>` through the
+//! `[alias]` in `.cargo/config.toml`.
+//!
+//! * `cargo xtask ci` — the full verification pipeline, in the same order the
+//!   GitHub Actions workflow runs it: rustfmt check, clippy with warnings
+//!   denied, release build, tests, doctests, then a smoke run of every
+//!   criterion bench in `--test` mode (each bench body executes once).
+//! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
+//!   `target/experiments/` via the `figure1` harness binary (quick budget by
+//!   default; extra arguments are forwarded, e.g.
+//!   `cargo xtask figure1 -- --budget thorough --v 9`).
+
+use std::env;
+use std::process::{Command, ExitCode};
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let (command, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => ("help", &[][..]),
+    };
+    match command {
+        "ci" => ci(),
+        "figure1" => figure1(rest),
+        "help" | "--help" | "-h" => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown xtask command: {other}\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    eprintln!("usage: cargo xtask <command>\n");
+    eprintln!("commands:");
+    eprintln!("  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke");
+    eprintln!("  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args)");
+}
+
+/// The cargo binary driving this xtask (set by cargo itself).
+fn cargo() -> String {
+    env::var("CARGO").unwrap_or_else(|_| "cargo".to_string())
+}
+
+/// Runs one pipeline step, echoing it and failing fast on error.
+fn step(name: &str, args: &[&str]) -> Result<(), String> {
+    println!("\n==> {name}: cargo {}", args.join(" "));
+    let started = Instant::now();
+    let status = Command::new(cargo())
+        .args(args)
+        .status()
+        .map_err(|e| format!("{name}: failed to spawn cargo: {e}"))?;
+    if status.success() {
+        println!("==> {name}: ok ({:.1}s)", started.elapsed().as_secs_f64());
+        Ok(())
+    } else {
+        Err(format!("{name}: cargo {} exited with {status}", args.join(" ")))
+    }
+}
+
+fn ci() -> ExitCode {
+    let pipeline: &[(&str, &[&str])] = &[
+        ("fmt", &["fmt", "--all", "--check"]),
+        ("clippy", &["clippy", "--workspace", "--all-targets", "--", "-D", "warnings"]),
+        ("build", &["build", "--release", "--workspace"]),
+        // --all-targets excludes doctests, which run in their own step below
+        ("test", &["test", "-q", "--workspace", "--all-targets"]),
+        ("doctest", &["test", "-q", "--workspace", "--doc"]),
+        // scoped to the criterion benches; the workspace-wide smoke (which
+        // also drags every lib test harness through bench mode) is a separate
+        // CI job
+        ("bench-smoke", &["bench", "-p", "star-bench", "--", "--test"]),
+    ];
+    let started = Instant::now();
+    for (name, args) in pipeline {
+        if let Err(e) = step(name, args) {
+            eprintln!("\nci FAILED at {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    println!("\nci passed in {:.1}s", started.elapsed().as_secs_f64());
+    ExitCode::SUCCESS
+}
+
+fn figure1(rest: &[String]) -> ExitCode {
+    let mut args: Vec<&str> =
+        vec!["run", "--release", "-p", "star-bench", "--bin", "figure1", "--"];
+    let forwarded: Vec<&str> = rest.iter().map(String::as_str).filter(|a| *a != "--").collect();
+    let has_budget = forwarded.iter().any(|a| *a == "--budget" || a.starts_with("--budget="));
+    args.extend(forwarded);
+    if !has_budget {
+        args.extend(["--budget", "quick"]);
+    }
+    match step("figure1", &args) {
+        Ok(()) => {
+            println!("\nFigure 1 CSVs are under target/experiments/");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("\nfigure1 FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -8,7 +8,7 @@
 use std::sync::Arc;
 
 use star_wormhole::{
-    AnalyticalModel, EnhancedNbc, ModelConfig, SimBudget, Simulation, StarGraph, Topology,
+    AnalyticalModel, EnhancedNbc, ModelConfig, SimBudget, Simulation, StarGraph,
     TopologyProperties, TrafficPattern,
 };
 
@@ -16,8 +16,10 @@ fn main() {
     // The network of the paper's Figure 1: S5, 120 nodes, degree 4.
     let topology = Arc::new(StarGraph::new(5));
     let props = TopologyProperties::of(topology.as_ref());
-    println!("network: {} ({} nodes, degree {}, diameter {}, mean distance {:.3})\n",
-        props.name, props.nodes, props.degree, props.diameter, props.mean_distance);
+    println!(
+        "network: {} ({} nodes, degree {}, diameter {}, mean distance {:.3})\n",
+        props.name, props.nodes, props.degree, props.diameter, props.mean_distance
+    );
 
     // One operating point: V = 6 virtual channels, M = 32 flits, moderate load.
     let config = ModelConfig::builder()
@@ -40,14 +42,18 @@ fn main() {
     let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), config.virtual_channels));
     let sim_config = SimBudget::Quick.apply(config.message_length, config.traffic_rate, 42);
     let report = Simulation::new(topology, routing, sim_config, TrafficPattern::Uniform).run();
-    println!("\nflit-level simulation ({} measured messages, {} cycles):",
-        report.measured_messages, report.cycles);
-    println!("  mean message latency      = {:.2} ± {:.2} cycles",
-        report.mean_message_latency, report.latency_ci95);
+    println!(
+        "\nflit-level simulation ({} measured messages, {} cycles):",
+        report.measured_messages, report.cycles
+    );
+    println!(
+        "  mean message latency      = {:.2} ± {:.2} cycles",
+        report.mean_message_latency, report.latency_ci95
+    );
     println!("  mean network latency      = {:.2} cycles", report.mean_network_latency);
     println!("  observed multiplexing     = {:.3}", report.observed_multiplexing);
 
-    let error = (model.mean_latency - report.mean_message_latency).abs()
-        / report.mean_message_latency;
+    let error =
+        (model.mean_latency - report.mean_message_latency).abs() / report.mean_message_latency;
     println!("\nmodel vs simulation relative error: {:.1}%", error * 100.0);
 }

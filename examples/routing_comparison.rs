@@ -30,13 +30,9 @@ fn main() {
     for &rate in &[0.01, 0.02, 0.03] {
         for (name, routing) in &algorithms {
             let config = SimBudget::Quick.apply(m, rate, 11);
-            let report = Simulation::new(
-                topology.clone(),
-                routing.clone(),
-                config,
-                TrafficPattern::Uniform,
-            )
-            .run();
+            let report =
+                Simulation::new(topology.clone(), routing.clone(), config, TrafficPattern::Uniform)
+                    .run();
             rows.push(vec![
                 format!("{rate:.3}"),
                 (*name).to_string(),
@@ -53,7 +49,13 @@ fn main() {
     println!(
         "{}",
         markdown_table(
-            &["traffic rate", "algorithm", "mean latency", "blocking probability", "VC multiplexing"],
+            &[
+                "traffic rate",
+                "algorithm",
+                "mean latency",
+                "blocking probability",
+                "VC multiplexing"
+            ],
             &rows
         )
     );

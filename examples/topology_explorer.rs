@@ -35,7 +35,10 @@ fn main() {
             ]);
         }
     }
-    println!("{}", markdown_table(&["network", "nodes", "degree", "diameter", "mean distance"], &rows));
+    println!(
+        "{}",
+        markdown_table(&["network", "nodes", "degree", "diameter", "mean distance"], &rows)
+    );
 
     println!("# Exact distance distributions of S_n (nodes at each distance)\n");
     for n in 3..=max_n.min(7) {
@@ -56,6 +59,9 @@ fn main() {
     }
     println!(
         "{}",
-        markdown_table(&["network", "destination classes", "mean distance", "mean adaptivity"], &rows)
+        markdown_table(
+            &["network", "destination classes", "mean distance", "mean adaptivity"],
+            &rows
+        )
     );
 }

@@ -1,0 +1,66 @@
+//! Facade-surface test: the `star_wormhole` root re-exports documented in the
+//! crate docs must keep resolving, and the root doc example's operating point
+//! (`S5`, 9 virtual channels, M = 32 flits, λ_g = 0.005) must keep solving
+//! unsaturated.  This is the doctest's contract restated as an integration
+//! test, so a regression fails `cargo test` even if doctests are skipped.
+
+use star_wormhole::{
+    AnalyticalModel, DeterministicMinimal, EnhancedNbc, Hypercube, ModelConfig, ModelResult, NHop,
+    Nbc, Permutation, RoutingAlgorithm, SimBudget, SimConfig, StarGraph, Topology,
+    TopologyProperties, TrafficPattern,
+};
+
+/// The root doc example, verbatim: it must solve unsaturated.
+#[test]
+fn root_doc_example_operating_point_solves_unsaturated() {
+    let result: ModelResult = AnalyticalModel::new(
+        ModelConfig::builder()
+            .symbols(5)
+            .virtual_channels(9)
+            .message_length(32)
+            .traffic_rate(0.005)
+            .build(),
+    )
+    .solve();
+    assert!(!result.saturated, "the documented quickstart point must be below saturation");
+    // finite and above the zero-load bound M + d̄
+    assert!(result.mean_latency.is_finite());
+    assert!(result.mean_latency > 32.0 + result.mean_distance);
+}
+
+/// Every module alias documented in the crate root must resolve.
+#[test]
+fn module_aliases_resolve() {
+    assert_eq!(star_wormhole::graph::factorial(5), 120);
+    let _ = star_wormhole::queueing::mg1_waiting_time(0.001, 30.0, 30.0);
+    let layout = star_wormhole::routing::VirtualChannelLayout { adaptive: 2, escape_levels: 4 };
+    assert_eq!(layout.total(), 6);
+    let _ = star_wormhole::sim::TrafficPattern::Uniform;
+    let _ = star_wormhole::model::RoutingDiscipline::EnhancedNbc;
+    let _ = star_wormhole::workloads::SimBudget::Quick;
+}
+
+/// The flat re-exports must stay usable together: build every routing
+/// algorithm against a topology obtained through the facade.
+#[test]
+fn flat_reexports_compose() {
+    let s4 = StarGraph::new(4);
+    let props = TopologyProperties::of(&s4);
+    assert_eq!(props.nodes, 24);
+    let algorithms: Vec<Box<dyn RoutingAlgorithm>> = vec![
+        Box::new(EnhancedNbc::for_topology(&s4, 6)),
+        Box::new(Nbc::for_topology(&s4, 6)),
+        Box::new(NHop::for_topology(&s4, 6)),
+        Box::new(DeterministicMinimal::for_topology(&s4, 6)),
+    ];
+    for algo in &algorithms {
+        assert_eq!(algo.virtual_channels(), 6);
+    }
+    let q5 = Hypercube::at_least(s4.node_count());
+    assert!(q5.node_count() >= s4.node_count());
+    let p = Permutation::identity(4);
+    assert_eq!(p.distance_to_identity(), 0);
+    let _ = SimConfig::builder();
+    let _ = SimBudget::Quick;
+    let _ = TrafficPattern::Uniform;
+}

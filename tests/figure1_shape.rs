@@ -7,7 +7,12 @@
 use star_wormhole::model::{saturation_rate, sweep_traffic, ModelConfig};
 
 fn s5(v: usize, m: usize) -> ModelConfig {
-    ModelConfig::builder().symbols(5).virtual_channels(v).message_length(m).traffic_rate(0.001).build()
+    ModelConfig::builder()
+        .symbols(5)
+        .virtual_channels(v)
+        .message_length(m)
+        .traffic_rate(0.001)
+        .build()
 }
 
 #[test]

@@ -78,7 +78,12 @@ fn model_and_simulation_agree_on_network_latency_split() {
     let s = simulate(4, 6, 16, rate, 303);
     assert!(!m.saturated && !s.saturated);
     let err = (m.mean_network_latency - s.mean_network_latency).abs() / s.mean_network_latency;
-    assert!(err < 0.25, "network latency: model {} vs sim {}", m.mean_network_latency, s.mean_network_latency);
+    assert!(
+        err < 0.25,
+        "network latency: model {} vs sim {}",
+        m.mean_network_latency,
+        s.mean_network_latency
+    );
 }
 
 #[test]

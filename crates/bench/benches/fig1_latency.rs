@@ -1,5 +1,6 @@
 //! Criterion benchmark: the cost of regenerating one operating point of
-//! Figure 1 (model evaluation vs one quick simulator run at the same point).
+//! Figure 1 (model evaluation vs one quick simulator run at the same point),
+//! both through the unified `Evaluator` API.
 //!
 //! The full figures are produced by the `figure1` harness binary; this bench
 //! tracks how expensive each half of a figure point is, which is the
@@ -9,17 +10,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use star_workloads::{run_model_point, run_sim_point, ExperimentPoint, SimBudget};
+use star_workloads::{Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget};
 
-fn fig1_point(v: usize, rate: f64) -> ExperimentPoint {
-    ExperimentPoint { symbols: 5, virtual_channels: v, message_length: 32, traffic_rate: rate }
+fn fig1_scenario(v: usize) -> Scenario {
+    Scenario::star(5).with_virtual_channels(v).with_message_length(32)
 }
 
 fn bench_fig1_model_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_model_point");
+    let backend = ModelBackend::new();
     for &v in &[6usize, 9, 12] {
         group.bench_function(format!("s5_v{v}_rate0.006"), |b| {
-            b.iter(|| black_box(run_model_point(fig1_point(v, 0.006))));
+            b.iter(|| black_box(backend.evaluate(&fig1_scenario(v).at(0.006))));
         });
     }
     group.finish();
@@ -29,8 +31,9 @@ fn bench_fig1_sim_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_sim_point");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(15));
+    let backend = SimBackend::new(SimBudget::Quick, 5);
     group.bench_function("s5_v6_rate0.004_quick", |b| {
-        b.iter(|| black_box(run_sim_point(fig1_point(6, 0.004), SimBudget::Quick, 5)));
+        b.iter(|| black_box(backend.evaluate(&fig1_scenario(6).at(0.004))));
     });
     group.finish();
 }

@@ -1,20 +1,23 @@
 //! Regenerates Figure 1 of the paper: mean message latency vs traffic
 //! generation rate for `S5` with `V = 6, 9, 12` virtual channels and message
 //! lengths `M = 32, 64` flits — one curve from the analytical model and one
-//! from the flit-level simulator.
+//! from the flit-level simulator, both driven through the unified
+//! `Evaluator`/`SweepRunner` API.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin figure1 -- [--v 6|9|12] [--m 32|64]
-//!     [--points N] [--budget quick|standard|thorough] [--seed S]
+//!     [--points N] [--budget quick|standard|thorough] [--seed S] [--threads T]
 //! ```
 //!
 //! Prints a Markdown table and an ASCII plot per curve and writes
 //! `target/experiments/<curve>.csv`.
 
-use star_bench::{arg_value, budget_from_args, experiments_dir, run_figure1_curve};
+use star_bench::{
+    arg_value, budget_from_args, experiments_dir, run_figure1_curve, threads_from_args,
+};
 use star_core::validation::mean_absolute_relative_error;
 use star_core::ValidationRow;
-use star_workloads::{ascii_plot, figure1_experiments, markdown_table, write_csv};
+use star_workloads::{ascii_plot, figure1_sweeps, markdown_table, write_csv};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -23,27 +26,28 @@ fn main() {
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(6);
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(20_060_425);
     let budget = budget_from_args(&args);
+    let threads = threads_from_args(&args);
 
-    let experiments: Vec<_> = figure1_experiments(points)
+    let sweeps: Vec<_> = figure1_sweeps(points)
         .into_iter()
-        .filter(|e| v_filter.is_none_or(|v| e.virtual_channels == v))
-        .filter(|e| m_filter.is_none_or(|m| e.message_length == m))
+        .filter(|s| v_filter.is_none_or(|v| s.scenario.virtual_channels == v))
+        .filter(|s| m_filter.is_none_or(|m| s.scenario.message_length == m))
         .collect();
-    if experiments.is_empty() {
+    if sweeps.is_empty() {
         eprintln!("no experiment matches the given filters");
         std::process::exit(1);
     }
 
     println!("# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {budget:?})\n");
-    for experiment in experiments {
+    for sweep in sweeps {
         println!(
             "## {} (V = {}, M = {} flits)\n",
-            experiment.id, experiment.virtual_channels, experiment.message_length
+            sweep.id, sweep.scenario.virtual_channels, sweep.scenario.message_length
         );
-        let rows = run_figure1_curve(&experiment, budget, seed);
-        print_curve(&experiment.id, &experiment.rates, &rows);
+        let rows = run_figure1_curve(&sweep, budget, seed, threads);
+        print_curve(&sweep.id, &sweep.rates, &rows);
         let csv_rows: Vec<String> = rows.iter().map(ValidationRow::to_csv_row).collect();
-        let path = experiments_dir().join(format!("{}.csv", experiment.id));
+        let path = experiments_dir().join(format!("{}.csv", sweep.id));
         match write_csv(&path, &ValidationRow::csv_header(), &csv_rows) {
             Ok(()) => println!("wrote {}\n", path.display()),
             Err(e) => eprintln!("could not write {}: {e}", path.display()),

@@ -8,18 +8,17 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin model_ablation -- [--n 5] [--v 6]
-//!     [--m 32] [--points N] [--budget quick|standard|thorough] [--seed S] [--no-sim]
+//!     [--m 32] [--points N] [--budget quick|standard|thorough] [--seed S]
+//!     [--threads T] [--no-sim]
 //! ```
 
-use star_bench::{arg_present, arg_value, budget_from_args, experiments_dir, simulate_star};
-use star_core::{AnalyticalModel, ModelConfig, RoutingDiscipline};
-use star_workloads::{markdown_table, write_csv};
+use star_bench::{arg_present, arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_workloads::{
+    markdown_table, write_csv, Discipline, ModelBackend, Scenario, SimBackend, SweepReport,
+    SweepRunner, SweepSpec,
+};
 
-const DISCIPLINES: [(RoutingDiscipline, &str); 3] = [
-    (RoutingDiscipline::EnhancedNbc, "enhanced-nbc"),
-    (RoutingDiscipline::Nbc, "nbc"),
-    (RoutingDiscipline::NHop, "nhop"),
-];
+const DISCIPLINES: [Discipline; 3] = [Discipline::EnhancedNbc, Discipline::Nbc, Discipline::NHop];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -30,43 +29,37 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(424_242);
     let with_sim = !arg_present(&args, "--no-sim");
     let budget = budget_from_args(&args);
+    let runner = SweepRunner::with_threads(threads_from_args(&args));
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+
+    let sweeps: Vec<SweepSpec> = DISCIPLINES
+        .iter()
+        .map(|&d| {
+            let scenario = Scenario::star(symbols)
+                .with_discipline(d)
+                .with_virtual_channels(v)
+                .with_message_length(m);
+            SweepSpec::new(d.name(), scenario, rates.clone())
+        })
+        .collect();
+    let model_reports = runner.run(&ModelBackend::new(), &sweeps);
+    let sim_reports: Option<Vec<SweepReport>> =
+        with_sim.then(|| runner.run(&SimBackend::new(budget, seed), &sweeps));
 
     println!(
         "# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n"
     );
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for &rate in &rates {
+    for (ri, &rate) in rates.iter().enumerate() {
         let mut cells = vec![format!("{rate:.4}")];
-        for &(discipline, name) in &DISCIPLINES {
-            let model = AnalyticalModel::new(
-                ModelConfig::builder()
-                    .symbols(symbols)
-                    .virtual_channels(v)
-                    .message_length(m)
-                    .traffic_rate(rate)
-                    .discipline(discipline)
-                    .build(),
-            )
-            .solve();
-            let model_cell = if model.saturated {
-                "saturated".to_string()
-            } else {
-                format!("{:.1}", model.mean_latency)
-            };
-            let sim_cell = if with_sim {
-                let report = simulate_star(symbols, name, v, m, rate, budget, seed);
-                if report.saturated {
-                    "saturated".to_string()
-                } else {
-                    format!("{:.1}", report.mean_message_latency)
-                }
-            } else {
-                "-".to_string()
-            };
-            csv_rows.push(format!("{name},{rate},{model_cell},{sim_cell}"));
+        for (di, discipline) in DISCIPLINES.iter().enumerate() {
+            let model_cell = model_reports[di].estimates[ri].latency_cell();
+            let sim_cell = sim_reports
+                .as_ref()
+                .map_or_else(|| "-".to_string(), |r| r[di].estimates[ri].latency_cell());
+            csv_rows.push(format!("{},{rate},{model_cell},{sim_cell}", discipline.name()));
             cells.push(format!("{model_cell} / {sim_cell}"));
         }
         rows.push(cells);

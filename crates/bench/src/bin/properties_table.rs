@@ -8,8 +8,8 @@
 //! ```
 
 use star_bench::{arg_value, experiments_dir};
-use star_graph::{Hypercube, StarGraph, Topology, TopologyProperties};
-use star_workloads::{markdown_table, write_csv};
+use star_graph::{Hypercube, StarGraph, TopologyProperties};
+use star_workloads::{markdown_table, write_csv, NetworkKind};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -19,9 +19,9 @@ fn main() {
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for n in 3..=max_n {
-        let star = StarGraph::new(n);
+        let star = NetworkKind::Star.topology(n);
         let cube = Hypercube::at_least(star.node_count());
-        for props in [TopologyProperties::of(&star), TopologyProperties::of(&cube)] {
+        for props in [TopologyProperties::of(star.as_ref()), TopologyProperties::of(&cube)] {
             rows.push(vec![
                 props.name.clone(),
                 props.nodes.to_string(),

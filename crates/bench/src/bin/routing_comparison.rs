@@ -1,18 +1,21 @@
 //! Extension study A: simulated latency of the routing algorithms the paper
 //! builds on — plain negative-hop (NHop), negative-hop with bonus cards
 //! (Nbc), Enhanced-Nbc, and a deterministic minimal baseline — on the same
-//! network.  This reproduces the comparison (from the authors' earlier
-//! HPC-Asia'05 study) that motivates the model's focus on Enhanced-Nbc.
+//! network, all driven through the simulator backend of the unified
+//! `Evaluator` API.  This reproduces the comparison (from the authors'
+//! earlier HPC-Asia'05 study) that motivates the model's focus on
+//! Enhanced-Nbc.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin routing_comparison -- [--n 5] [--v 6]
 //!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//!     [--threads T]
 //! ```
 
-use star_bench::{arg_value, budget_from_args, experiments_dir, simulate_star};
-use star_workloads::{ascii_plot, markdown_table, write_csv};
-
-const ALGORITHMS: [&str; 4] = ["enhanced-nbc", "nbc", "nhop", "deterministic"];
+use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_workloads::{
+    ascii_plot, markdown_table, write_csv, Discipline, Scenario, SimBackend, SweepRunner, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,46 +25,45 @@ fn main() {
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1_993);
     let budget = budget_from_args(&args);
+    let runner = SweepRunner::with_threads(threads_from_args(&args));
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
+
+    let sweeps: Vec<SweepSpec> = Discipline::ALL
+        .iter()
+        .map(|&d| {
+            let scenario = Scenario::star(symbols)
+                .with_discipline(d)
+                .with_virtual_channels(v)
+                .with_message_length(m);
+            SweepSpec::new(d.name(), scenario, rates.clone())
+        })
+        .collect();
+    let reports = runner.run(&SimBackend::new(budget, seed), &sweeps);
 
     println!("# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {budget:?})\n");
     let mut table_rows = Vec::new();
     let mut csv_rows = Vec::new();
-    let mut series: Vec<(&str, Vec<f64>)> = ALGORITHMS.iter().map(|&a| (a, Vec::new())).collect();
-    for &rate in &rates {
+    for (ri, &rate) in rates.iter().enumerate() {
         let mut cells = vec![format!("{rate:.4}")];
-        for (ai, &algo) in ALGORITHMS.iter().enumerate() {
-            let report = simulate_star(symbols, algo, v, m, rate, budget, seed);
-            let cell = if report.saturated {
-                series[ai].1.push(f64::INFINITY);
-                "saturated".to_string()
-            } else {
-                series[ai].1.push(report.mean_message_latency);
-                format!("{:.1}", report.mean_message_latency)
-            };
+        for report in &reports {
+            let estimate = &report.estimates[ri];
+            cells.push(estimate.latency_cell());
+            let sim = estimate.sim_report().expect("sim backend yields sim reports");
             csv_rows.push(format!(
-                "{algo},{rate},{},{:.4},{:.6}",
-                report.saturated, report.mean_message_latency, report.blocking_probability
+                "{},{rate},{},{:.4},{:.6}",
+                report.id, sim.saturated, sim.mean_message_latency, sim.blocking_probability
             ));
-            cells.push(cell);
         }
         table_rows.push(cells);
     }
 
     let mut header = vec!["traffic rate (λ_g)"];
-    header.extend(ALGORITHMS);
+    header.extend(reports.iter().map(|r| r.id.as_str()));
     println!("{}", markdown_table(&header, &table_rows));
-    println!(
-        "{}",
-        ascii_plot(
-            "mean message latency vs traffic rate",
-            &rates,
-            &series.iter().map(|(n, s)| (*n, s.clone())).collect::<Vec<_>>(),
-            60,
-            16,
-        )
-    );
+    let series: Vec<(&str, Vec<f64>)> =
+        reports.iter().map(|r| (r.id.as_str(), r.latency_curve())).collect();
+    println!("{}", ascii_plot("mean message latency vs traffic rate", &rates, &series, 60, 16));
     let path = experiments_dir().join("routing_comparison.csv");
     match write_csv(
         &path,

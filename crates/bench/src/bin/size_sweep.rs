@@ -1,19 +1,24 @@
 //! Extension study C: model accuracy and scalability across network sizes.
 //!
-//! For `S4` and `S5` the binary runs both the analytical model and the
-//! simulator at a light and a moderate load; for `S6` and `S7` (720 and 5 040
-//! nodes) it runs the model alone — exactly the regime the paper argues
-//! analytical models are for, where flit-level simulation stops being
-//! practical.
+//! For `S4` and `S5` the binary runs both evaluation backends at a light and
+//! a moderate load; for `S6` and `S7` (720 and 5 040 nodes) it runs the model
+//! alone — exactly the regime the paper argues analytical models are for,
+//! where flit-level simulation stops being practical.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin size_sweep --
 //!     [--v 6] [--m 32] [--budget quick|standard|thorough] [--seed S]
+//!     [--threads T]
 //! ```
 
-use star_bench::{arg_value, budget_from_args, experiments_dir};
-use star_core::{AnalyticalModel, ModelConfig};
-use star_workloads::{markdown_table, run_sim_point, write_csv, ExperimentPoint};
+use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_workloads::{
+    markdown_table, write_csv, Evaluator as _, ModelBackend, Scenario, SimBackend, SweepRunner,
+    SweepSpec,
+};
+
+/// Largest star graph the flit-level simulator is asked to run.
+const MAX_SIM_SYMBOLS: usize = 5;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -21,66 +26,49 @@ fn main() {
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(11);
     let budget = budget_from_args(&args);
+    let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let model = ModelBackend::new();
+    let utilisations = [0.15, 0.35];
+
+    // scale the load with the mean distance so the relative channel
+    // utilisation is comparable across sizes; the zero-load probe supplies d̄
+    let sweeps: Vec<SweepSpec> = (4..=7usize)
+        .map(|symbols| {
+            let scenario = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+            let probe = model.evaluate(&scenario.at(0.0));
+            let mean_distance =
+                probe.model_result().expect("model probe yields a model result").mean_distance;
+            let degree = (symbols - 1) as f64;
+            let rates: Vec<f64> =
+                utilisations.iter().map(|u| u * degree / (mean_distance * m as f64)).collect();
+            SweepSpec::new(format!("S{symbols}"), scenario, rates)
+        })
+        .collect();
+    let model_reports = runner.run(&model, &sweeps);
+    let sim_sweeps: Vec<SweepSpec> =
+        sweeps.iter().filter(|s| s.scenario.size <= MAX_SIM_SYMBOLS).cloned().collect();
+    let sim_reports = runner.run(&SimBackend::new(budget, seed), &sim_sweeps);
 
     println!("# Model accuracy and scalability across network sizes (V = {v}, M = {m})\n");
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for symbols in 4..=7usize {
-        // scale the load with the mean distance so the relative utilisation is
-        // comparable across sizes
-        let probe = AnalyticalModel::new(
-            ModelConfig::builder()
-                .symbols(symbols)
-                .virtual_channels(v)
-                .message_length(m)
-                .traffic_rate(0.0)
-                .build(),
-        )
-        .solve();
-        let degree = (symbols - 1) as f64;
-        for &utilisation in &[0.15, 0.35] {
-            let rate = utilisation * degree / (probe.mean_distance * m as f64);
-            let model = AnalyticalModel::new(
-                ModelConfig::builder()
-                    .symbols(symbols)
-                    .virtual_channels(v)
-                    .message_length(m)
-                    .traffic_rate(rate)
-                    .build(),
-            )
-            .solve();
-            let sim_cell = if symbols <= 5 {
-                let report = run_sim_point(
-                    ExperimentPoint {
-                        symbols,
-                        virtual_channels: v,
-                        message_length: m,
-                        traffic_rate: rate,
-                    },
-                    budget,
-                    seed,
-                );
-                if report.saturated {
-                    "saturated".to_string()
-                } else {
-                    format!("{:.1}", report.mean_message_latency)
-                }
-            } else {
-                "(model only)".to_string()
-            };
-            let model_cell = if model.saturated {
-                "saturated".to_string()
-            } else {
-                format!("{:.1}", model.mean_latency)
-            };
+    for (si, report) in model_reports.iter().enumerate() {
+        for (ri, estimate) in report.estimates.iter().enumerate() {
+            let model_cell = estimate.latency_cell();
+            let sim_cell = sim_reports
+                .iter()
+                .find(|r| r.id == report.id)
+                .map_or_else(|| "(model only)".to_string(), |r| r.estimates[ri].latency_cell());
+            let utilisation = utilisations[ri];
+            let rate = sweeps[si].rates[ri];
             rows.push(vec![
-                format!("S{symbols}"),
+                report.id.clone(),
                 format!("{:.0}%", utilisation * 100.0),
                 format!("{rate:.5}"),
                 model_cell.clone(),
                 sim_cell.clone(),
             ]);
-            csv_rows.push(format!("S{symbols},{utilisation},{rate},{model_cell},{sim_cell}"));
+            csv_rows.push(format!("{},{utilisation},{rate},{model_cell},{sim_cell}", report.id));
         }
     }
     println!(

@@ -1,33 +1,19 @@
 //! Extension study B (the paper's stated future work): latency of the star
 //! graph against the hypercube with at least as many nodes, both running the
-//! same adaptive routing scheme in the same simulator.
+//! same adaptive routing scheme — two [`Scenario`]s differing only in their
+//! network kind, answered by the same simulator backend.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin star_vs_hypercube -- [--n 5] [--v 6]
 //!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//!     [--threads T]
 //! ```
 
-use std::sync::Arc;
-
-use star_bench::{arg_value, budget_from_args, experiments_dir};
-use star_graph::{Hypercube, StarGraph, Topology};
-use star_routing::EnhancedNbc;
-use star_sim::{Simulation, TrafficPattern};
-use star_workloads::{ascii_plot, markdown_table, write_csv, SimBudget};
-
-fn simulate(
-    topology: Arc<dyn Topology>,
-    v: usize,
-    m: usize,
-    rate: f64,
-    budget: SimBudget,
-    seed: u64,
-) -> (bool, f64) {
-    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), v));
-    let config = budget.apply(m, rate, seed);
-    let report = Simulation::new(topology, routing, config, TrafficPattern::Uniform).run();
-    (report.saturated, report.mean_message_latency)
-}
+use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_graph::Hypercube;
+use star_workloads::{
+    ascii_plot, markdown_table, write_csv, Scenario, SimBackend, SweepRunner, SweepSpec,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,39 +23,48 @@ fn main() {
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7_771);
     let budget = budget_from_args(&args);
+    let runner = SweepRunner::with_threads(threads_from_args(&args));
 
-    let star = Arc::new(StarGraph::new(symbols));
-    let cube = Arc::new(Hypercube::at_least(star.node_count()));
+    let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+    let dims = Hypercube::at_least(star.topology().node_count()).dims();
+    let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
+    let sweeps = [
+        SweepSpec::new(star.network_label(), star, rates.clone()),
+        SweepSpec::new(cube.network_label(), cube, rates.clone()),
+    ];
+    let reports = runner.run(&SimBackend::new(budget, seed), &sweeps);
+    let (star_report, cube_report) = (&reports[0], &reports[1]);
+
     println!(
         "# {} ({} nodes) vs {} ({} nodes) — Enhanced-Nbc, V = {v}, M = {m} (budget {budget:?})\n",
-        star.name(),
-        star.node_count(),
-        cube.name(),
-        cube.node_count()
+        star_report.id,
+        star.topology().node_count(),
+        cube_report.id,
+        cube.topology().node_count()
     );
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    let mut star_series = Vec::new();
-    let mut cube_series = Vec::new();
-    for &rate in &rates {
-        let (s_sat, s_lat) = simulate(star.clone(), v, m, rate, budget, seed);
-        let (c_sat, c_lat) = simulate(cube.clone(), v, m, rate, budget, seed);
-        star_series.push(if s_sat { f64::INFINITY } else { s_lat });
-        cube_series.push(if c_sat { f64::INFINITY } else { c_lat });
-        rows.push(vec![
-            format!("{rate:.4}"),
-            if s_sat { "saturated".into() } else { format!("{s_lat:.1}") },
-            if c_sat { "saturated".into() } else { format!("{c_lat:.1}") },
-        ]);
-        csv_rows.push(format!("{rate},{},{s_lat:.4},{},{c_lat:.4}", s_sat, c_sat));
+    for (ri, &rate) in rates.iter().enumerate() {
+        let s = &star_report.estimates[ri];
+        let c = &cube_report.estimates[ri];
+        rows.push(vec![format!("{rate:.4}"), s.latency_cell(), c.latency_cell()]);
+        // the CSV keeps the raw (possibly partial) measurements for diagnosis
+        let raw = |e: &star_workloads::PointEstimate| {
+            e.sim_report().expect("sim backend yields sim reports").mean_message_latency
+        };
+        csv_rows.push(format!(
+            "{rate},{},{:.4},{},{:.4}",
+            s.saturated,
+            raw(s),
+            c.saturated,
+            raw(c)
+        ));
     }
-    let star_col = format!("{} latency", star.name());
-    let cube_col = format!("{} latency", cube.name());
-    let star_name = star.name();
-    let cube_name = cube.name();
+    let star_col = format!("{} latency", star_report.id);
+    let cube_col = format!("{} latency", cube_report.id);
     println!(
         "{}",
         markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
@@ -79,7 +74,10 @@ fn main() {
         ascii_plot(
             "star vs hypercube latency",
             &rates,
-            &[(star_name.as_str(), star_series), (cube_name.as_str(), cube_series)],
+            &[
+                (star_report.id.as_str(), star_report.latency_curve()),
+                (cube_report.id.as_str(), cube_report.latency_curve()),
+            ],
             60,
             16,
         )

@@ -3,23 +3,23 @@
 //! The benchmark harness: shared plumbing for the binaries that regenerate
 //! every figure of the paper (`figure1`) and the extension studies
 //! (`properties_table`, `routing_comparison`, `star_vs_hypercube`,
-//! `size_sweep`), plus Criterion micro-benchmarks (`benches/`).
+//! `size_sweep`, `model_ablation`), plus Criterion micro-benchmarks
+//! (`benches/`).
 //!
-//! Each binary prints a Markdown table (and an ASCII plot where a figure is
-//! being reproduced) to stdout and writes a CSV next to it under
+//! Every binary drives the unified evaluation API —
+//! [`star_workloads::Evaluator`] backends ([`ModelBackend`] / [`SimBackend`])
+//! through a [`SweepRunner`] — instead of hand-rolling its own sweep loop,
+//! prints a Markdown table (and an ASCII plot where a figure is being
+//! reproduced) to stdout and writes a CSV next to it under
 //! `target/experiments/`, so EXPERIMENTS.md can quote the numbers directly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::path::PathBuf;
-use std::sync::Arc;
 
 use star_core::ValidationRow;
-use star_graph::{StarGraph, Topology};
-use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
-use star_sim::{SimReport, Simulation, TrafficPattern};
-use star_workloads::{run_model_point, run_sim_point, Figure1Experiment, SimBudget};
+use star_workloads::{ModelBackend, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec};
 
 /// Directory where harness binaries drop their CSV outputs.
 #[must_use]
@@ -27,61 +27,43 @@ pub fn experiments_dir() -> PathBuf {
     PathBuf::from("target/experiments")
 }
 
-/// Runs one Figure-1 curve: for every traffic rate, evaluate the analytical
-/// model and the simulator, and pair them into validation rows.
-#[must_use]
-pub fn run_figure1_curve(
-    experiment: &Figure1Experiment,
-    budget: SimBudget,
-    seed: u64,
-) -> Vec<ValidationRow> {
-    experiment
-        .points()
-        .into_iter()
-        .map(|point| {
-            let model = run_model_point(point);
-            let sim = run_sim_point(point, budget, seed);
-            let sim_latency = if sim.saturated { None } else { Some(sim.mean_message_latency) };
-            ValidationRow::new(&model, sim_latency)
-        })
-        .collect()
-}
-
-/// Builds a routing algorithm by name for the ablation harness
-/// (`enhanced-nbc`, `nbc`, `nhop`, `deterministic`).
+/// Runs one Figure-1 curve through both backends — the analytical model
+/// (warm-started) and the simulator (points sharded across `threads`
+/// workers) — and pairs the estimates into validation rows.
 ///
 /// # Panics
-/// Panics on an unknown name.
+/// Panics if the model backend does not cover the sweep's scenario.
 #[must_use]
-pub fn routing_by_name(
-    name: &str,
-    topology: &dyn Topology,
-    virtual_channels: usize,
-) -> Arc<dyn RoutingAlgorithm> {
-    match name {
-        "enhanced-nbc" => Arc::new(EnhancedNbc::for_topology(topology, virtual_channels)),
-        "nbc" => Arc::new(Nbc::for_topology(topology, virtual_channels)),
-        "nhop" => Arc::new(NHop::for_topology(topology, virtual_channels)),
-        "deterministic" => Arc::new(DeterministicMinimal::for_topology(topology, virtual_channels)),
-        other => panic!("unknown routing algorithm {other:?}"),
-    }
-}
-
-/// Simulates one operating point of `S_n` with a named routing algorithm.
-#[must_use]
-pub fn simulate_star(
-    symbols: usize,
-    routing_name: &str,
-    virtual_channels: usize,
-    message_length: usize,
-    traffic_rate: f64,
+pub fn run_figure1_curve(
+    sweep: &SweepSpec,
     budget: SimBudget,
     seed: u64,
-) -> SimReport {
-    let topology = Arc::new(StarGraph::new(symbols));
-    let routing = routing_by_name(routing_name, topology.as_ref(), virtual_channels);
-    let config = budget.apply(message_length, traffic_rate, seed);
-    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
+    threads: usize,
+) -> Vec<ValidationRow> {
+    let runner = SweepRunner::with_threads(threads);
+    let model = runner.run_one(&ModelBackend::new(), sweep);
+    let sim = runner.run_one(&SimBackend::new(budget, seed), sweep);
+    pair_into_validation_rows(&model, &sim)
+}
+
+/// Zips a model sweep report with a simulation sweep report over the same
+/// rates into the [`ValidationRow`]s EXPERIMENTS.md tabulates.
+///
+/// # Panics
+/// Panics if the reports do not cover the same rates in the same order, or
+/// if the first report did not come from the model backend.
+#[must_use]
+pub fn pair_into_validation_rows(model: &SweepReport, sim: &SweepReport) -> Vec<ValidationRow> {
+    assert_eq!(model.rates(), sim.rates(), "reports must cover the same rates");
+    model
+        .estimates
+        .iter()
+        .zip(&sim.estimates)
+        .map(|(m, s)| {
+            let result = m.model_result().expect("first report must be a model sweep");
+            ValidationRow::new(result, s.latency())
+        })
+        .collect()
 }
 
 /// Parses a `--flag value` (or `--flag=value`) style argument list used by
@@ -113,15 +95,24 @@ pub fn budget_from_args(args: &[String]) -> SimBudget {
     }
 }
 
+/// Chooses the worker count from `--threads N` (default 0 = all available
+/// parallelism, the [`SweepRunner`] convention).
+#[must_use]
+pub fn threads_from_args(args: &[String]) -> usize {
+    arg_value(args, "--threads").and_then(|s| s.parse().ok()).unwrap_or(0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use star_workloads::ExperimentPoint;
+    use star_workloads::Scenario;
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> =
-            ["--v", "9", "--budget", "standard", "--plot"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--v", "9", "--budget", "standard", "--threads", "4", "--plot"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--v").as_deref(), Some("9"));
         assert_eq!(arg_value(&args, "--missing"), None);
         let eq_args: Vec<String> = ["--budget=thorough"].iter().map(|s| s.to_string()).collect();
@@ -131,45 +122,31 @@ mod tests {
         assert!(!arg_present(&args, "--csv"));
         assert_eq!(budget_from_args(&args), SimBudget::Standard);
         assert_eq!(budget_from_args(&[]), SimBudget::Quick);
-    }
-
-    #[test]
-    fn routing_by_name_builds_all_algorithms() {
-        let s5 = StarGraph::new(5);
-        for name in ["enhanced-nbc", "nbc", "nhop", "deterministic"] {
-            let algo = routing_by_name(name, &s5, 6);
-            assert_eq!(algo.virtual_channels(), 6);
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "unknown routing algorithm")]
-    fn unknown_routing_name_panics() {
-        let _ = routing_by_name("xy", &StarGraph::new(4), 4);
+        assert_eq!(threads_from_args(&args), 4);
+        assert_eq!(threads_from_args(&[]), 0);
     }
 
     #[test]
     fn figure1_curve_produces_one_row_per_rate() {
         // tiny S4 stand-in so the test stays fast; the real curves use S5
-        let experiment = Figure1Experiment {
-            id: "test".into(),
-            symbols: 4,
-            virtual_channels: 6,
-            message_length: 16,
-            rates: vec![0.002, 0.004],
-        };
-        let rows = run_figure1_curve(&experiment, SimBudget::Quick, 3);
+        let sweep =
+            SweepSpec::new("test", Scenario::star(4).with_message_length(16), vec![0.002, 0.004]);
+        let rows = run_figure1_curve(&sweep, SimBudget::Quick, 3, 2);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.virtual_channels, 6);
             assert!(row.model_latency.is_some());
             assert!(row.simulated_latency.is_some());
         }
-        let _ = ExperimentPoint {
-            symbols: 4,
-            virtual_channels: 6,
-            message_length: 16,
-            traffic_rate: 0.002,
-        };
+    }
+
+    #[test]
+    #[should_panic(expected = "same rates")]
+    fn mismatched_reports_are_rejected() {
+        let runner = SweepRunner::with_threads(1);
+        let scenario = Scenario::star(4).with_message_length(16);
+        let a = runner.run_one(&ModelBackend::new(), &SweepSpec::new("a", scenario, vec![0.001]));
+        let b = runner.run_one(&ModelBackend::new(), &SweepSpec::new("b", scenario, vec![0.002]));
+        let _ = pair_into_validation_rows(&a, &b);
     }
 }

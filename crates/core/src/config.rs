@@ -1,7 +1,76 @@
 //! Analytical-model configuration.
 
+use std::error::Error;
+use std::fmt;
+
 use serde::{Deserialize, Serialize};
 use star_graph::coloring;
+
+/// Why a [`ModelConfig`] is invalid.
+///
+/// Returned by [`ModelConfig::try_validate`] and
+/// [`ModelConfigBuilder::try_build`]; the panicking [`ModelConfig::validate`]
+/// and [`ModelConfigBuilder::build`] wrappers panic with the [`fmt::Display`]
+/// rendering of the same variant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ConfigError {
+    /// `n` is outside the range the exact model supports.
+    UnsupportedSize {
+        /// The rejected number of symbols.
+        symbols: usize,
+    },
+    /// Messages must be at least one flit long.
+    ZeroLengthMessage,
+    /// The traffic generation rate is negative, NaN or infinite.
+    InvalidTrafficRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The discipline needs more virtual channels than were configured.
+    TooFewVirtualChannels {
+        /// The discipline being modelled.
+        discipline: RoutingDiscipline,
+        /// The network size the requirement was computed for.
+        symbols: usize,
+        /// Minimum negative-hop levels the topology requires.
+        required_levels: usize,
+        /// The rejected virtual-channel count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ConfigError::UnsupportedSize { symbols } => {
+                write!(f, "the exact model supports S_3 … S_9, got S_{symbols}")
+            }
+            ConfigError::ZeroLengthMessage => write!(f, "messages need at least one flit"),
+            ConfigError::InvalidTrafficRate { rate } => {
+                write!(f, "traffic rate must be finite and non-negative, got {rate}")
+            }
+            ConfigError::TooFewVirtualChannels {
+                discipline: RoutingDiscipline::EnhancedNbc,
+                symbols,
+                required_levels,
+                got,
+            } => write!(
+                f,
+                "Enhanced-Nbc on S_{symbols} needs more than {required_levels} \
+                 virtual channels, got {got}"
+            ),
+            ConfigError::TooFewVirtualChannels { discipline, symbols, required_levels, got } => {
+                write!(
+                    f,
+                    "{discipline:?} on S_{symbols} needs at least {required_levels} \
+                     virtual channels, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
 
 /// Which routing scheme the model evaluates.
 ///
@@ -104,39 +173,47 @@ impl ModelConfig {
         self.symbols - 1
     }
 
+    /// Validates the configuration, returning the first violation found.
+    ///
+    /// # Errors
+    /// Returns a [`ConfigError`] describing the out-of-range parameter (too
+    /// few virtual channels for the modelled discipline, zero-length
+    /// messages, negative traffic, unsupported `n`).
+    pub fn try_validate(&self) -> Result<(), ConfigError> {
+        if !(3..=9).contains(&self.symbols) {
+            return Err(ConfigError::UnsupportedSize { symbols: self.symbols });
+        }
+        if self.message_length < 1 {
+            return Err(ConfigError::ZeroLengthMessage);
+        }
+        if !(self.traffic_rate >= 0.0 && self.traffic_rate.is_finite()) {
+            return Err(ConfigError::InvalidTrafficRate { rate: self.traffic_rate });
+        }
+        let enough = match self.discipline {
+            RoutingDiscipline::EnhancedNbc => self.virtual_channels > self.required_levels(),
+            RoutingDiscipline::Nbc | RoutingDiscipline::NHop => {
+                self.virtual_channels >= self.required_levels()
+            }
+        };
+        if !enough {
+            return Err(ConfigError::TooFewVirtualChannels {
+                discipline: self.discipline,
+                symbols: self.symbols,
+                required_levels: self.required_levels(),
+                got: self.virtual_channels,
+            });
+        }
+        Ok(())
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
-    /// Panics on out-of-range parameters (too few virtual channels for the
-    /// modelled discipline, zero-length messages, negative traffic,
-    /// unsupported `n`).
+    /// Panics with the [`fmt::Display`] rendering of the [`ConfigError`] that
+    /// [`Self::try_validate`] would return.
     pub fn validate(&self) {
-        assert!(
-            (3..=9).contains(&self.symbols),
-            "the exact model supports S_3 … S_9, got S_{}",
-            self.symbols
-        );
-        assert!(self.message_length >= 1, "messages need at least one flit");
-        assert!(
-            self.traffic_rate >= 0.0 && self.traffic_rate.is_finite(),
-            "traffic rate must be finite and non-negative"
-        );
-        match self.discipline {
-            RoutingDiscipline::EnhancedNbc => assert!(
-                self.virtual_channels > self.required_levels(),
-                "Enhanced-Nbc on S_{} needs more than {} virtual channels, got {}",
-                self.symbols,
-                self.required_levels(),
-                self.virtual_channels
-            ),
-            RoutingDiscipline::Nbc | RoutingDiscipline::NHop => assert!(
-                self.virtual_channels >= self.required_levels(),
-                "{:?} on S_{} needs at least {} virtual channels, got {}",
-                self.discipline,
-                self.symbols,
-                self.required_levels(),
-                self.virtual_channels
-            ),
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
         }
     }
 }
@@ -184,10 +261,21 @@ impl ModelConfigBuilder {
         self
     }
 
+    /// Finishes the builder without panicking.
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] describing why the configuration is
+    /// invalid.
+    pub fn try_build(self) -> Result<ModelConfig, ConfigError> {
+        self.config.try_validate()?;
+        Ok(self.config)
+    }
+
     /// Finishes the builder.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid.
+    /// Panics if the configuration is invalid (the panicking wrapper around
+    /// [`Self::try_build`]).
     #[must_use]
     pub fn build(self) -> ModelConfig {
         self.config.validate();
@@ -267,5 +355,61 @@ mod tests {
             .virtual_channels(3)
             .discipline(RoutingDiscipline::Nbc)
             .build();
+    }
+
+    #[test]
+    fn try_build_returns_ok_for_valid_configurations() {
+        let c = ModelConfig::builder().symbols(5).virtual_channels(6).try_build().unwrap();
+        assert_eq!(c.symbols, 5);
+        assert!(c.try_validate().is_ok());
+    }
+
+    #[test]
+    fn try_build_reports_each_violation_without_panicking() {
+        assert_eq!(
+            ModelConfig::builder().symbols(10).virtual_channels(8).try_build(),
+            Err(ConfigError::UnsupportedSize { symbols: 10 })
+        );
+        assert_eq!(
+            ModelConfig::builder().message_length(0).try_build(),
+            Err(ConfigError::ZeroLengthMessage)
+        );
+        let rate_err = ModelConfig::builder().traffic_rate(f64::NAN).try_build().unwrap_err();
+        assert!(matches!(rate_err, ConfigError::InvalidTrafficRate { .. }));
+        assert_eq!(
+            ModelConfig::builder().symbols(5).virtual_channels(4).try_build(),
+            Err(ConfigError::TooFewVirtualChannels {
+                discipline: RoutingDiscipline::EnhancedNbc,
+                symbols: 5,
+                required_levels: 4,
+                got: 4,
+            })
+        );
+    }
+
+    #[test]
+    fn config_error_displays_match_the_panic_messages() {
+        let strict = ConfigError::TooFewVirtualChannels {
+            discipline: RoutingDiscipline::EnhancedNbc,
+            symbols: 5,
+            required_levels: 4,
+            got: 4,
+        };
+        assert_eq!(
+            strict.to_string(),
+            "Enhanced-Nbc on S_5 needs more than 4 virtual channels, got 4"
+        );
+        let loose = ConfigError::TooFewVirtualChannels {
+            discipline: RoutingDiscipline::Nbc,
+            symbols: 5,
+            required_levels: 4,
+            got: 3,
+        };
+        assert_eq!(loose.to_string(), "Nbc on S_5 needs at least 4 virtual channels, got 3");
+        assert!(ConfigError::UnsupportedSize { symbols: 10 }
+            .to_string()
+            .contains("S_3 … S_9, got S_10"));
+        let err: Box<dyn std::error::Error> = Box::new(ConfigError::ZeroLengthMessage);
+        assert_eq!(err.to_string(), "messages need at least one flit");
     }
 }

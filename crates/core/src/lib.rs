@@ -53,7 +53,7 @@ pub mod validation;
 pub mod waiting;
 
 pub use adaptivity::{DestinationClass, DestinationSpectrum};
-pub use config::{ModelConfig, ModelConfigBuilder, RoutingDiscipline};
+pub use config::{ConfigError, ModelConfig, ModelConfigBuilder, RoutingDiscipline};
 pub use model::{AnalyticalModel, ModelResult};
-pub use sweep::{saturation_rate, sweep_traffic, SweepPoint};
+pub use sweep::{saturation_rate, sweep_traffic, sweep_traffic_cold, SweepPoint};
 pub use validation::ValidationRow;

@@ -1,5 +1,7 @@
 //! The full analytical latency model (Eq. 1) and its fixed-point solution.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 use star_queueing::{FixedPointOutcome, FixedPointSolver};
 
@@ -66,7 +68,7 @@ impl ModelResult {
 #[derive(Debug, Clone)]
 pub struct AnalyticalModel {
     config: ModelConfig,
-    spectrum: DestinationSpectrum,
+    spectrum: Arc<DestinationSpectrum>,
 }
 
 impl AnalyticalModel {
@@ -77,18 +79,20 @@ impl AnalyticalModel {
     #[must_use]
     pub fn new(config: ModelConfig) -> Self {
         config.validate();
-        let spectrum = DestinationSpectrum::new(config.symbols);
+        let spectrum = Arc::new(DestinationSpectrum::new(config.symbols));
         Self { config, spectrum }
     }
 
-    /// Builds the model reusing an already computed destination spectrum
-    /// (useful when sweeping traffic rates: the spectrum only depends on `n`).
+    /// Builds the model sharing an already computed destination spectrum
+    /// (useful when sweeping traffic rates: the spectrum only depends on `n`,
+    /// and the `Arc` lets a whole sweep — or several threads — reuse one
+    /// allocation).
     ///
     /// # Panics
     /// Panics if the configuration is invalid or the spectrum was built for a
     /// different `n`.
     #[must_use]
-    pub fn with_spectrum(config: ModelConfig, spectrum: DestinationSpectrum) -> Self {
+    pub fn with_spectrum(config: ModelConfig, spectrum: Arc<DestinationSpectrum>) -> Self {
         config.validate();
         assert_eq!(spectrum.symbols(), config.symbols, "spectrum size mismatch");
         Self { config, spectrum }
@@ -130,9 +134,26 @@ impl AnalyticalModel {
         weighted / self.spectrum.destination_count() as f64
     }
 
-    /// Solves the model at the configured operating point.
+    /// Solves the model at the configured operating point from the cold
+    /// (zero-load) initial state.
     #[must_use]
     pub fn solve(&self) -> ModelResult {
+        self.solve_from(&[])
+    }
+
+    /// Solves the model, warm-starting the damped fixed-point iteration from
+    /// a previously converged state vector (today one component: the mean
+    /// network latency `S̄`).
+    ///
+    /// Sweeps over increasing traffic rates converge to nearby fixed points,
+    /// so seeding each rate with the previous rate's converged state cuts the
+    /// iteration count substantially near the saturation knee while reaching
+    /// the same fixed point (the solver tolerance bounds the answer, not the
+    /// path to it).  An empty slice or a non-finite / below-zero-load seed
+    /// (e.g. from a saturated previous point) falls back to the cold start,
+    /// so callers can pass the previous state unconditionally.
+    #[must_use]
+    pub fn solve_from(&self, warm_state: &[f64]) -> ModelResult {
         let cfg = &self.config;
         let mean_distance = self.spectrum.mean_distance();
         let channel_rate = cfg.traffic_rate * mean_distance / cfg.degree() as f64;
@@ -144,15 +165,22 @@ impl AnalyticalModel {
             return ModelResult::saturated(*cfg, mean_distance, channel_rate, 0);
         }
 
+        let initial = match warm_state.first() {
+            Some(&seed) if seed.is_finite() && seed >= zero_load => seed,
+            _ => zero_load,
+        };
+        // tolerance 1e-12 (not the solver default 1e-9): near the knee the
+        // contraction factor approaches 1 and the per-iteration residual
+        // understates the distance to the fixed point, and warm- and
+        // cold-started solves must agree to 1e-9 relative latency
         let solver = FixedPointSolver {
             damping: 0.5,
-            tolerance: 1e-10,
+            tolerance: 1e-12,
             max_iterations: 20_000,
             divergence_ceiling: 1e7,
         };
-        let outcome = solver.solve(vec![zero_load], |state| {
-            vec![self.network_latency_step(state[0], channel_rate)]
-        });
+        let outcome = solver
+            .solve(vec![initial], |state| vec![self.network_latency_step(state[0], channel_rate)]);
         let (mean_network_latency, iterations) = match outcome {
             FixedPointOutcome::Converged { state, iterations } => (state[0], iterations),
             FixedPointOutcome::Diverged { iterations, .. } => {
@@ -306,20 +334,60 @@ mod tests {
 
     #[test]
     fn with_spectrum_reuses_precomputed_spectrum() {
-        let spectrum = DestinationSpectrum::new(5);
+        let spectrum = Arc::new(DestinationSpectrum::new(5));
         let config =
             ModelConfig::builder().symbols(5).virtual_channels(6).traffic_rate(0.002).build();
-        let a = AnalyticalModel::with_spectrum(config, spectrum).solve();
+        let a = AnalyticalModel::with_spectrum(config, Arc::clone(&spectrum)).solve();
         let b = AnalyticalModel::new(config).solve();
         assert!((a.mean_latency - b.mean_latency).abs() < 1e-12);
+        // the Arc is shared, not deep-cloned
+        assert_eq!(Arc::strong_count(&spectrum), 1);
     }
 
     #[test]
     #[should_panic(expected = "spectrum size mismatch")]
     fn mismatched_spectrum_is_rejected() {
-        let spectrum = DestinationSpectrum::new(4);
+        let spectrum = Arc::new(DestinationSpectrum::new(4));
         let config = ModelConfig::builder().symbols(5).virtual_channels(6).build();
         let _ = AnalyticalModel::with_spectrum(config, spectrum);
+    }
+
+    #[test]
+    fn solve_from_reaches_the_cold_start_fixed_point_with_fewer_iterations() {
+        let near_knee = solve(5, 6, 32, 0.011);
+        assert!(!near_knee.saturated);
+        let model = AnalyticalModel::new(
+            ModelConfig::builder()
+                .symbols(5)
+                .virtual_channels(6)
+                .message_length(32)
+                .traffic_rate(0.0115)
+                .build(),
+        );
+        let cold = model.solve();
+        let warm = model.solve_from(&[near_knee.mean_network_latency]);
+        assert!(!cold.saturated && !warm.saturated);
+        let rel = (warm.mean_latency - cold.mean_latency).abs() / cold.mean_latency;
+        assert!(rel < 1e-9, "warm and cold fixed points differ by {rel}");
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm start must save iterations ({} vs {})",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn solve_from_falls_back_to_cold_start_on_unusable_seeds() {
+        let model = AnalyticalModel::new(
+            ModelConfig::builder().symbols(5).virtual_channels(6).traffic_rate(0.008).build(),
+        );
+        let cold = model.solve();
+        for seed in [&[][..], &[f64::INFINITY][..], &[f64::NAN][..], &[1.0][..]] {
+            let r = model.solve_from(seed);
+            assert_eq!(r.iterations, cold.iterations);
+            assert!((r.mean_latency - cold.mean_latency).abs() < 1e-12);
+        }
     }
 
     #[test]

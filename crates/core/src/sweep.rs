@@ -7,6 +7,8 @@
 //! solves (by bisection on the saturation flag), which is how the model
 //! predicts the saturation point visible in the figure.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::adaptivity::DestinationSpectrum;
@@ -22,16 +24,39 @@ pub struct SweepPoint {
     pub result: ModelResult,
 }
 
-/// Evaluates the model at each of the given traffic rates, reusing one
-/// destination spectrum for the whole sweep.
+/// Evaluates the model at each of the given traffic rates, sharing one
+/// destination spectrum across the whole sweep and warm-starting each rate's
+/// fixed-point iteration from the previous rate's converged state (which cuts
+/// the iteration count substantially near the saturation knee while matching
+/// the cold-start fixed points to solver tolerance).
 #[must_use]
 pub fn sweep_traffic(base: ModelConfig, rates: &[f64]) -> Vec<SweepPoint> {
-    let spectrum = DestinationSpectrum::new(base.symbols);
+    sweep_with_start(base, rates, true)
+}
+
+/// [`sweep_traffic`] without warm-starting: every rate is solved from the
+/// cold zero-load state.  Kept for iteration-count comparisons and the
+/// `sweep_warmstart` benchmark; results match [`sweep_traffic`] to solver
+/// tolerance.
+#[must_use]
+pub fn sweep_traffic_cold(base: ModelConfig, rates: &[f64]) -> Vec<SweepPoint> {
+    sweep_with_start(base, rates, false)
+}
+
+fn sweep_with_start(base: ModelConfig, rates: &[f64], warm_start: bool) -> Vec<SweepPoint> {
+    let spectrum = Arc::new(DestinationSpectrum::new(base.symbols));
+    let mut warm_state: Vec<f64> = Vec::new();
     rates
         .iter()
         .map(|&rate| {
             let config = ModelConfig { traffic_rate: rate, ..base };
-            let result = AnalyticalModel::with_spectrum(config, spectrum.clone()).solve();
+            let model = AnalyticalModel::with_spectrum(config, Arc::clone(&spectrum));
+            let result = model.solve_from(&warm_state);
+            if warm_start {
+                // a saturated point yields no usable seed; solve_from falls
+                // back to the cold start on the non-finite state
+                warm_state = vec![result.mean_network_latency];
+            }
             SweepPoint { traffic_rate: rate, result }
         })
         .collect()
@@ -50,10 +75,10 @@ pub fn linspace(from: f64, to: f64, points: usize) -> Vec<f64> {
 #[must_use]
 pub fn saturation_rate(base: ModelConfig, tolerance: f64) -> f64 {
     assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
-    let spectrum = DestinationSpectrum::new(base.symbols);
+    let spectrum = Arc::new(DestinationSpectrum::new(base.symbols));
     let solves = |rate: f64| {
         let config = ModelConfig { traffic_rate: rate, ..base };
-        !AnalyticalModel::with_spectrum(config, spectrum.clone()).solve().saturated
+        !AnalyticalModel::with_spectrum(config, Arc::clone(&spectrum)).solve().saturated
     };
     // establish an upper bound that saturates
     let mut low = 0.0;
@@ -114,6 +139,28 @@ mod tests {
         // doubling the message length roughly halves the saturation rate
         assert!(sat_m64 < sat_v6);
         assert!(sat_m64 > sat_v6 * 0.3);
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_cold_sweep_and_saves_iterations() {
+        let cfg = s5_config(6, 32);
+        let rates = linspace(0.001, 0.012, 12);
+        let warm = sweep_traffic(cfg, &rates);
+        let cold = sweep_traffic_cold(cfg, &rates);
+        for (w, c) in warm.iter().zip(&cold) {
+            assert_eq!(w.result.saturated, c.result.saturated);
+            if !w.result.saturated {
+                let rel =
+                    (w.result.mean_latency - c.result.mean_latency).abs() / c.result.mean_latency;
+                assert!(rel < 1e-9, "rate {}: warm/cold differ by {rel}", w.traffic_rate);
+            }
+        }
+        let warm_iters: usize = warm.iter().map(|p| p.result.iterations).sum();
+        let cold_iters: usize = cold.iter().map(|p| p.result.iterations).sum();
+        assert!(
+            warm_iters < cold_iters,
+            "warm-started sweep must use fewer iterations ({warm_iters} vs {cold_iters})"
+        );
     }
 
     #[test]

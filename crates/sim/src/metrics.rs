@@ -4,7 +4,7 @@ use serde::{Deserialize, Serialize};
 use star_queueing::RunningStats;
 
 /// Result of one simulation run.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimReport {
     /// Topology name (e.g. `"S5"`).
     pub topology: String,

@@ -1,0 +1,370 @@
+//! The unified evaluation API: one [`Evaluator`] trait answered by both the
+//! analytical model and the flit-level simulator.
+//!
+//! Both backends take an [`OperatingPoint`] and return a [`PointEstimate`]
+//! with the same headline quantities (mean message latency and a saturation
+//! flag) plus backend-specific diagnostics, so any harness can swap backends
+//! — or run both and diff them, which is the paper's entire validation
+//! methodology.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use star_core::{AnalyticalModel, DestinationSpectrum, ModelResult};
+use star_sim::{SimReport, Simulation};
+
+use crate::budget::SimBudget;
+use crate::scenario::{OperatingPoint, Scenario};
+
+/// Backend-specific diagnostics attached to a [`PointEstimate`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EstimateDetail {
+    /// The full analytical-model result (fixed-point iterations,
+    /// multiplexing degree, waiting times, …).
+    Model(ModelResult),
+    /// The full simulation report (cycles, confidence interval, observed
+    /// multiplexing, …).
+    Sim(Box<SimReport>),
+}
+
+/// What an [`Evaluator`] answers for one operating point: the common headline
+/// quantities plus the backend's full diagnostics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PointEstimate {
+    /// The operating point that was evaluated.
+    pub point: OperatingPoint,
+    /// Name of the backend that produced the estimate (`"model"` / `"sim"`).
+    pub backend: String,
+    /// Whether the backend declared the point beyond saturation.
+    pub saturated: bool,
+    /// Mean message latency in cycles (infinite when saturated).
+    pub mean_latency: f64,
+    /// Backend diagnostics (solve iterations or simulation statistics).
+    pub detail: EstimateDetail,
+}
+
+impl PointEstimate {
+    /// The mean latency when the point is below saturation.
+    #[must_use]
+    pub fn latency(&self) -> Option<f64> {
+        (!self.saturated).then_some(self.mean_latency)
+    }
+
+    /// The analytical-model result, if this estimate came from the model.
+    #[must_use]
+    pub fn model_result(&self) -> Option<&ModelResult> {
+        match &self.detail {
+            EstimateDetail::Model(r) => Some(r),
+            EstimateDetail::Sim(_) => None,
+        }
+    }
+
+    /// The simulation report, if this estimate came from the simulator.
+    #[must_use]
+    pub fn sim_report(&self) -> Option<&SimReport> {
+        match &self.detail {
+            EstimateDetail::Sim(r) => Some(r),
+            EstimateDetail::Model(_) => None,
+        }
+    }
+
+    /// Fixed-point iterations spent (model estimates only).
+    #[must_use]
+    pub fn iterations(&self) -> Option<usize> {
+        self.model_result().map(|r| r.iterations)
+    }
+
+    /// The latency as a plottable value: infinite when saturated.
+    #[must_use]
+    pub fn latency_or_infinity(&self) -> f64 {
+        self.latency().unwrap_or(f64::INFINITY)
+    }
+
+    /// Formats the latency for tables (`"saturated"` beyond saturation).
+    #[must_use]
+    pub fn latency_cell(&self) -> String {
+        self.latency().map_or_else(|| "saturated".to_string(), |l| format!("{l:.1}"))
+    }
+}
+
+/// A backend that can answer operating points: the analytical model
+/// ([`ModelBackend`]), the flit-level simulator ([`SimBackend`]), or anything
+/// else that can estimate a latency (future: the hypercube model, a learned
+/// surrogate, a remote service).
+///
+/// Implementations must be [`Sync`] so a [`crate::SweepRunner`] can shard
+/// points across threads.
+pub trait Evaluator: Sync {
+    /// Short backend name used in reports (`"model"`, `"sim"`).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend can evaluate the scenario at all.
+    fn supports(&self, scenario: &Scenario) -> bool;
+
+    /// Evaluates one operating point.
+    ///
+    /// # Panics
+    /// May panic if [`Self::supports`] is false for the scenario or its
+    /// parameters are out of range.
+    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate;
+
+    /// Evaluates one scenario across a whole rate sweep.  The default runs
+    /// [`Self::evaluate`] independently per rate; backends with useful state
+    /// to carry between rates (the model's warm-started fixed point)
+    /// override it.
+    fn evaluate_sweep(&self, scenario: &Scenario, rates: &[f64]) -> Vec<PointEstimate> {
+        rates.iter().map(|&r| self.evaluate(&scenario.at(r))).collect()
+    }
+
+    /// Whether consecutive rates of one sweep must stay on one worker because
+    /// [`Self::evaluate_sweep`] chains state between them.  A
+    /// [`crate::SweepRunner`] shards whole sweeps (not points) across threads
+    /// when this is true, keeping results identical for any thread count.
+    fn chains_rates(&self) -> bool {
+        false
+    }
+}
+
+/// The analytical model as an [`Evaluator`]: microseconds per point, star
+/// networks with the three modelled disciplines under uniform traffic.
+#[derive(Debug, Clone)]
+pub struct ModelBackend {
+    /// Warm-start each rate of a sweep from the previous rate's converged
+    /// fixed point (on by default; matches cold starts to solver tolerance).
+    pub warm_start: bool,
+}
+
+impl Default for ModelBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ModelBackend {
+    /// A warm-starting model backend (the default).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { warm_start: true }
+    }
+
+    /// A backend that solves every rate from the cold zero-load state
+    /// (for iteration-count comparisons and benchmarks).
+    #[must_use]
+    pub fn cold() -> Self {
+        Self { warm_start: false }
+    }
+
+    fn estimate(
+        &self,
+        point: &OperatingPoint,
+        spectrum: &Arc<DestinationSpectrum>,
+        warm_state: &[f64],
+    ) -> PointEstimate {
+        let config = point
+            .scenario
+            .model_config(point.traffic_rate)
+            .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", point.scenario.label()))
+            .unwrap_or_else(|| {
+                panic!(
+                    "the analytical model does not cover scenario {} \
+                     (star network, enhanced-nbc/nbc/nhop, uniform traffic only)",
+                    point.scenario.label()
+                )
+            });
+        let result =
+            AnalyticalModel::with_spectrum(config, Arc::clone(spectrum)).solve_from(warm_state);
+        PointEstimate {
+            point: *point,
+            backend: self.name().to_string(),
+            saturated: result.saturated,
+            mean_latency: result.mean_latency,
+            detail: EstimateDetail::Model(result),
+        }
+    }
+}
+
+impl Evaluator for ModelBackend {
+    fn name(&self) -> &'static str {
+        "model"
+    }
+
+    fn supports(&self, scenario: &Scenario) -> bool {
+        matches!(scenario.model_config(0.0), Ok(Some(_)))
+    }
+
+    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
+        let spectrum = Arc::new(DestinationSpectrum::new(point.scenario.size));
+        self.estimate(point, &spectrum, &[])
+    }
+
+    fn evaluate_sweep(&self, scenario: &Scenario, rates: &[f64]) -> Vec<PointEstimate> {
+        let spectrum = Arc::new(DestinationSpectrum::new(scenario.size));
+        let mut warm_state: Vec<f64> = Vec::new();
+        rates
+            .iter()
+            .map(|&rate| {
+                let estimate = self.estimate(&scenario.at(rate), &spectrum, &warm_state);
+                if self.warm_start {
+                    if let EstimateDetail::Model(r) = &estimate.detail {
+                        // saturated points leave a non-finite seed, which
+                        // solve_from ignores in favour of the cold start
+                        warm_state = vec![r.mean_network_latency];
+                    }
+                }
+                estimate
+            })
+            .collect()
+    }
+
+    fn chains_rates(&self) -> bool {
+        self.warm_start
+    }
+}
+
+/// The flit-level simulator as an [`Evaluator`]: seconds per point, any
+/// topology and discipline the simulator supports.
+#[derive(Debug, Clone)]
+pub struct SimBackend {
+    /// Simulation effort per operating point.
+    pub budget: SimBudget,
+    /// RNG seed; the same seed is used at every point of a sweep (matching
+    /// the paper's methodology), so replicate sweeps differ only by seed.
+    pub seed: u64,
+}
+
+impl SimBackend {
+    /// A simulator backend with the given effort budget and seed.
+    #[must_use]
+    pub fn new(budget: SimBudget, seed: u64) -> Self {
+        Self { budget, seed }
+    }
+}
+
+impl Evaluator for SimBackend {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn supports(&self, _scenario: &Scenario) -> bool {
+        true
+    }
+
+    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
+        let scenario = &point.scenario;
+        let topology = scenario.topology();
+        let routing = scenario.discipline.routing(topology.as_ref(), scenario.virtual_channels);
+        let config = self.budget.apply(scenario.message_length, point.traffic_rate, self.seed);
+        let report = Simulation::new(topology, routing, config, scenario.pattern).run();
+        PointEstimate {
+            point: *point,
+            backend: self.name().to_string(),
+            saturated: report.saturated,
+            // keep the headline field's contract backend-agnostic: infinite
+            // beyond saturation (the partial measurement stays in the report)
+            mean_latency: if report.saturated {
+                f64::INFINITY
+            } else {
+                report.mean_message_latency
+            },
+            detail: EstimateDetail::Sim(Box::new(report)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Discipline;
+
+    fn s4() -> Scenario {
+        Scenario::star(4).with_message_length(16)
+    }
+
+    #[test]
+    fn model_backend_answers_star_scenarios() {
+        let backend = ModelBackend::new();
+        assert!(backend.supports(&s4()));
+        let estimate = backend.evaluate(&s4().at(0.004));
+        assert_eq!(estimate.backend, "model");
+        assert!(!estimate.saturated);
+        assert!(estimate.latency().unwrap() > 16.0);
+        assert!(estimate.iterations().unwrap() > 0);
+        assert!(estimate.sim_report().is_none());
+    }
+
+    #[test]
+    fn model_backend_rejects_unmodelled_scenarios() {
+        let backend = ModelBackend::new();
+        assert!(!backend.supports(&Scenario::hypercube(4)));
+        assert!(!backend.supports(&s4().with_discipline(Discipline::Deterministic)));
+        // too few virtual channels is a ConfigError, not a supported scenario
+        assert!(!backend.supports(&s4().with_virtual_channels(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not cover scenario")]
+    fn model_backend_panics_on_unsupported_evaluate() {
+        let _ = ModelBackend::new().evaluate(&Scenario::hypercube(3).at(0.001));
+    }
+
+    #[test]
+    fn warm_started_sweep_matches_independent_evaluations() {
+        let backend = ModelBackend::new();
+        let scenario = s4();
+        let rates = [0.002, 0.008, 0.014];
+        let swept = backend.evaluate_sweep(&scenario, &rates);
+        assert!(backend.chains_rates());
+        assert!(!ModelBackend::cold().chains_rates());
+        for (est, &rate) in swept.iter().zip(&rates) {
+            let solo = backend.evaluate(&scenario.at(rate));
+            assert_eq!(est.saturated, solo.saturated);
+            if !est.saturated {
+                let rel = (est.mean_latency - solo.mean_latency).abs() / solo.mean_latency;
+                assert!(rel < 1e-9, "rate {rate}: sweep vs solo differ by {rel}");
+            }
+        }
+    }
+
+    #[test]
+    fn sim_backend_answers_any_scenario_deterministically() {
+        let backend = SimBackend::new(SimBudget::Quick, 9);
+        assert!(backend.supports(&Scenario::hypercube(3)));
+        let point = s4().at(0.004);
+        let a = backend.evaluate(&point);
+        let b = backend.evaluate(&point);
+        assert_eq!(a.backend, "sim");
+        assert!(!a.saturated);
+        assert_eq!(a, b, "same seed must reproduce the same report");
+        let report = a.sim_report().unwrap();
+        assert_eq!(report.virtual_channels, 6);
+        assert!(a.model_result().is_none());
+        assert!(a.iterations().is_none());
+    }
+
+    #[test]
+    fn model_and_sim_agree_at_light_load() {
+        let point = s4().at(0.004);
+        let model = ModelBackend::new().evaluate(&point);
+        let sim = SimBackend::new(SimBudget::Quick, 1).evaluate(&point);
+        assert!(!model.saturated && !sim.saturated);
+        let err = (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency;
+        assert!(
+            err < 0.25,
+            "model {} vs sim {} differ by {err}",
+            model.mean_latency,
+            sim.mean_latency
+        );
+    }
+
+    #[test]
+    fn latency_cell_formats_saturation() {
+        let backend = ModelBackend::new();
+        let fine = backend.evaluate(&s4().at(0.004));
+        assert!(fine.latency_cell().parse::<f64>().is_ok());
+        let sat = backend.evaluate(&s4().at(0.5));
+        assert!(sat.saturated);
+        assert_eq!(sat.latency_cell(), "saturated");
+        assert!(sat.latency().is_none());
+        assert!(sat.latency_or_infinity().is_infinite());
+    }
+}

@@ -1,74 +1,23 @@
-//! Experiment definitions: the operating points of the paper's evaluation.
+//! The operating points of the paper's evaluation, as [`SweepSpec`]s.
 //!
 //! Figure 1 of the paper plots the mean message latency of `S5` (120 nodes)
-//! against the traffic generation rate for `V = 6, 9, 12` virtual channels and
-//! message lengths `M = 32, 64` flits, with one curve from the analytical
-//! model and one from the flit-level simulator.  [`figure1_experiments`]
-//! enumerates exactly those operating points; [`run_model_point`] and
-//! [`run_sim_point`] evaluate one point with the model and the simulator
-//! respectively, so harness binaries can parallelise them as they wish.
+//! against the traffic generation rate for `V = 6, 9, 12` virtual channels
+//! and message lengths `M = 32, 64` flits, with one curve from the analytical
+//! model and one from the flit-level simulator.  [`figure1_sweeps`]
+//! enumerates exactly those sweeps; feed them to a
+//! [`SweepRunner`](crate::SweepRunner) with a
+//! [`ModelBackend`](crate::ModelBackend) and/or a
+//! [`SimBackend`](crate::SimBackend) to regenerate the figure.
 
-use std::sync::Arc;
-
-use serde::{Deserialize, Serialize};
-use star_core::{AnalyticalModel, ModelConfig, ModelResult};
-use star_graph::StarGraph;
-use star_routing::EnhancedNbc;
-use star_sim::{SimReport, Simulation, TrafficPattern};
-
-use crate::budget::SimBudget;
-
-/// One sub-figure of Figure 1: a network size, a virtual-channel count and a
-/// message length, swept over traffic generation rates.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub struct Figure1Experiment {
-    /// Identifier used in reports (e.g. `"fig1a-M32"`).
-    pub id: String,
-    /// Star-graph size `n` (the paper uses `n = 5`).
-    pub symbols: usize,
-    /// Virtual channels per physical channel.
-    pub virtual_channels: usize,
-    /// Message length in flits.
-    pub message_length: usize,
-    /// Traffic generation rates to evaluate.
-    pub rates: Vec<f64>,
-}
-
-/// One operating point of an experiment.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct ExperimentPoint {
-    /// Star-graph size `n`.
-    pub symbols: usize,
-    /// Virtual channels per physical channel.
-    pub virtual_channels: usize,
-    /// Message length in flits.
-    pub message_length: usize,
-    /// Traffic generation rate `λ_g`.
-    pub traffic_rate: f64,
-}
-
-impl Figure1Experiment {
-    /// The operating points of this experiment.
-    #[must_use]
-    pub fn points(&self) -> Vec<ExperimentPoint> {
-        self.rates
-            .iter()
-            .map(|&traffic_rate| ExperimentPoint {
-                symbols: self.symbols,
-                virtual_channels: self.virtual_channels,
-                message_length: self.message_length,
-                traffic_rate,
-            })
-            .collect()
-    }
-}
+use crate::scenario::Scenario;
+use crate::sweep_runner::SweepSpec;
 
 /// The six curves of the paper's Figure 1: `V ∈ {6, 9, 12}` × `M ∈ {32, 64}`
 /// on `S5`, swept from light load toward saturation.  The traffic axis of the
 /// published figure runs to 0.015-0.02 messages/node/cycle; the sweep uses the
 /// same span with `points` samples per curve.
 #[must_use]
-pub fn figure1_experiments(points: usize) -> Vec<Figure1Experiment> {
+pub fn figure1_sweeps(points: usize) -> Vec<SweepSpec> {
     assert!(points >= 2, "need at least two points per curve");
     let mut out = Vec::new();
     for &(v, label) in &[(6usize, 'a'), (9, 'b'), (12, 'c')] {
@@ -83,93 +32,51 @@ pub fn figure1_experiments(points: usize) -> Vec<Figure1Experiment> {
             };
             let rates: Vec<f64> =
                 (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
-            out.push(Figure1Experiment {
-                id: format!("fig1{label}-M{m}"),
-                symbols: 5,
-                virtual_channels: v,
-                message_length: m,
+            out.push(SweepSpec::new(
+                format!("fig1{label}-M{m}"),
+                Scenario::star(5).with_virtual_channels(v).with_message_length(m),
                 rates,
-            });
+            ));
         }
     }
     out
 }
 
-/// Evaluates the analytical model at one operating point.
-#[must_use]
-pub fn run_model_point(point: ExperimentPoint) -> ModelResult {
-    let config = ModelConfig::builder()
-        .symbols(point.symbols)
-        .virtual_channels(point.virtual_channels)
-        .message_length(point.message_length)
-        .traffic_rate(point.traffic_rate)
-        .build();
-    AnalyticalModel::new(config).solve()
-}
-
-/// Runs the flit-level simulator at one operating point with the given effort
-/// budget, using Enhanced-Nbc routing and uniform traffic (the paper's
-/// validation setup).
-#[must_use]
-pub fn run_sim_point(point: ExperimentPoint, budget: SimBudget, seed: u64) -> SimReport {
-    let topology = Arc::new(StarGraph::new(point.symbols));
-    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), point.virtual_channels));
-    let config = budget.apply(point.message_length, point.traffic_rate, seed);
-    Simulation::new(topology, routing, config, TrafficPattern::Uniform).run()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::evaluator::{Evaluator as _, ModelBackend};
+    use crate::scenario::{Discipline, NetworkKind};
 
     #[test]
     fn figure1_has_six_curves_covering_the_paper_configurations() {
-        let experiments = figure1_experiments(8);
-        assert_eq!(experiments.len(), 6);
-        for exp in &experiments {
-            assert_eq!(exp.symbols, 5);
-            assert_eq!(exp.rates.len(), 8);
-            assert!([6, 9, 12].contains(&exp.virtual_channels));
-            assert!([32, 64].contains(&exp.message_length));
-            assert!(exp.rates.windows(2).all(|w| w[1] > w[0]));
-            assert_eq!(exp.points().len(), 8);
+        let sweeps = figure1_sweeps(8);
+        assert_eq!(sweeps.len(), 6);
+        for sweep in &sweeps {
+            assert_eq!(sweep.scenario.network, NetworkKind::Star);
+            assert_eq!(sweep.scenario.size, 5);
+            assert_eq!(sweep.scenario.discipline, Discipline::EnhancedNbc);
+            assert_eq!(sweep.rates.len(), 8);
+            assert!([6, 9, 12].contains(&sweep.scenario.virtual_channels));
+            assert!([32, 64].contains(&sweep.scenario.message_length));
+            assert!(sweep.rates.windows(2).all(|w| w[1] > w[0]));
         }
-        let ids: Vec<&str> = experiments.iter().map(|e| e.id.as_str()).collect();
+        let ids: Vec<&str> = sweeps.iter().map(|s| s.id.as_str()).collect();
         assert!(ids.contains(&"fig1a-M32"));
         assert!(ids.contains(&"fig1c-M64"));
     }
 
     #[test]
-    fn model_point_runs_for_every_curve_at_light_load() {
-        for exp in figure1_experiments(4) {
-            let point = exp.points()[0];
-            let result = run_model_point(point);
-            assert!(!result.saturated, "{} must not saturate at its lightest load", exp.id);
-            assert!(result.mean_latency > point.message_length as f64);
+    fn model_backend_solves_every_curve_at_its_lightest_load() {
+        let backend = ModelBackend::new();
+        for sweep in figure1_sweeps(4) {
+            let estimate = backend.evaluate(&sweep.scenario.at(sweep.rates[0]));
+            assert!(!estimate.saturated, "{} must not saturate at its lightest load", sweep.id);
+            assert!(
+                estimate.mean_latency > sweep.scenario.message_length as f64,
+                "{} latency must exceed the message length",
+                sweep.id
+            );
         }
-    }
-
-    #[test]
-    fn sim_point_quick_budget_matches_model_at_light_load() {
-        // One cheap end-to-end sanity check: at light load the model and the
-        // simulator agree within a loose tolerance (the integration tests and
-        // the benchmark harness check this more thoroughly).
-        let point = ExperimentPoint {
-            symbols: 4,
-            virtual_channels: 6,
-            message_length: 16,
-            traffic_rate: 0.004,
-        };
-        let model = run_model_point(point);
-        let sim = run_sim_point(point, SimBudget::Quick, 1);
-        assert!(!model.saturated);
-        assert!(!sim.saturated);
-        let err = (model.mean_latency - sim.mean_message_latency).abs() / sim.mean_message_latency;
-        assert!(
-            err < 0.25,
-            "model {} vs sim {} differ by {err}",
-            model.mean_latency,
-            sim.mean_message_latency
-        );
     }
 }

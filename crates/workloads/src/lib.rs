@@ -1,11 +1,19 @@
 //! # star-workloads
 //!
-//! Experiment definitions and report emitters for the star-wormhole
-//! workspace:
+//! The unified evaluation layer of the star-wormhole workspace:
 //!
-//! * [`experiment`] — the operating points of the paper's Figure 1 (and the
-//!   extension studies listed in DESIGN.md) plus runners that evaluate the
-//!   analytical model and the flit-level simulator at each point;
+//! * [`scenario`] — topology-generic [`Scenario`]/[`OperatingPoint`] types
+//!   naming what both evaluation backends must agree on (network kind and
+//!   size, routing discipline, `V`, `M`, traffic pattern, rate);
+//! * [`evaluator`] — the [`Evaluator`] trait with its common
+//!   [`PointEstimate`] output, implemented by the analytical model
+//!   ([`ModelBackend`], warm-started across sweeps) and the flit-level
+//!   simulator ([`SimBackend`]), so any harness can swap backends or run
+//!   both and diff them;
+//! * [`sweep_runner`] — the [`SweepRunner`] that owns the sweep loop every
+//!   binary used to hand-roll, sharding independent points/sweeps across
+//!   scoped threads with deterministic output order;
+//! * [`experiment`] — the paper's Figure-1 sweeps as [`SweepSpec`]s;
 //! * [`budget`] — simulation effort presets (quick smoke runs for CI,
 //!   full-fidelity runs for regenerating the figures);
 //! * [`report`] — CSV / Markdown / ASCII-plot emitters used by the benchmark
@@ -15,11 +23,15 @@
 #![warn(missing_docs)]
 
 pub mod budget;
+pub mod evaluator;
 pub mod experiment;
 pub mod report;
+pub mod scenario;
+pub mod sweep_runner;
 
 pub use budget::SimBudget;
-pub use experiment::{
-    figure1_experiments, run_model_point, run_sim_point, ExperimentPoint, Figure1Experiment,
-};
+pub use evaluator::{EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
+pub use experiment::figure1_sweeps;
 pub use report::{ascii_plot, markdown_table, write_csv};
+pub use scenario::{Discipline, NetworkKind, OperatingPoint, Scenario};
+pub use sweep_runner::{SweepReport, SweepRunner, SweepSpec};

@@ -1,0 +1,347 @@
+//! Topology-generic evaluation scenarios.
+//!
+//! The paper's whole evaluation is "the same operating point, answered twice"
+//! — once by the analytical model and once by the flit-level simulator.  A
+//! [`Scenario`] names everything both backends need to agree on (network kind
+//! and size, routing discipline, virtual channels, message length, traffic
+//! pattern); an [`OperatingPoint`] pins a scenario to one traffic generation
+//! rate.  Every harness binary, example and test builds these instead of the
+//! old star-only `ExperimentPoint`, so model and simulator stay swappable.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use star_core::{ConfigError, ModelConfig, RoutingDiscipline};
+use star_graph::{Hypercube, StarGraph, Topology};
+use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
+use star_sim::TrafficPattern;
+
+/// Which network family a scenario runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum NetworkKind {
+    /// The star graph `S_n` (`size` is the number of symbols `n`).
+    #[default]
+    Star,
+    /// The binary hypercube `Q_d` (`size` is the dimension `d`).
+    Hypercube,
+}
+
+impl NetworkKind {
+    /// Instantiates the topology of this kind at the given size.
+    ///
+    /// # Panics
+    /// Panics if the size is out of range for the topology family.
+    #[must_use]
+    pub fn topology(self, size: usize) -> Arc<dyn Topology> {
+        match self {
+            NetworkKind::Star => Arc::new(StarGraph::new(size)),
+            NetworkKind::Hypercube => Arc::new(Hypercube::new(size)),
+        }
+    }
+
+    /// The conventional name of the network at the given size
+    /// (`"S5"`, `"Q7"`, …).
+    #[must_use]
+    pub fn label(self, size: usize) -> String {
+        match self {
+            NetworkKind::Star => format!("S{size}"),
+            NetworkKind::Hypercube => format!("Q{size}"),
+        }
+    }
+}
+
+/// Routing discipline of a scenario: the three schemes the analytical model
+/// covers plus the deterministic minimal baseline the simulator also
+/// implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Discipline {
+    /// The paper's algorithm (escape levels + fully adaptive class-a
+    /// channels, bonus cards).
+    #[default]
+    EnhancedNbc,
+    /// Negative-hop with bonus cards over all `V` virtual channels.
+    Nbc,
+    /// Plain negative-hop.
+    NHop,
+    /// Deterministic minimal routing (simulator-only baseline; the analytical
+    /// model does not cover it).
+    Deterministic,
+}
+
+impl Discipline {
+    /// All disciplines, in the order the comparison studies report them.
+    pub const ALL: [Discipline; 4] =
+        [Discipline::EnhancedNbc, Discipline::Nbc, Discipline::NHop, Discipline::Deterministic];
+
+    /// The kebab-case name used on CLIs and in CSV columns.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Discipline::EnhancedNbc => "enhanced-nbc",
+            Discipline::Nbc => "nbc",
+            Discipline::NHop => "nhop",
+            Discipline::Deterministic => "deterministic",
+        }
+    }
+
+    /// Parses the kebab-case CLI name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|d| d.name() == name)
+    }
+
+    /// The analytical-model discipline, when the model covers this scheme.
+    #[must_use]
+    pub fn model_discipline(self) -> Option<RoutingDiscipline> {
+        match self {
+            Discipline::EnhancedNbc => Some(RoutingDiscipline::EnhancedNbc),
+            Discipline::Nbc => Some(RoutingDiscipline::Nbc),
+            Discipline::NHop => Some(RoutingDiscipline::NHop),
+            Discipline::Deterministic => None,
+        }
+    }
+
+    /// Instantiates the routing algorithm for a topology.
+    ///
+    /// # Panics
+    /// Panics if the topology cannot support the requested virtual-channel
+    /// count for this discipline.
+    #[must_use]
+    pub fn routing(
+        self,
+        topology: &dyn Topology,
+        virtual_channels: usize,
+    ) -> Arc<dyn RoutingAlgorithm> {
+        match self {
+            Discipline::EnhancedNbc => {
+                Arc::new(EnhancedNbc::for_topology(topology, virtual_channels))
+            }
+            Discipline::Nbc => Arc::new(Nbc::for_topology(topology, virtual_channels)),
+            Discipline::NHop => Arc::new(NHop::for_topology(topology, virtual_channels)),
+            Discipline::Deterministic => {
+                Arc::new(DeterministicMinimal::for_topology(topology, virtual_channels))
+            }
+        }
+    }
+}
+
+/// Everything an evaluation backend needs to know about an experiment except
+/// the traffic rate: the network, the routing discipline and the message
+/// shape.  Pin a rate with [`Scenario::at`] to get an [`OperatingPoint`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Network family.
+    pub network: NetworkKind,
+    /// Network size (`n` for `S_n`, `d` for `Q_d`).
+    pub size: usize,
+    /// Routing discipline.
+    pub discipline: Discipline,
+    /// Virtual channels per physical channel.
+    pub virtual_channels: usize,
+    /// Message length in flits.
+    pub message_length: usize,
+    /// Destination selection pattern of the generated traffic.
+    pub pattern: TrafficPattern,
+}
+
+impl Scenario {
+    /// A star-graph scenario at the paper's defaults (Enhanced-Nbc, `V = 6`,
+    /// `M = 32`, uniform traffic).
+    #[must_use]
+    pub fn star(symbols: usize) -> Self {
+        Self {
+            network: NetworkKind::Star,
+            size: symbols,
+            discipline: Discipline::EnhancedNbc,
+            virtual_channels: 6,
+            message_length: 32,
+            pattern: TrafficPattern::Uniform,
+        }
+    }
+
+    /// A hypercube scenario with the same defaults.
+    #[must_use]
+    pub fn hypercube(dims: usize) -> Self {
+        Self { network: NetworkKind::Hypercube, size: dims, ..Self::star(dims) }
+    }
+
+    /// Sets the routing discipline.
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: Discipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Sets the number of virtual channels per physical channel.
+    #[must_use]
+    pub fn with_virtual_channels(mut self, v: usize) -> Self {
+        self.virtual_channels = v;
+        self
+    }
+
+    /// Sets the message length in flits.
+    #[must_use]
+    pub fn with_message_length(mut self, m: usize) -> Self {
+        self.message_length = m;
+        self
+    }
+
+    /// Sets the traffic pattern.
+    #[must_use]
+    pub fn with_pattern(mut self, pattern: TrafficPattern) -> Self {
+        self.pattern = pattern;
+        self
+    }
+
+    /// The conventional network name (`"S5"`, `"Q7"`, …).
+    #[must_use]
+    pub fn network_label(&self) -> String {
+        self.network.label(self.size)
+    }
+
+    /// A short identifier for reports:
+    /// `"S5/enhanced-nbc/V6/M32"`.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/V{}/M{}",
+            self.network_label(),
+            self.discipline.name(),
+            self.virtual_channels,
+            self.message_length
+        )
+    }
+
+    /// Instantiates the topology.
+    ///
+    /// # Panics
+    /// Panics if the size is out of range for the network family.
+    #[must_use]
+    pub fn topology(&self) -> Arc<dyn Topology> {
+        self.network.topology(self.size)
+    }
+
+    /// Instantiates the routing algorithm on this scenario's topology.
+    ///
+    /// # Panics
+    /// Panics if the virtual-channel count is too small for the discipline on
+    /// this topology.
+    #[must_use]
+    pub fn routing(&self) -> Arc<dyn RoutingAlgorithm> {
+        self.discipline.routing(self.topology().as_ref(), self.virtual_channels)
+    }
+
+    /// The analytical-model configuration at the given traffic rate, when the
+    /// model covers this scenario (star network, one of the three modelled
+    /// disciplines, uniform traffic — the paper's assumptions).  Scenarios
+    /// outside the model's reach (hypercube, deterministic routing, non-
+    /// uniform traffic) yield `Ok(None)`.
+    ///
+    /// # Errors
+    /// Returns the [`ConfigError`] when the scenario is in the model's reach
+    /// but its parameters are out of range.
+    pub fn model_config(&self, traffic_rate: f64) -> Result<Option<ModelConfig>, ConfigError> {
+        let Some(discipline) = self.discipline.model_discipline() else {
+            return Ok(None);
+        };
+        if self.network != NetworkKind::Star || self.pattern != TrafficPattern::Uniform {
+            return Ok(None);
+        }
+        ModelConfig::builder()
+            .symbols(self.size)
+            .virtual_channels(self.virtual_channels)
+            .message_length(self.message_length)
+            .traffic_rate(traffic_rate)
+            .discipline(discipline)
+            .try_build()
+            .map(Some)
+    }
+
+    /// Pins the scenario to one traffic generation rate.
+    #[must_use]
+    pub fn at(&self, traffic_rate: f64) -> OperatingPoint {
+        OperatingPoint { scenario: *self, traffic_rate }
+    }
+
+    /// One operating point per rate, in order.
+    #[must_use]
+    pub fn sweep(&self, rates: &[f64]) -> Vec<OperatingPoint> {
+        rates.iter().map(|&r| self.at(r)).collect()
+    }
+}
+
+/// One scenario at one traffic generation rate — the unit both evaluation
+/// backends answer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// The scenario being evaluated.
+    pub scenario: Scenario,
+    /// Traffic generation rate `λ_g` (messages/node/cycle).
+    pub traffic_rate: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn star_scenario_defaults_match_the_paper() {
+        let s = Scenario::star(5);
+        assert_eq!(s.network_label(), "S5");
+        assert_eq!(s.virtual_channels, 6);
+        assert_eq!(s.message_length, 32);
+        assert_eq!(s.discipline, Discipline::EnhancedNbc);
+        assert_eq!(s.label(), "S5/enhanced-nbc/V6/M32");
+        assert_eq!(s.topology().node_count(), 120);
+    }
+
+    #[test]
+    fn hypercube_scenario_builds_the_cube() {
+        let s = Scenario::hypercube(7).with_message_length(64);
+        assert_eq!(s.network_label(), "Q7");
+        assert_eq!(s.topology().node_count(), 128);
+        assert_eq!(s.message_length, 64);
+        // no analytical model for the hypercube yet
+        assert_eq!(s.model_config(0.001), Ok(None));
+    }
+
+    #[test]
+    fn model_config_covers_modelled_disciplines_only() {
+        let s = Scenario::star(5);
+        let cfg = s.model_config(0.004).unwrap().unwrap();
+        assert_eq!(cfg.symbols, 5);
+        assert_eq!(cfg.traffic_rate, 0.004);
+        assert_eq!(cfg.discipline, RoutingDiscipline::EnhancedNbc);
+        let det = s.with_discipline(Discipline::Deterministic);
+        assert_eq!(det.model_config(0.004), Ok(None));
+        let invalid = s.with_virtual_channels(4);
+        assert!(invalid.model_config(0.004).is_err());
+    }
+
+    #[test]
+    fn discipline_names_round_trip() {
+        for d in Discipline::ALL {
+            assert_eq!(Discipline::parse(d.name()), Some(d));
+        }
+        assert_eq!(Discipline::parse("xy"), None);
+    }
+
+    #[test]
+    fn every_discipline_builds_routing_on_both_topologies() {
+        for scenario in [Scenario::star(4), Scenario::hypercube(4)] {
+            for d in Discipline::ALL {
+                let routing = scenario.with_discipline(d).routing();
+                assert_eq!(routing.virtual_channels(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn sweep_produces_one_point_per_rate_in_order() {
+        let s = Scenario::star(5);
+        let points = s.sweep(&[0.001, 0.002, 0.003]);
+        assert_eq!(points.len(), 3);
+        assert!(points.windows(2).all(|w| w[0].traffic_rate < w[1].traffic_rate));
+        assert!(points.iter().all(|p| p.scenario == s));
+    }
+}

@@ -1,0 +1,261 @@
+//! The sweep-driving layer every harness used to hand-roll: a [`SweepRunner`]
+//! takes a backend-agnostic [`Evaluator`] and a list of [`SweepSpec`]s and
+//! shards the work across `std::thread::scope` workers.
+//!
+//! Two properties the harness binaries and tests rely on:
+//!
+//! * **Deterministic output order.**  Results come back grouped by sweep, in
+//!   input order, with one estimate per rate in rate order — byte-identical
+//!   for any thread count, because each work unit is computed independently
+//!   of scheduling and reassembled by index.
+//! * **Warm-start-aware sharding.**  A backend that chains state between the
+//!   rates of one sweep ([`Evaluator::chains_rates`], e.g. the model's
+//!   warm-started fixed point) is sharded at sweep granularity; independent
+//!   backends (the simulator) are sharded at point granularity so one slow
+//!   curve still fills every core.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::thread;
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::{Evaluator, PointEstimate};
+use crate::scenario::Scenario;
+
+/// One named sweep: a scenario evaluated across a list of traffic rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Identifier used in reports and CSV file names (e.g. `"fig1a-M32"`).
+    pub id: String,
+    /// The scenario being swept.
+    pub scenario: Scenario,
+    /// Traffic generation rates to evaluate, in order.
+    pub rates: Vec<f64>,
+}
+
+impl SweepSpec {
+    /// Builds a sweep spec.
+    #[must_use]
+    pub fn new(id: impl Into<String>, scenario: Scenario, rates: Vec<f64>) -> Self {
+        Self { id: id.into(), scenario, rates }
+    }
+}
+
+/// One evaluated sweep: the spec's identity plus one estimate per rate, in
+/// rate order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The sweep's identifier.
+    pub id: String,
+    /// The scenario that was swept.
+    pub scenario: Scenario,
+    /// One estimate per rate of the spec, in the spec's order.
+    pub estimates: Vec<PointEstimate>,
+}
+
+impl SweepReport {
+    /// The traffic rates of the report, in order.
+    #[must_use]
+    pub fn rates(&self) -> Vec<f64> {
+        self.estimates.iter().map(|e| e.point.traffic_rate).collect()
+    }
+
+    /// The latency curve as plottable values (infinite when saturated).
+    #[must_use]
+    pub fn latency_curve(&self) -> Vec<f64> {
+        self.estimates.iter().map(PointEstimate::latency_or_infinity).collect()
+    }
+}
+
+/// Runs sweeps through an [`Evaluator`], sharding independent work units
+/// across scoped threads.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepRunner {
+    threads: usize,
+}
+
+impl Default for SweepRunner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SweepRunner {
+    /// A runner using all available parallelism.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_threads(0)
+    }
+
+    /// A runner with an explicit worker count; `0` means "use all available
+    /// parallelism" (the `--threads` convention of the harness binaries).
+    #[must_use]
+    pub fn with_threads(threads: usize) -> Self {
+        Self { threads }
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            thread::available_parallelism().map_or(1, std::num::NonZero::get)
+        }
+    }
+
+    /// Evaluates every sweep, returning one [`SweepReport`] per spec in input
+    /// order, each with one estimate per rate in rate order — independent of
+    /// the thread count.
+    ///
+    /// # Panics
+    /// Panics up front if the evaluator does not support one of the
+    /// scenarios, and propagates panics from evaluation itself.
+    #[must_use]
+    pub fn run(&self, evaluator: &dyn Evaluator, sweeps: &[SweepSpec]) -> Vec<SweepReport> {
+        for spec in sweeps {
+            assert!(
+                evaluator.supports(&spec.scenario),
+                "the {} backend does not support scenario {} (sweep {:?})",
+                evaluator.name(),
+                spec.scenario.label(),
+                spec.id
+            );
+        }
+
+        // A unit is (sweep index, rate sub-range).  Backends that chain state
+        // between rates get whole sweeps; independent backends get single
+        // points so the work spreads evenly.
+        let units: Vec<(usize, usize, usize)> = if evaluator.chains_rates() {
+            sweeps.iter().enumerate().map(|(si, s)| (si, 0, s.rates.len())).collect()
+        } else {
+            sweeps
+                .iter()
+                .enumerate()
+                .flat_map(|(si, s)| (0..s.rates.len()).map(move |ri| (si, ri, ri + 1)))
+                .collect()
+        };
+
+        let workers = self.threads().min(units.len()).max(1);
+        let next_unit = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, Vec<PointEstimate>)>();
+        thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let units = &units;
+                let next_unit = &next_unit;
+                scope.spawn(move || loop {
+                    let unit = next_unit.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(sweep_idx, from, to)) = units.get(unit) else { break };
+                    let spec = &sweeps[sweep_idx];
+                    let estimates = evaluator.evaluate_sweep(&spec.scenario, &spec.rates[from..to]);
+                    // a send can only fail if the receiver is gone, which
+                    // means the parent already panicked
+                    let _ = tx.send((unit, estimates));
+                });
+            }
+            drop(tx);
+
+            let mut by_unit: Vec<Option<Vec<PointEstimate>>> = vec![None; units.len()];
+            for (unit, estimates) in rx {
+                by_unit[unit] = Some(estimates);
+            }
+            let mut reports: Vec<SweepReport> = sweeps
+                .iter()
+                .map(|s| SweepReport {
+                    id: s.id.clone(),
+                    scenario: s.scenario,
+                    estimates: Vec::with_capacity(s.rates.len()),
+                })
+                .collect();
+            // units are ordered by (sweep, rate range), so pushing in unit
+            // order restores rate order within each sweep
+            for (&(sweep_idx, _, _), estimates) in units.iter().zip(by_unit) {
+                let estimates =
+                    estimates.unwrap_or_else(|| panic!("worker died before finishing a unit"));
+                reports[sweep_idx].estimates.extend(estimates);
+            }
+            reports
+        })
+    }
+
+    /// Convenience wrapper for one sweep.
+    ///
+    /// # Panics
+    /// As [`Self::run`].
+    #[must_use]
+    pub fn run_one(&self, evaluator: &dyn Evaluator, sweep: &SweepSpec) -> SweepReport {
+        self.run(evaluator, std::slice::from_ref(sweep)).pop().expect("one spec in, one report out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluator::{ModelBackend, SimBackend};
+    use crate::scenario::Discipline;
+    use crate::SimBudget;
+
+    fn model_sweeps() -> Vec<SweepSpec> {
+        [6usize, 9]
+            .iter()
+            .map(|&v| {
+                SweepSpec::new(
+                    format!("v{v}"),
+                    Scenario::star(4).with_message_length(16).with_virtual_channels(v),
+                    vec![0.002, 0.006, 0.010],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn reports_come_back_in_input_order_with_rates_in_order() {
+        let runner = SweepRunner::with_threads(3);
+        let reports = runner.run(&ModelBackend::new(), &model_sweeps());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].id, "v6");
+        assert_eq!(reports[1].id, "v9");
+        for report in &reports {
+            assert_eq!(report.rates(), vec![0.002, 0.006, 0.010]);
+            assert_eq!(report.estimates.len(), report.latency_curve().len());
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_model_results() {
+        let sweeps = model_sweeps();
+        let one = SweepRunner::with_threads(1).run(&ModelBackend::new(), &sweeps);
+        let many = SweepRunner::with_threads(4).run(&ModelBackend::new(), &sweeps);
+        assert_eq!(one, many);
+        assert_eq!(format!("{one:?}"), format!("{many:?}"));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_sim_results() {
+        let sweep =
+            SweepSpec::new("s4", Scenario::star(4).with_message_length(16), vec![0.003, 0.005]);
+        let backend = SimBackend::new(SimBudget::Quick, 5);
+        let one = SweepRunner::with_threads(1).run_one(&backend, &sweep);
+        let two = SweepRunner::with_threads(2).run_one(&backend, &sweep);
+        assert_eq!(one, two);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        assert!(SweepRunner::new().threads() >= 1);
+        assert_eq!(SweepRunner::with_threads(3).threads(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support scenario")]
+    fn unsupported_scenario_is_rejected_up_front() {
+        let spec = SweepSpec::new(
+            "det",
+            Scenario::star(4).with_discipline(Discipline::Deterministic),
+            vec![0.001],
+        );
+        let _ = SweepRunner::with_threads(1).run(&ModelBackend::new(), &[spec]);
+    }
+}

@@ -6,9 +6,9 @@
 //!   denied, release build, tests, doctests, then a smoke run of every
 //!   criterion bench in `--test` mode (each bench body executes once).
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
-//!   `target/experiments/` via the `figure1` harness binary (quick budget by
-//!   default; extra arguments are forwarded, e.g.
-//!   `cargo xtask figure1 -- --budget thorough --v 9`).
+//!   `target/experiments/` via the `figure1` harness binary (quick budget and
+//!   all available cores by default; extra arguments are forwarded, e.g.
+//!   `cargo xtask figure1 -- --budget thorough --v 9 --threads 4`).
 
 use std::env;
 use std::process::{Command, ExitCode};
@@ -39,7 +39,10 @@ fn print_help() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
     eprintln!("  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke");
-    eprintln!("  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args)");
+    eprintln!(
+        "  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args, \
+         e.g. --budget thorough --threads 4)"
+    );
 }
 
 /// The cargo binary driving this xtask (set by cargo itself).
@@ -92,9 +95,14 @@ fn figure1(rest: &[String]) -> ExitCode {
         vec!["run", "--release", "-p", "star-bench", "--bin", "figure1", "--"];
     let forwarded: Vec<&str> = rest.iter().map(String::as_str).filter(|a| *a != "--").collect();
     let has_budget = forwarded.iter().any(|a| *a == "--budget" || a.starts_with("--budget="));
+    let has_threads = forwarded.iter().any(|a| *a == "--threads" || a.starts_with("--threads="));
     args.extend(forwarded);
     if !has_budget {
         args.extend(["--budget", "quick"]);
+    }
+    if !has_threads {
+        // 0 = all available parallelism (the SweepRunner convention)
+        args.extend(["--threads", "0"]);
     }
     match step("figure1", &args) {
         Ok(()) => {

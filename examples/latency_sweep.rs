@@ -1,42 +1,41 @@
 //! Latency-vs-load curves from the analytical model for the three
-//! virtual-channel configurations of the paper's Figure 1, rendered as an
-//! ASCII plot.  Pass `--with-sim` to overlay a few quick simulation points.
+//! virtual-channel configurations of the paper's Figure 1, driven through the
+//! `SweepRunner` (warm-started, curves sharded across threads) and rendered
+//! as an ASCII plot.  Pass `--with-sim` to overlay a few quick simulation
+//! points from the simulator backend.
 //!
 //! ```text
 //! cargo run --release --example latency_sweep -- [--with-sim]
 //! ```
 
-use star_wormhole::workloads::{ascii_plot, markdown_table, ExperimentPoint, SimBudget};
-use star_wormhole::{model, ModelConfig};
+use star_wormhole::workloads::{ascii_plot, markdown_table};
+use star_wormhole::{
+    model, Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec,
+};
 
 fn main() {
     let with_sim = std::env::args().any(|a| a == "--with-sim");
     let rates = model::sweep::linspace(0.001, 0.016, 13);
 
-    let mut series = Vec::new();
+    let sweeps: Vec<SweepSpec> = [6usize, 9, 12]
+        .iter()
+        .map(|&v| {
+            SweepSpec::new(
+                format!("V={v}"),
+                Scenario::star(5).with_virtual_channels(v),
+                rates.clone(),
+            )
+        })
+        .collect();
+    let reports = SweepRunner::new().run(&ModelBackend::new(), &sweeps);
+
     let mut rows = Vec::new();
-    for &v in &[6usize, 9, 12] {
-        let base = ModelConfig::builder()
-            .symbols(5)
-            .virtual_channels(v)
-            .message_length(32)
-            .traffic_rate(0.001)
-            .build();
-        let points = model::sweep_traffic(base, &rates);
-        let curve: Vec<f64> = points
-            .iter()
-            .map(|p| if p.result.saturated { f64::INFINITY } else { p.result.mean_latency })
-            .collect();
-        series.push((format!("V={v}"), curve));
-        for p in &points {
+    for report in &reports {
+        for estimate in &report.estimates {
             rows.push(vec![
-                format!("{v}"),
-                format!("{:.4}", p.traffic_rate),
-                if p.result.saturated {
-                    "saturated".into()
-                } else {
-                    format!("{:.1}", p.result.mean_latency)
-                },
+                format!("{}", report.scenario.virtual_channels),
+                format!("{:.4}", estimate.point.traffic_rate),
+                estimate.latency_cell(),
             ]);
         }
     }
@@ -44,26 +43,20 @@ fn main() {
     println!("# Model latency vs traffic generation rate — S5, M = 32 flits\n");
     println!("{}", markdown_table(&["V", "traffic rate", "model latency"], &rows));
     let plot_series: Vec<(&str, Vec<f64>)> =
-        series.iter().map(|(name, data)| (name.as_str(), data.clone())).collect();
+        reports.iter().map(|r| (r.id.as_str(), r.latency_curve())).collect();
     println!("{}", ascii_plot("model latency (cycles)", &rates, &plot_series, 64, 18));
 
     if with_sim {
         println!("quick simulation cross-checks (V = 6):");
+        let backend = SimBackend::new(SimBudget::Quick, 7);
         for &rate in &[0.004, 0.008, 0.012] {
-            let point = ExperimentPoint {
-                symbols: 5,
-                virtual_channels: 6,
-                message_length: 32,
-                traffic_rate: rate,
-            };
-            let report = star_wormhole::workloads::run_sim_point(point, SimBudget::Quick, 7);
-            if report.saturated {
-                println!("  λ_g = {rate:.3}: simulator saturated");
-            } else {
-                println!(
-                    "  λ_g = {rate:.3}: simulated latency {:.1} ± {:.1} cycles",
-                    report.mean_message_latency, report.latency_ci95
-                );
+            let estimate = backend.evaluate(&Scenario::star(5).at(rate));
+            match estimate.latency() {
+                None => println!("  λ_g = {rate:.3}: simulator saturated"),
+                Some(latency) => {
+                    let ci = estimate.sim_report().map_or(0.0, |r| r.latency_ci95);
+                    println!("  λ_g = {rate:.3}: simulated latency {latency:.1} ± {ci:.1} cycles");
+                }
             }
         }
     }

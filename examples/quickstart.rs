@@ -1,59 +1,51 @@
-//! Quickstart: evaluate the analytical model at one operating point and check
-//! it against the flit-level simulator — the core workflow of the paper.
+//! Quickstart: evaluate one operating point with both backends of the
+//! unified `Evaluator` API — the analytical model and the flit-level
+//! simulator — and diff them, which is the core workflow of the paper.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
-use std::sync::Arc;
-
 use star_wormhole::{
-    AnalyticalModel, EnhancedNbc, ModelConfig, SimBudget, Simulation, StarGraph,
-    TopologyProperties, TrafficPattern,
+    Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget, TopologyProperties,
 };
 
 fn main() {
-    // The network of the paper's Figure 1: S5, 120 nodes, degree 4.
-    let topology = Arc::new(StarGraph::new(5));
-    let props = TopologyProperties::of(topology.as_ref());
+    // The network of the paper's Figure 1: S5, 120 nodes, degree 4, with
+    // V = 6 virtual channels and M = 32-flit messages at moderate load.
+    let scenario = Scenario::star(5);
+    let props = TopologyProperties::of(scenario.topology().as_ref());
     println!(
-        "network: {} ({} nodes, degree {}, diameter {}, mean distance {:.3})\n",
+        "network: {} ({} nodes, degree {}, diameter {}, mean distance {:.3})",
         props.name, props.nodes, props.degree, props.diameter, props.mean_distance
     );
+    println!("scenario: {}\n", scenario.label());
+    let point = scenario.at(0.006);
 
-    // One operating point: V = 6 virtual channels, M = 32 flits, moderate load.
-    let config = ModelConfig::builder()
-        .symbols(5)
-        .virtual_channels(6)
-        .message_length(32)
-        .traffic_rate(0.006)
-        .build();
-
-    // 1. The analytical model (milliseconds).
-    let model = AnalyticalModel::new(config).solve();
+    // 1. The analytical model (microseconds).
+    let model = ModelBackend::new().evaluate(&point);
+    let result = model.model_result().expect("model backend yields model results");
     println!("analytical model:");
-    println!("  mean network latency  S̄  = {:.2} cycles", model.mean_network_latency);
-    println!("  source queueing       W_s = {:.2} cycles", model.source_waiting);
-    println!("  VC multiplexing       V̄  = {:.3}", model.multiplexing);
+    println!("  mean network latency  S̄  = {:.2} cycles", result.mean_network_latency);
+    println!("  source queueing       W_s = {:.2} cycles", result.source_waiting);
+    println!("  VC multiplexing       V̄  = {:.3}", result.multiplexing);
     println!("  mean message latency      = {:.2} cycles", model.mean_latency);
-    println!("  channel utilisation       = {:.3}", model.channel_utilization);
+    println!("  channel utilisation       = {:.3}", result.channel_utilization);
 
     // 2. The flit-level simulator at the same point (seconds).
-    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), config.virtual_channels));
-    let sim_config = SimBudget::Quick.apply(config.message_length, config.traffic_rate, 42);
-    let report = Simulation::new(topology, routing, sim_config, TrafficPattern::Uniform).run();
+    let sim = SimBackend::new(SimBudget::Quick, 42).evaluate(&point);
+    let report = sim.sim_report().expect("sim backend yields sim reports");
     println!(
         "\nflit-level simulation ({} measured messages, {} cycles):",
         report.measured_messages, report.cycles
     );
     println!(
         "  mean message latency      = {:.2} ± {:.2} cycles",
-        report.mean_message_latency, report.latency_ci95
+        sim.mean_latency, report.latency_ci95
     );
     println!("  mean network latency      = {:.2} cycles", report.mean_network_latency);
     println!("  observed multiplexing     = {:.3}", report.observed_multiplexing);
 
-    let error =
-        (model.mean_latency - report.mean_message_latency).abs() / report.mean_message_latency;
+    let error = (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency;
     println!("\nmodel vs simulation relative error: {:.1}%", error * 100.0);
 }

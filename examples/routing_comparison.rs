@@ -1,48 +1,40 @@
 //! Compare the adaptive routing algorithms of the paper's Section 3 in the
 //! flit-level simulator on a small star graph: plain negative-hop, Nbc (bonus
-//! cards), Enhanced-Nbc and a deterministic minimal baseline.
+//! cards), Enhanced-Nbc and a deterministic minimal baseline — four
+//! `Scenario`s differing only in their discipline, answered by the simulator
+//! backend through the `SweepRunner`.
 //!
 //! ```text
 //! cargo run --release --example routing_comparison
 //! ```
 
-use std::sync::Arc;
-
 use star_wormhole::workloads::markdown_table;
-use star_wormhole::{
-    DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm, SimBudget, Simulation,
-    StarGraph, TrafficPattern,
-};
+use star_wormhole::{Discipline, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec};
 
 fn main() {
-    let topology = Arc::new(StarGraph::new(4));
-    let v = 6;
-    let m = 16;
-    let algorithms: Vec<(&str, Arc<dyn RoutingAlgorithm>)> = vec![
-        ("Enhanced-Nbc", Arc::new(EnhancedNbc::for_topology(topology.as_ref(), v))),
-        ("Nbc", Arc::new(Nbc::for_topology(topology.as_ref(), v))),
-        ("NHop", Arc::new(NHop::for_topology(topology.as_ref(), v))),
-        ("Deterministic", Arc::new(DeterministicMinimal::for_topology(topology.as_ref(), v))),
-    ];
+    let base = Scenario::star(4).with_message_length(16);
+    let rates = vec![0.01, 0.02, 0.03];
+    let sweeps: Vec<SweepSpec> = Discipline::ALL
+        .iter()
+        .map(|&d| SweepSpec::new(d.name(), base.with_discipline(d), rates.clone()))
+        .collect();
+    let reports = SweepRunner::new().run(&SimBackend::new(SimBudget::Quick, 11), &sweeps);
 
-    println!("# Routing comparison — S4, V = {v}, M = {m} flits\n");
+    println!(
+        "# Routing comparison — S4, V = {}, M = {} flits\n",
+        base.virtual_channels, base.message_length
+    );
     let mut rows = Vec::new();
-    for &rate in &[0.01, 0.02, 0.03] {
-        for (name, routing) in &algorithms {
-            let config = SimBudget::Quick.apply(m, rate, 11);
-            let report =
-                Simulation::new(topology.clone(), routing.clone(), config, TrafficPattern::Uniform)
-                    .run();
+    for (ri, &rate) in rates.iter().enumerate() {
+        for report in &reports {
+            let estimate = &report.estimates[ri];
+            let sim = estimate.sim_report().expect("sim backend yields sim reports");
             rows.push(vec![
                 format!("{rate:.3}"),
-                (*name).to_string(),
-                if report.saturated {
-                    "saturated".into()
-                } else {
-                    format!("{:.1}", report.mean_message_latency)
-                },
-                format!("{:.3}", report.blocking_probability),
-                format!("{:.2}", report.observed_multiplexing),
+                report.id.clone(),
+                estimate.latency_cell(),
+                format!("{:.3}", sim.blocking_probability),
+                format!("{:.2}", sim.observed_multiplexing),
             ]);
         }
     }

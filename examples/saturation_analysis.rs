@@ -7,8 +7,9 @@
 //! cargo run --release --example saturation_analysis
 //! ```
 
-use star_wormhole::model::{saturation_rate, ModelConfig};
+use star_wormhole::model::saturation_rate;
 use star_wormhole::workloads::markdown_table;
+use star_wormhole::Scenario;
 
 fn main() {
     println!("# Predicted saturation rate of S5 (messages/node/cycle)\n");
@@ -16,12 +17,11 @@ fn main() {
     for &v in &[5usize, 6, 8, 9, 12, 16] {
         let mut cells = vec![format!("V = {v}")];
         for &m in &[16usize, 32, 64, 128] {
-            let config = ModelConfig::builder()
-                .symbols(5)
-                .virtual_channels(v)
-                .message_length(m)
-                .traffic_rate(0.0)
-                .build();
+            let scenario = Scenario::star(5).with_virtual_channels(v).with_message_length(m);
+            let config = scenario
+                .model_config(0.0)
+                .expect("paper-range parameters")
+                .expect("star scenarios are modelled");
             let sat = saturation_rate(config, 0.02);
             cells.push(format!("{sat:.4}"));
         }

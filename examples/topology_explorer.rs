@@ -11,7 +11,7 @@
 use star_wormhole::graph::distance::star_distance_distribution;
 use star_wormhole::model::DestinationSpectrum;
 use star_wormhole::workloads::markdown_table;
-use star_wormhole::{Hypercube, StarGraph, Topology, TopologyProperties};
+use star_wormhole::{Hypercube, NetworkKind, StarGraph, TopologyProperties};
 
 fn main() {
     let max_n: usize = std::env::args()
@@ -23,9 +23,9 @@ fn main() {
     println!("# Star graph vs hypercube\n");
     let mut rows = Vec::new();
     for n in 3..=max_n {
-        let star = StarGraph::new(n);
+        let star = NetworkKind::Star.topology(n);
         let cube = Hypercube::at_least(star.node_count());
-        for props in [TopologyProperties::of(&star), TopologyProperties::of(&cube)] {
+        for props in [TopologyProperties::of(star.as_ref()), TopologyProperties::of(&cube)] {
             rows.push(vec![
                 props.name,
                 props.nodes.to_string(),

@@ -17,24 +17,31 @@
 //!   simulator used to validate the model;
 //! * [`model`] (crate `star-core`) — **the paper's contribution**: the
 //!   analytical latency model and its traffic sweeps;
-//! * [`workloads`] (crate `star-workloads`) — the Figure-1 experiment
-//!   definitions, simulation budgets and report emitters.
+//! * [`workloads`] (crate `star-workloads`) — the unified evaluation API:
+//!   topology-generic [`Scenario`]s, the [`Evaluator`] trait answered by
+//!   both the analytical model ([`ModelBackend`]) and the simulator
+//!   ([`SimBackend`]), and the multi-threaded [`SweepRunner`].
 //!
-//! The most common entry points are re-exported at the crate root:
+//! The core workflow — answering the same operating points with swappable
+//! backends — looks like this:
 //!
 //! ```
-//! use star_wormhole::{AnalyticalModel, ModelConfig};
+//! use star_wormhole::{ModelBackend, Scenario, SweepRunner, SweepSpec};
 //!
-//! let result = AnalyticalModel::new(
-//!     ModelConfig::builder()
-//!         .symbols(5)
-//!         .virtual_channels(9)
-//!         .message_length(32)
-//!         .traffic_rate(0.005)
-//!         .build(),
-//! )
-//! .solve();
-//! assert!(!result.saturated);
+//! // S5 (120 nodes), Enhanced-Nbc, V = 9 virtual channels, M = 32 flits,
+//! // swept over three traffic generation rates.
+//! let scenario = Scenario::star(5).with_virtual_channels(9);
+//! let sweep = SweepSpec::new("demo", scenario, vec![0.002, 0.004, 0.006]);
+//!
+//! // The model backend warm-starts each rate from the previous rate's
+//! // converged fixed point; swap in `SimBackend::new(..)` to answer the
+//! // same sweep with the flit-level simulator.
+//! let report = SweepRunner::new().run_one(&ModelBackend::new(), &sweep);
+//! assert_eq!(report.estimates.len(), 3);
+//! assert!(report.estimates.iter().all(|e| !e.saturated));
+//! // latency grows with load
+//! let curve = report.latency_curve();
+//! assert!(curve.windows(2).all(|w| w[0] < w[1]));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -47,8 +54,13 @@ pub use star_routing as routing;
 pub use star_sim as sim;
 pub use star_workloads as workloads;
 
-pub use star_core::{AnalyticalModel, ModelConfig, ModelResult, RoutingDiscipline, ValidationRow};
+pub use star_core::{
+    AnalyticalModel, ConfigError, ModelConfig, ModelResult, RoutingDiscipline, ValidationRow,
+};
 pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
 pub use star_sim::{SimConfig, SimReport, Simulation, TrafficPattern};
-pub use star_workloads::SimBudget;
+pub use star_workloads::{
+    Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind, OperatingPoint,
+    PointEstimate, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec,
+};

@@ -1,0 +1,165 @@
+//! Integration tests for the unified evaluation API: warm-started sweeps
+//! must reproduce cold-started sweeps (while spending fewer fixed-point
+//! iterations near the saturation knee), and the `SweepRunner` must produce
+//! byte-identical reports for any thread count, for both backends.
+
+use star_wormhole::model::{sweep_traffic, sweep_traffic_cold};
+use star_wormhole::{
+    ModelBackend, ModelConfig, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec,
+};
+
+/// The acceptance sweep: the paper's `S5`, `V = 6`, `M = 32` curve sampled
+/// densely up through the saturation knee (the model saturates near
+/// `λ_g ≈ 0.0155` for this configuration).
+fn s5_rates() -> Vec<f64> {
+    (1..=34).map(|i| 0.0005 * i as f64).collect()
+}
+
+fn s5_scenario() -> Scenario {
+    Scenario::star(5).with_virtual_channels(6).with_message_length(32)
+}
+
+#[test]
+fn warm_started_sweep_matches_cold_start_point_for_point() {
+    let config = ModelConfig::builder().symbols(5).virtual_channels(6).message_length(32).build();
+    let rates = s5_rates();
+    let warm = sweep_traffic(config, &rates);
+    let cold = sweep_traffic_cold(config, &rates);
+    assert_eq!(warm.len(), cold.len());
+    let mut compared = 0;
+    for (w, c) in warm.iter().zip(&cold) {
+        assert_eq!(
+            w.result.saturated, c.result.saturated,
+            "warm and cold must agree on saturation at rate {}",
+            w.traffic_rate
+        );
+        if !w.result.saturated {
+            let rel = (w.result.mean_latency - c.result.mean_latency).abs() / c.result.mean_latency;
+            assert!(
+                rel < 1e-9,
+                "rate {}: warm {} vs cold {} differ by {rel}",
+                w.traffic_rate,
+                w.result.mean_latency,
+                c.result.mean_latency
+            );
+            compared += 1;
+        }
+    }
+    assert!(compared >= 10, "the sweep must compare a real span below saturation");
+    assert!(warm.iter().any(|p| p.result.saturated), "the sweep must reach the knee");
+}
+
+#[test]
+fn warm_start_spends_strictly_fewer_iterations_near_the_knee() {
+    let config = ModelConfig::builder().symbols(5).virtual_channels(6).message_length(32).build();
+    let rates = s5_rates();
+    let warm = sweep_traffic(config, &rates);
+    let cold = sweep_traffic_cold(config, &rates);
+    let warm_total: usize = warm.iter().map(|p| p.result.iterations).sum();
+    let cold_total: usize = cold.iter().map(|p| p.result.iterations).sum();
+    assert!(
+        warm_total < cold_total,
+        "warm-started sweep must spend fewer total iterations ({warm_total} vs {cold_total})"
+    );
+    // near the knee (the last unsaturated points) every warm solve must be
+    // strictly cheaper than its cold counterpart
+    let knee: Vec<(usize, usize)> = warm
+        .iter()
+        .zip(&cold)
+        .filter(|(w, _)| !w.result.saturated)
+        .map(|(w, c)| (w.result.iterations, c.result.iterations))
+        .collect();
+    let tail = &knee[knee.len().saturating_sub(3)..];
+    for &(w_iters, c_iters) in tail {
+        assert!(
+            w_iters < c_iters,
+            "near the knee warm start must win ({w_iters} vs {c_iters} iterations)"
+        );
+    }
+}
+
+#[test]
+fn model_backend_through_the_runner_matches_the_core_sweep() {
+    let sweep = SweepSpec::new("fig1a-M32", s5_scenario(), s5_rates());
+    let report = SweepRunner::with_threads(2).run_one(&ModelBackend::new(), &sweep);
+    let config = ModelConfig::builder().symbols(5).virtual_channels(6).message_length(32).build();
+    let core = sweep_traffic(config, &s5_rates());
+    assert_eq!(report.estimates.len(), core.len());
+    for (est, point) in report.estimates.iter().zip(&core) {
+        assert_eq!(est.saturated, point.result.saturated);
+        if !est.saturated {
+            assert!((est.mean_latency - point.result.mean_latency).abs() < 1e-12);
+        }
+    }
+}
+
+#[test]
+fn model_sharding_is_deterministic_across_thread_counts() {
+    // several independent curves so multiple workers actually get work
+    let sweeps: Vec<SweepSpec> = [6usize, 9, 12]
+        .iter()
+        .map(|&v| {
+            SweepSpec::new(
+                format!("V={v}"),
+                s5_scenario().with_virtual_channels(v),
+                (1..=10).map(|i| 0.0012 * i as f64).collect(),
+            )
+        })
+        .collect();
+    let backend = ModelBackend::new();
+    let serial = SweepRunner::with_threads(1).run(&backend, &sweeps);
+    let sharded = SweepRunner::with_threads(4).run(&backend, &sweeps);
+    let oversubscribed = SweepRunner::with_threads(17).run(&backend, &sweeps);
+    assert_eq!(serial, sharded);
+    assert_eq!(serial, oversubscribed);
+    assert_eq!(
+        format!("{serial:?}"),
+        format!("{sharded:?}"),
+        "reports must be byte-identical for any thread count"
+    );
+}
+
+#[test]
+fn sim_sharding_is_deterministic_across_thread_counts() {
+    // a small network so the flit-level runs stay quick; two curves so the
+    // point-granularity sharding has four independent units to scatter
+    let sweeps: Vec<SweepSpec> = [16usize, 24]
+        .iter()
+        .map(|&m| {
+            SweepSpec::new(
+                format!("M{m}"),
+                Scenario::star(4).with_message_length(m),
+                vec![0.003, 0.006],
+            )
+        })
+        .collect();
+    for seed in [1u64, 2] {
+        let backend = SimBackend::new(SimBudget::Quick, seed);
+        let serial = SweepRunner::with_threads(1).run(&backend, &sweeps);
+        let sharded = SweepRunner::with_threads(4).run(&backend, &sweeps);
+        assert_eq!(serial, sharded);
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{sharded:?}"),
+            "sim reports must be byte-identical for any thread count (seed {seed})"
+        );
+    }
+}
+
+#[test]
+fn both_backends_answer_the_same_point_within_tolerance() {
+    // the backend-swap contract: one operating point, two backends, one
+    // answer within the validation tolerance used throughout the paper
+    let point = Scenario::star(4).with_message_length(16).at(0.004);
+    let model = SweepRunner::with_threads(1)
+        .run_one(&ModelBackend::new(), &SweepSpec::new("m", point.scenario, vec![0.004]));
+    let sim = SweepRunner::with_threads(1).run_one(
+        &SimBackend::new(SimBudget::Quick, 101),
+        &SweepSpec::new("s", point.scenario, vec![0.004]),
+    );
+    let m = &model.estimates[0];
+    let s = &sim.estimates[0];
+    assert!(!m.saturated && !s.saturated);
+    let err = (m.mean_latency - s.mean_latency).abs() / s.mean_latency;
+    assert!(err < 0.15, "model {} vs sim {} differ by {err}", m.mean_latency, s.mean_latency);
+}

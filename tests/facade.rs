@@ -5,14 +5,24 @@
 //! test, so a regression fails `cargo test` even if doctests are skipped.
 
 use star_wormhole::{
-    AnalyticalModel, DeterministicMinimal, EnhancedNbc, Hypercube, ModelConfig, ModelResult, NHop,
-    Nbc, Permutation, RoutingAlgorithm, SimBudget, SimConfig, StarGraph, Topology,
-    TopologyProperties, TrafficPattern,
+    AnalyticalModel, ConfigError, DeterministicMinimal, Discipline, EnhancedNbc, Evaluator as _,
+    Hypercube, ModelBackend, ModelConfig, ModelResult, NHop, Nbc, NetworkKind, Permutation,
+    RoutingAlgorithm, Scenario, SimBackend, SimBudget, SimConfig, StarGraph, SweepRunner,
+    SweepSpec, Topology, TopologyProperties, TrafficPattern,
 };
 
-/// The root doc example, verbatim: it must solve unsaturated.
+/// The root doc example, restated: the documented sweep must solve
+/// unsaturated with a monotone latency curve.
 #[test]
-fn root_doc_example_operating_point_solves_unsaturated() {
+fn root_doc_example_sweep_solves_unsaturated() {
+    let scenario = Scenario::star(5).with_virtual_channels(9);
+    let sweep = SweepSpec::new("demo", scenario, vec![0.002, 0.004, 0.006]);
+    let report = SweepRunner::new().run_one(&ModelBackend::new(), &sweep);
+    assert_eq!(report.estimates.len(), 3);
+    assert!(report.estimates.iter().all(|e| !e.saturated));
+    let curve = report.latency_curve();
+    assert!(curve.windows(2).all(|w| w[0] < w[1]));
+    // the classic single-point entry keeps working too
     let result: ModelResult = AnalyticalModel::new(
         ModelConfig::builder()
             .symbols(5)
@@ -23,9 +33,29 @@ fn root_doc_example_operating_point_solves_unsaturated() {
     )
     .solve();
     assert!(!result.saturated, "the documented quickstart point must be below saturation");
-    // finite and above the zero-load bound M + d̄
     assert!(result.mean_latency.is_finite());
     assert!(result.mean_latency > 32.0 + result.mean_distance);
+}
+
+/// The unified-evaluator surface re-exported at the root must compose: both
+/// backends answer the same scenario type.
+#[test]
+fn evaluator_reexports_compose() {
+    let scenario = Scenario::star(4)
+        .with_discipline(Discipline::EnhancedNbc)
+        .with_message_length(16)
+        .with_pattern(TrafficPattern::Uniform);
+    assert_eq!(scenario.network, NetworkKind::Star);
+    let model = ModelBackend::new();
+    assert!(model.supports(&scenario));
+    let estimate = model.evaluate(&scenario.at(0.003));
+    assert!(!estimate.saturated);
+    let sim = SimBackend::new(SimBudget::Quick, 7);
+    assert!(sim.supports(&Scenario::hypercube(3)));
+    // non-panicking validation travels through the facade
+    let err: ConfigError =
+        ModelConfig::builder().symbols(12).try_build().expect_err("S12 is out of model range");
+    assert!(err.to_string().contains("S_12"));
 }
 
 /// Every module alias documented in the crate root must resolve.

@@ -1,0 +1,65 @@
+//! Criterion benchmark: the analytical hypercube model at parity-sweep
+//! scale.
+//!
+//! The star-vs-hypercube comparison runs model-only at `Q10`/`Q13` (the
+//! cubes matched to `S6`/`S7`); this bench pins the cost of a single solve
+//! at those sizes, the warm- vs cold-started sweep delta on the `Q10`
+//! curve, and the spectrum construction that sweeps amortise.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use star_core::{HypercubeConfig, HypercubeModel, HypercubeRouting, HypercubeSpectrum};
+use star_workloads::{ModelBackend, Scenario, SweepRunner, SweepSpec};
+
+fn q10_rates() -> Vec<f64> {
+    // dense enough to hug the Q10 knee (saturation ≈ 0.028 at V = 8, M = 32)
+    (1..=16).map(|i| 0.0016 * i as f64).collect()
+}
+
+fn bench_single_solves(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hypercube_model");
+    for (dims, label) in [(10usize, "q10"), (13, "q13")] {
+        let config = HypercubeConfig::builder()
+            .dims(dims)
+            .virtual_channels(8)
+            .message_length(32)
+            .traffic_rate(0.008)
+            .build();
+        let model = HypercubeModel::new(config);
+        group.bench_function(format!("{label}_v8_m32_solve"), |b| {
+            b.iter(|| black_box(model.solve()));
+        });
+        let ecube = HypercubeModel::new(HypercubeConfig {
+            routing: HypercubeRouting::DimensionOrder,
+            ..config
+        });
+        group.bench_function(format!("{label}_v8_m32_ecube_solve"), |b| {
+            b.iter(|| black_box(ecube.solve()));
+        });
+    }
+    group.bench_function("q13_spectrum_build", |b| {
+        b.iter(|| black_box(HypercubeSpectrum::new(13)));
+    });
+    group.finish();
+}
+
+fn bench_backend_sweeps(c: &mut Criterion) {
+    // the same warm-vs-cold pair `sweep_warmstart` pins for the star, on the
+    // hypercube path through the evaluator API
+    let sweep =
+        SweepSpec::new("q10-parity", Scenario::hypercube(10).with_virtual_channels(8), q10_rates());
+    let mut group = c.benchmark_group("hypercube_backend");
+    group.bench_function("q10_v8_m32_cold_backend", |b| {
+        let runner = SweepRunner::with_threads(1);
+        b.iter(|| black_box(runner.run_one(&ModelBackend::cold(), &sweep)));
+    });
+    group.bench_function("q10_v8_m32_warm_backend", |b| {
+        let runner = SweepRunner::with_threads(1);
+        b.iter(|| black_box(runner.run_one(&ModelBackend::new(), &sweep)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_solves, bench_backend_sweeps);
+criterion_main!(benches);

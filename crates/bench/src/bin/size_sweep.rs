@@ -1,55 +1,77 @@
-//! Extension study C: model accuracy and scalability across network sizes.
+//! Extension study C: model accuracy and scalability across network sizes,
+//! on both topology families.
 //!
-//! For `S4` and `S5` the binary runs both evaluation backends at a light and
-//! a moderate load; for `S6` and `S7` (720 and 5 040 nodes) it runs the model
-//! alone — exactly the regime the paper argues analytical models are for,
-//! where flit-level simulation stops being practical.
+//! For every star size `S4`–`S7` the binary also evaluates the matched
+//! hypercube (the smallest `Q_d` with at least as many nodes: `Q5`, `Q7`,
+//! `Q10`, `Q13`).  Small networks (≤ 200 nodes) run both evaluation
+//! backends at a light and a moderate load so the model can be
+//! cross-validated; the large ones (`S6`/`S7` and `Q10`/`Q13`, up to 8 192
+//! nodes) run the analytical model alone — exactly the regime the paper
+//! argues analytical models are for, where flit-level simulation stops
+//! being practical.  The default is `V = 8` virtual channels because
+//! `Q13`'s negative-hop scheme needs 7 escape levels and Enhanced-Nbc one
+//! adaptive channel on top; both topologies use the same `V` so the rows
+//! stay comparable.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin size_sweep --
-//!     [--v 6] [--m 32] [--budget quick|standard|thorough] [--seed S]
+//!     [--v 8] [--m 32] [--budget quick|standard|thorough] [--seed S]
 //!     [--threads T]
 //! ```
 
 use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_graph::Hypercube;
 use star_workloads::{
-    markdown_table, write_csv, Evaluator as _, ModelBackend, Scenario, SimBackend, SweepRunner,
-    SweepSpec,
+    markdown_table, write_csv, ModelBackend, Scenario, SimBackend, SweepRunner, SweepSpec,
 };
 
-/// Largest star graph the flit-level simulator is asked to run.
-const MAX_SIM_SYMBOLS: usize = 5;
+/// Largest network the flit-level simulator is asked to run (the model has
+/// no such limit).
+const MAX_SIM_NODES: usize = 200;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(8);
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(11);
     let budget = budget_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
-    let model = ModelBackend::new();
     let utilisations = [0.15, 0.35];
 
-    // scale the load with the mean distance so the relative channel
-    // utilisation is comparable across sizes; the zero-load probe supplies d̄
-    let sweeps: Vec<SweepSpec> = (4..=7usize)
-        .map(|symbols| {
-            let scenario = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
-            let probe = model.evaluate(&scenario.at(0.0));
-            let mean_distance =
-                probe.model_result().expect("model probe yields a model result").mean_distance;
-            let degree = (symbols - 1) as f64;
-            let rates: Vec<f64> =
-                utilisations.iter().map(|u| u * degree / (mean_distance * m as f64)).collect();
-            SweepSpec::new(format!("S{symbols}"), scenario, rates)
+    // star sizes S4..S7 interleaved with their matched hypercubes; the load
+    // is scaled per network so the target channel utilisation λ_c·M is
+    // comparable across sizes and topologies (λ_g = u·degree/(d̄·M))
+    let scenarios: Vec<Scenario> = (4..=7usize)
+        .flat_map(|symbols| {
+            let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+            let dims = Hypercube::at_least(star.topology().node_count()).dims();
+            let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
+            [star, cube]
         })
         .collect();
-    let model_reports = runner.run(&model, &sweeps);
-    let sim_sweeps: Vec<SweepSpec> =
-        sweeps.iter().filter(|s| s.scenario.size <= MAX_SIM_SYMBOLS).cloned().collect();
+    let sweeps: Vec<SweepSpec> = scenarios
+        .iter()
+        .map(|&scenario| {
+            let topology = scenario.topology();
+            let rates: Vec<f64> = utilisations
+                .iter()
+                .map(|u| u * topology.degree() as f64 / (topology.mean_distance() * m as f64))
+                .collect();
+            SweepSpec::new(scenario.network_label(), scenario, rates)
+        })
+        .collect();
+    let model_reports = runner.run(&ModelBackend::new(), &sweeps);
+    let sim_sweeps: Vec<SweepSpec> = sweeps
+        .iter()
+        .filter(|s| s.scenario.topology().node_count() <= MAX_SIM_NODES)
+        .cloned()
+        .collect();
     let sim_reports = runner.run(&SimBackend::new(budget, seed), &sim_sweeps);
 
-    println!("# Model accuracy and scalability across network sizes (V = {v}, M = {m})\n");
+    println!(
+        "# Model accuracy and scalability across network sizes and topologies \
+         (V = {v}, M = {m})\n"
+    );
     let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
     for (si, report) in model_reports.iter().enumerate() {
@@ -63,6 +85,7 @@ fn main() {
             let rate = sweeps[si].rates[ri];
             rows.push(vec![
                 report.id.clone(),
+                format!("{}", report.scenario.topology().node_count()),
                 format!("{:.0}%", utilisation * 100.0),
                 format!("{rate:.5}"),
                 model_cell.clone(),
@@ -76,6 +99,7 @@ fn main() {
         markdown_table(
             &[
                 "network",
+                "nodes",
                 "target channel utilisation",
                 "traffic rate (λ_g)",
                 "model latency",

@@ -1,91 +1,158 @@
 //! Extension study B (the paper's stated future work): latency of the star
 //! graph against the hypercube with at least as many nodes, both running the
 //! same adaptive routing scheme — two [`Scenario`]s differing only in their
-//! network kind, answered by the same simulator backend.
+//! network kind, answered by the same backend.
 //!
 //! ```text
-//! cargo run --release -p star-bench --bin star_vs_hypercube -- [--n 5] [--v 6]
-//!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//! cargo run --release -p star-bench --bin star_vs_hypercube --
+//!     [--backend sim|model] [--n 5 | --n 6,7] [--v V] [--m 32]
+//!     [--budget quick|standard|thorough] [--points N] [--seed S]
 //!     [--threads T]
 //! ```
+//!
+//! With `--backend sim` (the default) both topologies go through the
+//! flit-level simulator, which caps the comparison at sizes the simulator
+//! can reach (`S5`/`Q7` by default).  With `--backend model` the analytical
+//! model answers both sides and **no simulator runs at all**: the default
+//! pairs become `S6`/`Q10` (720 vs 1 024 nodes) and `S7`/`Q13` (5 040 vs
+//! 8 192 nodes) — the model-only regime the paper argues analytical models
+//! exist for — with the rate grid swept up to just below the earlier of the
+//! two model-predicted saturation knees.  The model default is `V = 8`
+//! because `Q13`'s negative-hop scheme needs `⌊13/2⌋ + 1 = 7` escape levels
+//! and Enhanced-Nbc at least one adaptive channel on top.
 
-use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_bench::{
+    arg_value, budget_from_args, experiments_dir, model_saturation_rate, threads_from_args,
+};
 use star_graph::Hypercube;
 use star_workloads::{
-    ascii_plot, markdown_table, write_csv, Scenario, SimBackend, SweepRunner, SweepSpec,
+    ascii_plot, markdown_table, write_csv, Evaluator, ModelBackend, PointEstimate, Scenario,
+    SimBackend, SweepRunner, SweepSpec,
 };
+
+/// The latency cell written to the CSV: the raw (possibly partial)
+/// measurement for simulator estimates, the model latency (empty when
+/// saturated) for model estimates.
+fn csv_latency(estimate: &PointEstimate) -> String {
+    match estimate.sim_report() {
+        Some(report) => format!("{:.4}", report.mean_message_latency),
+        None => estimate.latency().map_or_else(String::new, |l| format!("{l:.4}")),
+    }
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
+    let model_only = match arg_value(&args, "--backend").as_deref() {
+        Some("model") => true,
+        None | Some("sim") => false,
+        Some(other) => {
+            eprintln!("unknown backend {other:?}: expected \"sim\" or \"model\"");
+            std::process::exit(2);
+        }
+    };
+    // model-only runs scale to the sizes the simulator cannot reach
+    let default_sizes: &[usize] = if model_only { &[6, 7] } else { &[5] };
+    let sizes: Vec<usize> = match arg_value(&args, "--n") {
+        Some(s) => match s.split(',').map(str::parse).collect() {
+            Ok(sizes) => sizes,
+            Err(_) => {
+                eprintln!("invalid --n {s:?}: expected star sizes like 5 or 6,7");
+                std::process::exit(2);
+            }
+        },
+        None => default_sizes.to_vec(),
+    };
+    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(if model_only {
+        8
+    } else {
+        6
+    });
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
+    let points: usize = arg_value(&args, "--points")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if model_only { 8 } else { 5 });
     let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7_771);
     let budget = budget_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let model_backend = ModelBackend::new();
+    let sim_backend = SimBackend::new(budget, seed);
+    let evaluator: &dyn Evaluator = if model_only { &model_backend } else { &sim_backend };
 
-    let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
-    let dims = Hypercube::at_least(star.topology().node_count()).dims();
-    let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
-    let max_rate = 0.012 * 32.0 / m as f64;
-    let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
-
-    let sweeps = [
-        SweepSpec::new(star.network_label(), star, rates.clone()),
-        SweepSpec::new(cube.network_label(), cube, rates.clone()),
-    ];
-    let reports = runner.run(&SimBackend::new(budget, seed), &sweeps);
-    let (star_report, cube_report) = (&reports[0], &reports[1]);
-
-    println!(
-        "# {} ({} nodes) vs {} ({} nodes) — Enhanced-Nbc, V = {v}, M = {m} (budget {budget:?})\n",
-        star_report.id,
-        star.topology().node_count(),
-        cube_report.id,
-        cube.topology().node_count()
-    );
-    let mut rows = Vec::new();
     let mut csv_rows = Vec::new();
-    for (ri, &rate) in rates.iter().enumerate() {
-        let s = &star_report.estimates[ri];
-        let c = &cube_report.estimates[ri];
-        rows.push(vec![format!("{rate:.4}"), s.latency_cell(), c.latency_cell()]);
-        // the CSV keeps the raw (possibly partial) measurements for diagnosis
-        let raw = |e: &star_workloads::PointEstimate| {
-            e.sim_report().expect("sim backend yields sim reports").mean_message_latency
+    for &symbols in &sizes {
+        let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+        let dims = Hypercube::at_least(star.topology().node_count()).dims();
+        let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
+        let rates: Vec<f64> = if model_only {
+            // sweep to just below the earlier knee so both curves stay
+            // mostly finite and the divergence near saturation is visible
+            let sat = model_saturation_rate(&star, 0.02).min(model_saturation_rate(&cube, 0.02));
+            (1..=points).map(|i| 0.95 * sat * i as f64 / points as f64).collect()
+        } else {
+            let max_rate = 0.012 * 32.0 / m as f64;
+            (1..=points).map(|i| max_rate * i as f64 / points as f64).collect()
         };
-        csv_rows.push(format!(
-            "{rate},{},{:.4},{},{:.4}",
-            s.saturated,
-            raw(s),
-            c.saturated,
-            raw(c)
-        ));
+
+        let sweeps = [
+            SweepSpec::new(star.network_label(), star, rates.clone()),
+            SweepSpec::new(cube.network_label(), cube, rates.clone()),
+        ];
+        let reports = runner.run(evaluator, &sweeps);
+        let (star_report, cube_report) = (&reports[0], &reports[1]);
+
+        let backend_note = if model_only {
+            ", no simulator invocation".to_string()
+        } else {
+            format!(", budget {budget:?}")
+        };
+        println!(
+            "# {} ({} nodes) vs {} ({} nodes) — Enhanced-Nbc, V = {v}, M = {m} \
+             ({} backend{backend_note})\n",
+            star_report.id,
+            star.topology().node_count(),
+            cube_report.id,
+            cube.topology().node_count(),
+            evaluator.name(),
+        );
+        let mut rows = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let s = &star_report.estimates[ri];
+            let c = &cube_report.estimates[ri];
+            rows.push(vec![format!("{rate:.5}"), s.latency_cell(), c.latency_cell()]);
+            csv_rows.push(format!(
+                "{}/{},{rate},{},{},{},{}",
+                star_report.id,
+                cube_report.id,
+                s.saturated,
+                csv_latency(s),
+                c.saturated,
+                csv_latency(c)
+            ));
+        }
+        let star_col = format!("{} latency", star_report.id);
+        let cube_col = format!("{} latency", cube_report.id);
+        println!(
+            "{}",
+            markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
+        );
+        println!(
+            "{}",
+            ascii_plot(
+                "star vs hypercube latency",
+                &rates,
+                &[
+                    (star_report.id.as_str(), star_report.latency_curve()),
+                    (cube_report.id.as_str(), cube_report.latency_curve()),
+                ],
+                60,
+                16,
+            )
+        );
     }
-    let star_col = format!("{} latency", star_report.id);
-    let cube_col = format!("{} latency", cube_report.id);
-    println!(
-        "{}",
-        markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
-    );
-    println!(
-        "{}",
-        ascii_plot(
-            "star vs hypercube latency",
-            &rates,
-            &[
-                (star_report.id.as_str(), star_report.latency_curve()),
-                (cube_report.id.as_str(), cube_report.latency_curve()),
-            ],
-            60,
-            16,
-        )
-    );
     let path = experiments_dir().join("star_vs_hypercube.csv");
     match write_csv(
         &path,
-        "traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency",
+        "pair,traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency",
         &csv_rows,
     ) {
         Ok(()) => println!("wrote {}", path.display()),

@@ -66,6 +66,31 @@ pub fn pair_into_validation_rows(model: &SweepReport, sim: &SweepReport) -> Vec<
         .collect()
 }
 
+/// The model-predicted saturation rate of a scenario, on either topology —
+/// the bisection the model-only harness binaries use to pick rate grids that
+/// cover the whole latency curve up to the knee.
+///
+/// # Panics
+/// Panics if the analytical model does not cover the scenario, or if the
+/// scenario's parameters are out of the model's range (the panic message
+/// carries the underlying config error, e.g. too few virtual channels for
+/// the cube's escape-level minimum).
+#[must_use]
+pub fn model_saturation_rate(scenario: &star_workloads::Scenario, tolerance: f64) -> f64 {
+    match scenario.model_config(0.0) {
+        Ok(Some(config)) => return star_core::saturation_rate(config, tolerance),
+        Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
+        Ok(None) => {}
+    }
+    match scenario.hypercube_model_config(0.0) {
+        Ok(Some(config)) => star_core::hypercube_saturation_rate(config, tolerance),
+        Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
+        Ok(None) => {
+            panic!("the analytical model does not cover scenario {}", scenario.label())
+        }
+    }
+}
+
 /// Parses a `--flag value` (or `--flag=value`) style argument list used by
 /// the harness binaries (no external CLI dependency).  Returns the value of
 /// `flag`, if any.

@@ -10,6 +10,15 @@
 //! enumerates cycle types (a few dozen for `S5`-`S9`) instead of all `n! − 1`
 //! destinations, which is what keeps it cheap enough to evaluate far beyond
 //! the sizes a flit-level simulator can handle.
+//!
+//! **Topology split:** this module is the star-specific half of the spectrum
+//! stage — permutation cycle types and minimal-path DAGs only make sense on
+//! `S_n`.  The hypercube analogue is [`crate::HypercubeSpectrum`], whose
+//! populations come from the binomial distribution of Hamming distances and
+//! whose per-hop adaptivity is the closed form `h − k`; everything downstream
+//! of the spectrum ([`crate::blocking`], [`crate::waiting`],
+//! [`crate::occupancy`]) consumes either spectrum through the same
+//! [`AdaptivityProfile`] interface.
 
 use serde::{Deserialize, Serialize};
 use star_graph::path::MinimalPathDag;

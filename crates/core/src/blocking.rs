@@ -22,6 +22,16 @@
 //! preserves the quantities the paper identifies as driving the blocking
 //! probability — remaining distance, negative hops already taken, and the
 //! number of alternative output channels — and is documented in DESIGN.md.
+//!
+//! **Topology split:** everything in this module is topology-agnostic.  The
+//! derivation only assumes a bipartite network with equal colour classes
+//! (so hop signs alternate deterministically and the ½–½ colour average is
+//! exact) — true of both the star graph and the binary hypercube — and all
+//! topology knowledge arrives pre-digested through the [`AdaptivityProfile`]
+//! (how many alternative ports each hop offers) and the [`VcSplit`] (how the
+//! discipline partitions the virtual channels).  The star model
+//! ([`crate::AnalyticalModel`]) and the hypercube model
+//! ([`crate::HypercubeModel`]) call these functions unchanged.
 
 use star_graph::coloring::{negative_hops_after, negative_hops_remaining, Color};
 use star_graph::AdaptivityProfile;

@@ -1,4 +1,10 @@
-//! Analytical-model configuration.
+//! Analytical-model configuration for the star graph `S_n`.
+//!
+//! **Topology split:** star-specific by construction — the supported size
+//! range (`S_3 … S_9`), the diameter `⌈3(n−1)/2⌉` and the escape-level
+//! minimum all come from the star graph.  The hypercube counterpart is
+//! [`crate::HypercubeConfig`], which mirrors the same builder/validation
+//! shape with `Q_d`'s diameter `d` and level minimum `⌊d/2⌋ + 1`.
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,959 @@
+//! The analytical latency model extended to the binary hypercube `Q_d`.
+//!
+//! The paper derives its model for the star graph but names the
+//! star-vs-hypercube comparison as the headline argument; this module is the
+//! "few changes" that carry the derivation across.  The chain of equations is
+//! the same one `S_n` uses — config → spectrum → blocking → waiting →
+//! latency — and most links are **topology-agnostic**:
+//!
+//! * the per-channel rate `λ_c = λ_g·d̄/degree` (Eq. 3) holds for any
+//!   edge-symmetric network under uniform traffic, with `degree = d` here;
+//! * the blocking machinery of [`crate::blocking`] only consumes a
+//!   [`VcSplit`] and an [`AdaptivityProfile`]; the negative-hop bookkeeping
+//!   inside it ([`star_graph::coloring`]) applies to *any* bipartite network
+//!   because hop signs alternate with the 2-colouring — and `Q_d` is
+//!   bipartite (colour = parity of the node's popcount);
+//! * the M/G/1 waiting times ([`crate::waiting`]), the virtual-channel
+//!   occupancy chain and multiplexing degree ([`crate::occupancy`]), and the
+//!   final `(S̄ + W_s)·V̄` composition (Eq. 1) never mention the topology.
+//!
+//! What *is* topology-specific — and what this module supplies — is the
+//! destination spectrum.  Where `S_n` needs permutation cycle types and a
+//! minimal-path DAG, the hypercube is pleasantly regular: the destinations of
+//! a node group by Hamming distance `h`, with `C(d, h)` destinations per
+//! group, and a message at hop `k` (1-based) of an `h`-hop journey *always*
+//! sees exactly `h − k + 1` profitable output ports (the dimensions still to
+//! correct).  [`HypercubeSpectrum`] packages those populations and per-hop
+//! adaptivity profiles in the same shape [`crate::DestinationSpectrum`] uses,
+//! so [`HypercubeModel`] can run the identical damped fixed-point iteration —
+//! including [`HypercubeModel::solve_from`] warm-starting across the rates of
+//! a sweep.
+//!
+//! Two routing families are modelled:
+//!
+//! * **adaptive** ([`HypercubeRouting::EnhancedNbc`], [`HypercubeRouting::Nbc`],
+//!   [`HypercubeRouting::NHop`]) — the same negative-hop virtual-channel
+//!   disciplines the star model covers, with the escape-level minimum
+//!   `⌊d/2⌋ + 1` implied by the hypercube's diameter `d`;
+//! * **dimension-order** ([`HypercubeRouting::DimensionOrder`]) — the
+//!   deterministic e-cube baseline: one admissible output port per hop
+//!   (`f = 1`) and one admissible virtual channel (the mandatory negative-hop
+//!   level), matching the simulator's `DeterministicMinimal` on `Q_d`.
+
+use std::error::Error;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use star_graph::coloring::max_negative_hops;
+use star_graph::{AdaptivityProfile, Hypercube};
+use star_queueing::FixedPointOutcome;
+
+use crate::blocking::{total_blocking_delay, VcSplit};
+use crate::model::latency_solver;
+use crate::occupancy::{binomial, ChannelOccupancy};
+use crate::waiting::{channel_waiting_time, source_waiting_time};
+
+/// Which hypercube routing scheme the model evaluates.
+///
+/// The three adaptive variants mirror [`crate::RoutingDiscipline`] (they
+/// differ only in how the `V` virtual channels are split and whether bonus
+/// cards apply); `DimensionOrder` is the deterministic e-cube baseline the
+/// simulator's `DeterministicMinimal` implements on `Q_d`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum HypercubeRouting {
+    /// Minimal escape levels plus fully adaptive class-a channels, with
+    /// bonus cards on the escape levels (the star paper's scheme carried to
+    /// `Q_d`).
+    #[default]
+    EnhancedNbc,
+    /// Negative-hop with bonus cards over all `V` virtual channels.
+    Nbc,
+    /// Plain negative-hop: one admissible virtual channel per admissible
+    /// physical channel.
+    NHop,
+    /// Deterministic dimension-order (e-cube) routing: one admissible
+    /// physical channel per hop, one admissible virtual channel (the
+    /// mandatory negative-hop level).
+    DimensionOrder,
+}
+
+impl HypercubeRouting {
+    /// Whether the scheme offers every profitable dimension (adaptive) or a
+    /// single canonical one (dimension-order).
+    #[must_use]
+    pub fn is_adaptive(self) -> bool {
+        !matches!(self, HypercubeRouting::DimensionOrder)
+    }
+}
+
+/// Why a [`HypercubeConfig`] is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum HypercubeConfigError {
+    /// `d` is outside the range the model supports.
+    UnsupportedDims {
+        /// The rejected dimension.
+        dims: usize,
+    },
+    /// Messages must be at least one flit long.
+    ZeroLengthMessage,
+    /// The traffic generation rate is negative, NaN or infinite.
+    InvalidTrafficRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The routing scheme needs more virtual channels than were configured.
+    TooFewVirtualChannels {
+        /// The routing scheme being modelled.
+        routing: HypercubeRouting,
+        /// The dimension the requirement was computed for.
+        dims: usize,
+        /// Minimum negative-hop levels `Q_d` requires.
+        required_levels: usize,
+        /// The rejected virtual-channel count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for HypercubeConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HypercubeConfigError::UnsupportedDims { dims } => {
+                write!(
+                    f,
+                    "the hypercube model supports Q_2 … Q_{}, got Q_{dims}",
+                    Hypercube::MAX_DIMS
+                )
+            }
+            HypercubeConfigError::ZeroLengthMessage => {
+                write!(f, "messages need at least one flit")
+            }
+            HypercubeConfigError::InvalidTrafficRate { rate } => {
+                write!(f, "traffic rate must be finite and non-negative, got {rate}")
+            }
+            HypercubeConfigError::TooFewVirtualChannels {
+                routing: HypercubeRouting::EnhancedNbc,
+                dims,
+                required_levels,
+                got,
+            } => write!(
+                f,
+                "Enhanced-Nbc on Q_{dims} needs more than {required_levels} \
+                 virtual channels, got {got}"
+            ),
+            HypercubeConfigError::TooFewVirtualChannels { routing, dims, required_levels, got } => {
+                write!(
+                    f,
+                    "{routing:?} on Q_{dims} needs at least {required_levels} \
+                     virtual channels, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for HypercubeConfigError {}
+
+/// Configuration of one hypercube-model evaluation: the cube `Q_d`, the
+/// number of virtual channels per physical channel, the message length, the
+/// per-node traffic generation rate and the routing scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HypercubeConfig {
+    /// Dimension `d` of the cube (`Q_d` has `2^d` nodes).
+    pub dims: usize,
+    /// Virtual channels `V` per physical channel.
+    pub virtual_channels: usize,
+    /// Message length `M` in flits.
+    pub message_length: usize,
+    /// Traffic generation rate `λ_g` in messages per node per cycle.
+    pub traffic_rate: f64,
+    /// Routing scheme being modelled.
+    pub routing: HypercubeRouting,
+}
+
+impl HypercubeConfig {
+    /// Starts a builder with `Q7` (the hypercube matched to the paper's
+    /// `S5`), `V = 6`, `M = 32`, adaptive Enhanced-Nbc routing at a low load.
+    #[must_use]
+    pub fn builder() -> HypercubeConfigBuilder {
+        HypercubeConfigBuilder {
+            config: Self {
+                dims: 7,
+                virtual_channels: 6,
+                message_length: 32,
+                traffic_rate: 0.001,
+                routing: HypercubeRouting::EnhancedNbc,
+            },
+        }
+    }
+
+    /// Network diameter (`d` for `Q_d`).
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        self.dims
+    }
+
+    /// Minimum number of negative-hop levels the topology requires
+    /// (`⌊d/2⌋ + 1` for the 2-colourable hypercube).
+    #[must_use]
+    pub fn required_levels(&self) -> usize {
+        max_negative_hops(self.diameter(), 2) + 1
+    }
+
+    /// Number of class-b (escape) virtual channels the modelled scheme uses:
+    /// the minimum for Enhanced-Nbc, all `V` channels otherwise.
+    #[must_use]
+    pub fn escape_levels(&self) -> usize {
+        match self.routing {
+            HypercubeRouting::EnhancedNbc => self.required_levels(),
+            _ => self.virtual_channels,
+        }
+    }
+
+    /// Number of class-a (fully adaptive) virtual channels (`V − V2` for
+    /// Enhanced-Nbc, none otherwise).
+    #[must_use]
+    pub fn adaptive_channels(&self) -> usize {
+        match self.routing {
+            HypercubeRouting::EnhancedNbc => self.virtual_channels - self.required_levels(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the modelled scheme lets headers climb above their mandatory
+    /// escape level (bonus cards).
+    #[must_use]
+    pub fn bonus_cards(&self) -> bool {
+        matches!(self.routing, HypercubeRouting::EnhancedNbc | HypercubeRouting::Nbc)
+    }
+
+    /// Router degree (`d` for `Q_d`).
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.dims
+    }
+
+    /// The virtual-channel split the blocking equations assume for this
+    /// scheme.
+    #[must_use]
+    pub fn vc_split(&self) -> VcSplit {
+        VcSplit {
+            adaptive: self.adaptive_channels(),
+            escape_levels: self.escape_levels(),
+            bonus_cards: self.bonus_cards(),
+        }
+    }
+
+    /// Validates the configuration, returning the first violation found.
+    ///
+    /// # Errors
+    /// Returns a [`HypercubeConfigError`] describing the out-of-range
+    /// parameter.
+    pub fn try_validate(&self) -> Result<(), HypercubeConfigError> {
+        if !(2..=Hypercube::MAX_DIMS).contains(&self.dims) {
+            return Err(HypercubeConfigError::UnsupportedDims { dims: self.dims });
+        }
+        if self.message_length < 1 {
+            return Err(HypercubeConfigError::ZeroLengthMessage);
+        }
+        if !(self.traffic_rate >= 0.0 && self.traffic_rate.is_finite()) {
+            return Err(HypercubeConfigError::InvalidTrafficRate { rate: self.traffic_rate });
+        }
+        let enough = match self.routing {
+            HypercubeRouting::EnhancedNbc => self.virtual_channels > self.required_levels(),
+            _ => self.virtual_channels >= self.required_levels(),
+        };
+        if !enough {
+            return Err(HypercubeConfigError::TooFewVirtualChannels {
+                routing: self.routing,
+                dims: self.dims,
+                required_levels: self.required_levels(),
+                got: self.virtual_channels,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics with the [`fmt::Display`] rendering of the
+    /// [`HypercubeConfigError`] that [`Self::try_validate`] would return.
+    pub fn validate(&self) {
+        if let Err(e) = self.try_validate() {
+            panic!("{e}");
+        }
+    }
+}
+
+/// Builder for [`HypercubeConfig`].
+#[derive(Debug, Clone)]
+pub struct HypercubeConfigBuilder {
+    config: HypercubeConfig,
+}
+
+impl HypercubeConfigBuilder {
+    /// Sets the dimension `d`.
+    #[must_use]
+    pub fn dims(mut self, d: usize) -> Self {
+        self.config.dims = d;
+        self
+    }
+
+    /// Sets the number of virtual channels per physical channel.
+    #[must_use]
+    pub fn virtual_channels(mut self, v: usize) -> Self {
+        self.config.virtual_channels = v;
+        self
+    }
+
+    /// Sets the message length in flits.
+    #[must_use]
+    pub fn message_length(mut self, m: usize) -> Self {
+        self.config.message_length = m;
+        self
+    }
+
+    /// Sets the traffic generation rate (messages/node/cycle).
+    #[must_use]
+    pub fn traffic_rate(mut self, rate: f64) -> Self {
+        self.config.traffic_rate = rate;
+        self
+    }
+
+    /// Sets the routing scheme (defaults to adaptive Enhanced-Nbc).
+    #[must_use]
+    pub fn routing(mut self, routing: HypercubeRouting) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// Finishes the builder without panicking.
+    ///
+    /// # Errors
+    /// Returns the [`HypercubeConfigError`] describing why the configuration
+    /// is invalid.
+    pub fn try_build(self) -> Result<HypercubeConfig, HypercubeConfigError> {
+        self.config.try_validate()?;
+        Ok(self.config)
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid (the panicking wrapper around
+    /// [`Self::try_build`]).
+    #[must_use]
+    pub fn build(self) -> HypercubeConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+/// One class of hypercube destinations: all `C(d, h)` nodes at Hamming
+/// distance `h`, with the per-hop adaptivity profiles both routing families
+/// see on the way there.
+#[derive(Debug, Clone)]
+pub struct HypercubeClass {
+    /// Hamming distance from the source.
+    pub distance: usize,
+    /// Number of destinations at this distance (`C(d, h)`).
+    pub count: u64,
+    /// Per-hop adaptivity under fully adaptive minimal routing: hop `k`
+    /// (0-based) always offers exactly `h − k` profitable dimensions.
+    pub adaptive_profile: AdaptivityProfile,
+    /// Per-hop adaptivity under dimension-order routing: always exactly one
+    /// admissible output port.
+    pub deterministic_profile: AdaptivityProfile,
+}
+
+/// The traversal spectrum of `Q_d`: the hypercube analogue of
+/// [`crate::DestinationSpectrum`], with destination populations given by the
+/// binomial distribution of Hamming distances instead of permutation cycle
+/// types.
+#[derive(Debug, Clone)]
+pub struct HypercubeSpectrum {
+    dims: usize,
+    classes: Vec<HypercubeClass>,
+}
+
+impl HypercubeSpectrum {
+    /// Builds the spectrum for `Q_d`.
+    ///
+    /// # Panics
+    /// Panics if `dims` is outside `1..=`[`Hypercube::MAX_DIMS`].
+    #[must_use]
+    pub fn new(dims: usize) -> Self {
+        assert!(
+            (1..=Hypercube::MAX_DIMS).contains(&dims),
+            "hypercube dimension {dims} out of range 1..={}",
+            Hypercube::MAX_DIMS
+        );
+        let classes = (1..=dims)
+            .map(|h| {
+                // every minimal path is an ordering of the h differing
+                // dimensions, so hop k (0-based) always offers h − k choices
+                let adaptive_profile = AdaptivityProfile {
+                    distance: h,
+                    path_count: (1..=h as u128).product(),
+                    hop_adaptivity: (0..h).map(|k| vec![(h - k, 1.0)]).collect(),
+                };
+                let deterministic_profile = AdaptivityProfile {
+                    distance: h,
+                    path_count: 1,
+                    hop_adaptivity: vec![vec![(1, 1.0)]; h],
+                };
+                HypercubeClass {
+                    distance: h,
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    count: binomial(dims, h) as u64,
+                    adaptive_profile,
+                    deterministic_profile,
+                }
+            })
+            .collect();
+        Self { dims, classes }
+    }
+
+    /// The dimension `d`.
+    #[must_use]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// The destination classes, sorted by distance.
+    #[must_use]
+    pub fn classes(&self) -> &[HypercubeClass] {
+        &self.classes
+    }
+
+    /// Total number of destinations (`2^d − 1`).
+    #[must_use]
+    pub fn destination_count(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Mean Hamming distance over all destinations
+    /// (`d·2^{d−1}/(2^d − 1)`, the hypercube's Eq. 2).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        let weighted: f64 = self.classes.iter().map(|c| c.distance as f64 * c.count as f64).sum();
+        weighted / self.destination_count() as f64
+    }
+}
+
+/// Result of evaluating the hypercube model at one operating point: the same
+/// headline quantities as the star model's [`crate::ModelResult`], for a
+/// [`HypercubeConfig`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HypercubeResult {
+    /// The configuration that was evaluated.
+    pub config: HypercubeConfig,
+    /// Whether the operating point is beyond saturation.
+    pub saturated: bool,
+    /// Mean network latency `S̄`, in cycles.
+    pub mean_network_latency: f64,
+    /// Mean waiting time at the source queue `W_s`, in cycles.
+    pub source_waiting: f64,
+    /// Average degree of virtual-channel multiplexing `V̄`.
+    pub multiplexing: f64,
+    /// Mean message latency `(S̄ + W_s)·V̄`, in cycles.
+    pub mean_latency: f64,
+    /// Mean Hamming distance `d̄`.
+    pub mean_distance: f64,
+    /// Traffic rate per channel `λ_c = λ_g·d̄/d`.
+    pub channel_rate: f64,
+    /// Channel utilisation `λ_c · S̄` at the solution.
+    pub channel_utilization: f64,
+    /// Mean waiting time `w̄` at a channel when blocking occurs.
+    pub channel_waiting: f64,
+    /// Number of fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl HypercubeResult {
+    /// A saturated placeholder result (infinite latency).
+    fn saturated(
+        config: HypercubeConfig,
+        mean_distance: f64,
+        channel_rate: f64,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            config,
+            saturated: true,
+            mean_network_latency: f64::INFINITY,
+            source_waiting: f64::INFINITY,
+            multiplexing: config.virtual_channels as f64,
+            mean_latency: f64::INFINITY,
+            mean_distance,
+            channel_rate,
+            channel_utilization: 1.0,
+            channel_waiting: f64::INFINITY,
+            iterations,
+        }
+    }
+}
+
+/// The analytical model of mean message latency on the binary hypercube
+/// `Q_d`, mirroring [`crate::AnalyticalModel`] with the hypercube's traversal
+/// spectrum.
+#[derive(Debug, Clone)]
+pub struct HypercubeModel {
+    config: HypercubeConfig,
+    spectrum: Arc<HypercubeSpectrum>,
+}
+
+impl HypercubeModel {
+    /// Builds the model, precomputing the traversal spectrum of `Q_d`.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(config: HypercubeConfig) -> Self {
+        config.validate();
+        let spectrum = Arc::new(HypercubeSpectrum::new(config.dims));
+        Self { config, spectrum }
+    }
+
+    /// Builds the model sharing an already computed spectrum (the spectrum
+    /// only depends on `d`, so a sweep — or several threads — can reuse one
+    /// allocation).
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the spectrum was built for
+    /// a different `d`.
+    #[must_use]
+    pub fn with_spectrum(config: HypercubeConfig, spectrum: Arc<HypercubeSpectrum>) -> Self {
+        config.validate();
+        assert_eq!(spectrum.dims(), config.dims, "spectrum size mismatch");
+        Self { config, spectrum }
+    }
+
+    /// The configuration being evaluated.
+    #[must_use]
+    pub fn config(&self) -> &HypercubeConfig {
+        &self.config
+    }
+
+    /// The traversal spectrum (shared across operating points of the same
+    /// `Q_d`).
+    #[must_use]
+    pub fn spectrum(&self) -> &HypercubeSpectrum {
+        &self.spectrum
+    }
+
+    /// Evaluates the mean network latency implied by a current estimate of
+    /// `S̄`: one application of the blocking/waiting equations on the
+    /// hypercube spectrum.
+    fn network_latency_step(&self, mean_service: f64, channel_rate: f64) -> f64 {
+        let cfg = &self.config;
+        let split = cfg.vc_split();
+        let occupancy = ChannelOccupancy::new(channel_rate, mean_service, cfg.virtual_channels);
+        let mean_wait = channel_waiting_time(channel_rate, mean_service, cfg.message_length);
+        if !mean_wait.is_finite() {
+            return f64::INFINITY;
+        }
+        let mut weighted = 0.0;
+        for class in self.spectrum.classes() {
+            let profile = if cfg.routing.is_adaptive() {
+                &class.adaptive_profile
+            } else {
+                &class.deterministic_profile
+            };
+            let blocking = total_blocking_delay(split, &occupancy, profile, mean_wait);
+            let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+            weighted += latency * class.count as f64;
+        }
+        weighted / self.spectrum.destination_count() as f64
+    }
+
+    /// Solves the model at the configured operating point from the cold
+    /// (zero-load) initial state.
+    #[must_use]
+    pub fn solve(&self) -> HypercubeResult {
+        self.solve_from(&[])
+    }
+
+    /// Solves the model, warm-starting the damped fixed-point iteration from
+    /// a previously converged state vector (one component: the mean network
+    /// latency `S̄`) — the same contract as
+    /// [`crate::AnalyticalModel::solve_from`], so sweeps over increasing
+    /// rates carry their converged state across the topology change for
+    /// free.  An empty slice or a non-finite / below-zero-load seed falls
+    /// back to the cold start.
+    #[must_use]
+    pub fn solve_from(&self, warm_state: &[f64]) -> HypercubeResult {
+        let cfg = &self.config;
+        let mean_distance = self.spectrum.mean_distance();
+        let channel_rate = cfg.traffic_rate * mean_distance / cfg.degree() as f64;
+        let zero_load = cfg.message_length as f64 + mean_distance;
+
+        // a channel can never serve more than one message of M flits at a
+        // time, so λ_c·M ≥ 1 is beyond saturation
+        if channel_rate * cfg.message_length as f64 >= 1.0 {
+            return HypercubeResult::saturated(*cfg, mean_distance, channel_rate, 0);
+        }
+
+        let initial = match warm_state.first() {
+            Some(&seed) if seed.is_finite() && seed >= zero_load => seed,
+            _ => zero_load,
+        };
+        let solver = latency_solver();
+        let outcome = solver
+            .solve(vec![initial], |state| vec![self.network_latency_step(state[0], channel_rate)]);
+        let (mean_network_latency, iterations) = match outcome {
+            FixedPointOutcome::Converged { state, iterations } => (state[0], iterations),
+            FixedPointOutcome::Diverged { iterations, .. } => {
+                return HypercubeResult::saturated(*cfg, mean_distance, channel_rate, iterations);
+            }
+            FixedPointOutcome::MaxIterations { state, .. } => (state[0], solver.max_iterations),
+        };
+
+        let occupancy =
+            ChannelOccupancy::new(channel_rate, mean_network_latency, cfg.virtual_channels);
+        let multiplexing = occupancy.multiplexing_degree();
+        let channel_waiting =
+            channel_waiting_time(channel_rate, mean_network_latency, cfg.message_length);
+        let source_waiting = source_waiting_time(
+            cfg.traffic_rate,
+            cfg.virtual_channels,
+            mean_network_latency,
+            cfg.message_length,
+        );
+        if !source_waiting.is_finite() || !channel_waiting.is_finite() {
+            return HypercubeResult::saturated(*cfg, mean_distance, channel_rate, iterations);
+        }
+        let mean_latency = (mean_network_latency + source_waiting) * multiplexing;
+        HypercubeResult {
+            config: *cfg,
+            saturated: false,
+            mean_network_latency,
+            source_waiting,
+            multiplexing,
+            mean_latency,
+            mean_distance,
+            channel_rate,
+            channel_utilization: channel_rate * mean_network_latency,
+            channel_waiting,
+            iterations,
+        }
+    }
+}
+
+/// Largest traffic generation rate at which the hypercube model still
+/// converges (the predicted saturation rate), found by bisection to the
+/// given relative tolerance — the `Q_d` analogue of
+/// [`crate::saturation_rate`].
+///
+/// # Panics
+/// Panics if the configuration is invalid or `tolerance` is outside `(0, 1)`.
+#[must_use]
+pub fn hypercube_saturation_rate(base: HypercubeConfig, tolerance: f64) -> f64 {
+    assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
+    let spectrum = Arc::new(HypercubeSpectrum::new(base.dims));
+    let solves = |rate: f64| {
+        let config = HypercubeConfig { traffic_rate: rate, ..base };
+        !HypercubeModel::with_spectrum(config, Arc::clone(&spectrum)).solve().saturated
+    };
+    let mut low = 0.0;
+    // λ_c·M ≥ 1 (one message of M flits per channel at a time) is certainly
+    // beyond saturation: λ_g = degree/(d̄·M)
+    let mut high = base.degree() as f64 / (spectrum.mean_distance() * base.message_length as f64);
+    debug_assert!(!solves(high));
+    while (high - low) / high.max(1e-12) > tolerance {
+        let mid = 0.5 * (low + high);
+        if solves(mid) {
+            low = mid;
+        } else {
+            high = mid;
+        }
+    }
+    low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::Topology;
+
+    fn solve(dims: usize, v: usize, m: usize, rate: f64) -> HypercubeResult {
+        solve_with(dims, v, m, rate, HypercubeRouting::EnhancedNbc)
+    }
+
+    fn solve_with(
+        dims: usize,
+        v: usize,
+        m: usize,
+        rate: f64,
+        routing: HypercubeRouting,
+    ) -> HypercubeResult {
+        HypercubeModel::new(
+            HypercubeConfig::builder()
+                .dims(dims)
+                .virtual_channels(v)
+                .message_length(m)
+                .traffic_rate(rate)
+                .routing(routing)
+                .build(),
+        )
+        .solve()
+    }
+
+    #[test]
+    fn spectrum_covers_all_destinations_with_binomial_populations() {
+        for d in 2..=10 {
+            let spectrum = HypercubeSpectrum::new(d);
+            assert_eq!(spectrum.destination_count(), (1u64 << d) - 1);
+            assert_eq!(spectrum.classes().len(), d);
+            for class in spectrum.classes() {
+                assert_eq!(class.adaptive_profile.distance, class.distance);
+                assert_eq!(class.deterministic_profile.distance, class.distance);
+                // last hop of any minimal path is forced
+                assert_eq!(
+                    class.adaptive_profile.hop_adaptivity[class.distance - 1],
+                    vec![(1, 1.0)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spectrum_mean_distance_matches_topology() {
+        for d in 2..=12 {
+            let spectrum = HypercubeSpectrum::new(d);
+            let topo = Hypercube::new(d);
+            assert!(
+                (spectrum.mean_distance() - topo.mean_distance()).abs() < 1e-12,
+                "Q{d}: spectrum mean distance must equal the topology's"
+            );
+        }
+    }
+
+    #[test]
+    fn first_hop_adaptivity_equals_distance() {
+        let spectrum = HypercubeSpectrum::new(8);
+        for class in spectrum.classes() {
+            assert_eq!(class.adaptive_profile.hop_adaptivity[0], vec![(class.distance, 1.0)]);
+            assert!(
+                (class.adaptive_profile.mean_adaptivity(0) - class.distance as f64).abs() < 1e-12
+            );
+        }
+    }
+
+    #[test]
+    fn zero_load_latency_equals_message_length_plus_mean_distance() {
+        let r = solve(7, 6, 32, 0.0);
+        assert!(!r.saturated);
+        assert!((r.mean_network_latency - (32.0 + r.mean_distance)).abs() < 1e-6);
+        assert_eq!(r.source_waiting, 0.0);
+        assert!((r.multiplexing - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_load_until_saturation() {
+        let mut last = 0.0;
+        let mut saturated_seen = false;
+        for i in 1..=40 {
+            let rate = i as f64 * 0.001;
+            let r = solve(7, 6, 32, rate);
+            if r.saturated {
+                saturated_seen = true;
+                break;
+            }
+            assert!(
+                r.mean_latency > last,
+                "latency must grow with load (rate {rate}: {} vs {last})",
+                r.mean_latency
+            );
+            last = r.mean_latency;
+        }
+        assert!(saturated_seen, "the sweep must eventually saturate");
+    }
+
+    #[test]
+    fn channel_rate_follows_equation_three() {
+        let r = solve(7, 9, 32, 0.006);
+        let expected = 0.006 * r.mean_distance / 7.0;
+        assert!((r.channel_rate - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_order_is_slower_than_adaptive_at_the_same_load() {
+        // one admissible port and one admissible virtual channel per hop must
+        // block at least as much as the fully adaptive scheme
+        let rate = 0.01;
+        let adaptive = solve_with(6, 6, 32, rate, HypercubeRouting::EnhancedNbc);
+        let ecube = solve_with(6, 6, 32, rate, HypercubeRouting::DimensionOrder);
+        assert!(!adaptive.saturated);
+        if !ecube.saturated {
+            assert!(ecube.mean_latency >= adaptive.mean_latency - 1e-9);
+        }
+    }
+
+    #[test]
+    fn routing_families_order_like_the_star_disciplines() {
+        let rate = 0.012;
+        let enhanced = solve_with(7, 6, 32, rate, HypercubeRouting::EnhancedNbc);
+        let nbc = solve_with(7, 6, 32, rate, HypercubeRouting::Nbc);
+        let nhop = solve_with(7, 6, 32, rate, HypercubeRouting::NHop);
+        assert!(!enhanced.saturated);
+        if !nhop.saturated && !nbc.saturated {
+            assert!(nhop.mean_latency >= nbc.mean_latency - 1e-9);
+            assert!(nbc.mean_latency >= enhanced.mean_latency - 1e-9);
+        }
+    }
+
+    #[test]
+    fn larger_cubes_have_higher_zero_load_latency() {
+        let q6 = solve(6, 6, 32, 0.0);
+        let q8 = solve(8, 6, 32, 0.0);
+        let q10 = solve(10, 8, 32, 0.0);
+        assert!(q8.mean_network_latency > q6.mean_network_latency);
+        assert!(q10.mean_network_latency > q8.mean_network_latency);
+    }
+
+    #[test]
+    fn with_spectrum_reuses_precomputed_spectrum() {
+        let spectrum = Arc::new(HypercubeSpectrum::new(7));
+        let config =
+            HypercubeConfig::builder().dims(7).virtual_channels(6).traffic_rate(0.004).build();
+        let a = HypercubeModel::with_spectrum(config, Arc::clone(&spectrum)).solve();
+        let b = HypercubeModel::new(config).solve();
+        assert!((a.mean_latency - b.mean_latency).abs() < 1e-12);
+        assert_eq!(Arc::strong_count(&spectrum), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "spectrum size mismatch")]
+    fn mismatched_spectrum_is_rejected() {
+        let spectrum = Arc::new(HypercubeSpectrum::new(6));
+        let config = HypercubeConfig::builder().dims(7).virtual_channels(6).build();
+        let _ = HypercubeModel::with_spectrum(config, spectrum);
+    }
+
+    #[test]
+    fn solve_from_reaches_the_cold_start_fixed_point_with_fewer_iterations() {
+        let spectrum = Arc::new(HypercubeSpectrum::new(7));
+        let config_at = |rate: f64| {
+            HypercubeConfig::builder()
+                .dims(7)
+                .virtual_channels(6)
+                .message_length(32)
+                .traffic_rate(rate)
+                .build()
+        };
+        let near_knee =
+            HypercubeModel::with_spectrum(config_at(0.020), Arc::clone(&spectrum)).solve();
+        assert!(!near_knee.saturated);
+        let model = HypercubeModel::with_spectrum(config_at(0.021), Arc::clone(&spectrum));
+        let cold = model.solve();
+        let warm = model.solve_from(&[near_knee.mean_network_latency]);
+        assert!(!cold.saturated && !warm.saturated);
+        let rel = (warm.mean_latency - cold.mean_latency).abs() / cold.mean_latency;
+        assert!(rel < 1e-9, "warm and cold fixed points differ by {rel}");
+        assert!(
+            warm.iterations < cold.iterations,
+            "warm start must save iterations ({} vs {})",
+            warm.iterations,
+            cold.iterations
+        );
+    }
+
+    #[test]
+    fn solve_from_falls_back_to_cold_start_on_unusable_seeds() {
+        let model = HypercubeModel::new(
+            HypercubeConfig::builder().dims(7).virtual_channels(6).traffic_rate(0.01).build(),
+        );
+        let cold = model.solve();
+        for seed in [&[][..], &[f64::INFINITY][..], &[f64::NAN][..], &[1.0][..]] {
+            let r = model.solve_from(seed);
+            assert_eq!(r.iterations, cold.iterations);
+            assert!((r.mean_latency - cold.mean_latency).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn heavy_load_is_reported_as_saturated() {
+        let r = solve(7, 6, 32, 0.2);
+        assert!(r.saturated);
+        assert!(r.mean_latency.is_infinite());
+    }
+
+    #[test]
+    fn saturation_rate_is_consistent_with_solves() {
+        let cfg = HypercubeConfig::builder().dims(7).virtual_channels(6).message_length(32).build();
+        let sat = hypercube_saturation_rate(cfg, 0.02);
+        assert!(sat > 0.0);
+        let below = solve(7, 6, 32, sat * 0.9);
+        let above = solve(7, 6, 32, sat * 1.2);
+        assert!(!below.saturated);
+        assert!(above.saturated);
+        // dimension-order saturates no later than the adaptive scheme
+        let ecube = HypercubeConfig { routing: HypercubeRouting::DimensionOrder, ..cfg };
+        assert!(hypercube_saturation_rate(ecube, 0.02) <= sat * 1.05);
+    }
+
+    #[test]
+    fn q10_and_q13_solve_in_the_model_only_regime() {
+        // the sizes the star-vs-hypercube parity sweep needs (matched to S6
+        // and S7); the simulator cannot reach these, the model must
+        for (dims, v) in [(10usize, 8usize), (13, 8)] {
+            let r = solve(dims, v, 32, 0.001);
+            assert!(!r.saturated, "Q{dims} must solve at light load");
+            assert!(r.mean_latency > 32.0 + r.mean_distance);
+            assert!(r.iterations > 0);
+        }
+    }
+
+    #[test]
+    fn config_requirements_scale_with_dimension() {
+        let q10 = HypercubeConfig::builder().dims(10).virtual_channels(8).build();
+        assert_eq!(q10.required_levels(), 6);
+        assert_eq!(q10.adaptive_channels(), 2);
+        let q13 = HypercubeConfig::builder().dims(13).virtual_channels(8).build();
+        assert_eq!(q13.required_levels(), 7);
+        assert_eq!(q13.escape_levels(), 7);
+    }
+
+    #[test]
+    fn too_few_virtual_channels_are_rejected_per_scheme() {
+        assert_eq!(
+            HypercubeConfig::builder().dims(10).virtual_channels(6).try_build(),
+            Err(HypercubeConfigError::TooFewVirtualChannels {
+                routing: HypercubeRouting::EnhancedNbc,
+                dims: 10,
+                required_levels: 6,
+                got: 6,
+            })
+        );
+        // the escape-only schemes accept V == required levels
+        let ecube = HypercubeConfig::builder()
+            .dims(10)
+            .virtual_channels(6)
+            .routing(HypercubeRouting::DimensionOrder)
+            .try_build();
+        assert!(ecube.is_ok());
+        assert!(HypercubeConfig::builder()
+            .dims(10)
+            .virtual_channels(5)
+            .routing(HypercubeRouting::NHop)
+            .try_build()
+            .is_err());
+    }
+
+    #[test]
+    fn config_error_displays() {
+        assert!(HypercubeConfigError::UnsupportedDims { dims: 30 }
+            .to_string()
+            .contains("Q_2 … Q_24, got Q_30"));
+        assert_eq!(
+            HypercubeConfig::builder().message_length(0).try_build(),
+            Err(HypercubeConfigError::ZeroLengthMessage)
+        );
+        let rate_err = HypercubeConfig::builder().traffic_rate(f64::NAN).try_build().unwrap_err();
+        assert!(matches!(rate_err, HypercubeConfigError::InvalidTrafficRate { .. }));
+        let err: Box<dyn std::error::Error> = Box::new(HypercubeConfigError::ZeroLengthMessage);
+        assert_eq!(err.to_string(), "messages need at least one flit");
+    }
+}

@@ -25,6 +25,23 @@
 //!   fixed-point iteration over the circular dependency between `S̄` and the
 //!   waiting times.
 //!
+//! ## Derivation chain and topology split
+//!
+//! The modules compose in a fixed order — **config → spectrum → blocking →
+//! waiting → latency** — and since the hypercube extension the chain forks
+//! only at the spectrum:
+//!
+//! | stage | star `S_n` | hypercube `Q_d` | topology-agnostic? |
+//! |---|---|---|---|
+//! | config | [`config`] ([`ModelConfig`]) | [`hypercube`] ([`HypercubeConfig`]) | shape yes, ranges no |
+//! | spectrum | [`adaptivity`] ([`DestinationSpectrum`], cycle types + path DAGs) | [`hypercube`] ([`HypercubeSpectrum`], binomial Hamming populations) | **no** — the only star-specific derivation |
+//! | blocking | [`blocking`] (Eqs. 6–11) | same module, unchanged | yes for any bipartite network |
+//! | waiting | [`waiting`] (Eqs. 12–16) | same module, unchanged | yes |
+//! | occupancy | [`occupancy`] (Eqs. 18–19) | same module, unchanged | yes |
+//! | latency | [`model`] ([`AnalyticalModel`]) | [`hypercube`] ([`HypercubeModel`]) | same fixed point, same solver |
+//!
+//! Each module's docs state which side of this split it sits on.
+//!
 //! ```
 //! use star_core::{AnalyticalModel, ModelConfig};
 //!
@@ -46,6 +63,7 @@
 pub mod adaptivity;
 pub mod blocking;
 pub mod config;
+pub mod hypercube;
 pub mod model;
 pub mod occupancy;
 pub mod sweep;
@@ -54,6 +72,10 @@ pub mod waiting;
 
 pub use adaptivity::{DestinationClass, DestinationSpectrum};
 pub use config::{ConfigError, ModelConfig, ModelConfigBuilder, RoutingDiscipline};
+pub use hypercube::{
+    hypercube_saturation_rate, HypercubeClass, HypercubeConfig, HypercubeConfigBuilder,
+    HypercubeConfigError, HypercubeModel, HypercubeResult, HypercubeRouting, HypercubeSpectrum,
+};
 pub use model::{AnalyticalModel, ModelResult};
 pub use sweep::{saturation_rate, sweep_traffic, sweep_traffic_cold, SweepPoint};
 pub use validation::ValidationRow;

@@ -1,4 +1,11 @@
 //! The full analytical latency model (Eq. 1) and its fixed-point solution.
+//!
+//! **Topology split:** this is the star instantiation of the latency stage —
+//! it walks the star's [`DestinationSpectrum`] (cycle-type classes).  The
+//! fixed-point structure itself (the circular dependency between `S̄` and
+//! the waiting times, the damped solver, the warm-start contract of
+//! [`AnalyticalModel::solve_from`]) is topology-agnostic and is shared
+//! verbatim with [`crate::HypercubeModel`].
 
 use std::sync::Arc;
 
@@ -60,6 +67,22 @@ impl ModelResult {
             channel_waiting: f64::INFINITY,
             iterations,
         }
+    }
+}
+
+/// The damped fixed-point solver both latency models (star and hypercube)
+/// iterate with.
+///
+/// Tolerance 1e-12 (not the solver default 1e-9): near the knee the
+/// contraction factor approaches 1 and the per-iteration residual understates
+/// the distance to the fixed point, and warm- and cold-started solves must
+/// agree to 1e-9 relative latency.
+pub(crate) fn latency_solver() -> FixedPointSolver {
+    FixedPointSolver {
+        damping: 0.5,
+        tolerance: 1e-12,
+        max_iterations: 20_000,
+        divergence_ceiling: 1e7,
     }
 }
 
@@ -169,16 +192,7 @@ impl AnalyticalModel {
             Some(&seed) if seed.is_finite() && seed >= zero_load => seed,
             _ => zero_load,
         };
-        // tolerance 1e-12 (not the solver default 1e-9): near the knee the
-        // contraction factor approaches 1 and the per-iteration residual
-        // understates the distance to the fixed point, and warm- and
-        // cold-started solves must agree to 1e-9 relative latency
-        let solver = FixedPointSolver {
-            damping: 0.5,
-            tolerance: 1e-12,
-            max_iterations: 20_000,
-            divergence_ceiling: 1e7,
-        };
+        let solver = latency_solver();
         let outcome = solver
             .solve(vec![initial], |state| vec![self.network_latency_step(state[0], channel_rate)]);
         let (mean_network_latency, iterations) = match outcome {

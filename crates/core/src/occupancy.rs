@@ -9,6 +9,11 @@
 //! `C(v, a) / C(V, a)`, giving
 //!
 //! `P_all_busy(a) = Σ_{v=a}^{V} [C(v, a)/C(V, a)] · P_v`.
+//!
+//! **Topology split:** fully topology-agnostic — the occupancy chain is a
+//! property of one physical channel (its arrival rate, service time and `V`),
+//! not of the network around it.  Both the star and the hypercube model call
+//! it unchanged.
 
 use star_queueing::markov::vc_occupancy_distribution;
 

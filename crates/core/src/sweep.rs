@@ -6,6 +6,11 @@
 //! [`saturation_rate`] finds the largest generation rate the model still
 //! solves (by bisection on the saturation flag), which is how the model
 //! predicts the saturation point visible in the figure.
+//!
+//! These helpers drive the star model directly; topology-generic sweeps
+//! (including hypercube scenarios) go through the `star-workloads` crate's
+//! `ModelBackend`, which owns the same warm-start chaining for both
+//! topologies.
 
 use std::sync::Arc;
 

@@ -7,6 +7,10 @@
 //! length `M`).  The source queue sees the generation rate divided by the
 //! number of virtual channels, `λ_g / V`, because a newly generated message
 //! can be assigned to any of the `V` injection virtual channels.
+//!
+//! **Topology split:** fully topology-agnostic — the queues only see rates
+//! and service times; which network produced them never enters Eqs. 12-16.
+//! Both the star and the hypercube model call these functions unchanged.
 
 use star_queueing::mg1::mg1_waiting_time_min_service;
 

@@ -10,18 +10,24 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use star_core::{AnalyticalModel, DestinationSpectrum, ModelResult};
+use star_core::{
+    AnalyticalModel, DestinationSpectrum, HypercubeModel, HypercubeResult, HypercubeSpectrum,
+    ModelResult,
+};
 use star_sim::{SimReport, Simulation};
 
 use crate::budget::SimBudget;
-use crate::scenario::{OperatingPoint, Scenario};
+use crate::scenario::{NetworkKind, OperatingPoint, Scenario};
 
 /// Backend-specific diagnostics attached to a [`PointEstimate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum EstimateDetail {
-    /// The full analytical-model result (fixed-point iterations,
+    /// The full star analytical-model result (fixed-point iterations,
     /// multiplexing degree, waiting times, …).
     Model(ModelResult),
+    /// The full hypercube analytical-model result (same quantities, `Q_d`
+    /// configuration).
+    HypercubeModel(HypercubeResult),
     /// The full simulation report (cycles, confidence interval, observed
     /// multiplexing, …).
     Sim(Box<SimReport>),
@@ -50,12 +56,23 @@ impl PointEstimate {
         (!self.saturated).then_some(self.mean_latency)
     }
 
-    /// The analytical-model result, if this estimate came from the model.
+    /// The star analytical-model result, if this estimate came from the
+    /// model on a star scenario.
     #[must_use]
     pub fn model_result(&self) -> Option<&ModelResult> {
         match &self.detail {
             EstimateDetail::Model(r) => Some(r),
-            EstimateDetail::Sim(_) => None,
+            _ => None,
+        }
+    }
+
+    /// The hypercube analytical-model result, if this estimate came from the
+    /// model on a hypercube scenario.
+    #[must_use]
+    pub fn hypercube_result(&self) -> Option<&HypercubeResult> {
+        match &self.detail {
+            EstimateDetail::HypercubeModel(r) => Some(r),
+            _ => None,
         }
     }
 
@@ -64,14 +81,18 @@ impl PointEstimate {
     pub fn sim_report(&self) -> Option<&SimReport> {
         match &self.detail {
             EstimateDetail::Sim(r) => Some(r),
-            EstimateDetail::Model(_) => None,
+            _ => None,
         }
     }
 
-    /// Fixed-point iterations spent (model estimates only).
+    /// Fixed-point iterations spent (model estimates only, either topology).
     #[must_use]
     pub fn iterations(&self) -> Option<usize> {
-        self.model_result().map(|r| r.iterations)
+        match &self.detail {
+            EstimateDetail::Model(r) => Some(r.iterations),
+            EstimateDetail::HypercubeModel(r) => Some(r.iterations),
+            EstimateDetail::Sim(_) => None,
+        }
     }
 
     /// The latency as a plottable value: infinite when saturated.
@@ -88,9 +109,9 @@ impl PointEstimate {
 }
 
 /// A backend that can answer operating points: the analytical model
-/// ([`ModelBackend`]), the flit-level simulator ([`SimBackend`]), or anything
-/// else that can estimate a latency (future: the hypercube model, a learned
-/// surrogate, a remote service).
+/// ([`ModelBackend`], covering both the star and the hypercube), the
+/// flit-level simulator ([`SimBackend`]), or anything else that can estimate
+/// a latency (future: a learned surrogate, a remote service).
 ///
 /// Implementations must be [`Sync`] so a [`crate::SweepRunner`] can shard
 /// points across threads.
@@ -125,8 +146,46 @@ pub trait Evaluator: Sync {
     }
 }
 
-/// The analytical model as an [`Evaluator`]: microseconds per point, star
-/// networks with the three modelled disciplines under uniform traffic.
+/// The topology spectrum a model sweep shares across its rates: the star's
+/// cycle-type destination spectrum or the hypercube's Hamming traversal
+/// spectrum, behind one `Arc` so threads and rates reuse one allocation.
+enum ModelSpectrum {
+    Star(Arc<DestinationSpectrum>),
+    Hypercube(Arc<HypercubeSpectrum>),
+}
+
+impl ModelSpectrum {
+    fn for_scenario(scenario: &Scenario) -> Self {
+        match scenario.network {
+            NetworkKind::Star => Self::Star(Arc::new(DestinationSpectrum::new(scenario.size))),
+            NetworkKind::Hypercube => {
+                Self::Hypercube(Arc::new(HypercubeSpectrum::new(scenario.size)))
+            }
+        }
+    }
+}
+
+/// The analytical model as an [`Evaluator`]: microseconds per point.  Covers
+/// star networks with the three modelled disciplines and hypercube networks
+/// with all four (deterministic routing on `Q_d` is dimension-order), under
+/// uniform traffic.
+///
+/// ```
+/// use star_workloads::{Evaluator, ModelBackend, Scenario};
+///
+/// let backend = ModelBackend::new();
+/// // the same backend answers both topologies, model-only — this is what
+/// // lets the star-vs-hypercube comparison run at S6/Q10 and S7/Q13 scale,
+/// // far beyond the flit-level simulator's reach
+/// let star = backend.evaluate(&Scenario::star(5).at(0.004));
+/// let cube = backend.evaluate(&Scenario::hypercube(7).at(0.004));
+/// assert!(!star.saturated && !cube.saturated);
+/// assert!(star.model_result().is_some());
+/// assert!(cube.hypercube_result().is_some());
+/// // both are latency estimates above their zero-load bound M + d̄
+/// assert!(star.mean_latency > 32.0);
+/// assert!(cube.mean_latency > 32.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct ModelBackend {
     /// Warm-start each rate of a sweep from the previous rate's converged
@@ -157,28 +216,57 @@ impl ModelBackend {
     fn estimate(
         &self,
         point: &OperatingPoint,
-        spectrum: &Arc<DestinationSpectrum>,
+        spectrum: &ModelSpectrum,
         warm_state: &[f64],
     ) -> PointEstimate {
-        let config = point
-            .scenario
-            .model_config(point.traffic_rate)
-            .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", point.scenario.label()))
-            .unwrap_or_else(|| {
-                panic!(
-                    "the analytical model does not cover scenario {} \
-                     (star network, enhanced-nbc/nbc/nhop, uniform traffic only)",
-                    point.scenario.label()
-                )
-            });
-        let result =
-            AnalyticalModel::with_spectrum(config, Arc::clone(spectrum)).solve_from(warm_state);
+        let scenario = &point.scenario;
+        let (saturated, mean_latency, detail) = match spectrum {
+            ModelSpectrum::Star(spectrum) => {
+                let config = scenario
+                    .model_config(point.traffic_rate)
+                    .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", scenario.label()))
+                    .unwrap_or_else(|| panic!("{}", Self::unsupported_message(scenario)));
+                let result = AnalyticalModel::with_spectrum(config, Arc::clone(spectrum))
+                    .solve_from(warm_state);
+                (result.saturated, result.mean_latency, EstimateDetail::Model(result))
+            }
+            ModelSpectrum::Hypercube(spectrum) => {
+                let config = scenario
+                    .hypercube_model_config(point.traffic_rate)
+                    .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", scenario.label()))
+                    .unwrap_or_else(|| panic!("{}", Self::unsupported_message(scenario)));
+                let result = HypercubeModel::with_spectrum(config, Arc::clone(spectrum))
+                    .solve_from(warm_state);
+                (result.saturated, result.mean_latency, EstimateDetail::HypercubeModel(result))
+            }
+        };
         PointEstimate {
             point: *point,
             backend: self.name().to_string(),
-            saturated: result.saturated,
-            mean_latency: result.mean_latency,
-            detail: EstimateDetail::Model(result),
+            saturated,
+            mean_latency,
+            detail,
+        }
+    }
+
+    fn unsupported_message(scenario: &Scenario) -> String {
+        format!(
+            "the analytical model does not cover scenario {} \
+             (star: enhanced-nbc/nbc/nhop; hypercube: any discipline; \
+             uniform traffic only)",
+            scenario.label()
+        )
+    }
+
+    /// The converged mean network latency an estimate contributes as the next
+    /// rate's warm-start seed (either topology).
+    fn warm_seed(estimate: &PointEstimate) -> Option<f64> {
+        match &estimate.detail {
+            // saturated points leave a non-finite seed, which solve_from
+            // ignores in favour of the cold start
+            EstimateDetail::Model(r) => Some(r.mean_network_latency),
+            EstimateDetail::HypercubeModel(r) => Some(r.mean_network_latency),
+            EstimateDetail::Sim(_) => None,
         }
     }
 }
@@ -189,26 +277,28 @@ impl Evaluator for ModelBackend {
     }
 
     fn supports(&self, scenario: &Scenario) -> bool {
-        matches!(scenario.model_config(0.0), Ok(Some(_)))
+        match scenario.network {
+            NetworkKind::Star => matches!(scenario.model_config(0.0), Ok(Some(_))),
+            NetworkKind::Hypercube => {
+                matches!(scenario.hypercube_model_config(0.0), Ok(Some(_)))
+            }
+        }
     }
 
     fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
-        let spectrum = Arc::new(DestinationSpectrum::new(point.scenario.size));
-        self.estimate(point, &spectrum, &[])
+        self.estimate(point, &ModelSpectrum::for_scenario(&point.scenario), &[])
     }
 
     fn evaluate_sweep(&self, scenario: &Scenario, rates: &[f64]) -> Vec<PointEstimate> {
-        let spectrum = Arc::new(DestinationSpectrum::new(scenario.size));
+        let spectrum = ModelSpectrum::for_scenario(scenario);
         let mut warm_state: Vec<f64> = Vec::new();
         rates
             .iter()
             .map(|&rate| {
                 let estimate = self.estimate(&scenario.at(rate), &spectrum, &warm_state);
                 if self.warm_start {
-                    if let EstimateDetail::Model(r) = &estimate.detail {
-                        // saturated points leave a non-finite seed, which
-                        // solve_from ignores in favour of the cold start
-                        warm_state = vec![r.mean_network_latency];
+                    if let Some(seed) = Self::warm_seed(&estimate) {
+                        warm_state = vec![seed];
                     }
                 }
                 estimate
@@ -223,6 +313,18 @@ impl Evaluator for ModelBackend {
 
 /// The flit-level simulator as an [`Evaluator`]: seconds per point, any
 /// topology and discipline the simulator supports.
+///
+/// ```
+/// use star_workloads::{Evaluator, SimBackend, SimBudget, Scenario};
+///
+/// let backend = SimBackend::new(SimBudget::Quick, 42);
+/// let point = Scenario::star(4).with_message_length(16).at(0.003);
+/// let a = backend.evaluate(&point);
+/// // the same seed reproduces the same report, cycle for cycle
+/// let b = backend.evaluate(&point);
+/// assert_eq!(a, b);
+/// assert!(a.sim_report().unwrap().measured_messages > 0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct SimBackend {
     /// Simulation effort per operating point.
@@ -295,16 +397,77 @@ mod tests {
     #[test]
     fn model_backend_rejects_unmodelled_scenarios() {
         let backend = ModelBackend::new();
-        assert!(!backend.supports(&Scenario::hypercube(4)));
+        // the star model has no deterministic variant
         assert!(!backend.supports(&s4().with_discipline(Discipline::Deterministic)));
         // too few virtual channels is a ConfigError, not a supported scenario
         assert!(!backend.supports(&s4().with_virtual_channels(3)));
+        // hypercube scenarios check against the cube's own level minimum
+        assert!(!backend.supports(&Scenario::hypercube(10).with_virtual_channels(6)));
+        // non-uniform traffic is outside both models
+        let hot = star_sim::TrafficPattern::HotSpot { node: 0, fraction: 0.2 };
+        assert!(!backend.supports(&s4().with_pattern(hot)));
+        assert!(!backend.supports(&Scenario::hypercube(4).with_pattern(hot)));
     }
 
     #[test]
     #[should_panic(expected = "does not cover scenario")]
     fn model_backend_panics_on_unsupported_evaluate() {
-        let _ = ModelBackend::new().evaluate(&Scenario::hypercube(3).at(0.001));
+        let _ = ModelBackend::new()
+            .evaluate(&s4().with_discipline(Discipline::Deterministic).at(0.001));
+    }
+
+    #[test]
+    fn model_backend_answers_hypercube_scenarios() {
+        let backend = ModelBackend::new();
+        for discipline in Discipline::ALL {
+            let scenario = Scenario::hypercube(4).with_discipline(discipline);
+            assert!(backend.supports(&scenario), "{discipline:?} must be modelled on Q4");
+            let estimate = backend.evaluate(&scenario.at(0.005));
+            assert_eq!(estimate.backend, "model");
+            assert!(!estimate.saturated);
+            assert!(estimate.latency().unwrap() > 32.0);
+            assert!(estimate.iterations().unwrap() > 0);
+            assert!(estimate.hypercube_result().is_some());
+            assert!(estimate.model_result().is_none());
+            assert!(estimate.sim_report().is_none());
+        }
+    }
+
+    #[test]
+    fn warm_started_hypercube_sweep_matches_independent_evaluations() {
+        let backend = ModelBackend::new();
+        // rates approaching the knee, where warm seeds actually save work
+        let scenario = Scenario::hypercube(6);
+        let rates = [0.012, 0.020, 0.024];
+        let swept = backend.evaluate_sweep(&scenario, &rates);
+        let total_warm: usize = swept.iter().filter_map(PointEstimate::iterations).sum();
+        let mut total_solo = 0;
+        for (est, &rate) in swept.iter().zip(&rates) {
+            let solo = backend.evaluate(&scenario.at(rate));
+            total_solo += solo.iterations().unwrap();
+            assert_eq!(est.saturated, solo.saturated);
+            if !est.saturated {
+                let rel = (est.mean_latency - solo.mean_latency).abs() / solo.mean_latency;
+                assert!(rel < 1e-9, "rate {rate}: sweep vs solo differ by {rel}");
+            }
+        }
+        assert!(
+            total_warm < total_solo,
+            "warm-starting must carry over to the hypercube ({total_warm} vs {total_solo})"
+        );
+    }
+
+    #[test]
+    fn model_only_parity_scales_to_q10_and_q13() {
+        // the sizes behind the S6/S7 parity sweep; sub-millisecond per point,
+        // no simulator anywhere near
+        let backend = ModelBackend::new();
+        for dims in [10usize, 13] {
+            let scenario = Scenario::hypercube(dims).with_virtual_channels(8);
+            let estimate = backend.evaluate(&scenario.at(0.002));
+            assert!(!estimate.saturated, "Q{dims} must solve at light load");
+            assert!(estimate.hypercube_result().is_some());
+        }
     }
 
     #[test]

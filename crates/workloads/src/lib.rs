@@ -7,9 +7,10 @@
 //!   size, routing discipline, `V`, `M`, traffic pattern, rate);
 //! * [`evaluator`] — the [`Evaluator`] trait with its common
 //!   [`PointEstimate`] output, implemented by the analytical model
-//!   ([`ModelBackend`], warm-started across sweeps) and the flit-level
-//!   simulator ([`SimBackend`]), so any harness can swap backends or run
-//!   both and diff them;
+//!   ([`ModelBackend`], covering star **and** hypercube scenarios,
+//!   warm-started across sweeps) and the flit-level simulator
+//!   ([`SimBackend`]), so any harness can swap backends or run both and
+//!   diff them;
 //! * [`sweep_runner`] — the [`SweepRunner`] that owns the sweep loop every
 //!   binary used to hand-roll, sharding independent points/sweeps across
 //!   scoped threads with deterministic output order;
@@ -18,6 +19,41 @@
 //!   full-fidelity runs for regenerating the figures);
 //! * [`report`] — CSV / Markdown / ASCII-plot emitters used by the benchmark
 //!   harness binaries and the examples.
+//!
+//! ## The evaluation contract
+//!
+//! Everything in this crate revolves around one pipeline —
+//! `Scenario` → `OperatingPoint` → `Evaluator` → `PointEstimate` — and the
+//! guarantees each stage makes:
+//!
+//! * **Scenario totality.**  A [`Scenario`] is pure data (16 bytes of
+//!   `Copy`): constructing one never validates anything, so harnesses can
+//!   describe sweeps they may never run.  Validation happens when a backend
+//!   is asked: [`Evaluator::supports`] answers cheaply and
+//!   [`Evaluator::evaluate`] may panic on scenarios the backend declared
+//!   unsupported.
+//! * **Determinism.**  Both shipped backends are referentially transparent:
+//!   the model is closed-form plus a deterministic fixed-point iteration,
+//!   and the simulator derives every random stream from the seed in
+//!   [`SimBackend`], so the same [`OperatingPoint`] always returns the same
+//!   [`PointEstimate`], bit for bit.  The [`SweepRunner`] preserves this
+//!   end-to-end: reports come back grouped by sweep in input order with one
+//!   estimate per rate in rate order, **byte-identical for any
+//!   `--threads` value** (work units are computed independently of
+//!   scheduling and reassembled by index).
+//! * **Warm-start semantics.**  [`ModelBackend`] chains each rate's
+//!   fixed-point seed from the previous rate of the *same sweep*
+//!   ([`Evaluator::chains_rates`]), on both topologies.  This is an
+//!   *iteration-count* optimisation, never an *answer* change: warm and
+//!   cold solves agree to solver tolerance (1e-9 relative latency), and a
+//!   saturated point yields an unusable seed that the next rate ignores in
+//!   favour of a cold start.  The [`SweepRunner`] respects the chain by
+//!   sharding chaining backends at sweep granularity (so a sweep's rates
+//!   never split across workers) and independent backends at point
+//!   granularity (so one slow curve still fills every core).
+//! * **`--threads` behaviour.**  Every harness binary forwards `--threads N`
+//!   to [`SweepRunner::with_threads`]; `0` (the default) means all available
+//!   parallelism.  Thread count affects wall-clock only, never output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -11,7 +11,10 @@
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use star_core::{ConfigError, ModelConfig, RoutingDiscipline};
+use star_core::{
+    ConfigError, HypercubeConfig, HypercubeConfigError, HypercubeRouting, ModelConfig,
+    RoutingDiscipline,
+};
 use star_graph::{Hypercube, StarGraph, Topology};
 use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
 use star_sim::TrafficPattern;
@@ -90,7 +93,8 @@ impl Discipline {
         Self::ALL.into_iter().find(|d| d.name() == name)
     }
 
-    /// The analytical-model discipline, when the model covers this scheme.
+    /// The analytical-model discipline, when the star model covers this
+    /// scheme.
     #[must_use]
     pub fn model_discipline(self) -> Option<RoutingDiscipline> {
         match self {
@@ -98,6 +102,20 @@ impl Discipline {
             Discipline::Nbc => Some(RoutingDiscipline::Nbc),
             Discipline::NHop => Some(RoutingDiscipline::NHop),
             Discipline::Deterministic => None,
+        }
+    }
+
+    /// The hypercube-model routing scheme for this discipline.  All four
+    /// disciplines are covered: on `Q_d` the deterministic baseline (lowest
+    /// profitable port first) *is* dimension-order routing, which the
+    /// hypercube model evaluates with `f = 1` alternative ports per hop.
+    #[must_use]
+    pub fn hypercube_routing(self) -> HypercubeRouting {
+        match self {
+            Discipline::EnhancedNbc => HypercubeRouting::EnhancedNbc,
+            Discipline::Nbc => HypercubeRouting::Nbc,
+            Discipline::NHop => HypercubeRouting::NHop,
+            Discipline::Deterministic => HypercubeRouting::DimensionOrder,
         }
     }
 
@@ -231,11 +249,13 @@ impl Scenario {
         self.discipline.routing(self.topology().as_ref(), self.virtual_channels)
     }
 
-    /// The analytical-model configuration at the given traffic rate, when the
-    /// model covers this scenario (star network, one of the three modelled
-    /// disciplines, uniform traffic — the paper's assumptions).  Scenarios
-    /// outside the model's reach (hypercube, deterministic routing, non-
-    /// uniform traffic) yield `Ok(None)`.
+    /// The star analytical-model configuration at the given traffic rate,
+    /// when the star model covers this scenario (star network, one of the
+    /// three modelled disciplines, uniform traffic — the paper's
+    /// assumptions).  Scenarios outside the star model's reach (hypercube,
+    /// deterministic routing, non-uniform traffic) yield `Ok(None)`;
+    /// hypercube scenarios are answered by
+    /// [`Self::hypercube_model_config`] instead.
     ///
     /// # Errors
     /// Returns the [`ConfigError`] when the scenario is in the model's reach
@@ -253,6 +273,33 @@ impl Scenario {
             .message_length(self.message_length)
             .traffic_rate(traffic_rate)
             .discipline(discipline)
+            .try_build()
+            .map(Some)
+    }
+
+    /// The hypercube analytical-model configuration at the given traffic
+    /// rate, when the hypercube model covers this scenario (hypercube
+    /// network, uniform traffic; all four disciplines map — deterministic
+    /// routing is dimension-order on `Q_d`).  Star and non-uniform scenarios
+    /// yield `Ok(None)`.
+    ///
+    /// # Errors
+    /// Returns the [`HypercubeConfigError`] when the scenario is in the
+    /// model's reach but its parameters are out of range (e.g. too few
+    /// virtual channels for the cube's escape-level minimum).
+    pub fn hypercube_model_config(
+        &self,
+        traffic_rate: f64,
+    ) -> Result<Option<HypercubeConfig>, HypercubeConfigError> {
+        if self.network != NetworkKind::Hypercube || self.pattern != TrafficPattern::Uniform {
+            return Ok(None);
+        }
+        HypercubeConfig::builder()
+            .dims(self.size)
+            .virtual_channels(self.virtual_channels)
+            .message_length(self.message_length)
+            .traffic_rate(traffic_rate)
+            .routing(self.discipline.hypercube_routing())
             .try_build()
             .map(Some)
     }
@@ -301,8 +348,30 @@ mod tests {
         assert_eq!(s.network_label(), "Q7");
         assert_eq!(s.topology().node_count(), 128);
         assert_eq!(s.message_length, 64);
-        // no analytical model for the hypercube yet
+        // the star model does not cover it, the hypercube model does
         assert_eq!(s.model_config(0.001), Ok(None));
+        let cfg = s.hypercube_model_config(0.001).unwrap().unwrap();
+        assert_eq!(cfg.dims, 7);
+        assert_eq!(cfg.message_length, 64);
+        assert_eq!(cfg.routing, HypercubeRouting::EnhancedNbc);
+    }
+
+    #[test]
+    fn hypercube_model_config_maps_every_discipline() {
+        for (discipline, routing) in [
+            (Discipline::EnhancedNbc, HypercubeRouting::EnhancedNbc),
+            (Discipline::Nbc, HypercubeRouting::Nbc),
+            (Discipline::NHop, HypercubeRouting::NHop),
+            (Discipline::Deterministic, HypercubeRouting::DimensionOrder),
+        ] {
+            let s = Scenario::hypercube(5).with_discipline(discipline);
+            let cfg = s.hypercube_model_config(0.002).unwrap().unwrap();
+            assert_eq!(cfg.routing, routing);
+        }
+        // star scenarios are outside the hypercube model's reach...
+        assert_eq!(Scenario::star(5).hypercube_model_config(0.002), Ok(None));
+        // ...and out-of-range parameters surface as errors, not None
+        assert!(Scenario::hypercube(10).hypercube_model_config(0.002).is_err());
     }
 
     #[test]

@@ -3,8 +3,10 @@
 //!
 //! * `cargo xtask ci` — the full verification pipeline, in the same order the
 //!   GitHub Actions workflow runs it: rustfmt check, clippy with warnings
-//!   denied, release build, tests, doctests, then a smoke run of every
-//!   criterion bench in `--test` mode (each bench body executes once).
+//!   denied, release build, tests, doctests, a smoke run of every criterion
+//!   bench in `--test` mode (each bench body executes once), and
+//!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
+//!   intra-doc links fail the pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
 //!   all available cores by default; extra arguments are forwarded, e.g.
@@ -38,7 +40,10 @@ fn main() -> ExitCode {
 fn print_help() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
-    eprintln!("  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke");
+    eprintln!(
+        "  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
+         doc -D warnings"
+    );
     eprintln!(
         "  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args, \
          e.g. --budget thorough --threads 4)"
@@ -52,10 +57,17 @@ fn cargo() -> String {
 
 /// Runs one pipeline step, echoing it and failing fast on error.
 fn step(name: &str, args: &[&str]) -> Result<(), String> {
+    step_env(name, args, &[])
+}
+
+/// [`step`] with extra environment variables (e.g. `RUSTDOCFLAGS` for the
+/// doc step).
+fn step_env(name: &str, args: &[&str], envs: &[(&str, &str)]) -> Result<(), String> {
     println!("\n==> {name}: cargo {}", args.join(" "));
     let started = Instant::now();
     let status = Command::new(cargo())
         .args(args)
+        .envs(envs.iter().copied())
         .status()
         .map_err(|e| format!("{name}: failed to spawn cargo: {e}"))?;
     if status.success() {
@@ -85,6 +97,14 @@ fn ci() -> ExitCode {
             eprintln!("\nci FAILED at {e}");
             return ExitCode::FAILURE;
         }
+    }
+    // rustdoc warnings (broken intra-doc links, missing docs) fail the
+    // pipeline: REPRODUCING.md and the crate docs are part of the contract
+    if let Err(e) =
+        step_env("doc", &["doc", "--no-deps", "--workspace"], &[("RUSTDOCFLAGS", "-D warnings")])
+    {
+        eprintln!("\nci FAILED at {e}");
+        return ExitCode::FAILURE;
     }
     println!("\nci passed in {:.1}s", started.elapsed().as_secs_f64());
     ExitCode::SUCCESS

@@ -16,7 +16,9 @@
 //! * [`sim`] (crate `star-sim`) — the cycle-accurate flit-level wormhole
 //!   simulator used to validate the model;
 //! * [`model`] (crate `star-core`) — **the paper's contribution**: the
-//!   analytical latency model and its traffic sweeps;
+//!   analytical latency model and its traffic sweeps, extended to the
+//!   binary hypercube (`HypercubeModel`) so the star-vs-hypercube
+//!   comparison runs model-only far beyond simulator scale;
 //! * [`workloads`] (crate `star-workloads`) — the unified evaluation API:
 //!   topology-generic [`Scenario`]s, the [`Evaluator`] trait answered by
 //!   both the analytical model ([`ModelBackend`]) and the simulator
@@ -55,7 +57,9 @@ pub use star_sim as sim;
 pub use star_workloads as workloads;
 
 pub use star_core::{
-    AnalyticalModel, ConfigError, ModelConfig, ModelResult, RoutingDiscipline, ValidationRow,
+    AnalyticalModel, ConfigError, HypercubeConfig, HypercubeConfigError, HypercubeModel,
+    HypercubeResult, HypercubeRouting, HypercubeSpectrum, ModelConfig, ModelResult,
+    RoutingDiscipline, ValidationRow,
 };
 pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};

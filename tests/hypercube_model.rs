@@ -1,0 +1,124 @@
+//! Cross-validation of the analytical hypercube model against the flit-level
+//! simulator at small sizes (`Q4`–`Q6`), mirroring `tests/model_vs_sim.rs`
+//! for the star graph: the same operating point answered by both backends
+//! must agree within the star validation's tolerance band (10% at light
+//! load, 25% at moderate load), for both the adaptive scheme and the
+//! dimension-order baseline.
+
+use star_wormhole::{
+    Discipline, Evaluator as _, ModelBackend, PointEstimate, Scenario, SimBackend, SimBudget,
+    SweepRunner, SweepSpec,
+};
+
+/// A `Q_d` scenario with short messages so the simulated points stay fast in
+/// a debug test run.
+fn cube(dims: usize, discipline: Discipline) -> Scenario {
+    Scenario::hypercube(dims).with_message_length(16).with_discipline(discipline)
+}
+
+/// The generation rate that targets channel utilisation `u` on the scenario's
+/// topology (`λ_g = u·degree/(d̄·M)`).
+fn rate_at_utilisation(scenario: &Scenario, u: f64) -> f64 {
+    let topology = scenario.topology();
+    u * topology.degree() as f64 / (topology.mean_distance() * scenario.message_length as f64)
+}
+
+fn relative_error(model: &PointEstimate, sim: &PointEstimate) -> f64 {
+    (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency
+}
+
+#[test]
+fn model_matches_simulation_at_light_load_q4_to_q6() {
+    // ~3% channel utilisation, the regime the star light-load validation
+    // runs in (S4 at λ_g = 0.003), held to the same 10% band
+    let model = ModelBackend::new();
+    let sim = SimBackend::new(SimBudget::Quick, 401);
+    for dims in 4..=6 {
+        let scenario = cube(dims, Discipline::EnhancedNbc);
+        let point = scenario.at(rate_at_utilisation(&scenario, 0.03));
+        let m = model.evaluate(&point);
+        let s = sim.evaluate(&point);
+        assert!(!m.saturated && !s.saturated, "Q{dims} must not saturate at light load");
+        let err = relative_error(&m, &s);
+        assert!(
+            err < 0.10,
+            "Q{dims} light load: model {} vs sim {} ({:.1}%)",
+            m.mean_latency,
+            s.mean_latency,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn model_matches_simulation_at_moderate_load_q4_to_q6_both_routings() {
+    // ~10% channel utilisation, matching the star moderate-load validation's
+    // regime and 25% band — for the adaptive scheme *and* the dimension-order
+    // baseline (which the star model does not even cover)
+    let model = ModelBackend::new();
+    let sim = SimBackend::new(SimBudget::Quick, 402);
+    for dims in 4..=6 {
+        for discipline in [Discipline::EnhancedNbc, Discipline::Deterministic] {
+            let scenario = cube(dims, discipline);
+            let point = scenario.at(rate_at_utilisation(&scenario, 0.10));
+            let m = model.evaluate(&point);
+            let s = sim.evaluate(&point);
+            assert!(!m.saturated && !s.saturated, "Q{dims}/{discipline:?} must not saturate");
+            let err = relative_error(&m, &s);
+            assert!(
+                err < 0.25,
+                "Q{dims}/{discipline:?} moderate load: model {} vs sim {} ({:.1}%)",
+                m.mean_latency,
+                s.mean_latency,
+                err * 100.0
+            );
+        }
+    }
+}
+
+#[test]
+fn both_backends_show_latency_growth_with_load_on_the_cube() {
+    let model = ModelBackend::new();
+    let sim = SimBackend::new(SimBudget::Quick, 403);
+    let scenario = cube(5, Discipline::EnhancedNbc);
+    let mut last_model = 0.0;
+    let mut last_sim = 0.0;
+    for u in [0.10, 0.25, 0.40] {
+        let point = scenario.at(rate_at_utilisation(&scenario, u));
+        let m = model.evaluate(&point);
+        let s = sim.evaluate(&point);
+        assert!(!m.saturated && !s.saturated, "utilisation {u} unexpectedly saturated");
+        assert!(m.mean_latency > last_model);
+        assert!(s.mean_latency > last_sim);
+        last_model = m.mean_latency;
+        last_sim = s.mean_latency;
+    }
+}
+
+#[test]
+fn warm_started_hypercube_sweep_equals_cold_start() {
+    // the warm-start contract carried over from the star path: same fixed
+    // points (to solver tolerance), strictly fewer total iterations
+    let scenario = cube(6, Discipline::EnhancedNbc);
+    let rates: Vec<f64> =
+        (1..=8).map(|i| rate_at_utilisation(&scenario, 0.08 * i as f64)).collect();
+    let spec = SweepSpec::new("q6", scenario, rates);
+    let runner = SweepRunner::with_threads(1);
+    let warm = runner.run_one(&ModelBackend::new(), &spec);
+    let cold = runner.run_one(&ModelBackend::cold(), &spec);
+    let mut warm_iterations = 0;
+    let mut cold_iterations = 0;
+    for (w, c) in warm.estimates.iter().zip(&cold.estimates) {
+        assert_eq!(w.saturated, c.saturated);
+        if !w.saturated {
+            let rel = (w.mean_latency - c.mean_latency).abs() / c.mean_latency;
+            assert!(rel < 1e-9, "warm/cold fixed points differ by {rel}");
+        }
+        warm_iterations += w.iterations().unwrap();
+        cold_iterations += c.iterations().unwrap();
+    }
+    assert!(
+        warm_iterations < cold_iterations,
+        "warm-started sweep must use fewer iterations ({warm_iterations} vs {cold_iterations})"
+    );
+}

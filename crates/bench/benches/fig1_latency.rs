@@ -31,9 +31,9 @@ fn bench_fig1_sim_point(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig1_sim_point");
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(15));
-    let backend = SimBackend::new(SimBudget::Quick, 5);
+    let backend = SimBackend::new(SimBudget::Quick);
     group.bench_function("s5_v6_rate0.004_quick", |b| {
-        b.iter(|| black_box(backend.evaluate(&fig1_scenario(6).at(0.004))));
+        b.iter(|| black_box(backend.evaluate(&fig1_scenario(6).with_seed_base(5).at(0.004))));
     });
     group.finish();
 }

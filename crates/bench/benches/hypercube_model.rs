@@ -41,6 +41,21 @@ fn bench_single_solves(c: &mut Criterion) {
     group.bench_function("q13_spectrum_build", |b| {
         b.iter(|| black_box(HypercubeSpectrum::new(13)));
     });
+    // the per-destination parallelism pair at Q13 (byte-identical answers;
+    // records the speedup — or spawn-overhead penalty — of sharding the
+    // per-distance-class blocking sums of every fixed-point iteration)
+    let q13 = HypercubeConfig::builder()
+        .dims(13)
+        .virtual_channels(8)
+        .message_length(32)
+        .traffic_rate(0.008)
+        .build();
+    for threads in [1usize, 2, 4] {
+        let model = HypercubeModel::new(q13).with_parallelism(threads);
+        group.bench_function(format!("q13_v8_m32_solve_blocking_threads{threads}"), |b| {
+            b.iter(|| black_box(model.solve()));
+        });
+    }
     group.finish();
 }
 

@@ -7,6 +7,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use star_core::{AnalyticalModel, DestinationSpectrum, ModelConfig, ModelResult};
 
@@ -36,6 +37,19 @@ fn bench_model_solve(c: &mut Criterion) {
     group.bench_function("s7_v8_light_load", |b| {
         b.iter(|| black_box(solve(7, 8, 0.001)));
     });
+    // the per-destination parallelism pair: the same S7 solve with the
+    // per-cycle-type blocking sums computed serially vs sharded across
+    // scoped threads (byte-identical answers; this records the speedup —
+    // or spawn-overhead penalty — of the parallel path at the largest
+    // spectrum the star model ships)
+    let spectrum = std::sync::Arc::new(DestinationSpectrum::new(7));
+    for threads in [1usize, 2, 4] {
+        let model = AnalyticalModel::with_spectrum(config(7, 8, 0.004), Arc::clone(&spectrum))
+            .with_parallelism(threads);
+        group.bench_function(format!("s7_v8_moderate_load_blocking_threads{threads}"), |b| {
+            b.iter(|| black_box(model.solve()));
+        });
+    }
     group.finish();
 }
 
@@ -44,6 +58,13 @@ fn bench_spectrum_and_sweep(c: &mut Criterion) {
     group.bench_function("destination_spectrum_s5", |b| {
         b.iter(|| black_box(DestinationSpectrum::new(5)));
     });
+    // per-destination parallelism of the spectrum build itself (path DAGs
+    // per cycle type are independent)
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("destination_spectrum_s7_threads{threads}"), |b| {
+            b.iter(|| black_box(DestinationSpectrum::with_threads(7, threads)));
+        });
+    }
     group.bench_function("sweep_reusing_spectrum_s5_v6_8pts", |b| {
         let rates: Vec<f64> = (1..=8).map(|i| 0.0015 * i as f64).collect();
         b.iter(|| black_box(star_core::sweep_traffic(config(5, 6, 0.001), &rates)));

@@ -1,19 +1,24 @@
 //! Regenerates Figure 1 of the paper: mean message latency vs traffic
 //! generation rate for `S5` with `V = 6, 9, 12` virtual channels and message
 //! lengths `M = 32, 64` flits — one curve from the analytical model and one
-//! from the flit-level simulator, both driven through the unified
+//! from the flit-level simulator (mean ± 95% CI over `--replicates`
+//! independently seeded replicates), both driven through the unified
 //! `Evaluator`/`SweepRunner` API.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin figure1 -- [--v 6|9|12] [--m 32|64]
-//!     [--points N] [--budget quick|standard|thorough] [--seed S] [--threads T]
+//!     [--points N] [--budget quick|standard|thorough]
+//!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
+//!     [--threads T]
 //! ```
 //!
 //! Prints a Markdown table and an ASCII plot per curve and writes
-//! `target/experiments/<curve>.csv`.
+//! `target/experiments/<curve>.csv` (with `simulated_ci95`/`sim_replicates`
+//! columns).
 
 use star_bench::{
-    arg_value, budget_from_args, experiments_dir, run_figure1_curve, threads_from_args,
+    arg_value, budget_from_args, experiments_dir, replicated_scenario, run_figure1_curve,
+    sim_backend_from_args, threads_from_args,
 };
 use star_core::validation::mean_absolute_relative_error;
 use star_core::ValidationRow;
@@ -24,7 +29,7 @@ fn main() {
     let v_filter: Option<usize> = arg_value(&args, "--v").and_then(|s| s.parse().ok());
     let m_filter: Option<usize> = arg_value(&args, "--m").and_then(|s| s.parse().ok());
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(6);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(20_060_425);
+    let sim_backend = sim_backend_from_args(&args);
     let budget = budget_from_args(&args);
     let threads = threads_from_args(&args);
 
@@ -32,19 +37,27 @@ fn main() {
         .into_iter()
         .filter(|s| v_filter.is_none_or(|v| s.scenario.virtual_channels == v))
         .filter(|s| m_filter.is_none_or(|m| s.scenario.message_length == m))
+        .map(|mut sweep| {
+            sweep.scenario = replicated_scenario(sweep.scenario, &args, 20_060_425);
+            sweep
+        })
         .collect();
     if sweeps.is_empty() {
         eprintln!("no experiment matches the given filters");
         std::process::exit(1);
     }
 
-    println!("# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {budget:?})\n");
+    println!(
+        "# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {budget:?}, \
+         {} replicate(s), seed base {})\n",
+        sweeps[0].scenario.replicates, sweeps[0].scenario.seed_base
+    );
     for sweep in sweeps {
         println!(
             "## {} (V = {}, M = {} flits)\n",
             sweep.id, sweep.scenario.virtual_channels, sweep.scenario.message_length
         );
-        let rows = run_figure1_curve(&sweep, budget, seed, threads);
+        let rows = run_figure1_curve(&sweep, &sim_backend, threads);
         print_curve(&sweep.id, &sweep.rates, &rows);
         let csv_rows: Vec<String> = rows.iter().map(ValidationRow::to_csv_row).collect();
         let path = experiments_dir().join(format!("{}.csv", sweep.id));
@@ -62,7 +75,13 @@ fn print_curve(id: &str, rates: &[f64], rows: &[ValidationRow]) {
             vec![
                 format!("{:.4}", r.traffic_rate),
                 r.model_latency.map_or("saturated".into(), |v| format!("{v:.1}")),
-                r.simulated_latency.map_or("saturated".into(), |v| format!("{v:.1}")),
+                r.simulated_latency.map_or("saturated".into(), |v| {
+                    if r.simulated_ci95 > 0.0 {
+                        format!("{v:.1} ± {:.1}", r.simulated_ci95)
+                    } else {
+                        format!("{v:.1}")
+                    }
+                }),
                 r.relative_error().map_or("-".into(), |e| format!("{:.1}%", e * 100.0)),
             ]
         })
@@ -70,7 +89,7 @@ fn print_curve(id: &str, rates: &[f64], rows: &[ValidationRow]) {
     println!(
         "{}",
         markdown_table(
-            &["traffic rate (λ_g)", "model latency", "sim latency", "model error"],
+            &["traffic rate (λ_g)", "model latency", "sim latency (±95% CI)", "model error"],
             &table_rows
         )
     );

@@ -8,14 +8,18 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin model_ablation -- [--n 5] [--v 6]
-//!     [--m 32] [--points N] [--budget quick|standard|thorough] [--seed S]
+//!     [--m 32] [--points N] [--budget quick|standard|thorough]
+//!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T] [--no-sim]
 //! ```
 
-use star_bench::{arg_present, arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_bench::{
+    arg_present, arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
+    sim_backend_from_args, threads_from_args,
+};
 use star_workloads::{
-    markdown_table, write_csv, Discipline, ModelBackend, Scenario, SimBackend, SweepReport,
-    SweepRunner, SweepSpec,
+    markdown_table, Discipline, ModelBackend, RunReport, Scenario, SweepReport, SweepRunner,
+    SweepSpec,
 };
 
 const DISCIPLINES: [Discipline; 3] = [Discipline::EnhancedNbc, Discipline::Nbc, Discipline::NHop];
@@ -26,9 +30,8 @@ fn main() {
     let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(424_242);
     let with_sim = !arg_present(&args, "--no-sim");
-    let budget = budget_from_args(&args);
+    let backend = sim_backend_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
@@ -36,30 +39,31 @@ fn main() {
     let sweeps: Vec<SweepSpec> = DISCIPLINES
         .iter()
         .map(|&d| {
-            let scenario = Scenario::star(symbols)
-                .with_discipline(d)
-                .with_virtual_channels(v)
-                .with_message_length(m);
+            let scenario = replicated_scenario(
+                Scenario::star(symbols)
+                    .with_discipline(d)
+                    .with_virtual_channels(v)
+                    .with_message_length(m),
+                &args,
+                424_242,
+            );
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
     let model_reports = runner.run(&ModelBackend::new(), &sweeps);
-    let sim_reports: Option<Vec<SweepReport>> =
-        with_sim.then(|| runner.run(&SimBackend::new(budget, seed), &sweeps));
+    let sim_reports: Option<Vec<SweepReport>> = with_sim.then(|| runner.run(&backend, &sweeps));
 
     println!(
         "# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n"
     );
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
         let mut cells = vec![format!("{rate:.4}")];
-        for (di, discipline) in DISCIPLINES.iter().enumerate() {
+        for (di, _) in DISCIPLINES.iter().enumerate() {
             let model_cell = model_reports[di].estimates[ri].latency_cell();
             let sim_cell = sim_reports
                 .as_ref()
-                .map_or_else(|| "-".to_string(), |r| r[di].estimates[ri].latency_cell());
-            csv_rows.push(format!("{},{rate},{model_cell},{sim_cell}", discipline.name()));
+                .map_or_else(|| "-".to_string(), |r| r[di].estimates[ri].latency_ci_cell());
             cells.push(format!("{model_cell} / {sim_cell}"));
         }
         rows.push(cells);
@@ -76,9 +80,14 @@ fn main() {
             &rows
         )
     );
-    println!("Each cell is `analytical model latency / simulated latency` in cycles.");
+    println!("Each cell is `analytical model latency / simulated latency ± 95% CI` in cycles.");
+    let mut run_report = RunReport::from_sweeps(&model_reports);
+    if let Some(sim_reports) = &sim_reports {
+        log_replicate_consumption(sim_reports);
+        run_report.extend_from_sweeps(sim_reports);
+    }
     let path = experiments_dir().join("model_ablation.csv");
-    match write_csv(&path, "discipline,traffic_rate,model_latency,sim_latency", &csv_rows) {
+    match run_report.write_csv(&path) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

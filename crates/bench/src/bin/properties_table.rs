@@ -6,6 +6,11 @@
 //! ```text
 //! cargo run --release -p star-bench --bin properties_table -- [--max-n N]
 //! ```
+//!
+//! This table is purely combinatorial (no model solve, no simulation), so it
+//! is the one harness binary without the `--replicates`/`--seed-base`
+//! replication flags — there is no stochastic quantity to put a confidence
+//! interval on.
 
 use star_bench::{arg_value, experiments_dir};
 use star_graph::{Hypercube, StarGraph, TopologyProperties};

@@ -8,13 +8,17 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin routing_comparison -- [--n 5] [--v 6]
-//!     [--m 32] [--budget quick|standard|thorough] [--points N] [--seed S]
+//!     [--m 32] [--budget quick|standard|thorough] [--points N]
+//!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T]
 //! ```
 
-use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
+use star_bench::{
+    arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
+    sim_backend_from_args, threads_from_args,
+};
 use star_workloads::{
-    ascii_plot, markdown_table, write_csv, Discipline, Scenario, SimBackend, SweepRunner, SweepSpec,
+    ascii_plot, markdown_table, Discipline, RunReport, Scenario, SweepRunner, SweepSpec,
 };
 
 fn main() {
@@ -23,8 +27,7 @@ fn main() {
     let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
     let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(1_993);
-    let budget = budget_from_args(&args);
+    let backend = sim_backend_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
@@ -32,28 +35,29 @@ fn main() {
     let sweeps: Vec<SweepSpec> = Discipline::ALL
         .iter()
         .map(|&d| {
-            let scenario = Scenario::star(symbols)
-                .with_discipline(d)
-                .with_virtual_channels(v)
-                .with_message_length(m);
+            let scenario = replicated_scenario(
+                Scenario::star(symbols)
+                    .with_discipline(d)
+                    .with_virtual_channels(v)
+                    .with_message_length(m),
+                &args,
+                1_993,
+            );
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
-    let reports = runner.run(&SimBackend::new(budget, seed), &sweeps);
+    let reports = runner.run(&backend, &sweeps);
 
-    println!("# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {budget:?})\n");
+    println!(
+        "# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {:?}, \
+         {} replicate(s))\n",
+        backend.budget, sweeps[0].scenario.replicates
+    );
     let mut table_rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
         let mut cells = vec![format!("{rate:.4}")];
         for report in &reports {
-            let estimate = &report.estimates[ri];
-            cells.push(estimate.latency_cell());
-            let sim = estimate.sim_report().expect("sim backend yields sim reports");
-            csv_rows.push(format!(
-                "{},{rate},{},{:.4},{:.6}",
-                report.id, sim.saturated, sim.mean_message_latency, sim.blocking_probability
-            ));
+            cells.push(report.estimates[ri].latency_ci_cell());
         }
         table_rows.push(cells);
     }
@@ -64,12 +68,9 @@ fn main() {
     let series: Vec<(&str, Vec<f64>)> =
         reports.iter().map(|r| (r.id.as_str(), r.latency_curve())).collect();
     println!("{}", ascii_plot("mean message latency vs traffic rate", &rates, &series, 60, 16));
+    log_replicate_consumption(&reports);
     let path = experiments_dir().join("routing_comparison.csv");
-    match write_csv(
-        &path,
-        "algorithm,traffic_rate,saturated,mean_latency,blocking_probability",
-        &csv_rows,
-    ) {
+    match RunReport::from_sweeps(&reports).write_csv(&path) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

@@ -15,15 +15,17 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin size_sweep --
-//!     [--v 8] [--m 32] [--budget quick|standard|thorough] [--seed S]
+//!     [--v 8] [--m 32] [--budget quick|standard|thorough]
+//!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T]
 //! ```
 
-use star_bench::{arg_value, budget_from_args, experiments_dir, threads_from_args};
-use star_graph::Hypercube;
-use star_workloads::{
-    markdown_table, write_csv, ModelBackend, Scenario, SimBackend, SweepRunner, SweepSpec,
+use star_bench::{
+    arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
+    sim_backend_from_args, threads_from_args,
 };
+use star_graph::Hypercube;
+use star_workloads::{markdown_table, ModelBackend, RunReport, Scenario, SweepRunner, SweepSpec};
 
 /// Largest network the flit-level simulator is asked to run (the model has
 /// no such limit).
@@ -33,8 +35,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(8);
     let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(11);
-    let budget = budget_from_args(&args);
+    let backend = sim_backend_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
     let utilisations = [0.15, 0.35];
 
@@ -43,9 +44,14 @@ fn main() {
     // comparable across sizes and topologies (λ_g = u·degree/(d̄·M))
     let scenarios: Vec<Scenario> = (4..=7usize)
         .flat_map(|symbols| {
-            let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+            let star = replicated_scenario(
+                Scenario::star(symbols).with_virtual_channels(v).with_message_length(m),
+                &args,
+                11,
+            );
             let dims = Hypercube::at_least(star.topology().node_count()).dims();
-            let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
+            let cube =
+                Scenario { network: star_workloads::NetworkKind::Hypercube, size: dims, ..star };
             [star, cube]
         })
         .collect();
@@ -66,21 +72,21 @@ fn main() {
         .filter(|s| s.scenario.topology().node_count() <= MAX_SIM_NODES)
         .cloned()
         .collect();
-    let sim_reports = runner.run(&SimBackend::new(budget, seed), &sim_sweeps);
+    let sim_reports = runner.run(&backend, &sim_sweeps);
 
     println!(
         "# Model accuracy and scalability across network sizes and topologies \
-         (V = {v}, M = {m})\n"
+         (V = {v}, M = {m}, {} sim replicate(s))\n",
+        scenarios[0].replicates
     );
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
     for (si, report) in model_reports.iter().enumerate() {
         for (ri, estimate) in report.estimates.iter().enumerate() {
             let model_cell = estimate.latency_cell();
             let sim_cell = sim_reports
                 .iter()
                 .find(|r| r.id == report.id)
-                .map_or_else(|| "(model only)".to_string(), |r| r.estimates[ri].latency_cell());
+                .map_or_else(|| "(model only)".to_string(), |r| r.estimates[ri].latency_ci_cell());
             let utilisation = utilisations[ri];
             let rate = sweeps[si].rates[ri];
             rows.push(vec![
@@ -88,10 +94,9 @@ fn main() {
                 format!("{}", report.scenario.topology().node_count()),
                 format!("{:.0}%", utilisation * 100.0),
                 format!("{rate:.5}"),
-                model_cell.clone(),
-                sim_cell.clone(),
+                model_cell,
+                sim_cell,
             ]);
-            csv_rows.push(format!("{},{utilisation},{rate},{model_cell},{sim_cell}", report.id));
         }
     }
     println!(
@@ -103,14 +108,16 @@ fn main() {
                 "target channel utilisation",
                 "traffic rate (λ_g)",
                 "model latency",
-                "sim latency"
+                "sim latency (±95% CI)"
             ],
             &rows
         )
     );
+    log_replicate_consumption(&sim_reports);
+    let mut run_report = RunReport::from_sweeps(&model_reports);
+    run_report.extend_from_sweeps(&sim_reports);
     let path = experiments_dir().join("size_sweep.csv");
-    match write_csv(&path, "network,utilisation,traffic_rate,model_latency,sim_latency", &csv_rows)
-    {
+    match run_report.write_csv(&path) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

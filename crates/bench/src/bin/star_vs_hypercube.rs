@@ -6,39 +6,39 @@
 //! ```text
 //! cargo run --release -p star-bench --bin star_vs_hypercube --
 //!     [--backend sim|model] [--n 5 | --n 6,7] [--v V] [--m 32]
-//!     [--budget quick|standard|thorough] [--points N] [--seed S]
+//!     [--budget quick|standard|thorough] [--points N]
+//!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T]
 //! ```
 //!
 //! With `--backend sim` (the default) both topologies go through the
-//! flit-level simulator, which caps the comparison at sizes the simulator
-//! can reach (`S5`/`Q7` by default).  With `--backend model` the analytical
-//! model answers both sides and **no simulator runs at all**: the default
-//! pairs become `S6`/`Q10` (720 vs 1 024 nodes) and `S7`/`Q13` (5 040 vs
-//! 8 192 nodes) — the model-only regime the paper argues analytical models
-//! exist for — with the rate grid swept up to just below the earlier of the
-//! two model-predicted saturation knees.  The model default is `V = 8`
-//! because `Q13`'s negative-hop scheme needs `⌊13/2⌋ + 1 = 7` escape levels
-//! and Enhanced-Nbc at least one adaptive channel on top.
+//! flit-level simulator: every operating point runs `--replicates`
+//! independently seeded replicates (seeds derived from `--seed-base`) and is
+//! reported as mean ± Student-t 95% CI, with the (point × replicate) work
+//! items sharded across `--threads` workers — output is byte-identical for
+//! any thread count.  `--ci-target 0.05` instead keeps adding replicate
+//! batches per point until the relative CI half-width drops below 5% (or
+//! `--max-replicates` is hit), logging the per-point consumption to stderr.
+//!
+//! With `--backend model` the analytical model answers both sides and **no
+//! simulator runs at all**: the default pairs become `S6`/`Q10` (720 vs
+//! 1 024 nodes) and `S7`/`Q13` (5 040 vs 8 192 nodes) — the model-only
+//! regime the paper argues analytical models exist for — with the rate grid
+//! swept up to just below the earlier of the two model-predicted saturation
+//! knees.  The model default is `V = 8` because `Q13`'s negative-hop scheme
+//! needs `⌊13/2⌋ + 1 = 7` escape levels and Enhanced-Nbc at least one
+//! adaptive channel on top.  Model rows report a CI of zero width, keeping
+//! the CSV schema identical across backends.
 
 use star_bench::{
-    arg_value, budget_from_args, experiments_dir, model_saturation_rate, threads_from_args,
+    arg_value, experiments_dir, log_replicate_consumption, model_saturation_rate,
+    replicated_scenario, sim_backend_from_args, threads_from_args,
 };
 use star_graph::Hypercube;
 use star_workloads::{
-    ascii_plot, markdown_table, write_csv, Evaluator, ModelBackend, PointEstimate, Scenario,
-    SimBackend, SweepRunner, SweepSpec,
+    ascii_plot, markdown_table, Evaluator, ModelBackend, RunReport, Scenario, SweepRunner,
+    SweepSpec,
 };
-
-/// The latency cell written to the CSV: the raw (possibly partial)
-/// measurement for simulator estimates, the model latency (empty when
-/// saturated) for model estimates.
-fn csv_latency(estimate: &PointEstimate) -> String {
-    match estimate.sim_report() {
-        Some(report) => format!("{:.4}", report.mean_message_latency),
-        None => estimate.latency().map_or_else(String::new, |l| format!("{l:.4}")),
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,18 +71,20 @@ fn main() {
     let points: usize = arg_value(&args, "--points")
         .and_then(|s| s.parse().ok())
         .unwrap_or(if model_only { 8 } else { 5 });
-    let seed: u64 = arg_value(&args, "--seed").and_then(|s| s.parse().ok()).unwrap_or(7_771);
-    let budget = budget_from_args(&args);
     let runner = SweepRunner::with_threads(threads_from_args(&args));
     let model_backend = ModelBackend::new();
-    let sim_backend = SimBackend::new(budget, seed);
+    let sim_backend = sim_backend_from_args(&args);
     let evaluator: &dyn Evaluator = if model_only { &model_backend } else { &sim_backend };
 
-    let mut csv_rows = Vec::new();
+    let mut run_report = RunReport::new();
     for &symbols in &sizes {
-        let star = Scenario::star(symbols).with_virtual_channels(v).with_message_length(m);
+        let star = replicated_scenario(
+            Scenario::star(symbols).with_virtual_channels(v).with_message_length(m),
+            &args,
+            7_771,
+        );
         let dims = Hypercube::at_least(star.topology().node_count()).dims();
-        let cube = Scenario::hypercube(dims).with_virtual_channels(v).with_message_length(m);
+        let cube = Scenario { network: star_workloads::NetworkKind::Hypercube, size: dims, ..star };
         let rates: Vec<f64> = if model_only {
             // sweep to just below the earlier knee so both curves stay
             // mostly finite and the divergence near saturation is visible
@@ -103,7 +105,10 @@ fn main() {
         let backend_note = if model_only {
             ", no simulator invocation".to_string()
         } else {
-            format!(", budget {budget:?}")
+            format!(
+                ", budget {:?}, {} replicate(s), seed base {}",
+                sim_backend.budget, star.replicates, star.seed_base
+            )
         };
         println!(
             "# {} ({} nodes) vs {} ({} nodes) — Enhanced-Nbc, V = {v}, M = {m} \
@@ -118,19 +123,10 @@ fn main() {
         for (ri, &rate) in rates.iter().enumerate() {
             let s = &star_report.estimates[ri];
             let c = &cube_report.estimates[ri];
-            rows.push(vec![format!("{rate:.5}"), s.latency_cell(), c.latency_cell()]);
-            csv_rows.push(format!(
-                "{}/{},{rate},{},{},{},{}",
-                star_report.id,
-                cube_report.id,
-                s.saturated,
-                csv_latency(s),
-                c.saturated,
-                csv_latency(c)
-            ));
+            rows.push(vec![format!("{rate:.5}"), s.latency_ci_cell(), c.latency_ci_cell()]);
         }
-        let star_col = format!("{} latency", star_report.id);
-        let cube_col = format!("{} latency", cube_report.id);
+        let star_col = format!("{} latency (±95% CI)", star_report.id);
+        let cube_col = format!("{} latency (±95% CI)", cube_report.id);
         println!(
             "{}",
             markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
@@ -148,13 +144,11 @@ fn main() {
                 16,
             )
         );
+        log_replicate_consumption(&reports);
+        run_report.extend_from_sweeps(&reports);
     }
     let path = experiments_dir().join("star_vs_hypercube.csv");
-    match write_csv(
-        &path,
-        "pair,traffic_rate,star_saturated,star_latency,cube_saturated,cube_latency",
-        &csv_rows,
-    ) {
+    match run_report.write_csv(&path) {
         Ok(()) => println!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write {}: {e}", path.display()),
     }

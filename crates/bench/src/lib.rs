@@ -19,7 +19,9 @@
 use std::path::PathBuf;
 
 use star_core::ValidationRow;
-use star_workloads::{ModelBackend, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec};
+use star_workloads::{
+    CiTarget, ModelBackend, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec,
+};
 
 /// Directory where harness binaries drop their CSV outputs.
 #[must_use]
@@ -28,26 +30,28 @@ pub fn experiments_dir() -> PathBuf {
 }
 
 /// Runs one Figure-1 curve through both backends — the analytical model
-/// (warm-started) and the simulator (points sharded across `threads`
-/// workers) — and pairs the estimates into validation rows.
+/// (warm-started) and the simulator ((point × replicate) work items sharded
+/// across `threads` workers, replicate count and seed base taken from the
+/// sweep's scenario) — and pairs the estimates into validation rows.
 ///
 /// # Panics
 /// Panics if the model backend does not cover the sweep's scenario.
 #[must_use]
 pub fn run_figure1_curve(
     sweep: &SweepSpec,
-    budget: SimBudget,
-    seed: u64,
+    sim: &SimBackend,
     threads: usize,
 ) -> Vec<ValidationRow> {
     let runner = SweepRunner::with_threads(threads);
     let model = runner.run_one(&ModelBackend::new(), sweep);
-    let sim = runner.run_one(&SimBackend::new(budget, seed), sweep);
-    pair_into_validation_rows(&model, &sim)
+    let simulated = runner.run_one(sim, sweep);
+    log_replicate_consumption(std::slice::from_ref(&simulated));
+    pair_into_validation_rows(&model, &simulated)
 }
 
 /// Zips a model sweep report with a simulation sweep report over the same
-/// rates into the [`ValidationRow`]s EXPERIMENTS.md tabulates.
+/// rates into the [`ValidationRow`]s EXPERIMENTS.md tabulates, carrying the
+/// simulator's across-replicate confidence interval.
 ///
 /// # Panics
 /// Panics if the reports do not cover the same rates in the same order, or
@@ -61,7 +65,7 @@ pub fn pair_into_validation_rows(model: &SweepReport, sim: &SweepReport) -> Vec<
         .zip(&sim.estimates)
         .map(|(m, s)| {
             let result = m.model_result().expect("first report must be a model sweep");
-            ValidationRow::new(result, s.latency())
+            ValidationRow::new(result, s.latency()).with_sim_ci(s.latency_ci95(), s.replicates())
         })
         .collect()
 }
@@ -127,6 +131,82 @@ pub fn threads_from_args(args: &[String]) -> usize {
     arg_value(args, "--threads").and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
+/// Chooses the replicate count from `--replicates R` (default 1 — a single
+/// replicate, whose seed is still derived from the seed base).
+#[must_use]
+pub fn replicates_from_args(args: &[String]) -> usize {
+    arg_value(args, "--replicates").and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
+}
+
+/// Chooses the seed base from `--seed-base S` (accepting the retired
+/// `--seed` spelling as an alias), falling back to the binary's historical
+/// default.  Note that a seed base is *derived from*, not used verbatim:
+/// replicate `i` simulates with `replicate_seed(S, i)`, so pre-replicate
+/// single-seed CSVs are not bit-reproducible — rerun to regenerate.
+#[must_use]
+pub fn seed_base_from_args(args: &[String], default: u64) -> u64 {
+    arg_value(args, "--seed-base")
+        .or_else(|| arg_value(args, "--seed"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses the adaptive stopping rule from `--ci-target <rel>` (with an
+/// optional `--max-replicates N` cap); `None` when the flag is absent.
+///
+/// # Panics
+/// Panics (exit-style message) if the target is outside `(0, 1)`.
+#[must_use]
+pub fn ci_target_from_args(args: &[String]) -> Option<CiTarget> {
+    let relative: f64 = arg_value(args, "--ci-target")?.parse().ok()?;
+    let mut target = CiTarget::new(relative);
+    if let Some(cap) = arg_value(args, "--max-replicates").and_then(|s| s.parse().ok()) {
+        target.max_replicates = cap;
+    }
+    Some(target)
+}
+
+/// Builds the simulator backend every harness binary uses: `--budget` plus
+/// the optional `--ci-target`/`--max-replicates` adaptive stopping rule.
+#[must_use]
+pub fn sim_backend_from_args(args: &[String]) -> SimBackend {
+    let mut backend = SimBackend::new(budget_from_args(args));
+    if let Some(target) = ci_target_from_args(args) {
+        backend = backend.with_ci_target(target);
+    }
+    backend
+}
+
+/// Applies the replication flags (`--replicates`, `--seed-base`) to a
+/// scenario, with the binary's historical seed default.
+#[must_use]
+pub fn replicated_scenario(scenario: Scenario, args: &[String], default_seed: u64) -> Scenario {
+    scenario
+        .with_replicates(replicates_from_args(args))
+        .with_seed_base(seed_base_from_args(args, default_seed))
+}
+
+/// Prints the per-point replicate consumption of a simulated sweep — the
+/// log the adaptive `--ci-target` stopping rule owes the user (for fixed
+/// fan-outs it is a one-line confirmation).
+pub fn log_replicate_consumption(reports: &[SweepReport]) {
+    for report in reports {
+        for estimate in &report.estimates {
+            if estimate.sim_report().is_none() {
+                continue;
+            }
+            eprintln!(
+                "[replicates] {} λ_g={:.5}: {} replicate(s), rel CI {:.2}%{}",
+                report.id,
+                estimate.point.traffic_rate,
+                estimate.replicates(),
+                estimate.latency_rel_ci95() * 100.0,
+                if estimate.saturated { " (saturated)" } else { "" },
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,16 +232,53 @@ mod tests {
     }
 
     #[test]
-    fn figure1_curve_produces_one_row_per_rate() {
+    fn replication_arg_parsing() {
+        let args: Vec<String> = [
+            "--replicates",
+            "8",
+            "--seed-base",
+            "99",
+            "--ci-target",
+            "0.05",
+            "--max-replicates",
+            "12",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        assert_eq!(replicates_from_args(&args), 8);
+        assert_eq!(replicates_from_args(&[]), 1);
+        assert_eq!(seed_base_from_args(&args, 7), 99);
+        assert_eq!(seed_base_from_args(&[], 7), 7);
+        // the retired --seed spelling keeps working as an alias
+        let legacy: Vec<String> = ["--seed", "123"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(seed_base_from_args(&legacy, 7), 123);
+        let target = ci_target_from_args(&args).unwrap();
+        assert_eq!(target.relative, 0.05);
+        assert_eq!(target.max_replicates, 12);
+        assert_eq!(ci_target_from_args(&[]), None);
+        let scenario = replicated_scenario(Scenario::star(4), &args, 7);
+        assert_eq!(scenario.replicates, 8);
+        assert_eq!(scenario.seed_base, 99);
+        let backend = sim_backend_from_args(&args);
+        assert_eq!(backend.ci_target, Some(target));
+        assert!(sim_backend_from_args(&[]).ci_target.is_none());
+    }
+
+    #[test]
+    fn figure1_curve_produces_one_row_per_rate_with_replicate_cis() {
         // tiny S4 stand-in so the test stays fast; the real curves use S5
-        let sweep =
-            SweepSpec::new("test", Scenario::star(4).with_message_length(16), vec![0.002, 0.004]);
-        let rows = run_figure1_curve(&sweep, SimBudget::Quick, 3, 2);
+        let scenario =
+            Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(3);
+        let sweep = SweepSpec::new("test", scenario, vec![0.002, 0.004]);
+        let rows = run_figure1_curve(&sweep, &SimBackend::new(SimBudget::Quick), 2);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.virtual_channels, 6);
             assert!(row.model_latency.is_some());
             assert!(row.simulated_latency.is_some());
+            assert_eq!(row.sim_replicates, 2);
+            assert!(row.simulated_ci95 > 0.0, "two seeds must yield a real interval");
         }
     }
 

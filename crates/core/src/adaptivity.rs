@@ -67,22 +67,53 @@ impl DestinationSpectrum {
     /// permutation machinery.
     #[must_use]
     pub fn new(symbols: usize) -> Self {
-        let mut classes = Vec::new();
-        for (cycle_type, count) in star_graph::distance::enumerate_types(symbols) {
-            if cycle_type.cycle_lengths.is_empty() {
-                continue; // the source itself
-            }
-            let representative = cycle_type.representative(symbols);
-            let dag = MinimalPathDag::build(&representative);
-            let profile = dag.adaptivity_profile();
-            debug_assert_eq!(profile.distance, cycle_type.distance());
-            classes.push(DestinationClass {
-                distance: profile.distance,
-                cycle_type,
-                count,
-                profile,
-            });
-        }
+        Self::with_threads(symbols, 1)
+    }
+
+    /// Builds the spectrum for `S_n`, sharding the per-cycle-type path-DAG
+    /// construction — the expensive part of a large-`n` spectrum, and
+    /// embarrassingly parallel — across `threads` scoped workers
+    /// (`0`/`1` = serial).  The classes are sorted afterwards, so the result
+    /// is identical for any thread count.
+    ///
+    /// # Panics
+    /// As [`Self::new`].
+    #[must_use]
+    pub fn with_threads(symbols: usize, threads: usize) -> Self {
+        let types: Vec<(CycleType, u64)> = star_graph::distance::enumerate_types(symbols)
+            .into_iter()
+            .filter(|(cycle_type, _)| !cycle_type.cycle_lengths.is_empty()) // skip the source
+            .collect();
+        let build = |types: &[(CycleType, u64)]| -> Vec<DestinationClass> {
+            types
+                .iter()
+                .map(|(cycle_type, count)| {
+                    let representative = cycle_type.representative(symbols);
+                    let dag = MinimalPathDag::build(&representative);
+                    let profile = dag.adaptivity_profile();
+                    debug_assert_eq!(profile.distance, cycle_type.distance());
+                    DestinationClass {
+                        distance: profile.distance,
+                        cycle_type: cycle_type.clone(),
+                        count: *count,
+                        profile,
+                    }
+                })
+                .collect()
+        };
+        let mut classes = if threads <= 1 || types.len() < 2 {
+            build(&types)
+        } else {
+            let chunk = types.len().div_ceil(threads.min(types.len()));
+            std::thread::scope(|scope| {
+                let handles: Vec<_> =
+                    types.chunks(chunk).map(|chunk| scope.spawn(move || build(chunk))).collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("spectrum worker must not panic"))
+                    .collect()
+            })
+        };
         classes.sort_by_key(|c| (c.distance, c.cycle_type.cycle_lengths.clone()));
         Self { symbols, classes }
     }
@@ -201,6 +232,21 @@ mod tests {
             let mean = spectrum.mean_adaptivity();
             assert!(mean >= 1.0);
             assert!(mean <= (n - 1) as f64);
+        }
+    }
+
+    #[test]
+    fn threaded_spectrum_construction_matches_serial() {
+        for threads in [0usize, 2, 3, 8] {
+            let serial = DestinationSpectrum::new(6);
+            let threaded = DestinationSpectrum::with_threads(6, threads);
+            assert_eq!(serial.classes().len(), threaded.classes().len());
+            for (a, b) in serial.classes().iter().zip(threaded.classes()) {
+                assert_eq!(a.cycle_type, b.cycle_type, "threads = {threads}");
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.distance, b.distance);
+                assert_eq!(a.profile.hop_adaptivity, b.profile.hop_adaptivity);
+            }
         }
     }
 

@@ -125,6 +125,44 @@ pub fn total_blocking_delay(
         .sum()
 }
 
+/// The per-destination-class blocking delays of one latency step, in input
+/// order: [`total_blocking_delay`] for every profile, optionally sharded
+/// across `threads` scoped workers.
+///
+/// The classes are mutually independent (this is the embarrassingly parallel
+/// inner sum of every model iteration), and each class's delay is computed
+/// exactly as in the serial path, so the output is **byte-identical for any
+/// thread count** — parallelism only re-orders wall-clock, never the
+/// per-class floating-point evaluation or the caller's summation order.
+/// `threads <= 1` (the default everywhere except explicitly opted-in solves
+/// and the `model_solve`/`hypercube_model` benches) short-circuits to the
+/// serial loop with no allocation or spawn overhead.
+#[must_use]
+pub fn batch_blocking_delays(
+    split: VcSplit,
+    occupancy: &ChannelOccupancy,
+    profiles: &[&AdaptivityProfile],
+    mean_wait: f64,
+    threads: usize,
+) -> Vec<f64> {
+    let serial = |profiles: &[&AdaptivityProfile]| -> Vec<f64> {
+        profiles.iter().map(|p| total_blocking_delay(split, occupancy, p, mean_wait)).collect()
+    };
+    if threads <= 1 || profiles.len() < 2 {
+        return serial(profiles);
+    }
+    let chunk = profiles.len().div_ceil(threads.min(profiles.len()));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            profiles.chunks(chunk).map(|chunk| scope.spawn(move || serial(chunk))).collect();
+        // joining in spawn order restores input order
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("blocking-delay worker must not panic"))
+            .collect()
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -295,5 +333,27 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn hop_zero_is_rejected() {
         let _ = selectable_vcs(SPLIT_V6, Color::Zero, 0, 3);
+    }
+
+    #[test]
+    fn batched_delays_are_byte_identical_for_any_thread_count() {
+        let profiles = [
+            profile_for(&[2, 1, 4, 3, 5]),
+            profile_for(&[3, 4, 5, 1, 2]),
+            profile_for(&[5, 4, 3, 2, 1]),
+            profile_for(&[2, 3, 1, 5, 4]),
+            profile_for(&[1, 2, 3, 5, 4]),
+        ];
+        let refs: Vec<&AdaptivityProfile> = profiles.iter().collect();
+        let occ = ChannelOccupancy::new(0.006, 60.0, 6);
+        let serial = batch_blocking_delays(SPLIT_V6, &occ, &refs, 12.0, 1);
+        assert_eq!(serial.len(), refs.len());
+        for (delay, profile) in serial.iter().zip(&refs) {
+            assert_eq!(*delay, total_blocking_delay(SPLIT_V6, &occ, profile, 12.0));
+        }
+        for threads in [2usize, 3, 5, 16] {
+            let sharded = batch_blocking_delays(SPLIT_V6, &occ, &refs, 12.0, threads);
+            assert_eq!(serial, sharded, "threads = {threads}");
+        }
     }
 }

@@ -49,7 +49,7 @@ use star_graph::coloring::max_negative_hops;
 use star_graph::{AdaptivityProfile, Hypercube};
 use star_queueing::FixedPointOutcome;
 
-use crate::blocking::{total_blocking_delay, VcSplit};
+use crate::blocking::{batch_blocking_delays, total_blocking_delay, VcSplit};
 use crate::model::latency_solver;
 use crate::occupancy::{binomial, ChannelOccupancy};
 use crate::waiting::{channel_waiting_time, source_waiting_time};
@@ -502,6 +502,7 @@ impl HypercubeResult {
 pub struct HypercubeModel {
     config: HypercubeConfig,
     spectrum: Arc<HypercubeSpectrum>,
+    parallelism: usize,
 }
 
 impl HypercubeModel {
@@ -513,7 +514,7 @@ impl HypercubeModel {
     pub fn new(config: HypercubeConfig) -> Self {
         config.validate();
         let spectrum = Arc::new(HypercubeSpectrum::new(config.dims));
-        Self { config, spectrum }
+        Self { config, spectrum, parallelism: 1 }
     }
 
     /// Builds the model sharing an already computed spectrum (the spectrum
@@ -527,7 +528,18 @@ impl HypercubeModel {
     pub fn with_spectrum(config: HypercubeConfig, spectrum: Arc<HypercubeSpectrum>) -> Self {
         config.validate();
         assert_eq!(spectrum.dims(), config.dims, "spectrum size mismatch");
-        Self { config, spectrum }
+        Self { config, spectrum, parallelism: 1 }
+    }
+
+    /// Shards the per-distance-class blocking sums of every fixed-point
+    /// iteration across the given number of scoped threads (`0`/`1` =
+    /// serial, the default) — the hypercube side of
+    /// [`crate::AnalyticalModel::with_parallelism`], byte-identical for any
+    /// budget; the `hypercube_model` bench quantifies it at `Q13`.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
     }
 
     /// The configuration being evaluated.
@@ -554,16 +566,33 @@ impl HypercubeModel {
         if !mean_wait.is_finite() {
             return f64::INFINITY;
         }
-        let mut weighted = 0.0;
-        for class in self.spectrum.classes() {
-            let profile = if cfg.routing.is_adaptive() {
+        fn profile_of(class: &HypercubeClass, adaptive: bool) -> &AdaptivityProfile {
+            if adaptive {
                 &class.adaptive_profile
             } else {
                 &class.deterministic_profile
-            };
-            let blocking = total_blocking_delay(split, &occupancy, profile, mean_wait);
-            let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
-            weighted += latency * class.count as f64;
+            }
+        }
+        let adaptive = cfg.routing.is_adaptive();
+        let mut weighted = 0.0;
+        if self.parallelism <= 1 {
+            // serial fast path: no per-iteration allocation in the solver's
+            // innermost loop
+            for class in self.spectrum.classes() {
+                let blocking =
+                    total_blocking_delay(split, &occupancy, profile_of(class, adaptive), mean_wait);
+                let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
+        } else {
+            let profiles: Vec<&AdaptivityProfile> =
+                self.spectrum.classes().iter().map(|c| profile_of(c, adaptive)).collect();
+            let delays =
+                batch_blocking_delays(split, &occupancy, &profiles, mean_wait, self.parallelism);
+            for (class, blocking) in self.spectrum.classes().iter().zip(delays) {
+                let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
         }
         weighted / self.spectrum.destination_count() as f64
     }
@@ -878,6 +907,21 @@ mod tests {
         let r = solve(7, 6, 32, 0.2);
         assert!(r.saturated);
         assert!(r.mean_latency.is_infinite());
+    }
+
+    #[test]
+    fn parallel_blocking_sums_reproduce_the_serial_solve_exactly() {
+        let config = HypercubeConfig::builder()
+            .dims(10)
+            .virtual_channels(8)
+            .message_length(32)
+            .traffic_rate(0.008)
+            .build();
+        let serial = HypercubeModel::new(config).solve();
+        for threads in [2usize, 4] {
+            let parallel = HypercubeModel::new(config).with_parallelism(threads).solve();
+            assert_eq!(serial, parallel, "threads = {threads} must be byte-identical");
+        }
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use star_queueing::{FixedPointOutcome, FixedPointSolver};
 
 use crate::adaptivity::DestinationSpectrum;
-use crate::blocking::{total_blocking_delay, VcSplit};
+use crate::blocking::{batch_blocking_delays, total_blocking_delay, VcSplit};
 use crate::config::ModelConfig;
 use crate::occupancy::ChannelOccupancy;
 use crate::waiting::{channel_waiting_time, source_waiting_time};
@@ -92,6 +92,7 @@ pub(crate) fn latency_solver() -> FixedPointSolver {
 pub struct AnalyticalModel {
     config: ModelConfig,
     spectrum: Arc<DestinationSpectrum>,
+    parallelism: usize,
 }
 
 impl AnalyticalModel {
@@ -103,7 +104,7 @@ impl AnalyticalModel {
     pub fn new(config: ModelConfig) -> Self {
         config.validate();
         let spectrum = Arc::new(DestinationSpectrum::new(config.symbols));
-        Self { config, spectrum }
+        Self { config, spectrum, parallelism: 1 }
     }
 
     /// Builds the model sharing an already computed destination spectrum
@@ -118,7 +119,18 @@ impl AnalyticalModel {
     pub fn with_spectrum(config: ModelConfig, spectrum: Arc<DestinationSpectrum>) -> Self {
         config.validate();
         assert_eq!(spectrum.symbols(), config.symbols, "spectrum size mismatch");
-        Self { config, spectrum }
+        Self { config, spectrum, parallelism: 1 }
+    }
+
+    /// Shards the per-destination-class blocking sums of every fixed-point
+    /// iteration across the given number of scoped threads (`0`/`1` =
+    /// serial, the default).  The answer is byte-identical for any budget —
+    /// see [`crate::blocking::batch_blocking_delays`]; worth it only for the
+    /// largest spectra (`S7`+), which the `model_solve` bench quantifies.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads.max(1);
+        self
     }
 
     /// The configuration being evaluated.
@@ -149,10 +161,23 @@ impl AnalyticalModel {
             return f64::INFINITY;
         }
         let mut weighted = 0.0;
-        for class in self.spectrum.classes() {
-            let blocking = total_blocking_delay(split, &occupancy, &class.profile, mean_wait);
-            let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
-            weighted += latency * class.count as f64;
+        if self.parallelism <= 1 {
+            // serial fast path: no per-iteration allocation in the solver's
+            // innermost loop
+            for class in self.spectrum.classes() {
+                let blocking = total_blocking_delay(split, &occupancy, &class.profile, mean_wait);
+                let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
+        } else {
+            let profiles: Vec<&star_graph::AdaptivityProfile> =
+                self.spectrum.classes().iter().map(|c| &c.profile).collect();
+            let delays =
+                batch_blocking_delays(split, &occupancy, &profiles, mean_wait, self.parallelism);
+            for (class, blocking) in self.spectrum.classes().iter().zip(delays) {
+                let latency = cfg.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
         }
         weighted / self.spectrum.destination_count() as f64
     }
@@ -364,6 +389,24 @@ mod tests {
         let spectrum = Arc::new(DestinationSpectrum::new(4));
         let config = ModelConfig::builder().symbols(5).virtual_channels(6).build();
         let _ = AnalyticalModel::with_spectrum(config, spectrum);
+    }
+
+    #[test]
+    fn parallel_blocking_sums_reproduce_the_serial_solve_exactly() {
+        let config = ModelConfig::builder()
+            .symbols(6)
+            .virtual_channels(6)
+            .message_length(32)
+            .traffic_rate(0.004)
+            .build();
+        let serial = AnalyticalModel::new(config).solve();
+        for threads in [2usize, 4] {
+            let parallel = AnalyticalModel::new(config).with_parallelism(threads).solve();
+            assert_eq!(serial, parallel, "threads = {threads} must be byte-identical");
+        }
+        // 0 falls back to serial rather than spawning nothing
+        let zero = AnalyticalModel::new(config).with_parallelism(0).solve();
+        assert_eq!(serial, zero);
     }
 
     #[test]

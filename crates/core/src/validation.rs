@@ -23,14 +23,19 @@ pub struct ValidationRow {
     /// Latency predicted by the analytical model (cycles); `None` when the
     /// model declares the point saturated.
     pub model_latency: Option<f64>,
-    /// Latency measured by the simulator (cycles); `None` when the simulator
-    /// saturated.
+    /// Latency measured by the simulator (cycles; the across-replicate mean
+    /// when several replicates ran); `None` when the simulator saturated.
     pub simulated_latency: Option<f64>,
+    /// Student-t 95% confidence half-width of the simulated latency across
+    /// replicates (0 for a single replicate).
+    pub simulated_ci95: f64,
+    /// Number of simulator replicates behind the measurement.
+    pub sim_replicates: u64,
 }
 
 impl ValidationRow {
-    /// Builds a row from a model result and a (possibly saturated) simulation
-    /// measurement.
+    /// Builds a row from a model result and a (possibly saturated)
+    /// single-replicate simulation measurement.
     #[must_use]
     pub fn new(model: &ModelResult, simulated_latency: Option<f64>) -> Self {
         Self {
@@ -39,7 +44,18 @@ impl ValidationRow {
             virtual_channels: model.config.virtual_channels,
             model_latency: if model.saturated { None } else { Some(model.mean_latency) },
             simulated_latency,
+            simulated_ci95: 0.0,
+            sim_replicates: 1,
         }
+    }
+
+    /// Attaches the across-replicate confidence interval of the simulated
+    /// measurement.
+    #[must_use]
+    pub fn with_sim_ci(mut self, ci95: f64, replicates: u64) -> Self {
+        self.simulated_ci95 = ci95;
+        self.sim_replicates = replicates;
+        self
     }
 
     /// Relative error of the model against the simulation,
@@ -62,7 +78,8 @@ impl ValidationRow {
     /// CSV header matching [`Self::to_csv_row`].
     #[must_use]
     pub fn csv_header() -> String {
-        "traffic_rate,message_length,virtual_channels,model_latency,simulated_latency,relative_error"
+        "traffic_rate,message_length,virtual_channels,model_latency,simulated_latency,\
+         simulated_ci95,sim_replicates,relative_error"
             .to_string()
     }
 
@@ -71,12 +88,14 @@ impl ValidationRow {
     pub fn to_csv_row(&self) -> String {
         let fmt = |v: Option<f64>| v.map_or(String::new(), |x| format!("{x:.4}"));
         format!(
-            "{},{},{},{},{},{}",
+            "{},{},{},{},{},{:.4},{},{}",
             self.traffic_rate,
             self.message_length,
             self.virtual_channels,
             fmt(self.model_latency),
             fmt(self.simulated_latency),
+            self.simulated_ci95,
+            self.sim_replicates,
             fmt(self.relative_error()),
         )
     }
@@ -128,7 +147,21 @@ mod tests {
         let row = ValidationRow::new(&m, None);
         assert!(row.relative_error().is_none());
         assert!(row.both_saturated());
-        assert!(row.to_csv_row().ends_with(",,"));
+        assert!(row.to_csv_row().contains(",,"));
+        assert!(row.to_csv_row().ends_with(','));
+    }
+
+    #[test]
+    fn replicate_ci_travels_into_the_csv() {
+        let m = model_at(0.002);
+        let row = ValidationRow::new(&m, Some(50.0)).with_sim_ci(1.25, 8);
+        assert_eq!(row.simulated_ci95, 1.25);
+        assert_eq!(row.sim_replicates, 8);
+        assert!(row.to_csv_row().contains(",1.2500,8,"));
+        // the single-replicate default keeps a degenerate interval
+        let plain = ValidationRow::new(&m, Some(50.0));
+        assert_eq!(plain.simulated_ci95, 0.0);
+        assert_eq!(plain.sim_replicates, 1);
     }
 
     #[test]

@@ -11,10 +11,11 @@
 //! * [`fixed_point`] — damped fixed-point iteration with divergence
 //!   (saturation) detection, used to resolve the model's circular
 //!   dependencies between latency and waiting time;
-//! * [`stats`] — running statistics, batch means and confidence intervals for
-//!   simulation output analysis;
+//! * [`stats`] — running statistics, batch means, across-replicate Student-t
+//!   confidence intervals and histograms for simulation output analysis;
 //! * [`sampling`] — Poisson-process inter-arrival sampling and deterministic
-//!   seeding helpers.
+//!   seeding helpers, including the [`replicate_seed`] derivation the
+//!   replicate-aware evaluation layer fans seeds out with.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,5 +29,5 @@ pub mod stats;
 pub use fixed_point::{FixedPointOutcome, FixedPointSolver};
 pub use markov::{multiplexing_degree, vc_occupancy_distribution, BirthDeathChain};
 pub use mg1::{mg1_waiting_time, mg1_waiting_time_min_service, utilization};
-pub use sampling::PoissonProcess;
-pub use stats::{BatchMeans, Histogram, RunningStats};
+pub use sampling::{replicate_seed, PoissonProcess};
+pub use stats::{student_t_975, BatchMeans, Histogram, ReplicateStats, RunningStats};

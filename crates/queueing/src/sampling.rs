@@ -9,6 +9,24 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+/// Derives the RNG seed of one replicate from a base seed and the replicate
+/// index — the deterministic fan-out replicate-aware experiments use: the
+/// same `(seed_base, replicate)` pair yields the same seed in every process
+/// on every platform, and different replicates get well-separated seeds.
+///
+/// The mix is one SplitMix64 finalisation round over the pair, so replicate
+/// `i` of base `b` never collides with replicate `i + 1` of base `b − 1`
+/// the way naive `base + index` addition would.
+#[must_use]
+pub fn replicate_seed(seed_base: u64, replicate: u64) -> u64 {
+    let mut z = seed_base
+        .wrapping_add(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(replicate.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Creates a deterministic RNG for a given experiment seed and stream id.
 ///
 /// Different `stream` values (e.g. one per node) yield independent-looking
@@ -153,6 +171,29 @@ mod tests {
             "index of dispersion should be ~1, got {dispersion}"
         );
         assert!((stats.mean() - 4.0).abs() < 0.2, "expected ~4 arrivals per window");
+    }
+
+    #[test]
+    fn replicate_seeds_are_stable_and_separated() {
+        // the derivation is part of the reproducibility contract: these
+        // constants must never change across runs, platforms or releases
+        assert_eq!(replicate_seed(0, 0), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(replicate_seed(42, 0), 0xBDD7_3226_2FEB_6E95);
+        assert_eq!(replicate_seed(42, 1), 0xD7FC_1BDE_F4D9_4D80);
+        // recomputing yields the identical seed
+        for base in [0u64, 7, u64::MAX] {
+            for rep in 0..4 {
+                assert_eq!(replicate_seed(base, rep), replicate_seed(base, rep));
+            }
+        }
+        // no collisions across a realistic fan-out, including the diagonal
+        // (base + 1, rep) vs (base, rep + 1) that naive addition would alias
+        let mut seen = std::collections::HashSet::new();
+        for base in 0..32u64 {
+            for rep in 0..32u64 {
+                assert!(seen.insert(replicate_seed(base, rep)), "collision at ({base}, {rep})");
+            }
+        }
     }
 
     #[test]

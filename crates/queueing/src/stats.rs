@@ -4,10 +4,129 @@
 //! source-queueing time with confidence intervals.  [`RunningStats`] is a
 //! numerically stable (Welford) accumulator; [`BatchMeans`] implements the
 //! classic batch-means method for steady-state output analysis;
+//! [`ReplicateStats`] summarises independent replications of one experiment
+//! (mean, sample standard deviation, Student-t 95% confidence interval);
 //! [`Histogram`] records integer-valued samples (latencies in cycles) for
 //! distribution plots.
 
 use serde::{Deserialize, Serialize};
+
+/// Two-sided 95% Student-t quantile (`t_{0.975, df}`) for the given degrees
+/// of freedom, from the standard table; degrees of freedom beyond the table
+/// fall back to coarser rows and finally the normal quantile 1.96.
+///
+/// Replicate counts are small (a handful to a few dozen independent seeds),
+/// exactly the regime where the normal approximation undercovers and the
+/// t correction matters.
+#[must_use]
+pub fn student_t_975(degrees_of_freedom: u64) -> f64 {
+    const TABLE: [f64; 30] = [
+        12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228, 2.201, 2.179, 2.160,
+        2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080, 2.074, 2.069, 2.064, 2.060, 2.056,
+        2.052, 2.048, 2.045, 2.042,
+    ];
+    // past the table, clamp df DOWN to the nearest coarser row (the
+    // conventional, conservative reading: a slightly wider interval, never
+    // a narrower one)
+    match degrees_of_freedom {
+        0 => f64::INFINITY,
+        df @ 1..=30 => TABLE[df as usize - 1],
+        31..=39 => TABLE[29],
+        40..=59 => 2.021,
+        60..=119 => 2.000,
+        120..=239 => 1.980,
+        _ => 1.960,
+    }
+}
+
+/// Summary statistics over independent replications of one experiment: the
+/// across-replicate mean, sample standard deviation and the Student-t 95%
+/// confidence half-width of the mean.
+///
+/// This is the quantity every replicate-aware report carries per operating
+/// point.  A single replicate (or a deterministic backend such as the
+/// analytical model) yields a degenerate interval of zero width, which keeps
+/// one report schema across backends.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplicateStats {
+    /// Number of replicates summarised.
+    pub replicates: u64,
+    /// Across-replicate mean.
+    pub mean: f64,
+    /// Sample standard deviation across replicates (0 with fewer than two).
+    pub std_dev: f64,
+    /// Student-t 95% confidence half-width of the mean (0 with fewer than
+    /// two replicates).
+    pub ci95: f64,
+}
+
+impl Default for ReplicateStats {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl ReplicateStats {
+    /// The summary of zero replicates (all-zero fields; the shape saturated
+    /// points report when no finite measurement exists).
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { replicates: 0, mean: 0.0, std_dev: 0.0, ci95: 0.0 }
+    }
+
+    /// The degenerate summary of a single observation: zero-width interval
+    /// around the value.  Deterministic backends (the analytical model) use
+    /// this so their reports share the replicate schema.
+    #[must_use]
+    pub fn degenerate(value: f64) -> Self {
+        Self { replicates: 1, mean: value, std_dev: 0.0, ci95: 0.0 }
+    }
+
+    /// Summarises one finite sample per replicate.
+    ///
+    /// # Panics
+    /// Panics if any sample is non-finite (saturated replicates must be
+    /// filtered — and flagged — by the caller, so the interval stays
+    /// meaningful and comparison-safe).
+    #[must_use]
+    pub fn from_samples(samples: &[f64]) -> Self {
+        assert!(
+            samples.iter().all(|s| s.is_finite()),
+            "replicate samples must be finite (filter saturated replicates first)"
+        );
+        if samples.is_empty() {
+            return Self::empty();
+        }
+        let mut acc = RunningStats::new();
+        for &s in samples {
+            acc.push(s);
+        }
+        let std_dev = acc.std_dev();
+        let ci95 = if samples.len() < 2 {
+            0.0
+        } else {
+            student_t_975(samples.len() as u64 - 1) * acc.std_error()
+        };
+        Self { replicates: samples.len() as u64, mean: acc.mean(), std_dev, ci95 }
+    }
+
+    /// Relative 95% confidence half-width `ci95 / |mean|` (0 when the mean is
+    /// zero) — the stopping criterion adaptive replication targets.
+    #[must_use]
+    pub fn relative_ci95(&self) -> f64 {
+        if self.mean.abs() < f64::EPSILON {
+            0.0
+        } else {
+            self.ci95 / self.mean.abs()
+        }
+    }
+
+    /// Formats the summary as `mean ± ci95` for tables.
+    #[must_use]
+    pub fn pretty(&self) -> String {
+        format!("{:.1} ± {:.1}", self.mean, self.ci95)
+    }
+}
 
 /// Numerically stable running mean/variance accumulator (Welford's method).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
@@ -338,6 +457,59 @@ mod tests {
     #[should_panic(expected = "batch size")]
     fn zero_batch_size_rejected() {
         let _ = BatchMeans::new(0);
+    }
+
+    #[test]
+    fn student_t_table_decreases_toward_the_normal_quantile() {
+        assert!(student_t_975(0).is_infinite());
+        assert!((student_t_975(1) - 12.706).abs() < 1e-12);
+        assert!((student_t_975(7) - 2.365).abs() < 1e-12);
+        let mut last = f64::INFINITY;
+        for df in 1..=300 {
+            let t = student_t_975(df);
+            assert!(t <= last, "t quantile must not increase with df");
+            assert!(t >= 1.960);
+            last = t;
+        }
+        assert!((student_t_975(10_000) - 1.960).abs() < 1e-12);
+        // beyond the table, df clamps DOWN to the coarser row — the interval
+        // may only widen, never narrow (e.g. df=31 uses the df=30 quantile,
+        // which exceeds the true ≈2.040)
+        assert_eq!(student_t_975(31), student_t_975(30));
+        assert_eq!(student_t_975(59), 2.021);
+        assert!(student_t_975(31) > 2.040);
+    }
+
+    #[test]
+    fn replicate_stats_known_values() {
+        // mean 5, sample stddev sqrt(32/7) over 8 observations
+        let samples = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = ReplicateStats::from_samples(&samples);
+        assert_eq!(s.replicates, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        let expected_ci = student_t_975(7) * s.std_dev / (8.0f64).sqrt();
+        assert!((s.ci95 - expected_ci).abs() < 1e-12);
+        assert!((s.relative_ci95() - expected_ci / 5.0).abs() < 1e-12);
+        assert!(s.pretty().contains('±'));
+    }
+
+    #[test]
+    fn replicate_stats_degenerate_cases_have_zero_width() {
+        let empty = ReplicateStats::from_samples(&[]);
+        assert_eq!(empty, ReplicateStats::empty());
+        assert_eq!(empty.relative_ci95(), 0.0);
+        let one = ReplicateStats::from_samples(&[42.0]);
+        assert_eq!(one, ReplicateStats::degenerate(42.0));
+        assert_eq!(one.ci95, 0.0);
+        assert_eq!(one.std_dev, 0.0);
+        assert_eq!(ReplicateStats::default(), ReplicateStats::empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn replicate_stats_reject_non_finite_samples() {
+        let _ = ReplicateStats::from_samples(&[1.0, f64::INFINITY]);
     }
 
     mod prop {

@@ -20,7 +20,11 @@
 //! The simulator is deterministic for a fixed seed, detects saturation
 //! (unbounded source queues), and reports message latency, network latency,
 //! source-queueing time, channel utilisation and the observed degree of
-//! virtual-channel multiplexing.
+//! virtual-channel multiplexing.  A [`ReplicateRun`] executes R
+//! independently seeded replications of one experiment (seeds derived from a
+//! base seed with [`star_queueing::replicate_seed`]) and folds them into a
+//! [`ReplicateReport`] with across-replicate means and Student-t 95%
+//! confidence intervals.
 //!
 //! ```
 //! use star_graph::StarGraph;
@@ -51,11 +55,13 @@ pub mod config;
 pub mod message;
 pub mod metrics;
 pub mod network;
+pub mod replicate;
 pub mod sim;
 pub mod traffic;
 
 pub use config::{SelectionPolicy, SimConfig, SimConfigBuilder};
 pub use message::{Message, MessageId};
-pub use metrics::SimReport;
+pub use metrics::{ReplicateReport, SimReport};
+pub use replicate::ReplicateRun;
 pub use sim::Simulation;
 pub use traffic::TrafficPattern;

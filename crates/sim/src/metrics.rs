@@ -1,7 +1,19 @@
-//! Simulation output: the measured quantities the paper's Section 5 defines.
+//! Simulation output: the measured quantities the paper's Section 5 defines,
+//! for one run ([`SimReport`]) and across independently seeded replications
+//! of the same run ([`ReplicateReport`]).
+//!
+//! The split of responsibilities with [`crate::sim`]: the driver owns the
+//! cycle loop (warm-up, saturation and deadlock detection), this module owns
+//! turning accumulated measurements into reports —
+//! [`MeasurementAccumulator::into_report`] finalises one run, and
+//! [`ReplicateReport::from_runs`] folds R runs into across-replicate means
+//! with Student-t 95% confidence intervals.
 
 use serde::{Deserialize, Serialize};
-use star_queueing::RunningStats;
+use star_queueing::{ReplicateStats, RunningStats};
+
+use crate::config::SimConfig;
+use crate::network::NetworkCounters;
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -86,6 +98,113 @@ impl SimReport {
     }
 }
 
+/// The identity of the experiment a report describes: what was simulated,
+/// independent of how the run went.
+#[derive(Debug, Clone)]
+pub struct RunIdentity {
+    /// Topology name (e.g. `"S5"`).
+    pub topology: String,
+    /// Routing algorithm name.
+    pub routing: String,
+    /// Virtual channels per physical channel.
+    pub virtual_channels: usize,
+    /// Number of nodes.
+    pub node_count: usize,
+    /// Number of network channels.
+    pub channel_count: usize,
+}
+
+/// What the simulation driver observed over one run beyond the per-message
+/// measurements: termination flags and cycle counts.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOutcome {
+    /// Whether the run was declared saturated.
+    pub saturated: bool,
+    /// Whether the deadlock watchdog fired.
+    pub deadlock_detected: bool,
+    /// Total cycles simulated.
+    pub cycles: u64,
+    /// Cycles inside the measurement window.
+    pub measurement_cycles: u64,
+    /// Observed average degree of virtual-channel multiplexing.
+    pub observed_multiplexing: f64,
+}
+
+/// The results of R independently seeded replications of one operating
+/// point: the per-replicate reports plus across-replicate means and
+/// Student-t 95% confidence intervals of the headline quantities.
+///
+/// A point is `saturated` as soon as **any** replicate saturates — the
+/// conservative rule that keeps the flag deterministic regardless of how the
+/// replicates were scheduled — and the statistics then summarise only the
+/// replicates that produced a finite measurement (possibly none).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicateReport {
+    /// The per-replicate reports, in replicate-index order.
+    pub runs: Vec<SimReport>,
+    /// Whether any replicate was declared saturated.
+    pub saturated: bool,
+    /// Whether any replicate tripped the deadlock watchdog.
+    pub deadlock_detected: bool,
+    /// Across-replicate statistics of the mean message latency.
+    pub latency: ReplicateStats,
+    /// Across-replicate statistics of the mean network latency.
+    pub network_latency: ReplicateStats,
+    /// Across-replicate statistics of the accepted traffic rate.
+    pub accepted_rate: ReplicateStats,
+}
+
+impl ReplicateReport {
+    /// Folds per-replicate reports (in replicate-index order) into the
+    /// across-replicate summary.  The fold is a pure function of the input
+    /// order, so any scheduler that reassembles replicates by index gets
+    /// byte-identical output.
+    ///
+    /// # Panics
+    /// Panics when `runs` is empty: a point was evaluated, so at least one
+    /// replicate must exist.
+    #[must_use]
+    pub fn from_runs(runs: Vec<SimReport>) -> Self {
+        assert!(!runs.is_empty(), "a replicate report needs at least one run");
+        let saturated = runs.iter().any(|r| r.saturated);
+        let deadlock_detected = runs.iter().any(|r| r.deadlock_detected);
+        // deadlocked runs also only have a truncated measurement window, so
+        // their latencies are as unrepresentative as a saturated run's
+        let finite = |f: fn(&SimReport) -> f64| -> Vec<f64> {
+            runs.iter()
+                .filter(|r| !r.saturated && !r.deadlock_detected)
+                .map(f)
+                .filter(|v| v.is_finite())
+                .collect()
+        };
+        let latency = ReplicateStats::from_samples(&finite(|r| r.mean_message_latency));
+        let network_latency = ReplicateStats::from_samples(&finite(|r| r.mean_network_latency));
+        let accepted_rate = ReplicateStats::from_samples(&finite(|r| r.accepted_rate));
+        Self { runs, saturated, deadlock_detected, latency, network_latency, accepted_rate }
+    }
+
+    /// Number of replicates the report aggregates.
+    #[must_use]
+    pub fn replicates(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The first replicate's report (the canonical representative for
+    /// quantities that do not vary across replicates, e.g. the topology
+    /// name or the offered rate).
+    #[must_use]
+    pub fn first(&self) -> &SimReport {
+        &self.runs[0]
+    }
+
+    /// Across-replicate mean message latency (0 when every replicate
+    /// saturated; check [`Self::saturated`] first).
+    #[must_use]
+    pub fn mean_message_latency(&self) -> f64 {
+        self.latency.mean
+    }
+}
+
 /// Accumulates per-message observations during the measurement window.
 #[derive(Debug, Clone, Default)]
 pub struct MeasurementAccumulator {
@@ -118,6 +237,55 @@ impl MeasurementAccumulator {
     #[must_use]
     pub fn count(&self) -> u64 {
         self.total_latency.count()
+    }
+
+    /// Finalises one run: derives the rate/utilisation quantities from the
+    /// raw counters and packages everything as a [`SimReport`].  This is the
+    /// metrics half of the per-point loop; the cycle-by-cycle half lives in
+    /// [`crate::sim::Simulation::run`].
+    #[must_use]
+    pub fn into_report(
+        self,
+        identity: &RunIdentity,
+        config: &SimConfig,
+        counters: &NetworkCounters,
+        outcome: RunOutcome,
+    ) -> SimReport {
+        let blocking_probability = if counters.header_allocation_attempts == 0 {
+            0.0
+        } else {
+            counters.blocked_header_cycles as f64 / counters.header_allocation_attempts as f64
+        };
+        let channel_utilization = if outcome.cycles == 0 {
+            0.0
+        } else {
+            counters.flit_transfers as f64 / (outcome.cycles as f64 * identity.channel_count as f64)
+        };
+        let accepted_rate = if outcome.measurement_cycles == 0 {
+            0.0
+        } else {
+            self.count() as f64 / (outcome.measurement_cycles as f64 * identity.node_count as f64)
+        };
+        SimReport {
+            topology: identity.topology.clone(),
+            routing: identity.routing.clone(),
+            offered_rate: config.traffic_rate,
+            message_length: config.message_length,
+            virtual_channels: identity.virtual_channels,
+            saturated: outcome.saturated,
+            deadlock_detected: outcome.deadlock_detected,
+            cycles: outcome.cycles,
+            measured_messages: self.count(),
+            mean_message_latency: self.total_latency.mean(),
+            latency_ci95: self.total_latency.confidence_95(),
+            mean_network_latency: self.network_latency.mean(),
+            mean_source_queueing: self.source_queueing.mean(),
+            mean_hops: self.hops.mean(),
+            accepted_rate,
+            channel_utilization,
+            observed_multiplexing: outcome.observed_multiplexing,
+            blocking_probability,
+        }
     }
 }
 

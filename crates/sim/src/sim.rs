@@ -7,7 +7,7 @@ use star_graph::Topology;
 use star_routing::RoutingAlgorithm;
 
 use crate::config::SimConfig;
-use crate::metrics::{MeasurementAccumulator, SimReport};
+use crate::metrics::{MeasurementAccumulator, RunIdentity, RunOutcome, SimReport};
 use crate::network::Network;
 use crate::traffic::TrafficPattern;
 
@@ -21,11 +21,7 @@ const DEADLOCK_WATCHDOG_CYCLES: u64 = 50_000;
 pub struct Simulation {
     network: Network,
     config: SimConfig,
-    topology_name: String,
-    routing_name: String,
-    virtual_channels: usize,
-    node_count: usize,
-    channel_count: usize,
+    identity: RunIdentity,
 }
 
 impl Simulation {
@@ -38,21 +34,15 @@ impl Simulation {
         config: SimConfig,
         pattern: TrafficPattern,
     ) -> Self {
-        let topology_name = topology.name();
-        let routing_name = routing.name();
-        let virtual_channels = routing.virtual_channels();
-        let node_count = topology.node_count();
-        let channel_count = topology.channel_count();
+        let identity = RunIdentity {
+            topology: topology.name(),
+            routing: routing.name(),
+            virtual_channels: routing.virtual_channels(),
+            node_count: topology.node_count(),
+            channel_count: topology.channel_count(),
+        };
         let network = Network::new(topology, routing, config.clone(), pattern);
-        Self {
-            network,
-            config,
-            topology_name,
-            routing_name,
-            virtual_channels,
-            node_count,
-            channel_count,
-        }
+        Self { network, config, identity }
     }
 
     /// Runs the experiment to completion and returns the report.
@@ -114,43 +104,14 @@ impl Simulation {
             saturated = true;
         }
 
-        let counters = self.network.counters();
-        let blocking_probability = if counters.header_allocation_attempts == 0 {
-            0.0
-        } else {
-            counters.blocked_header_cycles as f64 / counters.header_allocation_attempts as f64
-        };
-        let channel_utilization = if cycle == 0 {
-            0.0
-        } else {
-            counters.flit_transfers as f64 / (cycle as f64 * self.channel_count as f64)
-        };
-        let accepted_rate = if measurement_cycles == 0 {
-            0.0
-        } else {
-            acc.count() as f64 / (measurement_cycles as f64 * self.node_count as f64)
-        };
-
-        SimReport {
-            topology: self.topology_name,
-            routing: self.routing_name,
-            offered_rate: self.config.traffic_rate,
-            message_length: self.config.message_length,
-            virtual_channels: self.virtual_channels,
+        let outcome = RunOutcome {
             saturated,
             deadlock_detected: deadlock,
             cycles: cycle,
-            measured_messages: acc.count(),
-            mean_message_latency: acc.total_latency.mean(),
-            latency_ci95: acc.total_latency.confidence_95(),
-            mean_network_latency: acc.network_latency.mean(),
-            mean_source_queueing: acc.source_queueing.mean(),
-            mean_hops: acc.hops.mean(),
-            accepted_rate,
-            channel_utilization,
+            measurement_cycles,
             observed_multiplexing: self.network.observed_multiplexing(),
-            blocking_probability,
-        }
+        };
+        acc.into_report(&self.identity, &self.config, self.network.counters(), outcome)
     }
 }
 

@@ -2,10 +2,22 @@
 //! analytical model and the flit-level simulator.
 //!
 //! Both backends take an [`OperatingPoint`] and return a [`PointEstimate`]
-//! with the same headline quantities (mean message latency and a saturation
-//! flag) plus backend-specific diagnostics, so any harness can swap backends
+//! with the same headline quantities — the across-replicate mean message
+//! latency with its Student-t 95% confidence interval and a saturation flag
+//! — plus backend-specific diagnostics, so any harness can swap backends
 //! — or run both and diff them, which is the paper's entire validation
 //! methodology.
+//!
+//! Evaluation is **replicate-aware** end to end: a stochastic backend (the
+//! simulator) runs [`Scenario::replicates`] independently seeded replicates
+//! per point (seed `i` derived as
+//! `star_queueing::replicate_seed(scenario.seed_base, i)`), a deterministic
+//! backend (the model) contributes a single degenerate replicate with a
+//! zero-width interval, and both report through the same
+//! [`crate::ReplicateStats`]-carrying estimate.  The
+//! [`Evaluator::evaluate_replicate`] / [`Evaluator::aggregate`] split lets a
+//! [`crate::SweepRunner`] shard (point × replicate) work items across
+//! threads and reassemble them byte-identically for any thread count.
 
 use std::sync::Arc;
 
@@ -14,7 +26,8 @@ use star_core::{
     AnalyticalModel, DestinationSpectrum, HypercubeModel, HypercubeResult, HypercubeSpectrum,
     ModelResult,
 };
-use star_sim::{SimReport, Simulation};
+use star_queueing::ReplicateStats;
+use star_sim::{ReplicateReport, ReplicateRun, SimReport};
 
 use crate::budget::SimBudget;
 use crate::scenario::{NetworkKind, OperatingPoint, Scenario};
@@ -28,9 +41,9 @@ pub enum EstimateDetail {
     /// The full hypercube analytical-model result (same quantities, `Q_d`
     /// configuration).
     HypercubeModel(HypercubeResult),
-    /// The full simulation report (cycles, confidence interval, observed
-    /// multiplexing, …).
-    Sim(Box<SimReport>),
+    /// The replicate set of simulation reports with across-replicate
+    /// statistics (cycles, observed multiplexing, … per replicate).
+    Sim(Box<ReplicateReport>),
 }
 
 /// What an [`Evaluator`] answers for one operating point: the common headline
@@ -41,11 +54,20 @@ pub struct PointEstimate {
     pub point: OperatingPoint,
     /// Name of the backend that produced the estimate (`"model"` / `"sim"`).
     pub backend: String,
-    /// Whether the backend declared the point beyond saturation.
+    /// Whether the backend declared the point beyond saturation (for
+    /// replicated estimates: whether **any** replicate saturated).
     pub saturated: bool,
-    /// Mean message latency in cycles (infinite when saturated).
+    /// Across-replicate mean message latency in cycles (infinite when
+    /// saturated).
     pub mean_latency: f64,
-    /// Backend diagnostics (solve iterations or simulation statistics).
+    /// Across-replicate statistics of the mean message latency: replicate
+    /// count, sample standard deviation and Student-t 95% confidence
+    /// half-width.  Deterministic backends report a single degenerate
+    /// replicate (zero-width interval), keeping one report schema across
+    /// backends.
+    pub latency_stats: ReplicateStats,
+    /// Backend diagnostics (solve iterations or per-replicate simulation
+    /// statistics).
     pub detail: EstimateDetail,
 }
 
@@ -76,13 +98,40 @@ impl PointEstimate {
         }
     }
 
-    /// The simulation report, if this estimate came from the simulator.
+    /// The replicate set of simulation reports, if this estimate came from
+    /// the simulator.
     #[must_use]
-    pub fn sim_report(&self) -> Option<&SimReport> {
+    pub fn sim_report(&self) -> Option<&ReplicateReport> {
         match &self.detail {
             EstimateDetail::Sim(r) => Some(r),
             _ => None,
         }
+    }
+
+    /// Number of replicates evaluated for this estimate — always 1 for the
+    /// deterministic model (saturated or not), the full run count for the
+    /// simulator.  The number of replicates that produced a *finite*
+    /// measurement ([`Self::latency_stats`]`.replicates`) may be lower on a
+    /// saturated point; see [`Self::sim_report`] for the full set.
+    #[must_use]
+    pub fn replicates(&self) -> u64 {
+        match &self.detail {
+            EstimateDetail::Sim(r) => r.replicates() as u64,
+            _ => 1,
+        }
+    }
+
+    /// Student-t 95% confidence half-width of the mean latency across
+    /// replicates (0 for deterministic backends and single replicates).
+    #[must_use]
+    pub fn latency_ci95(&self) -> f64 {
+        self.latency_stats.ci95
+    }
+
+    /// Relative 95% confidence half-width (`ci95 / mean`).
+    #[must_use]
+    pub fn latency_rel_ci95(&self) -> f64 {
+        self.latency_stats.relative_ci95()
     }
 
     /// Fixed-point iterations spent (model estimates only, either topology).
@@ -106,6 +155,18 @@ impl PointEstimate {
     pub fn latency_cell(&self) -> String {
         self.latency().map_or_else(|| "saturated".to_string(), |l| format!("{l:.1}"))
     }
+
+    /// Formats the latency with its confidence interval for tables
+    /// (`"74.3 ± 1.2"`; the `± 0.0` is omitted for degenerate intervals,
+    /// `"saturated"` beyond saturation).
+    #[must_use]
+    pub fn latency_ci_cell(&self) -> String {
+        match self.latency() {
+            None => "saturated".to_string(),
+            Some(_) if self.latency_stats.ci95 > 0.0 => self.latency_stats.pretty(),
+            Some(l) => format!("{l:.1}"),
+        }
+    }
 }
 
 /// A backend that can answer operating points: the analytical model
@@ -113,8 +174,17 @@ impl PointEstimate {
 /// flit-level simulator ([`SimBackend`]), or anything else that can estimate
 /// a latency (future: a learned surrogate, a remote service).
 ///
+/// The unit of work is the **replicate**, not the point: a backend answers
+/// [`Self::evaluate_replicate`] for each replicate index and folds the
+/// per-replicate estimates with [`Self::aggregate`]; [`Self::evaluate`] is
+/// the sequential composition of the two.  Deterministic backends keep the
+/// defaults (one replicate, identity aggregation); stochastic backends
+/// advertise their fan-out through [`Self::fixed_replicates`] so a
+/// [`crate::SweepRunner`] can shard (point × replicate) work items across
+/// threads.
+///
 /// Implementations must be [`Sync`] so a [`crate::SweepRunner`] can shard
-/// points across threads.
+/// work across threads.
 pub trait Evaluator: Sync {
     /// Short backend name used in reports (`"model"`, `"sim"`).
     fn name(&self) -> &'static str;
@@ -122,12 +192,51 @@ pub trait Evaluator: Sync {
     /// Whether this backend can evaluate the scenario at all.
     fn supports(&self, scenario: &Scenario) -> bool;
 
-    /// Evaluates one operating point.
+    /// Number of replicates one point evaluation fans out to, when that
+    /// count is known up front: `Some(R)` lets a runner schedule the R
+    /// replicates as independent work items; `None` means the backend
+    /// decides dynamically (adaptive confidence targeting), so the runner
+    /// must hand it whole points via [`Self::evaluate`].
+    fn fixed_replicates(&self, scenario: &Scenario) -> Option<usize> {
+        let _ = scenario;
+        Some(1)
+    }
+
+    /// Evaluates one replicate of one operating point.  Deterministic
+    /// backends ignore the replicate index.
     ///
     /// # Panics
     /// May panic if [`Self::supports`] is false for the scenario or its
     /// parameters are out of range.
-    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate;
+    fn evaluate_replicate(&self, point: &OperatingPoint, replicate: usize) -> PointEstimate;
+
+    /// Folds per-replicate estimates — in replicate-index order — into the
+    /// point's aggregate estimate.  The fold must be a pure function of the
+    /// ordered input so any scheduler that reassembles replicates by index
+    /// reproduces the sequential result byte for byte.  The default is the
+    /// single-replicate identity.
+    ///
+    /// # Panics
+    /// The default panics when handed anything but exactly one estimate;
+    /// backends with a real fan-out must override it.
+    fn aggregate(&self, replicates: Vec<PointEstimate>) -> PointEstimate {
+        assert_eq!(
+            replicates.len(),
+            1,
+            "the default aggregation covers single-replicate backends only"
+        );
+        replicates.into_iter().next().expect("one replicate in, one estimate out")
+    }
+
+    /// Evaluates one operating point: all replicates, sequentially, folded
+    /// with [`Self::aggregate`].
+    ///
+    /// # Panics
+    /// As [`Self::evaluate_replicate`].
+    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
+        let replicates = self.fixed_replicates(&point.scenario).unwrap_or(1).max(1);
+        self.aggregate((0..replicates).map(|i| self.evaluate_replicate(point, i)).collect())
+    }
 
     /// Evaluates one scenario across a whole rate sweep.  The default runs
     /// [`Self::evaluate`] independently per rate; backends with useful state
@@ -245,6 +354,13 @@ impl ModelBackend {
             backend: self.name().to_string(),
             saturated,
             mean_latency,
+            // the model is deterministic: one degenerate replicate, CI of
+            // zero width (no finite observation at all when saturated)
+            latency_stats: if saturated {
+                ReplicateStats::empty()
+            } else {
+                ReplicateStats::degenerate(mean_latency)
+            },
             detail,
         }
     }
@@ -285,6 +401,11 @@ impl Evaluator for ModelBackend {
         }
     }
 
+    fn evaluate_replicate(&self, point: &OperatingPoint, _replicate: usize) -> PointEstimate {
+        // the model is deterministic — every replicate is the same solve
+        self.estimate(point, &ModelSpectrum::for_scenario(&point.scenario), &[])
+    }
+
     fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
         self.estimate(point, &ModelSpectrum::for_scenario(&point.scenario), &[])
     }
@@ -311,34 +432,112 @@ impl Evaluator for ModelBackend {
     }
 }
 
+/// Adaptive stopping rule for replicated simulation: keep running replicate
+/// batches until the relative 95% confidence half-width of the mean latency
+/// falls below the target, or the replicate cap is hit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CiTarget {
+    /// Target relative half-width (`ci95 / mean`), e.g. `0.05` for ±5%.
+    pub relative: f64,
+    /// Hard cap on replicates per point (the stopping rule gives up there).
+    pub max_replicates: usize,
+}
+
+impl CiTarget {
+    /// Default replicate cap of the adaptive stopping rule.
+    pub const DEFAULT_MAX_REPLICATES: usize = 32;
+
+    /// A target with the default replicate cap.
+    ///
+    /// # Panics
+    /// Panics unless `relative` is in `(0, 1)`.
+    #[must_use]
+    pub fn new(relative: f64) -> Self {
+        assert!(relative > 0.0 && relative < 1.0, "relative CI target must be in (0, 1)");
+        Self { relative, max_replicates: Self::DEFAULT_MAX_REPLICATES }
+    }
+}
+
 /// The flit-level simulator as an [`Evaluator`]: seconds per point, any
 /// topology and discipline the simulator supports.
+///
+/// The backend is replicate-aware: each point runs the
+/// [`Scenario::replicates`] independently seeded replicates (seed `i`
+/// derived from [`Scenario::seed_base`]), and the estimate carries the
+/// across-replicate mean and Student-t 95% confidence interval.  There is no
+/// single-seed mode — one replicate is simply `replicates = 1`, whose seed
+/// is still derived from the base.
 ///
 /// ```
 /// use star_workloads::{Evaluator, SimBackend, SimBudget, Scenario};
 ///
-/// let backend = SimBackend::new(SimBudget::Quick, 42);
-/// let point = Scenario::star(4).with_message_length(16).at(0.003);
-/// let a = backend.evaluate(&point);
-/// // the same seed reproduces the same report, cycle for cycle
-/// let b = backend.evaluate(&point);
+/// let backend = SimBackend::new(SimBudget::Quick);
+/// let scenario = Scenario::star(4)
+///     .with_message_length(16)
+///     .with_replicates(2)
+///     .with_seed_base(42);
+/// let a = backend.evaluate(&scenario.at(0.003));
+/// // the same seed base reproduces the same replicate set, cycle for cycle
+/// let b = backend.evaluate(&scenario.at(0.003));
 /// assert_eq!(a, b);
-/// assert!(a.sim_report().unwrap().measured_messages > 0);
+/// assert_eq!(a.replicates(), 2);
+/// // two independent seeds yield a real (non-degenerate) interval
+/// assert!(a.latency_ci95() > 0.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct SimBackend {
-    /// Simulation effort per operating point.
+    /// Simulation effort per replicate.
     pub budget: SimBudget,
-    /// RNG seed; the same seed is used at every point of a sweep (matching
-    /// the paper's methodology), so replicate sweeps differ only by seed.
-    pub seed: u64,
+    /// Optional adaptive stopping rule: run replicate batches beyond the
+    /// scenario's base count until the relative CI half-width meets the
+    /// target (or the cap).  `None` runs exactly
+    /// [`Scenario::replicates`] replicates.
+    pub ci_target: Option<CiTarget>,
 }
 
 impl SimBackend {
-    /// A simulator backend with the given effort budget and seed.
+    /// A simulator backend with the given effort budget, running exactly the
+    /// scenario's replicate count per point.
     #[must_use]
-    pub fn new(budget: SimBudget, seed: u64) -> Self {
-        Self { budget, seed }
+    pub fn new(budget: SimBudget) -> Self {
+        Self { budget, ci_target: None }
+    }
+
+    /// Enables the adaptive stopping rule (see [`CiTarget`]).
+    #[must_use]
+    pub fn with_ci_target(mut self, target: CiTarget) -> Self {
+        self.ci_target = Some(target);
+        self
+    }
+
+    /// The replicate fan-out of one operating point.
+    fn replicate_run(&self, point: &OperatingPoint) -> ReplicateRun {
+        let scenario = &point.scenario;
+        let topology = scenario.topology();
+        let routing = scenario.discipline.routing(topology.as_ref(), scenario.virtual_channels);
+        let config =
+            self.budget.apply(scenario.message_length, point.traffic_rate, scenario.seed_base);
+        ReplicateRun::new(topology, routing, config, scenario.pattern, scenario.replicates.max(1))
+    }
+
+    /// Wraps a replicate set as the point's estimate.
+    fn estimate(&self, point: &OperatingPoint, runs: Vec<SimReport>) -> PointEstimate {
+        let report = ReplicateReport::from_runs(runs);
+        // a deadlock-watchdog trip (a simulator bug, never a protocol
+        // property of the shipped algorithms) also invalidates the point:
+        // without this, an all-deadlocked set would publish its empty-stats
+        // mean of 0.0 as a valid finite latency
+        let unusable = report.saturated || report.deadlock_detected;
+        PointEstimate {
+            point: *point,
+            backend: self.name().to_string(),
+            saturated: unusable,
+            // keep the headline field's contract backend-agnostic: infinite
+            // beyond saturation (partial measurements stay in the report)
+            mean_latency: if unusable { f64::INFINITY } else { report.latency.mean },
+            latency_stats: report.latency,
+            detail: EstimateDetail::Sim(Box::new(report)),
+        }
     }
 }
 
@@ -351,25 +550,61 @@ impl Evaluator for SimBackend {
         true
     }
 
-    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
-        let scenario = &point.scenario;
-        let topology = scenario.topology();
-        let routing = scenario.discipline.routing(topology.as_ref(), scenario.virtual_channels);
-        let config = self.budget.apply(scenario.message_length, point.traffic_rate, self.seed);
-        let report = Simulation::new(topology, routing, config, scenario.pattern).run();
-        PointEstimate {
-            point: *point,
-            backend: self.name().to_string(),
-            saturated: report.saturated,
-            // keep the headline field's contract backend-agnostic: infinite
-            // beyond saturation (the partial measurement stays in the report)
-            mean_latency: if report.saturated {
-                f64::INFINITY
-            } else {
-                report.mean_message_latency
-            },
-            detail: EstimateDetail::Sim(Box::new(report)),
+    fn fixed_replicates(&self, scenario: &Scenario) -> Option<usize> {
+        // under a CI target the count is decided while evaluating, so the
+        // runner must hand this backend whole points
+        if self.ci_target.is_some() {
+            None
+        } else {
+            Some(scenario.replicates.max(1))
         }
+    }
+
+    fn evaluate_replicate(&self, point: &OperatingPoint, replicate: usize) -> PointEstimate {
+        let run = self.replicate_run(point);
+        self.estimate(point, vec![run.run_replicate(replicate as u64)])
+    }
+
+    fn aggregate(&self, replicates: Vec<PointEstimate>) -> PointEstimate {
+        assert!(!replicates.is_empty(), "a point aggregates at least one replicate");
+        let point = replicates[0].point;
+        let runs: Vec<SimReport> = replicates
+            .into_iter()
+            .flat_map(|estimate| match estimate.detail {
+                EstimateDetail::Sim(report) => report.runs,
+                _ => panic!("the sim backend can only aggregate sim replicates"),
+            })
+            .collect();
+        self.estimate(&point, runs)
+    }
+
+    fn evaluate(&self, point: &OperatingPoint) -> PointEstimate {
+        let run = self.replicate_run(point);
+        let base = run.replicates() as u64;
+        let mut runs: Vec<SimReport> = (0..base).map(|i| run.run_replicate(i)).collect();
+        if let Some(target) = self.ci_target {
+            // adaptive stopping: a CI needs at least two observations, then
+            // grow in base-sized batches until the target or the cap.  The
+            // replicate sequence is a pure function of (seed base, index),
+            // so adaptive runs extend — never reshuffle — fixed runs.
+            let cap = target.max_replicates.max(base as usize) as u64;
+            loop {
+                let report = ReplicateReport::from_runs(runs);
+                let n = report.runs.len() as u64;
+                let resolved = report.saturated
+                    || report.deadlock_detected
+                    || (n >= 2 && report.latency.relative_ci95() <= target.relative);
+                if resolved || n >= cap {
+                    return self.estimate(point, report.runs);
+                }
+                let batch = base.min(cap - n);
+                runs = report.runs;
+                for i in n..n + batch {
+                    runs.push(run.run_replicate(i));
+                }
+            }
+        }
+        self.estimate(point, runs)
     }
 }
 
@@ -490,32 +725,126 @@ mod tests {
 
     #[test]
     fn sim_backend_answers_any_scenario_deterministically() {
-        let backend = SimBackend::new(SimBudget::Quick, 9);
+        let backend = SimBackend::new(SimBudget::Quick);
         assert!(backend.supports(&Scenario::hypercube(3)));
-        let point = s4().at(0.004);
+        let point = s4().with_seed_base(9).at(0.004);
         let a = backend.evaluate(&point);
         let b = backend.evaluate(&point);
         assert_eq!(a.backend, "sim");
         assert!(!a.saturated);
-        assert_eq!(a, b, "same seed must reproduce the same report");
+        assert_eq!(a, b, "same seed base must reproduce the same report");
         let report = a.sim_report().unwrap();
-        assert_eq!(report.virtual_channels, 6);
+        assert_eq!(report.replicates(), 1);
+        assert_eq!(report.first().virtual_channels, 6);
+        assert_eq!(a.latency_ci95(), 0.0, "one replicate has a degenerate interval");
         assert!(a.model_result().is_none());
         assert!(a.iterations().is_none());
     }
 
     #[test]
+    fn replicate_fan_out_aggregates_byte_identically() {
+        // the contract the sweep runner's (point × replicate) sharding rests
+        // on: per-index evaluation + index-ordered aggregation equals the
+        // sequential evaluation
+        let backend = SimBackend::new(SimBudget::Quick);
+        let point = s4().with_replicates(3).with_seed_base(5).at(0.004);
+        assert_eq!(backend.fixed_replicates(&point.scenario), Some(3));
+        let sequential = backend.evaluate(&point);
+        let sharded =
+            backend.aggregate((0..3).map(|i| backend.evaluate_replicate(&point, i)).collect());
+        assert_eq!(sequential, sharded);
+        assert_eq!(sequential.replicates(), 3);
+        assert!(sequential.latency_ci95() > 0.0);
+        assert!(sequential.latency_rel_ci95() > 0.0);
+        // replicate estimates really came from different seeds
+        let means: Vec<f64> =
+            sequential.sim_report().unwrap().runs.iter().map(|r| r.mean_message_latency).collect();
+        assert!(means.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn ci_target_runs_batches_until_resolved_or_capped() {
+        let point = s4().with_replicates(2).with_seed_base(11).at(0.004);
+        // a loose target resolves quickly…
+        let loose =
+            SimBackend::new(SimBudget::Quick).with_ci_target(CiTarget::new(0.5)).evaluate(&point);
+        assert!(loose.latency_rel_ci95() <= 0.5);
+        assert!(loose.replicates() >= 2, "a CI needs at least two replicates");
+        // …an unreachable one stops at the cap
+        let capped = SimBackend::new(SimBudget::Quick)
+            .with_ci_target(CiTarget { relative: 1e-9, max_replicates: 4 })
+            .evaluate(&point);
+        assert_eq!(capped.replicates(), 4);
+        assert!(capped.latency_rel_ci95() > 1e-9);
+        // the adaptive prefix extends (never reshuffles) the fixed fan-out
+        let fixed = SimBackend::new(SimBudget::Quick)
+            .evaluate(&s4().with_replicates(4).with_seed_base(11).at(0.004));
+        assert_eq!(
+            capped.sim_report().unwrap().runs,
+            fixed.sim_report().unwrap().runs,
+            "replicate i must be the same simulation however the count was reached"
+        );
+        // dynamic counts cannot be pre-sharded
+        assert_eq!(
+            SimBackend::new(SimBudget::Quick)
+                .with_ci_target(CiTarget::new(0.1))
+                .fixed_replicates(&point.scenario),
+            None
+        );
+    }
+
+    #[test]
+    fn deadlocked_replicates_invalidate_the_point() {
+        // the watchdog firing means a simulator bug, not a measurement: the
+        // point must not publish the empty-stats mean of 0.0 as a latency
+        let backend = SimBackend::new(SimBudget::Quick);
+        let point = s4().with_seed_base(9).at(0.004);
+        let healthy = backend.evaluate_replicate(&point, 0);
+        let mut runs = healthy.sim_report().unwrap().runs.clone();
+        runs[0].deadlock_detected = true;
+        let estimate = backend.estimate(&point, runs);
+        assert!(estimate.saturated, "a deadlocked set is unusable");
+        assert!(estimate.latency().is_none());
+        assert!(estimate.mean_latency.is_infinite());
+        assert_eq!(estimate.latency_stats.replicates, 0);
+        // …and under a CI target the adaptive loop stops instead of
+        // chasing a zero-mean interval (exercised via aggregate semantics:
+        // the unusable flag comes straight from the replicate report)
+        assert!(estimate.sim_report().unwrap().deadlock_detected);
+    }
+
+    #[test]
+    fn saturated_model_points_still_count_one_replicate() {
+        let sat = ModelBackend::new().evaluate(&s4().at(0.5));
+        assert!(sat.saturated);
+        assert_eq!(sat.replicates(), 1, "the model is always one deterministic replicate");
+        assert_eq!(sat.latency_stats.replicates, 0, "…with no finite observation");
+    }
+
+    #[test]
+    fn model_reports_zero_width_interval() {
+        let estimate = ModelBackend::new().evaluate(&s4().with_replicates(8).at(0.004));
+        // the model is deterministic: replicates are ignored, the interval
+        // is degenerate, and the schema still carries the stats fields
+        assert_eq!(estimate.replicates(), 1);
+        assert_eq!(estimate.latency_ci95(), 0.0);
+        assert_eq!(estimate.latency_rel_ci95(), 0.0);
+        assert_eq!(estimate.latency_stats.mean, estimate.mean_latency);
+    }
+
+    #[test]
     fn model_and_sim_agree_at_light_load() {
-        let point = s4().at(0.004);
-        let model = ModelBackend::new().evaluate(&point);
-        let sim = SimBackend::new(SimBudget::Quick, 1).evaluate(&point);
+        let scenario = s4().with_replicates(2).with_seed_base(1);
+        let model = ModelBackend::new().evaluate(&scenario.at(0.004));
+        let sim = SimBackend::new(SimBudget::Quick).evaluate(&scenario.at(0.004));
         assert!(!model.saturated && !sim.saturated);
         let err = (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency;
         assert!(
             err < 0.25,
-            "model {} vs sim {} differ by {err}",
+            "model {} vs sim {} ± {} differ by {err}",
             model.mean_latency,
-            sim.mean_latency
+            sim.mean_latency,
+            sim.latency_ci95()
         );
     }
 

@@ -4,21 +4,24 @@
 //!
 //! * [`scenario`] — topology-generic [`Scenario`]/[`OperatingPoint`] types
 //!   naming what both evaluation backends must agree on (network kind and
-//!   size, routing discipline, `V`, `M`, traffic pattern, rate);
+//!   size, routing discipline, `V`, `M`, traffic pattern, rate, and the
+//!   replication policy: `replicates` × `seed_base`);
 //! * [`evaluator`] — the [`Evaluator`] trait with its common
 //!   [`PointEstimate`] output, implemented by the analytical model
 //!   ([`ModelBackend`], covering star **and** hypercube scenarios,
 //!   warm-started across sweeps) and the flit-level simulator
-//!   ([`SimBackend`]), so any harness can swap backends or run both and
-//!   diff them;
+//!   ([`SimBackend`], fanning each point out to independently seeded
+//!   replicates, optionally until a [`CiTarget`] is met), so any harness
+//!   can swap backends or run both and diff them;
 //! * [`sweep_runner`] — the [`SweepRunner`] that owns the sweep loop every
-//!   binary used to hand-roll, sharding independent points/sweeps across
-//!   scoped threads with deterministic output order;
+//!   binary used to hand-roll, sharding independent (point × replicate)
+//!   work items across scoped threads with deterministic output order;
 //! * [`experiment`] — the paper's Figure-1 sweeps as [`SweepSpec`]s;
 //! * [`budget`] — simulation effort presets (quick smoke runs for CI,
 //!   full-fidelity runs for regenerating the figures);
-//! * [`report`] — CSV / Markdown / ASCII-plot emitters used by the benchmark
-//!   harness binaries and the examples.
+//! * [`report`] — the unified cross-backend [`RunReport`] CSV schema plus
+//!   CSV / Markdown / ASCII-plot emitters used by the benchmark harness
+//!   binaries and the examples.
 //!
 //! ## The evaluation contract
 //!
@@ -26,21 +29,49 @@
 //! `Scenario` → `OperatingPoint` → `Evaluator` → `PointEstimate` — and the
 //! guarantees each stage makes:
 //!
-//! * **Scenario totality.**  A [`Scenario`] is pure data (16 bytes of
-//!   `Copy`): constructing one never validates anything, so harnesses can
+//! * **Scenario totality.**  A [`Scenario`] is pure `Copy` data:
+//!   constructing one never validates anything, so harnesses can
 //!   describe sweeps they may never run.  Validation happens when a backend
 //!   is asked: [`Evaluator::supports`] answers cheaply and
 //!   [`Evaluator::evaluate`] may panic on scenarios the backend declared
 //!   unsupported.
+//! * **Replicate semantics.**  A stochastic backend answers one point as
+//!   the aggregate of [`Scenario::replicates`] independent replications,
+//!   replicate `i` seeded with
+//!   `star_queueing::replicate_seed(scenario.seed_base, i)` — a pure,
+//!   platform-independent derivation, so replicate `i` is the same
+//!   simulation wherever and whenever it runs.  Every estimate carries the
+//!   across-replicate mean and Student-t 95% confidence interval
+//!   ([`PointEstimate::latency_stats`]); deterministic backends contribute
+//!   a single degenerate replicate with a zero-width interval, so one
+//!   report schema ([`RunReport`]) covers both.  A point is saturated as
+//!   soon as any replicate saturates.
+//!
+//!   ```
+//!   use star_workloads::{Evaluator, SimBackend, SimBudget, Scenario};
+//!
+//!   // 4 independently seeded replicates of one operating point, folded
+//!   // into a mean ± Student-t 95% confidence interval
+//!   let scenario = Scenario::star(4)
+//!       .with_message_length(16)
+//!       .with_replicates(4)
+//!       .with_seed_base(7);
+//!   let estimate = SimBackend::new(SimBudget::Quick).evaluate(&scenario.at(0.003));
+//!   assert_eq!(estimate.replicates(), 4);
+//!   assert!(estimate.latency_ci95() > 0.0);
+//!   assert!(estimate.latency_rel_ci95() < 0.2, "4 seeds agree to well under 20%");
+//!   println!("latency = {}", estimate.latency_stats.pretty()); // e.g. "26.2 ± 0.4"
+//!   ```
 //! * **Determinism.**  Both shipped backends are referentially transparent:
 //!   the model is closed-form plus a deterministic fixed-point iteration,
-//!   and the simulator derives every random stream from the seed in
-//!   [`SimBackend`], so the same [`OperatingPoint`] always returns the same
+//!   and the simulator derives every random stream from the scenario's seed
+//!   base, so the same [`OperatingPoint`] always returns the same
 //!   [`PointEstimate`], bit for bit.  The [`SweepRunner`] preserves this
 //!   end-to-end: reports come back grouped by sweep in input order with one
 //!   estimate per rate in rate order, **byte-identical for any
 //!   `--threads` value** (work units are computed independently of
-//!   scheduling and reassembled by index).
+//!   scheduling, reassembled by index, and replicate groups are folded in
+//!   replicate order).
 //! * **Warm-start semantics.**  [`ModelBackend`] chains each rate's
 //!   fixed-point seed from the previous rate of the *same sweep*
 //!   ([`Evaluator::chains_rates`]), on both topologies.  This is an
@@ -49,8 +80,10 @@
 //!   saturated point yields an unusable seed that the next rate ignores in
 //!   favour of a cold start.  The [`SweepRunner`] respects the chain by
 //!   sharding chaining backends at sweep granularity (so a sweep's rates
-//!   never split across workers) and independent backends at point
-//!   granularity (so one slow curve still fills every core).
+//!   never split across workers) and independent backends at
+//!   (point × replicate) granularity (so one heavy replicated point still
+//!   fills every core); backends with a dynamic replicate count (adaptive
+//!   [`CiTarget`] stopping) shard at point granularity.
 //! * **`--threads` behaviour.**  Every harness binary forwards `--threads N`
 //!   to [`SweepRunner::with_threads`]; `0` (the default) means all available
 //!   parallelism.  Thread count affects wall-clock only, never output.
@@ -66,8 +99,9 @@ pub mod scenario;
 pub mod sweep_runner;
 
 pub use budget::SimBudget;
-pub use evaluator::{EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
+pub use evaluator::{CiTarget, EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
 pub use experiment::figure1_sweeps;
-pub use report::{ascii_plot, markdown_table, write_csv};
+pub use report::{ascii_plot, markdown_table, write_csv, RunReport, RunRow};
 pub use scenario::{Discipline, NetworkKind, OperatingPoint, Scenario};
+pub use star_queueing::ReplicateStats;
 pub use sweep_runner::{SweepReport, SweepRunner, SweepSpec};

@@ -1,9 +1,141 @@
-//! Report emitters: CSV, Markdown tables and quick ASCII plots.
+//! Report emitters: the unified cross-backend [`RunReport`] CSV schema,
+//! plain CSV writing, Markdown tables and quick ASCII plots.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
 use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::evaluator::PointEstimate;
+use crate::sweep_runner::SweepReport;
+
+/// One row of the unified run-report schema: one backend's answer to one
+/// operating point, in the same shape whichever backend produced it.
+///
+/// Model rows carry a single degenerate replicate with a zero-width
+/// confidence interval; simulator rows carry the across-replicate mean and
+/// Student-t 95% half-width.  Keeping one schema is what lets a harness
+/// concatenate model and simulator rows into one CSV and diff them
+/// downstream.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRow {
+    /// Identifier of the sweep the row belongs to.
+    pub sweep: String,
+    /// Scenario label (`"S5/enhanced-nbc/V6/M32/R8"`).
+    pub scenario: String,
+    /// Backend that produced the estimate (`"model"` / `"sim"`).
+    pub backend: String,
+    /// Traffic generation rate `λ_g`.
+    pub traffic_rate: f64,
+    /// Total replicates run for the estimate (1 for the model's degenerate
+    /// replicate).  On a saturated point the CI columns summarise only the
+    /// subset that produced a finite measurement, which may be smaller.
+    pub replicates: u64,
+    /// Seed base the replicate seeds were derived from.
+    pub seed_base: u64,
+    /// Whether the point was declared saturated.
+    pub saturated: bool,
+    /// Across-replicate mean message latency (`None` beyond saturation).
+    pub mean_latency: Option<f64>,
+    /// Student-t 95% confidence half-width of the mean latency (0 for
+    /// deterministic backends and single replicates).
+    pub latency_ci95: f64,
+    /// Relative half-width `ci95 / mean`.
+    pub latency_rel_ci95: f64,
+}
+
+impl RunRow {
+    /// Builds the row for one estimate of one sweep.
+    #[must_use]
+    pub fn new(sweep: &str, estimate: &PointEstimate) -> Self {
+        let scenario = &estimate.point.scenario;
+        Self {
+            sweep: sweep.to_string(),
+            scenario: scenario.label(),
+            backend: estimate.backend.clone(),
+            traffic_rate: estimate.point.traffic_rate,
+            replicates: estimate.replicates(),
+            seed_base: scenario.seed_base,
+            saturated: estimate.saturated,
+            mean_latency: estimate.latency(),
+            latency_ci95: estimate.latency_ci95(),
+            latency_rel_ci95: estimate.latency_rel_ci95(),
+        }
+    }
+
+    /// The row in CSV form (empty latency field beyond saturation).
+    #[must_use]
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{:.4},{:.6}",
+            self.sweep,
+            self.scenario,
+            self.backend,
+            self.traffic_rate,
+            self.replicates,
+            self.seed_base,
+            self.saturated,
+            self.mean_latency.map_or(String::new(), |l| format!("{l:.4}")),
+            self.latency_ci95,
+            self.latency_rel_ci95,
+        )
+    }
+}
+
+/// The unified report of one harness run: every (sweep, point, backend)
+/// estimate flattened into [`RunRow`]s sharing one CSV schema.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// The rows, in (sweep, rate) order per contributing backend.
+    pub rows: Vec<RunRow>,
+}
+
+impl RunReport {
+    /// An empty report to extend incrementally.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Flattens sweep reports (from any backend) into rows, appending to the
+    /// existing ones — call once per backend to combine both into one CSV.
+    pub fn extend_from_sweeps(&mut self, reports: &[SweepReport]) {
+        for report in reports {
+            self.rows.extend(report.estimates.iter().map(|e| RunRow::new(&report.id, e)));
+        }
+    }
+
+    /// Builds a report from one backend's sweep reports.
+    #[must_use]
+    pub fn from_sweeps(reports: &[SweepReport]) -> Self {
+        let mut out = Self::new();
+        out.extend_from_sweeps(reports);
+        out
+    }
+
+    /// The CSV header every harness binary writes.
+    #[must_use]
+    pub fn csv_header() -> &'static str {
+        "sweep,scenario,backend,traffic_rate,replicates,seed_base,saturated,\
+         mean_latency,latency_ci95,latency_rel_ci95"
+    }
+
+    /// The rows in CSV form.
+    #[must_use]
+    pub fn csv_rows(&self) -> Vec<String> {
+        self.rows.iter().map(RunRow::to_csv_row).collect()
+    }
+
+    /// Writes the report as a CSV file, creating parent directories.
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating directories or writing the file.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        write_csv(path, Self::csv_header(), &self.csv_rows())
+    }
+}
 
 /// Writes rows as a CSV file (header first), creating parent directories as
 /// needed.
@@ -181,5 +313,45 @@ mod tests {
     fn ascii_plot_handles_flat_series() {
         let plot = ascii_plot("flat", &[0.0, 1.0], &[("s", vec![5.0, 5.0])], 20, 5);
         assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn run_report_shares_one_schema_across_backends() {
+        use crate::evaluator::{ModelBackend, SimBackend};
+        use crate::scenario::Scenario;
+        use crate::sweep_runner::{SweepRunner, SweepSpec};
+        use crate::SimBudget;
+
+        let scenario =
+            Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(3);
+        let sweep = SweepSpec::new("s4", scenario, vec![0.003]);
+        let runner = SweepRunner::with_threads(1);
+        let mut report = RunReport::new();
+        report.extend_from_sweeps(&[runner.run_one(&ModelBackend::new(), &sweep)]);
+        report.extend_from_sweeps(&[runner.run_one(&SimBackend::new(SimBudget::Quick), &sweep)]);
+
+        assert_eq!(report.rows.len(), 2);
+        let (model, sim) = (&report.rows[0], &report.rows[1]);
+        assert_eq!(model.backend, "model");
+        assert_eq!(sim.backend, "sim");
+        // one schema: the model row is a degenerate replicate with zero CI
+        assert_eq!(model.replicates, 1);
+        assert_eq!(model.latency_ci95, 0.0);
+        assert_eq!(sim.replicates, 2);
+        assert!(sim.latency_ci95 > 0.0);
+        assert_eq!(model.scenario, sim.scenario);
+        // every row has the header's field count
+        let fields = RunReport::csv_header().split(',').count();
+        for row in report.csv_rows() {
+            assert_eq!(row.split(',').count(), fields, "row {row}");
+        }
+        // a saturated model point leaves the latency field empty
+        let sat = runner.run_one(
+            &ModelBackend::new(),
+            &SweepSpec::new("sat", Scenario::star(4).with_message_length(16), vec![0.5]),
+        );
+        let sat_row = RunRow::new("sat", &sat.estimates[0]);
+        assert!(sat_row.saturated);
+        assert!(sat_row.to_csv_row().contains(",true,,"));
     }
 }

@@ -144,8 +144,9 @@ impl Discipline {
 }
 
 /// Everything an evaluation backend needs to know about an experiment except
-/// the traffic rate: the network, the routing discipline and the message
-/// shape.  Pin a rate with [`Scenario::at`] to get an [`OperatingPoint`].
+/// the traffic rate: the network, the routing discipline, the message shape
+/// and the replication policy.  Pin a rate with [`Scenario::at`] to get an
+/// [`OperatingPoint`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Scenario {
     /// Network family.
@@ -160,11 +161,20 @@ pub struct Scenario {
     pub message_length: usize,
     /// Destination selection pattern of the generated traffic.
     pub pattern: TrafficPattern,
+    /// Number of independently seeded replicates a stochastic backend runs
+    /// per operating point (a deterministic backend such as the analytical
+    /// model ignores this and reports a zero-width confidence interval).
+    /// `1` is still a replicate — its seed is derived from `seed_base`, not
+    /// used verbatim.
+    pub replicates: usize,
+    /// Base seed the per-replicate seeds are deterministically derived from
+    /// (`star_queueing::replicate_seed(seed_base, replicate_index)`).
+    pub seed_base: u64,
 }
 
 impl Scenario {
     /// A star-graph scenario at the paper's defaults (Enhanced-Nbc, `V = 6`,
-    /// `M = 32`, uniform traffic).
+    /// `M = 32`, uniform traffic, one replicate off seed base 0).
     #[must_use]
     pub fn star(symbols: usize) -> Self {
         Self {
@@ -174,6 +184,8 @@ impl Scenario {
             virtual_channels: 6,
             message_length: 32,
             pattern: TrafficPattern::Uniform,
+            replicates: 1,
+            seed_base: 0,
         }
     }
 
@@ -211,6 +223,25 @@ impl Scenario {
         self
     }
 
+    /// Sets the number of independently seeded replicates per operating
+    /// point.
+    ///
+    /// # Panics
+    /// Panics if `replicates` is zero.
+    #[must_use]
+    pub fn with_replicates(mut self, replicates: usize) -> Self {
+        assert!(replicates >= 1, "need at least one replicate");
+        self.replicates = replicates;
+        self
+    }
+
+    /// Sets the base seed replicate seeds are derived from.
+    #[must_use]
+    pub fn with_seed_base(mut self, seed_base: u64) -> Self {
+        self.seed_base = seed_base;
+        self
+    }
+
     /// The conventional network name (`"S5"`, `"Q7"`, …).
     #[must_use]
     pub fn network_label(&self) -> String {
@@ -218,15 +249,19 @@ impl Scenario {
     }
 
     /// A short identifier for reports:
-    /// `"S5/enhanced-nbc/V6/M32"`.
+    /// `"S5/enhanced-nbc/V6/M32"`, with an `"/R8"` suffix when more than
+    /// one replicate is requested.
     #[must_use]
     pub fn label(&self) -> String {
+        let replicate_suffix =
+            if self.replicates > 1 { format!("/R{}", self.replicates) } else { String::new() };
         format!(
-            "{}/{}/V{}/M{}",
+            "{}/{}/V{}/M{}{}",
             self.network_label(),
             self.discipline.name(),
             self.virtual_channels,
-            self.message_length
+            self.message_length,
+            replicate_suffix
         )
     }
 
@@ -385,6 +420,27 @@ mod tests {
         assert_eq!(det.model_config(0.004), Ok(None));
         let invalid = s.with_virtual_channels(4);
         assert!(invalid.model_config(0.004).is_err());
+    }
+
+    #[test]
+    fn replication_knobs_default_to_one_replicate_off_seed_zero() {
+        let s = Scenario::star(5);
+        assert_eq!(s.replicates, 1);
+        assert_eq!(s.seed_base, 0);
+        let r = s.with_replicates(8).with_seed_base(0xC0FFEE);
+        assert_eq!(r.replicates, 8);
+        assert_eq!(r.seed_base, 0xC0FFEE);
+        // replication shows in the label only when it fans out
+        assert_eq!(s.label(), "S5/enhanced-nbc/V6/M32");
+        assert_eq!(r.label(), "S5/enhanced-nbc/V6/M32/R8");
+        // the hypercube constructor inherits the same defaults
+        assert_eq!(Scenario::hypercube(6).replicates, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replicate")]
+    fn zero_replicates_rejected() {
+        let _ = Scenario::star(5).with_replicates(0);
     }
 
     #[test]

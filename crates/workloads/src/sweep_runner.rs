@@ -7,12 +7,17 @@
 //! * **Deterministic output order.**  Results come back grouped by sweep, in
 //!   input order, with one estimate per rate in rate order — byte-identical
 //!   for any thread count, because each work unit is computed independently
-//!   of scheduling and reassembled by index.
-//! * **Warm-start-aware sharding.**  A backend that chains state between the
-//!   rates of one sweep ([`Evaluator::chains_rates`], e.g. the model's
-//!   warm-started fixed point) is sharded at sweep granularity; independent
-//!   backends (the simulator) are sharded at point granularity so one slow
-//!   curve still fills every core.
+//!   of scheduling and reassembled by index (replicates are folded in
+//!   replicate-index order, so the aggregation is scheduling-blind too).
+//! * **Granularity-aware sharding.**  A backend that chains state between
+//!   the rates of one sweep ([`Evaluator::chains_rates`], e.g. the model's
+//!   warm-started fixed point) is sharded at sweep granularity.  Independent
+//!   backends are sharded at **(point × replicate)** granularity — each of a
+//!   simulated point's [`Evaluator::fixed_replicates`] independently seeded
+//!   replicates is its own work item, so a single heavy operating point with
+//!   `R = 8` still fills eight cores.  A backend whose replicate count is
+//!   dynamic (adaptive CI targeting returns `None`) is sharded at point
+//!   granularity.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
@@ -124,18 +129,37 @@ impl SweepRunner {
             );
         }
 
-        // A unit is (sweep index, rate sub-range).  Backends that chain state
-        // between rates get whole sweeps; independent backends get single
-        // points so the work spreads evenly.
-        let units: Vec<(usize, usize, usize)> = if evaluator.chains_rates() {
-            sweeps.iter().enumerate().map(|(si, s)| (si, 0, s.rates.len())).collect()
-        } else {
-            sweeps
-                .iter()
-                .enumerate()
-                .flat_map(|(si, s)| (0..s.rates.len()).map(move |ri| (si, ri, ri + 1)))
-                .collect()
-        };
+        // A unit is either a rate sub-range of one sweep or a single
+        // replicate of a single point.  Backends that chain state between
+        // rates get whole sweeps; independent backends get one unit per
+        // (point × replicate) when the replicate count is known up front,
+        // and one unit per point otherwise (adaptive replication).
+        enum Unit {
+            /// `evaluate_sweep` over `rates[from..to]` of sweep `sweep`.
+            Span { sweep: usize, from: usize, to: usize },
+            /// Replicate `replicate` (of `total`) of rate `rate` of `sweep`.
+            Replicate { sweep: usize, rate: usize, replicate: usize, total: usize },
+        }
+        let mut units: Vec<Unit> = Vec::new();
+        for (si, spec) in sweeps.iter().enumerate() {
+            if evaluator.chains_rates() {
+                units.push(Unit::Span { sweep: si, from: 0, to: spec.rates.len() });
+                continue;
+            }
+            for ri in 0..spec.rates.len() {
+                match evaluator.fixed_replicates(&spec.scenario) {
+                    Some(total) if total > 1 => {
+                        units.extend((0..total).map(|replicate| Unit::Replicate {
+                            sweep: si,
+                            rate: ri,
+                            replicate,
+                            total,
+                        }));
+                    }
+                    _ => units.push(Unit::Span { sweep: si, from: ri, to: ri + 1 }),
+                }
+            }
+        }
 
         let workers = self.threads().min(units.len()).max(1);
         let next_unit = AtomicUsize::new(0);
@@ -147,9 +171,18 @@ impl SweepRunner {
                 let next_unit = &next_unit;
                 scope.spawn(move || loop {
                     let unit = next_unit.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(sweep_idx, from, to)) = units.get(unit) else { break };
-                    let spec = &sweeps[sweep_idx];
-                    let estimates = evaluator.evaluate_sweep(&spec.scenario, &spec.rates[from..to]);
+                    let Some(work) = units.get(unit) else { break };
+                    let estimates = match *work {
+                        Unit::Span { sweep, from, to } => {
+                            let spec = &sweeps[sweep];
+                            evaluator.evaluate_sweep(&spec.scenario, &spec.rates[from..to])
+                        }
+                        Unit::Replicate { sweep, rate, replicate, .. } => {
+                            let spec = &sweeps[sweep];
+                            let point = spec.scenario.at(spec.rates[rate]);
+                            vec![evaluator.evaluate_replicate(&point, replicate)]
+                        }
+                    };
                     // a send can only fail if the receiver is gone, which
                     // means the parent already panicked
                     let _ = tx.send((unit, estimates));
@@ -169,13 +202,28 @@ impl SweepRunner {
                     estimates: Vec::with_capacity(s.rates.len()),
                 })
                 .collect();
-            // units are ordered by (sweep, rate range), so pushing in unit
-            // order restores rate order within each sweep
-            for (&(sweep_idx, _, _), estimates) in units.iter().zip(by_unit) {
-                let estimates =
+            // units are ordered by (sweep, rate, replicate); replicates of
+            // one point are contiguous, so folding each completed replicate
+            // group in unit order restores rate order within each sweep and
+            // makes the aggregation independent of which worker ran what
+            let mut pending: Vec<PointEstimate> = Vec::new();
+            for (work, estimates) in units.iter().zip(by_unit) {
+                let mut estimates =
                     estimates.unwrap_or_else(|| panic!("worker died before finishing a unit"));
-                reports[sweep_idx].estimates.extend(estimates);
+                match *work {
+                    Unit::Span { sweep, .. } => reports[sweep].estimates.extend(estimates),
+                    Unit::Replicate { sweep, replicate, total, .. } => {
+                        debug_assert_eq!(pending.len(), replicate);
+                        pending.append(&mut estimates);
+                        if pending.len() == total {
+                            reports[sweep]
+                                .estimates
+                                .push(evaluator.aggregate(std::mem::take(&mut pending)));
+                        }
+                    }
+                }
             }
+            debug_assert!(pending.is_empty(), "every replicate group must be folded");
             reports
         })
     }
@@ -234,12 +282,48 @@ mod tests {
 
     #[test]
     fn thread_count_does_not_change_sim_results() {
-        let sweep =
-            SweepSpec::new("s4", Scenario::star(4).with_message_length(16), vec![0.003, 0.005]);
-        let backend = SimBackend::new(SimBudget::Quick, 5);
+        let sweep = SweepSpec::new(
+            "s4",
+            Scenario::star(4).with_message_length(16).with_seed_base(5),
+            vec![0.003, 0.005],
+        );
+        let backend = SimBackend::new(SimBudget::Quick);
         let one = SweepRunner::with_threads(1).run_one(&backend, &sweep);
         let two = SweepRunner::with_threads(2).run_one(&backend, &sweep);
         assert_eq!(one, two);
+    }
+
+    #[test]
+    fn replicates_shard_and_reaggregate_identically_for_any_thread_count() {
+        // 2 points × 3 replicates = 6 independent work items; every thread
+        // count must fold them back into the same two estimates the
+        // sequential backend produces
+        let scenario =
+            Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(17);
+        let sweep = SweepSpec::new("s4r3", scenario, vec![0.003, 0.005]);
+        let backend = SimBackend::new(SimBudget::Quick);
+        let direct: Vec<_> =
+            sweep.rates.iter().map(|&r| backend.evaluate(&scenario.at(r))).collect();
+        for threads in [1usize, 2, 5] {
+            let report = SweepRunner::with_threads(threads).run_one(&backend, &sweep);
+            assert_eq!(report.estimates, direct, "threads = {threads}");
+            assert!(report.estimates.iter().all(|e| e.replicates() == 3));
+            assert!(report.estimates.iter().all(|e| e.latency_ci95() > 0.0));
+        }
+    }
+
+    #[test]
+    fn adaptive_replication_shards_at_point_granularity() {
+        use crate::evaluator::CiTarget;
+        let scenario =
+            Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(23);
+        let sweep = SweepSpec::new("adaptive", scenario, vec![0.003, 0.005]);
+        let backend = SimBackend::new(SimBudget::Quick)
+            .with_ci_target(CiTarget { relative: 0.5, max_replicates: 4 });
+        let one = SweepRunner::with_threads(1).run_one(&backend, &sweep);
+        let four = SweepRunner::with_threads(4).run_one(&backend, &sweep);
+        assert_eq!(one, four);
+        assert!(one.estimates.iter().all(|e| e.replicates() >= 2));
     }
 
     #[test]

@@ -4,13 +4,15 @@
 //! * `cargo xtask ci` — the full verification pipeline, in the same order the
 //!   GitHub Actions workflow runs it: rustfmt check, clippy with warnings
 //!   denied, release build, tests, doctests, a smoke run of every criterion
-//!   bench in `--test` mode (each bench body executes once), and
+//!   bench in `--test` mode (each bench body executes once), a replicate
+//!   smoke (one `star_vs_hypercube` point simulated with `--replicates 3`,
+//!   so the multi-seed fan-out path runs on every push), and
 //!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
 //!   intra-doc links fail the pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
 //!   all available cores by default; extra arguments are forwarded, e.g.
-//!   `cargo xtask figure1 -- --budget thorough --v 9 --threads 4`).
+//!   `cargo xtask figure1 -- --budget thorough --replicates 5 --threads 4`).
 
 use std::env;
 use std::process::{Command, ExitCode};
@@ -42,11 +44,11 @@ fn print_help() {
     eprintln!("commands:");
     eprintln!(
         "  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
-         doc -D warnings"
+         replicate smoke, doc -D warnings"
     );
     eprintln!(
         "  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args, \
-         e.g. --budget thorough --threads 4)"
+         e.g. --budget thorough --replicates 5 --threads 4)"
     );
 }
 
@@ -90,6 +92,29 @@ fn ci() -> ExitCode {
         // also drags every lib test harness through bench mode) is a separate
         // CI job
         ("bench-smoke", &["bench", "-p", "star-bench", "--", "--test"]),
+        // one multi-replicate simulated point (S4/Q5, R = 3, quick budget)
+        // so the (point × replicate) fan-out, aggregation and CI columns are
+        // exercised end-to-end on every push
+        (
+            "replicate-smoke",
+            &[
+                "run",
+                "--release",
+                "-p",
+                "star-bench",
+                "--bin",
+                "star_vs_hypercube",
+                "--",
+                "--n",
+                "4",
+                "--points",
+                "1",
+                "--replicates",
+                "3",
+                "--budget",
+                "quick",
+            ],
+        ),
     ];
     let started = Instant::now();
     for (name, args) in pipeline {

@@ -47,15 +47,19 @@ fn main() {
     println!("{}", ascii_plot("model latency (cycles)", &rates, &plot_series, 64, 18));
 
     if with_sim {
-        println!("quick simulation cross-checks (V = 6):");
-        let backend = SimBackend::new(SimBudget::Quick, 7);
+        println!("quick simulation cross-checks (V = 6, 3 replicates each):");
+        let backend = SimBackend::new(SimBudget::Quick);
+        let scenario = Scenario::star(5).with_replicates(3).with_seed_base(7);
         for &rate in &[0.004, 0.008, 0.012] {
-            let estimate = backend.evaluate(&Scenario::star(5).at(rate));
+            let estimate = backend.evaluate(&scenario.at(rate));
             match estimate.latency() {
                 None => println!("  λ_g = {rate:.3}: simulator saturated"),
-                Some(latency) => {
-                    let ci = estimate.sim_report().map_or(0.0, |r| r.latency_ci95);
-                    println!("  λ_g = {rate:.3}: simulated latency {latency:.1} ± {ci:.1} cycles");
+                Some(_) => {
+                    println!(
+                        "  λ_g = {rate:.3}: simulated latency {} cycles over {} replicates",
+                        estimate.latency_stats.pretty(),
+                        estimate.replicates()
+                    );
                 }
             }
         }

@@ -32,19 +32,19 @@ fn main() {
     println!("  mean message latency      = {:.2} cycles", model.mean_latency);
     println!("  channel utilisation       = {:.3}", result.channel_utilization);
 
-    // 2. The flit-level simulator at the same point (seconds).
-    let sim = SimBackend::new(SimBudget::Quick, 42).evaluate(&point);
-    let report = sim.sim_report().expect("sim backend yields sim reports");
+    // 2. The flit-level simulator at the same point (seconds): three
+    // independently seeded replicates folded into mean ± 95% CI.
+    let replicated = scenario.with_replicates(3).with_seed_base(42).at(point.traffic_rate);
+    let sim = SimBackend::new(SimBudget::Quick).evaluate(&replicated);
+    let report = sim.sim_report().expect("sim backend yields replicate reports");
     println!(
-        "\nflit-level simulation ({} measured messages, {} cycles):",
-        report.measured_messages, report.cycles
+        "\nflit-level simulation ({} replicates, {} measured messages each):",
+        report.replicates(),
+        report.first().measured_messages
     );
-    println!(
-        "  mean message latency      = {:.2} ± {:.2} cycles",
-        sim.mean_latency, report.latency_ci95
-    );
-    println!("  mean network latency      = {:.2} cycles", report.mean_network_latency);
-    println!("  observed multiplexing     = {:.3}", report.observed_multiplexing);
+    println!("  mean message latency      = {} cycles", sim.latency_stats.pretty());
+    println!("  mean network latency      = {:.2} cycles", report.network_latency.mean);
+    println!("  observed multiplexing     = {:.3}", report.first().observed_multiplexing);
 
     let error = (model.mean_latency - sim.mean_latency).abs() / sim.mean_latency;
     println!("\nmodel vs simulation relative error: {:.1}%", error * 100.0);

@@ -12,29 +12,29 @@ use star_wormhole::workloads::markdown_table;
 use star_wormhole::{Discipline, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec};
 
 fn main() {
-    let base = Scenario::star(4).with_message_length(16);
+    let base = Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(11);
     let rates = vec![0.01, 0.02, 0.03];
     let sweeps: Vec<SweepSpec> = Discipline::ALL
         .iter()
         .map(|&d| SweepSpec::new(d.name(), base.with_discipline(d), rates.clone()))
         .collect();
-    let reports = SweepRunner::new().run(&SimBackend::new(SimBudget::Quick, 11), &sweeps);
+    let reports = SweepRunner::new().run(&SimBackend::new(SimBudget::Quick), &sweeps);
 
     println!(
-        "# Routing comparison — S4, V = {}, M = {} flits\n",
-        base.virtual_channels, base.message_length
+        "# Routing comparison — S4, V = {}, M = {} flits, {} replicates\n",
+        base.virtual_channels, base.message_length, base.replicates
     );
     let mut rows = Vec::new();
     for (ri, &rate) in rates.iter().enumerate() {
         for report in &reports {
             let estimate = &report.estimates[ri];
-            let sim = estimate.sim_report().expect("sim backend yields sim reports");
+            let sim = estimate.sim_report().expect("sim backend yields replicate reports");
             rows.push(vec![
                 format!("{rate:.3}"),
                 report.id.clone(),
-                estimate.latency_cell(),
-                format!("{:.3}", sim.blocking_probability),
-                format!("{:.2}", sim.observed_multiplexing),
+                estimate.latency_ci_cell(),
+                format!("{:.3}", sim.first().blocking_probability),
+                format!("{:.2}", sim.first().observed_multiplexing),
             ]);
         }
     }

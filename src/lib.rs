@@ -20,9 +20,13 @@
 //!   binary hypercube (`HypercubeModel`) so the star-vs-hypercube
 //!   comparison runs model-only far beyond simulator scale;
 //! * [`workloads`] (crate `star-workloads`) — the unified evaluation API:
-//!   topology-generic [`Scenario`]s, the [`Evaluator`] trait answered by
+//!   topology-generic [`Scenario`]s (including the `replicates` ×
+//!   `seed_base` replication policy), the [`Evaluator`] trait answered by
 //!   both the analytical model ([`ModelBackend`]) and the simulator
-//!   ([`SimBackend`]), and the multi-threaded [`SweepRunner`].
+//!   ([`SimBackend`], fanning each point out to independently seeded
+//!   replicates with Student-t 95% confidence intervals), and the
+//!   multi-threaded [`SweepRunner`] that shards (point × replicate) work
+//!   items.
 //!
 //! The core workflow — answering the same operating points with swappable
 //! backends — looks like this:
@@ -36,8 +40,9 @@
 //! let sweep = SweepSpec::new("demo", scenario, vec![0.002, 0.004, 0.006]);
 //!
 //! // The model backend warm-starts each rate from the previous rate's
-//! // converged fixed point; swap in `SimBackend::new(..)` to answer the
-//! // same sweep with the flit-level simulator.
+//! // converged fixed point; swap in `SimBackend::new(..)` (plus
+//! // `.with_replicates(R)` on the scenario for a mean ± 95% CI per point)
+//! // to answer the same sweep with the flit-level simulator.
 //! let report = SweepRunner::new().run_one(&ModelBackend::new(), &sweep);
 //! assert_eq!(report.estimates.len(), 3);
 //! assert!(report.estimates.iter().all(|e| !e.saturated));
@@ -62,9 +67,13 @@ pub use star_core::{
     RoutingDiscipline, ValidationRow,
 };
 pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
+pub use star_queueing::{replicate_seed, ReplicateStats};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
-pub use star_sim::{SimConfig, SimReport, Simulation, TrafficPattern};
+pub use star_sim::{
+    ReplicateReport, ReplicateRun, SimConfig, SimReport, Simulation, TrafficPattern,
+};
 pub use star_workloads::{
-    Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind, OperatingPoint,
-    PointEstimate, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec,
+    CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind, OperatingPoint,
+    PointEstimate, RunReport, RunRow, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner,
+    SweepSpec,
 };

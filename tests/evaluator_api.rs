@@ -1,11 +1,14 @@
 //! Integration tests for the unified evaluation API: warm-started sweeps
 //! must reproduce cold-started sweeps (while spending fewer fixed-point
-//! iterations near the saturation knee), and the `SweepRunner` must produce
-//! byte-identical reports for any thread count, for both backends.
+//! iterations near the saturation knee), the `SweepRunner` must produce
+//! byte-identical reports for any thread count, for both backends and any
+//! replicate fan-out, and the seed → replicate derivation must be stable
+//! across runs.
 
 use star_wormhole::model::{sweep_traffic, sweep_traffic_cold};
 use star_wormhole::{
-    ModelBackend, ModelConfig, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec,
+    replicate_seed, Evaluator as _, ModelBackend, ModelConfig, Scenario, SimBackend, SimBudget,
+    SweepRunner, SweepSpec,
 };
 
 /// The acceptance sweep: the paper's `S5`, `V = 6`, `M = 32` curve sampled
@@ -123,43 +126,98 @@ fn model_sharding_is_deterministic_across_thread_counts() {
 fn sim_sharding_is_deterministic_across_thread_counts() {
     // a small network so the flit-level runs stay quick; two curves so the
     // point-granularity sharding has four independent units to scatter
-    let sweeps: Vec<SweepSpec> = [16usize, 24]
-        .iter()
-        .map(|&m| {
-            SweepSpec::new(
-                format!("M{m}"),
-                Scenario::star(4).with_message_length(m),
-                vec![0.003, 0.006],
-            )
-        })
-        .collect();
-    for seed in [1u64, 2] {
-        let backend = SimBackend::new(SimBudget::Quick, seed);
+    for seed_base in [1u64, 2] {
+        let sweeps: Vec<SweepSpec> = [16usize, 24]
+            .iter()
+            .map(|&m| {
+                SweepSpec::new(
+                    format!("M{m}"),
+                    Scenario::star(4).with_message_length(m).with_seed_base(seed_base),
+                    vec![0.003, 0.006],
+                )
+            })
+            .collect();
+        let backend = SimBackend::new(SimBudget::Quick);
         let serial = SweepRunner::with_threads(1).run(&backend, &sweeps);
         let sharded = SweepRunner::with_threads(4).run(&backend, &sweeps);
         assert_eq!(serial, sharded);
         assert_eq!(
             format!("{serial:?}"),
             format!("{sharded:?}"),
-            "sim reports must be byte-identical for any thread count (seed {seed})"
+            "sim reports must be byte-identical for any thread count (seed base {seed_base})"
         );
     }
 }
 
 #[test]
+fn replicate_aggregation_is_byte_identical_for_one_vs_many_threads() {
+    // the tentpole contract: R replicates per point are sharded as
+    // independent (point × replicate) work items, and any thread count —
+    // undersubscribed, matched, oversubscribed — reassembles them into the
+    // same bytes the sequential evaluation produces
+    let scenario = Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(41);
+    let sweep = SweepSpec::new("r3", scenario, vec![0.003, 0.006]);
+    let backend = SimBackend::new(SimBudget::Quick);
+    let sequential: Vec<_> =
+        sweep.rates.iter().map(|&rate| backend.evaluate(&scenario.at(rate))).collect();
+    for threads in [1usize, 2, 4, 9] {
+        let report = SweepRunner::with_threads(threads).run_one(&backend, &sweep);
+        assert_eq!(report.estimates, sequential, "threads = {threads}");
+        assert_eq!(
+            format!("{:?}", report.estimates),
+            format!("{sequential:?}"),
+            "replicate aggregation must be byte-identical (threads = {threads})"
+        );
+        for estimate in &report.estimates {
+            assert_eq!(estimate.replicates(), 3);
+            assert!(estimate.latency_ci95() > 0.0, "3 seeds must yield a real interval");
+        }
+    }
+}
+
+#[test]
+fn seed_to_replicate_derivation_is_stable_across_runs() {
+    // the derivation is pure: recomputing yields the same seeds, and the
+    // per-replicate simulations they drive reproduce bit for bit
+    for base in [0u64, 41, u64::MAX] {
+        for replicate in 0..4 {
+            assert_eq!(replicate_seed(base, replicate), replicate_seed(base, replicate));
+        }
+    }
+    let backend = SimBackend::new(SimBudget::Quick);
+    let point = Scenario::star(4).with_message_length(16).with_seed_base(41).at(0.003);
+    let first = backend.evaluate_replicate(&point, 1);
+    let again = backend.evaluate_replicate(&point, 1);
+    assert_eq!(first, again, "replicate 1 must be the same simulation every run");
+    let other = backend.evaluate_replicate(&point, 2);
+    assert_ne!(
+        first.mean_latency, other.mean_latency,
+        "different replicate indices must drive different RNG streams"
+    );
+    // the derived seeds are what lands in the per-replicate reports
+    let report = first.sim_report().unwrap();
+    assert_eq!(report.runs.len(), 1);
+}
+
+#[test]
 fn both_backends_answer_the_same_point_within_tolerance() {
     // the backend-swap contract: one operating point, two backends, one
-    // answer within the validation tolerance used throughout the paper
-    let point = Scenario::star(4).with_message_length(16).at(0.004);
+    // answer within the validation tolerance used throughout the paper; the
+    // simulated side is a replicate mean with its CI in the failure message
+    let scenario = Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(101);
     let model = SweepRunner::with_threads(1)
-        .run_one(&ModelBackend::new(), &SweepSpec::new("m", point.scenario, vec![0.004]));
-    let sim = SweepRunner::with_threads(1).run_one(
-        &SimBackend::new(SimBudget::Quick, 101),
-        &SweepSpec::new("s", point.scenario, vec![0.004]),
-    );
+        .run_one(&ModelBackend::new(), &SweepSpec::new("m", scenario, vec![0.004]));
+    let sim = SweepRunner::with_threads(1)
+        .run_one(&SimBackend::new(SimBudget::Quick), &SweepSpec::new("s", scenario, vec![0.004]));
     let m = &model.estimates[0];
     let s = &sim.estimates[0];
     assert!(!m.saturated && !s.saturated);
     let err = (m.mean_latency - s.mean_latency).abs() / s.mean_latency;
-    assert!(err < 0.15, "model {} vs sim {} differ by {err}", m.mean_latency, s.mean_latency);
+    assert!(
+        err < 0.15,
+        "model {} vs sim {} (over {} replicates) differ by {err}",
+        m.mean_latency,
+        s.latency_stats.pretty(),
+        s.replicates()
+    );
 }

@@ -5,10 +5,11 @@
 //! test, so a regression fails `cargo test` even if doctests are skipped.
 
 use star_wormhole::{
-    AnalyticalModel, ConfigError, DeterministicMinimal, Discipline, EnhancedNbc, Evaluator as _,
-    Hypercube, ModelBackend, ModelConfig, ModelResult, NHop, Nbc, NetworkKind, Permutation,
-    RoutingAlgorithm, Scenario, SimBackend, SimBudget, SimConfig, StarGraph, SweepRunner,
-    SweepSpec, Topology, TopologyProperties, TrafficPattern,
+    replicate_seed, AnalyticalModel, CiTarget, ConfigError, DeterministicMinimal, Discipline,
+    EnhancedNbc, Evaluator as _, Hypercube, ModelBackend, ModelConfig, ModelResult, NHop, Nbc,
+    NetworkKind, Permutation, ReplicateStats, RoutingAlgorithm, RunReport, Scenario, SimBackend,
+    SimBudget, SimConfig, StarGraph, SweepRunner, SweepSpec, Topology, TopologyProperties,
+    TrafficPattern,
 };
 
 /// The root doc example, restated: the documented sweep must solve
@@ -50,8 +51,14 @@ fn evaluator_reexports_compose() {
     assert!(model.supports(&scenario));
     let estimate = model.evaluate(&scenario.at(0.003));
     assert!(!estimate.saturated);
-    let sim = SimBackend::new(SimBudget::Quick, 7);
+    assert_eq!(estimate.latency_ci95(), 0.0, "the model's interval is degenerate");
+    let sim = SimBackend::new(SimBudget::Quick).with_ci_target(CiTarget::new(0.2));
     assert!(sim.supports(&Scenario::hypercube(3)));
+    // the replicate-statistics surface travels through the facade
+    let stats = ReplicateStats::from_samples(&[40.0, 44.0]);
+    assert!(stats.ci95 > 0.0);
+    assert_ne!(replicate_seed(7, 0), replicate_seed(7, 1));
+    assert_eq!(RunReport::csv_header().split(',').count(), 10);
     // non-panicking validation travels through the facade
     let err: ConfigError =
         ModelConfig::builder().symbols(12).try_build().expect_err("S12 is out of model range");

@@ -11,7 +11,8 @@ use star_wormhole::{
 };
 
 /// A `Q_d` scenario with short messages so the simulated points stay fast in
-/// a debug test run.
+/// a debug test run (single replicate — the star-side validation exercises
+/// the replicate-mean path).
 fn cube(dims: usize, discipline: Discipline) -> Scenario {
     Scenario::hypercube(dims).with_message_length(16).with_discipline(discipline)
 }
@@ -32,9 +33,9 @@ fn model_matches_simulation_at_light_load_q4_to_q6() {
     // ~3% channel utilisation, the regime the star light-load validation
     // runs in (S4 at λ_g = 0.003), held to the same 10% band
     let model = ModelBackend::new();
-    let sim = SimBackend::new(SimBudget::Quick, 401);
+    let sim = SimBackend::new(SimBudget::Quick);
     for dims in 4..=6 {
-        let scenario = cube(dims, Discipline::EnhancedNbc);
+        let scenario = cube(dims, Discipline::EnhancedNbc).with_seed_base(401);
         let point = scenario.at(rate_at_utilisation(&scenario, 0.03));
         let m = model.evaluate(&point);
         let s = sim.evaluate(&point);
@@ -56,10 +57,10 @@ fn model_matches_simulation_at_moderate_load_q4_to_q6_both_routings() {
     // regime and 25% band — for the adaptive scheme *and* the dimension-order
     // baseline (which the star model does not even cover)
     let model = ModelBackend::new();
-    let sim = SimBackend::new(SimBudget::Quick, 402);
+    let sim = SimBackend::new(SimBudget::Quick);
     for dims in 4..=6 {
         for discipline in [Discipline::EnhancedNbc, Discipline::Deterministic] {
-            let scenario = cube(dims, discipline);
+            let scenario = cube(dims, discipline).with_seed_base(402);
             let point = scenario.at(rate_at_utilisation(&scenario, 0.10));
             let m = model.evaluate(&point);
             let s = sim.evaluate(&point);
@@ -79,8 +80,8 @@ fn model_matches_simulation_at_moderate_load_q4_to_q6_both_routings() {
 #[test]
 fn both_backends_show_latency_growth_with_load_on_the_cube() {
     let model = ModelBackend::new();
-    let sim = SimBackend::new(SimBudget::Quick, 403);
-    let scenario = cube(5, Discipline::EnhancedNbc);
+    let sim = SimBackend::new(SimBudget::Quick);
+    let scenario = cube(5, Discipline::EnhancedNbc).with_seed_base(403);
     let mut last_model = 0.0;
     let mut last_sim = 0.0;
     for u in [0.10, 0.25, 0.40] {

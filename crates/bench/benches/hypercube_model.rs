@@ -9,7 +9,10 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use star_core::blocking::{batch_blocking_delays, total_blocking_delay};
+use star_core::occupancy::ChannelOccupancy;
 use star_core::{HypercubeConfig, HypercubeModel, HypercubeRouting, HypercubeSpectrum};
+use star_exec::spawn_ordered;
 use star_workloads::{ModelBackend, Scenario, SweepRunner, SweepSpec};
 
 fn q10_rates() -> Vec<f64> {
@@ -42,8 +45,8 @@ fn bench_single_solves(c: &mut Criterion) {
         b.iter(|| black_box(HypercubeSpectrum::new(13)));
     });
     // the per-destination parallelism pair at Q13 (byte-identical answers;
-    // records the speedup — or spawn-overhead penalty — of sharding the
-    // per-distance-class blocking sums of every fixed-point iteration)
+    // records the speedup of sharding the per-distance-class blocking sums
+    // of every fixed-point iteration across the persistent pool)
     let q13 = HypercubeConfig::builder()
         .dims(13)
         .virtual_channels(8)
@@ -54,6 +57,28 @@ fn bench_single_solves(c: &mut Criterion) {
         let model = HypercubeModel::new(q13).with_parallelism(threads);
         group.bench_function(format!("q13_v8_m32_solve_blocking_threads{threads}"), |b| {
             b.iter(|| black_box(model.solve()));
+        });
+    }
+    // pool vs the retired spawn-per-call baseline on one Q13 blocking batch
+    // (the work unit every fixed-point iteration repeats) — records the
+    // PR 4 spawn-per-step regression being fixed
+    let spectrum = HypercubeSpectrum::new(13);
+    let profiles: Vec<&star_graph::AdaptivityProfile> =
+        spectrum.classes().iter().map(|c| &c.adaptive_profile).collect();
+    let split = q13.vc_split();
+    let occupancy = ChannelOccupancy::new(0.004, 70.0, 8);
+    for threads in [2usize, 4] {
+        group.bench_function(format!("q13_blocking_batch_pool_threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(batch_blocking_delays(split, &occupancy, &profiles, 12.0, threads))
+            });
+        });
+        group.bench_function(format!("q13_blocking_batch_spawn_threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(spawn_ordered(threads, &profiles, |_, profile| {
+                    total_blocking_delay(split, &occupancy, profile, 12.0)
+                }))
+            });
         });
     }
     group.finish();

@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 use std::sync::Arc;
 
+use star_core::blocking::{batch_blocking_delays, total_blocking_delay, VcSplit};
+use star_core::occupancy::ChannelOccupancy;
 use star_core::{AnalyticalModel, DestinationSpectrum, ModelConfig, ModelResult};
+use star_exec::spawn_ordered;
 
 fn config(symbols: usize, v: usize, rate: f64) -> ModelConfig {
     ModelConfig::builder()
@@ -39,15 +42,47 @@ fn bench_model_solve(c: &mut Criterion) {
     });
     // the per-destination parallelism pair: the same S7 solve with the
     // per-cycle-type blocking sums computed serially vs sharded across
-    // scoped threads (byte-identical answers; this records the speedup —
-    // or spawn-overhead penalty — of the parallel path at the largest
-    // spectrum the star model ships)
+    // the persistent pool (byte-identical answers; this records the
+    // speedup of the parallel path at the largest spectrum the star model
+    // ships, now that the pool removed the per-iteration spawn cost)
     let spectrum = std::sync::Arc::new(DestinationSpectrum::new(7));
     for threads in [1usize, 2, 4] {
         let model = AnalyticalModel::with_spectrum(config(7, 8, 0.004), Arc::clone(&spectrum))
             .with_parallelism(threads);
         group.bench_function(format!("s7_v8_moderate_load_blocking_threads{threads}"), |b| {
             b.iter(|| black_box(model.solve()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pool_vs_spawn(c: &mut Criterion) {
+    // one S7 blocking batch — the unit of work every fixed-point iteration
+    // repeats — through the persistent pool vs the retired spawn-per-call
+    // baseline.  PR 4 measured that spawn-per-step made this batch not
+    // worth parallelising; this pair records the regression being fixed
+    // (identical outputs, only the execution layer differs).
+    let spectrum = DestinationSpectrum::new(7);
+    let profiles: Vec<&star_graph::AdaptivityProfile> =
+        spectrum.classes().iter().map(|c| &c.profile).collect();
+    let split = VcSplit { adaptive: 2, escape_levels: 6, bonus_cards: true };
+    let occupancy = ChannelOccupancy::new(0.004, 60.0, 8);
+    let mut group = c.benchmark_group("blocking_batch");
+    group.bench_function("s7_serial", |b| {
+        b.iter(|| black_box(batch_blocking_delays(split, &occupancy, &profiles, 12.0, 1)));
+    });
+    for threads in [2usize, 4] {
+        group.bench_function(format!("s7_pool_threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(batch_blocking_delays(split, &occupancy, &profiles, 12.0, threads))
+            });
+        });
+        group.bench_function(format!("s7_spawn_threads{threads}"), |b| {
+            b.iter(|| {
+                black_box(spawn_ordered(threads, &profiles, |_, profile| {
+                    total_blocking_delay(split, &occupancy, profile, 12.0)
+                }))
+            });
         });
     }
     group.finish();
@@ -72,5 +107,5 @@ fn bench_spectrum_and_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_model_solve, bench_spectrum_and_sweep);
+criterion_group!(benches, bench_model_solve, bench_spectrum_and_sweep, bench_pool_vs_spawn);
 criterion_main!(benches);

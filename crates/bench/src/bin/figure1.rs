@@ -9,36 +9,36 @@
 //! cargo run --release -p star-bench --bin figure1 -- [--v 6|9|12] [--m 32|64]
 //!     [--points N] [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
-//!     [--threads T]
+//!     [--threads T] [--shard K/N]
 //! ```
 //!
 //! Prints a Markdown table and an ASCII plot per curve and writes
 //! `target/experiments/<curve>.csv` (with `simulated_ci95`/`sim_replicates`
-//! columns).
+//! columns).  Under `--shard K/N` each curve file becomes the partial
+//! `<curve>.shardKofN.csv` covering this shard's slice of the simulated
+//! points (the model curve is recomputed in full so its warm-start chain
+//! matches the unsharded run); `cargo xtask merge-shards` restores the
+//! unsharded bytes.
 
-use star_bench::{
-    arg_value, budget_from_args, experiments_dir, replicated_scenario, run_figure1_curve,
-    sim_backend_from_args, threads_from_args,
-};
+use star_bench::cli::HarnessArgs;
+use star_bench::{log_replicate_consumption, pair_into_validation_rows};
 use star_core::validation::mean_absolute_relative_error;
 use star_core::ValidationRow;
-use star_workloads::{ascii_plot, figure1_sweeps, markdown_table, write_csv};
+use star_workloads::{ascii_plot, figure1_sweeps, markdown_table, rate_indices, ModelBackend};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let v_filter: Option<usize> = arg_value(&args, "--v").and_then(|s| s.parse().ok());
-    let m_filter: Option<usize> = arg_value(&args, "--m").and_then(|s| s.parse().ok());
-    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(6);
-    let sim_backend = sim_backend_from_args(&args);
-    let budget = budget_from_args(&args);
-    let threads = threads_from_args(&args);
+    let cli = HarnessArgs::parse();
+    let v_filter: Option<usize> = cli.value("--v").and_then(|s| s.parse().ok());
+    let m_filter: Option<usize> = cli.value("--m").and_then(|s| s.parse().ok());
+    let points = cli.usize_or("--points", 6);
+    let sim_backend = cli.sim_backend();
 
     let sweeps: Vec<_> = figure1_sweeps(points)
         .into_iter()
         .filter(|s| v_filter.is_none_or(|v| s.scenario.virtual_channels == v))
         .filter(|s| m_filter.is_none_or(|m| s.scenario.message_length == m))
         .map(|mut sweep| {
-            sweep.scenario = replicated_scenario(sweep.scenario, &args, 20_060_425);
+            sweep.scenario = cli.replicated(sweep.scenario, 20_060_425);
             sweep
         })
         .collect();
@@ -48,22 +48,44 @@ fn main() {
     }
 
     println!(
-        "# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {budget:?}, \
+        "# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {:?}, \
          {} replicate(s), seed base {})\n",
-        sweeps[0].scenario.replicates, sweeps[0].scenario.seed_base
+        cli.budget(),
+        sweeps[0].scenario.replicates,
+        sweeps[0].scenario.seed_base
     );
-    for sweep in sweeps {
+    // both passes slice the same flat point list, so model and simulator
+    // estimates stay paired per rate in sharded runs too
+    let model_reports = cli.run_pass(&ModelBackend::new(), &sweeps);
+    let sim_reports = cli.run_pass(&sim_backend, &sweeps);
+    log_replicate_consumption(&sim_reports);
+    for ((sweep, model), sim) in sweeps.iter().zip(&model_reports).zip(&sim_reports) {
         println!(
             "## {} (V = {}, M = {} flits)\n",
             sweep.id, sweep.scenario.virtual_channels, sweep.scenario.message_length
         );
-        let rows = run_figure1_curve(&sweep, &sim_backend, threads);
-        print_curve(&sweep.id, &sweep.rates, &rows);
-        let csv_rows: Vec<String> = rows.iter().map(ValidationRow::to_csv_row).collect();
-        let path = experiments_dir().join(format!("{}.csv", sweep.id));
-        match write_csv(&path, &ValidationRow::csv_header(), &csv_rows) {
-            Ok(()) => println!("wrote {}\n", path.display()),
-            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        let rows = pair_into_validation_rows(model, sim);
+        let rates = model.rates();
+        if rows.is_empty() {
+            println!("(no points of this curve in shard {})\n", cli.shard.expect("sharded"));
+        } else {
+            print_curve(&sweep.id, &rates, &rows);
+        }
+        let indexed: Vec<(usize, String)> = rate_indices(&sweep.rates, model)
+            .into_iter()
+            .zip(rows.iter().map(ValidationRow::to_csv_row))
+            .collect();
+        // the curve's full description, identical in every shard of one run
+        let mut run = star_exec::RunFingerprint::new();
+        run.add_str(&sweep.id);
+        run.add_str(&sweep.scenario.label());
+        run.add_u64(sweep.scenario.seed_base);
+        for &rate in &sweep.rates {
+            run.add_f64(rate);
+        }
+        match cli.write_indexed_csv(&sweep.id, &ValidationRow::csv_header(), run, &indexed) {
+            Ok(path) => println!("wrote {}\n", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", sweep.id),
         }
     }
 }

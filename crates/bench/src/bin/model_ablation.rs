@@ -10,85 +10,82 @@
 //! cargo run --release -p star-bench --bin model_ablation -- [--n 5] [--v 6]
 //!     [--m 32] [--points N] [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
-//!     [--threads T] [--no-sim]
+//!     [--threads T] [--shard K/N] [--no-sim]
 //! ```
 
-use star_bench::{
-    arg_present, arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
-    sim_backend_from_args, threads_from_args,
-};
-use star_workloads::{
-    markdown_table, Discipline, ModelBackend, RunReport, Scenario, SweepReport, SweepRunner,
-    SweepSpec,
-};
+use star_bench::cli::HarnessArgs;
+use star_bench::{experiments_dir, log_replicate_consumption};
+use star_workloads::{markdown_table, Discipline, ModelBackend, Scenario, SweepReport, SweepSpec};
 
 const DISCIPLINES: [Discipline; 3] = [Discipline::EnhancedNbc, Discipline::Nbc, Discipline::NHop];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
-    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let with_sim = !arg_present(&args, "--no-sim");
-    let backend = sim_backend_from_args(&args);
-    let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let cli = HarnessArgs::parse();
+    let symbols = cli.usize_or("--n", 5);
+    let v = cli.usize_or("--v", 6);
+    let m = cli.usize_or("--m", 32);
+    let points = cli.usize_or("--points", 5);
+    let with_sim = !cli.present("--no-sim");
+    let backend = cli.sim_backend();
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
     let sweeps: Vec<SweepSpec> = DISCIPLINES
         .iter()
         .map(|&d| {
-            let scenario = replicated_scenario(
+            let scenario = cli.replicated(
                 Scenario::star(symbols)
                     .with_discipline(d)
                     .with_virtual_channels(v)
                     .with_message_length(m),
-                &args,
                 424_242,
             );
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
-    let model_reports = runner.run(&ModelBackend::new(), &sweeps);
-    let sim_reports: Option<Vec<SweepReport>> = with_sim.then(|| runner.run(&backend, &sweeps));
+    let model_reports = cli.run_pass(&ModelBackend::new(), &sweeps);
+    let sim_reports: Option<Vec<SweepReport>> = with_sim.then(|| cli.run_pass(&backend, &sweeps));
 
     println!(
         "# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n"
     );
-    let mut rows = Vec::new();
-    for (ri, &rate) in rates.iter().enumerate() {
-        let mut cells = vec![format!("{rate:.4}")];
-        for (di, _) in DISCIPLINES.iter().enumerate() {
-            let model_cell = model_reports[di].estimates[ri].latency_cell();
-            let sim_cell = sim_reports
-                .as_ref()
-                .map_or_else(|| "-".to_string(), |r| r[di].estimates[ri].latency_ci_cell());
-            cells.push(format!("{model_cell} / {sim_cell}"));
+    if cli.print_tables() {
+        let mut rows = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut cells = vec![format!("{rate:.4}")];
+            for (di, _) in DISCIPLINES.iter().enumerate() {
+                let model_cell = model_reports[di].estimates[ri].latency_cell();
+                let sim_cell = sim_reports
+                    .as_ref()
+                    .map_or_else(|| "-".to_string(), |r| r[di].estimates[ri].latency_ci_cell());
+                cells.push(format!("{model_cell} / {sim_cell}"));
+            }
+            rows.push(cells);
         }
-        rows.push(cells);
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "traffic rate (λ_g)",
+                    "Enhanced-Nbc (model/sim)",
+                    "Nbc (model/sim)",
+                    "NHop (model/sim)"
+                ],
+                &rows
+            )
+        );
+        println!("Each cell is `analytical model latency / simulated latency ± 95% CI` in cycles.");
+    } else {
+        println!("(sharded run: cross-discipline table omitted — merge the shard CSVs)\n");
     }
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "traffic rate (λ_g)",
-                "Enhanced-Nbc (model/sim)",
-                "Nbc (model/sim)",
-                "NHop (model/sim)"
-            ],
-            &rows
-        )
-    );
-    println!("Each cell is `analytical model latency / simulated latency ± 95% CI` in cycles.");
-    let mut run_report = RunReport::from_sweeps(&model_reports);
+    let mut sink = cli.report_sink();
+    sink.extend_pass(&sweeps, &model_reports);
     if let Some(sim_reports) = &sim_reports {
         log_replicate_consumption(sim_reports);
-        run_report.extend_from_sweeps(sim_reports);
+        sink.extend_pass(&sweeps, sim_reports);
     }
-    let path = experiments_dir().join("model_ablation.csv");
-    match run_report.write_csv(&path) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    match sink.write_csv(&experiments_dir(), "model_ablation") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write model_ablation: {e}"),
     }
 }

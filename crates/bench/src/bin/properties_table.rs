@@ -5,59 +5,80 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin properties_table -- [--max-n N]
+//!     [--shard K/N]
 //! ```
 //!
 //! This table is purely combinatorial (no model solve, no simulation), so it
 //! is the one harness binary without the `--replicates`/`--seed-base`
 //! replication flags — there is no stochastic quantity to put a confidence
-//! interval on.
+//! interval on.  It still accepts `--shard K/N` (slicing its network-row
+//! list) so the full harness surface shares one sharding story; the work
+//! saved is of course negligible.
 
-use star_bench::{arg_value, experiments_dir};
+use star_bench::cli::HarnessArgs;
 use star_graph::{Hypercube, StarGraph, TopologyProperties};
-use star_workloads::{markdown_table, write_csv, NetworkKind};
+use star_workloads::{markdown_table, NetworkKind};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let max_n: usize = arg_value(&args, "--max-n").and_then(|s| s.parse().ok()).unwrap_or(7);
+    let cli = HarnessArgs::parse();
+    let max_n = cli.usize_or("--max-n", 7);
     let max_n = max_n.clamp(3, StarGraph::MAX_TABLED_SYMBOLS);
 
     let mut rows = Vec::new();
-    let mut csv_rows = Vec::new();
+    let mut csv_rows: Vec<(usize, String)> = Vec::new();
+    let mut flat = 0usize;
     for n in 3..=max_n {
         let star = NetworkKind::Star.topology(n);
         let cube = Hypercube::at_least(star.node_count());
         for props in [TopologyProperties::of(star.as_ref()), TopologyProperties::of(&cube)] {
-            rows.push(vec![
-                props.name.clone(),
-                props.nodes.to_string(),
-                props.degree.to_string(),
-                props.diameter.to_string(),
-                props.channels.to_string(),
-                format!("{:.4}", props.mean_distance),
-            ]);
-            csv_rows.push(format!(
-                "{},{},{},{},{},{:.6}",
-                props.name,
-                props.nodes,
-                props.degree,
-                props.diameter,
-                props.channels,
-                props.mean_distance
-            ));
+            let owned = cli.shard.is_none_or(|shard| shard.owns(flat));
+            if owned {
+                rows.push(vec![
+                    props.name.clone(),
+                    props.nodes.to_string(),
+                    props.degree.to_string(),
+                    props.diameter.to_string(),
+                    props.channels.to_string(),
+                    format!("{:.4}", props.mean_distance),
+                ]);
+                csv_rows.push((
+                    flat,
+                    format!(
+                        "{},{},{},{},{},{:.6}",
+                        props.name,
+                        props.nodes,
+                        props.degree,
+                        props.diameter,
+                        props.channels,
+                        props.mean_distance
+                    ),
+                ));
+            }
+            flat += 1;
         }
     }
 
     println!("# Star graph vs hypercube — topological properties (paper §2)\n");
-    println!(
-        "{}",
-        markdown_table(
-            &["network", "nodes", "degree", "diameter", "channels", "mean distance"],
-            &rows
-        )
-    );
-    let path = experiments_dir().join("properties_table.csv");
-    match write_csv(&path, "network,nodes,degree,diameter,channels,mean_distance", &csv_rows) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    if cli.print_tables() {
+        println!(
+            "{}",
+            markdown_table(
+                &["network", "nodes", "degree", "diameter", "channels", "mean distance"],
+                &rows
+            )
+        );
+    } else {
+        println!("(sharded run: table omitted — merge the shard CSVs)\n");
+    }
+    let mut run = star_exec::RunFingerprint::new();
+    run.add_u64(max_n as u64);
+    match cli.write_indexed_csv(
+        "properties_table",
+        "network,nodes,degree,diameter,channels,mean_distance",
+        run,
+        &csv_rows,
+    ) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write properties_table: {e}"),
     }
 }

@@ -10,68 +10,66 @@
 //! cargo run --release -p star-bench --bin routing_comparison -- [--n 5] [--v 6]
 //!     [--m 32] [--budget quick|standard|thorough] [--points N]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
-//!     [--threads T]
+//!     [--threads T] [--shard K/N]
 //! ```
 
-use star_bench::{
-    arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
-    sim_backend_from_args, threads_from_args,
-};
-use star_workloads::{
-    ascii_plot, markdown_table, Discipline, RunReport, Scenario, SweepRunner, SweepSpec,
-};
+use star_bench::cli::HarnessArgs;
+use star_bench::{experiments_dir, log_replicate_consumption};
+use star_workloads::{ascii_plot, markdown_table, Discipline, Scenario, SweepSpec};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let symbols: usize = arg_value(&args, "--n").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(6);
-    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let points: usize = arg_value(&args, "--points").and_then(|s| s.parse().ok()).unwrap_or(5);
-    let backend = sim_backend_from_args(&args);
-    let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let cli = HarnessArgs::parse();
+    let symbols = cli.usize_or("--n", 5);
+    let v = cli.usize_or("--v", 6);
+    let m = cli.usize_or("--m", 32);
+    let points = cli.usize_or("--points", 5);
+    let backend = cli.sim_backend();
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
     let sweeps: Vec<SweepSpec> = Discipline::ALL
         .iter()
         .map(|&d| {
-            let scenario = replicated_scenario(
+            let scenario = cli.replicated(
                 Scenario::star(symbols)
                     .with_discipline(d)
                     .with_virtual_channels(v)
                     .with_message_length(m),
-                &args,
                 1_993,
             );
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
-    let reports = runner.run(&backend, &sweeps);
+    let reports = cli.run_pass(&backend, &sweeps);
 
     println!(
         "# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {:?}, \
          {} replicate(s))\n",
         backend.budget, sweeps[0].scenario.replicates
     );
-    let mut table_rows = Vec::new();
-    for (ri, &rate) in rates.iter().enumerate() {
-        let mut cells = vec![format!("{rate:.4}")];
-        for report in &reports {
-            cells.push(report.estimates[ri].latency_ci_cell());
+    if cli.print_tables() {
+        let mut table_rows = Vec::new();
+        for (ri, &rate) in rates.iter().enumerate() {
+            let mut cells = vec![format!("{rate:.4}")];
+            for report in &reports {
+                cells.push(report.estimates[ri].latency_ci_cell());
+            }
+            table_rows.push(cells);
         }
-        table_rows.push(cells);
+        let mut header = vec!["traffic rate (λ_g)"];
+        header.extend(reports.iter().map(|r| r.id.as_str()));
+        println!("{}", markdown_table(&header, &table_rows));
+        let series: Vec<(&str, Vec<f64>)> =
+            reports.iter().map(|r| (r.id.as_str(), r.latency_curve())).collect();
+        println!("{}", ascii_plot("mean message latency vs traffic rate", &rates, &series, 60, 16));
+    } else {
+        println!("(sharded run: cross-discipline table omitted — merge the shard CSVs)\n");
     }
-
-    let mut header = vec!["traffic rate (λ_g)"];
-    header.extend(reports.iter().map(|r| r.id.as_str()));
-    println!("{}", markdown_table(&header, &table_rows));
-    let series: Vec<(&str, Vec<f64>)> =
-        reports.iter().map(|r| (r.id.as_str(), r.latency_curve())).collect();
-    println!("{}", ascii_plot("mean message latency vs traffic rate", &rates, &series, 60, 16));
     log_replicate_consumption(&reports);
-    let path = experiments_dir().join("routing_comparison.csv");
-    match RunReport::from_sweeps(&reports).write_csv(&path) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    let mut sink = cli.report_sink();
+    sink.extend_pass(&sweeps, &reports);
+    match sink.write_csv(&experiments_dir(), "routing_comparison") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write routing_comparison: {e}"),
     }
 }

@@ -17,26 +17,23 @@
 //! cargo run --release -p star-bench --bin size_sweep --
 //!     [--v 8] [--m 32] [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
-//!     [--threads T]
+//!     [--threads T] [--shard K/N]
 //! ```
 
-use star_bench::{
-    arg_value, experiments_dir, log_replicate_consumption, replicated_scenario,
-    sim_backend_from_args, threads_from_args,
-};
+use star_bench::cli::HarnessArgs;
+use star_bench::{experiments_dir, log_replicate_consumption};
 use star_graph::Hypercube;
-use star_workloads::{markdown_table, ModelBackend, RunReport, Scenario, SweepRunner, SweepSpec};
+use star_workloads::{markdown_table, ModelBackend, Scenario, SweepSpec};
 
 /// Largest network the flit-level simulator is asked to run (the model has
 /// no such limit).
 const MAX_SIM_NODES: usize = 200;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(8);
-    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let backend = sim_backend_from_args(&args);
-    let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let cli = HarnessArgs::parse();
+    let v = cli.usize_or("--v", 8);
+    let m = cli.usize_or("--m", 32);
+    let backend = cli.sim_backend();
     let utilisations = [0.15, 0.35];
 
     // star sizes S4..S7 interleaved with their matched hypercubes; the load
@@ -44,9 +41,8 @@ fn main() {
     // comparable across sizes and topologies (λ_g = u·degree/(d̄·M))
     let scenarios: Vec<Scenario> = (4..=7usize)
         .flat_map(|symbols| {
-            let star = replicated_scenario(
+            let star = cli.replicated(
                 Scenario::star(symbols).with_virtual_channels(v).with_message_length(m),
-                &args,
                 11,
             );
             let dims = Hypercube::at_least(star.topology().node_count()).dims();
@@ -66,59 +62,63 @@ fn main() {
             SweepSpec::new(scenario.network_label(), scenario, rates)
         })
         .collect();
-    let model_reports = runner.run(&ModelBackend::new(), &sweeps);
+    let model_reports = cli.run_pass(&ModelBackend::new(), &sweeps);
     let sim_sweeps: Vec<SweepSpec> = sweeps
         .iter()
         .filter(|s| s.scenario.topology().node_count() <= MAX_SIM_NODES)
         .cloned()
         .collect();
-    let sim_reports = runner.run(&backend, &sim_sweeps);
+    let sim_reports = cli.run_pass(&backend, &sim_sweeps);
 
     println!(
         "# Model accuracy and scalability across network sizes and topologies \
          (V = {v}, M = {m}, {} sim replicate(s))\n",
         scenarios[0].replicates
     );
-    let mut rows = Vec::new();
-    for (si, report) in model_reports.iter().enumerate() {
-        for (ri, estimate) in report.estimates.iter().enumerate() {
-            let model_cell = estimate.latency_cell();
-            let sim_cell = sim_reports
-                .iter()
-                .find(|r| r.id == report.id)
-                .map_or_else(|| "(model only)".to_string(), |r| r.estimates[ri].latency_ci_cell());
-            let utilisation = utilisations[ri];
-            let rate = sweeps[si].rates[ri];
-            rows.push(vec![
-                report.id.clone(),
-                format!("{}", report.scenario.topology().node_count()),
-                format!("{:.0}%", utilisation * 100.0),
-                format!("{rate:.5}"),
-                model_cell,
-                sim_cell,
-            ]);
+    if cli.print_tables() {
+        let mut rows = Vec::new();
+        for (si, report) in model_reports.iter().enumerate() {
+            for (ri, estimate) in report.estimates.iter().enumerate() {
+                let model_cell = estimate.latency_cell();
+                let sim_cell = sim_reports.iter().find(|r| r.id == report.id).map_or_else(
+                    || "(model only)".to_string(),
+                    |r| r.estimates[ri].latency_ci_cell(),
+                );
+                let utilisation = utilisations[ri];
+                let rate = sweeps[si].rates[ri];
+                rows.push(vec![
+                    report.id.clone(),
+                    format!("{}", report.scenario.topology().node_count()),
+                    format!("{:.0}%", utilisation * 100.0),
+                    format!("{rate:.5}"),
+                    model_cell,
+                    sim_cell,
+                ]);
+            }
         }
+        println!(
+            "{}",
+            markdown_table(
+                &[
+                    "network",
+                    "nodes",
+                    "target channel utilisation",
+                    "traffic rate (λ_g)",
+                    "model latency",
+                    "sim latency (±95% CI)"
+                ],
+                &rows
+            )
+        );
+    } else {
+        println!("(sharded run: model/sim pairing table omitted — merge the shard CSVs)\n");
     }
-    println!(
-        "{}",
-        markdown_table(
-            &[
-                "network",
-                "nodes",
-                "target channel utilisation",
-                "traffic rate (λ_g)",
-                "model latency",
-                "sim latency (±95% CI)"
-            ],
-            &rows
-        )
-    );
     log_replicate_consumption(&sim_reports);
-    let mut run_report = RunReport::from_sweeps(&model_reports);
-    run_report.extend_from_sweeps(&sim_reports);
-    let path = experiments_dir().join("size_sweep.csv");
-    match run_report.write_csv(&path) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    let mut sink = cli.report_sink();
+    sink.extend_pass(&sweeps, &model_reports);
+    sink.extend_pass(&sim_sweeps, &sim_reports);
+    match sink.write_csv(&experiments_dir(), "size_sweep") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write size_sweep: {e}"),
     }
 }

@@ -8,15 +8,15 @@
 //!     [--backend sim|model] [--n 5 | --n 6,7] [--v V] [--m 32]
 //!     [--budget quick|standard|thorough] [--points N]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
-//!     [--threads T]
+//!     [--threads T] [--shard K/N]
 //! ```
 //!
 //! With `--backend sim` (the default) both topologies go through the
 //! flit-level simulator: every operating point runs `--replicates`
 //! independently seeded replicates (seeds derived from `--seed-base`) and is
 //! reported as mean ± Student-t 95% CI, with the (point × replicate) work
-//! items sharded across `--threads` workers — output is byte-identical for
-//! any thread count.  `--ci-target 0.05` instead keeps adding replicate
+//! items sharded across `--threads` pool workers — output is byte-identical
+//! for any thread count.  `--ci-target 0.05` instead keeps adding replicate
 //! batches per point until the relative CI half-width drops below 5% (or
 //! `--max-replicates` is hit), logging the per-point consumption to stderr.
 //!
@@ -29,20 +29,21 @@
 //! needs `⌊13/2⌋ + 1 = 7` escape levels and Enhanced-Nbc at least one
 //! adaptive channel on top.  Model rows report a CI of zero width, keeping
 //! the CSV schema identical across backends.
+//!
+//! Under `--shard K/N` the run evaluates only its slice of the operating
+//! points (simulator pass; the model pass is recomputed in full so the
+//! warm-start chain matches an unsharded run) and writes the partial
+//! `star_vs_hypercube.shardKofN.csv` that `cargo xtask merge-shards`
+//! reassembles byte-identically.
 
-use star_bench::{
-    arg_value, experiments_dir, log_replicate_consumption, model_saturation_rate,
-    replicated_scenario, sim_backend_from_args, threads_from_args,
-};
+use star_bench::cli::HarnessArgs;
+use star_bench::{experiments_dir, log_replicate_consumption, model_saturation_rate};
 use star_graph::Hypercube;
-use star_workloads::{
-    ascii_plot, markdown_table, Evaluator, ModelBackend, RunReport, Scenario, SweepRunner,
-    SweepSpec,
-};
+use star_workloads::{ascii_plot, markdown_table, Evaluator, ModelBackend, Scenario, SweepSpec};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let model_only = match arg_value(&args, "--backend").as_deref() {
+    let cli = HarnessArgs::parse();
+    let model_only = match cli.value("--backend").as_deref() {
         Some("model") => true,
         None | Some("sim") => false,
         Some(other) => {
@@ -52,7 +53,7 @@ fn main() {
     };
     // model-only runs scale to the sizes the simulator cannot reach
     let default_sizes: &[usize] = if model_only { &[6, 7] } else { &[5] };
-    let sizes: Vec<usize> = match arg_value(&args, "--n") {
+    let sizes: Vec<usize> = match cli.value("--n") {
         Some(s) => match s.split(',').map(str::parse).collect() {
             Ok(sizes) => sizes,
             Err(_) => {
@@ -62,25 +63,17 @@ fn main() {
         },
         None => default_sizes.to_vec(),
     };
-    let v: usize = arg_value(&args, "--v").and_then(|s| s.parse().ok()).unwrap_or(if model_only {
-        8
-    } else {
-        6
-    });
-    let m: usize = arg_value(&args, "--m").and_then(|s| s.parse().ok()).unwrap_or(32);
-    let points: usize = arg_value(&args, "--points")
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(if model_only { 8 } else { 5 });
-    let runner = SweepRunner::with_threads(threads_from_args(&args));
+    let v = cli.usize_or("--v", if model_only { 8 } else { 6 });
+    let m = cli.usize_or("--m", 32);
+    let points = cli.usize_or("--points", if model_only { 8 } else { 5 });
     let model_backend = ModelBackend::new();
-    let sim_backend = sim_backend_from_args(&args);
+    let sim_backend = cli.sim_backend();
     let evaluator: &dyn Evaluator = if model_only { &model_backend } else { &sim_backend };
 
-    let mut run_report = RunReport::new();
+    let mut sink = cli.report_sink();
     for &symbols in &sizes {
-        let star = replicated_scenario(
+        let star = cli.replicated(
             Scenario::star(symbols).with_virtual_channels(v).with_message_length(m),
-            &args,
             7_771,
         );
         let dims = Hypercube::at_least(star.topology().node_count()).dims();
@@ -99,7 +92,7 @@ fn main() {
             SweepSpec::new(star.network_label(), star, rates.clone()),
             SweepSpec::new(cube.network_label(), cube, rates.clone()),
         ];
-        let reports = runner.run(evaluator, &sweeps);
+        let reports = cli.run_pass(evaluator, &sweeps);
         let (star_report, cube_report) = (&reports[0], &reports[1]);
 
         let backend_note = if model_only {
@@ -119,37 +112,43 @@ fn main() {
             cube.topology().node_count(),
             evaluator.name(),
         );
-        let mut rows = Vec::new();
-        for (ri, &rate) in rates.iter().enumerate() {
-            let s = &star_report.estimates[ri];
-            let c = &cube_report.estimates[ri];
-            rows.push(vec![format!("{rate:.5}"), s.latency_ci_cell(), c.latency_ci_cell()]);
+        if cli.print_tables() {
+            let mut rows = Vec::new();
+            for (ri, &rate) in rates.iter().enumerate() {
+                let s = &star_report.estimates[ri];
+                let c = &cube_report.estimates[ri];
+                rows.push(vec![format!("{rate:.5}"), s.latency_ci_cell(), c.latency_ci_cell()]);
+            }
+            let star_col = format!("{} latency (±95% CI)", star_report.id);
+            let cube_col = format!("{} latency (±95% CI)", cube_report.id);
+            println!(
+                "{}",
+                markdown_table(
+                    &["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()],
+                    &rows
+                )
+            );
+            println!(
+                "{}",
+                ascii_plot(
+                    "star vs hypercube latency",
+                    &rates,
+                    &[
+                        (star_report.id.as_str(), star_report.latency_curve()),
+                        (cube_report.id.as_str(), cube_report.latency_curve()),
+                    ],
+                    60,
+                    16,
+                )
+            );
+        } else {
+            println!("(sharded run: star/cube pairing table omitted — merge the shard CSVs)\n");
         }
-        let star_col = format!("{} latency (±95% CI)", star_report.id);
-        let cube_col = format!("{} latency (±95% CI)", cube_report.id);
-        println!(
-            "{}",
-            markdown_table(&["traffic rate (λ_g)", star_col.as_str(), cube_col.as_str()], &rows)
-        );
-        println!(
-            "{}",
-            ascii_plot(
-                "star vs hypercube latency",
-                &rates,
-                &[
-                    (star_report.id.as_str(), star_report.latency_curve()),
-                    (cube_report.id.as_str(), cube_report.latency_curve()),
-                ],
-                60,
-                16,
-            )
-        );
         log_replicate_consumption(&reports);
-        run_report.extend_from_sweeps(&reports);
+        sink.extend_pass(&sweeps, &reports);
     }
-    let path = experiments_dir().join("star_vs_hypercube.csv");
-    match run_report.write_csv(&path) {
-        Ok(()) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    match sink.write_csv(&experiments_dir(), "star_vs_hypercube") {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write star_vs_hypercube: {e}"),
     }
 }

@@ -1,0 +1,313 @@
+//! The one shared command-line layer of the harness binaries.
+//!
+//! Every binary used to call the same half-dozen parsing helpers in its own
+//! order; [`HarnessArgs`] bundles them so a binary parses once and asks for
+//! what it needs — and so run-wide flags (`--threads`, `--replicates`,
+//! `--seed-base`, `--ci-target`, `--budget`, and the cross-process
+//! `--shard K/N`) are defined in exactly one place.
+//!
+//! ## Sharding
+//!
+//! `--shard K/N` slices the run's flat operating-point list (see
+//! [`star_workloads::shard_sweeps`] and [`SweepRunner::run_pass`] for the
+//! granularity rules) and switches the CSV output to an index-prefixed
+//! partial named `<base>.shardKofN.csv`; `cargo xtask merge-shards`
+//! reassembles the `N` partials into bytes identical to an unsharded run.
+//! Tables and plots that pair rows across sweeps are suppressed in sharded
+//! runs (a shard only holds its slice); the merged CSV carries everything.
+
+use std::io;
+use std::path::PathBuf;
+
+use star_workloads::{
+    CiTarget, Evaluator, ReportSink, Scenario, ShardSpec, SimBackend, SimBudget, SweepReport,
+    SweepRunner, SweepSpec,
+};
+
+use crate::experiments_dir;
+
+/// Parses a `--flag value` (or `--flag=value`) style argument list used by
+/// the harness binaries (no external CLI dependency).  Returns the value of
+/// `flag`, if any.
+#[must_use]
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned()).or_else(|| {
+        args.iter().find_map(|a| {
+            a.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')).map(str::to_string)
+        })
+    })
+}
+
+/// Whether a bare `--flag` is present.
+#[must_use]
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The flags shared by every harness binary, parsed once.
+#[derive(Debug, Clone)]
+pub struct HarnessArgs {
+    args: Vec<String>,
+    /// The cross-process shard this invocation runs, if any.
+    pub shard: Option<ShardSpec>,
+}
+
+impl HarnessArgs {
+    /// Parses the process's arguments, exiting with status 2 on a malformed
+    /// `--shard`.
+    #[must_use]
+    pub fn parse() -> Self {
+        match Self::from_vec(std::env::args().skip(1).collect()) {
+            Ok(args) => args,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Builds from an explicit argument vector.
+    ///
+    /// # Errors
+    /// Returns the parse error of a malformed `--shard K/N`.
+    pub fn from_vec(args: Vec<String>) -> Result<Self, star_exec::ShardParseError> {
+        let shard = match arg_value(&args, "--shard") {
+            Some(spec) => Some(ShardSpec::parse(&spec)?),
+            None => None,
+        };
+        Ok(Self { args, shard })
+    }
+
+    /// The value of a binary-specific `--flag value` / `--flag=value`.
+    #[must_use]
+    pub fn value(&self, flag: &str) -> Option<String> {
+        arg_value(&self.args, flag)
+    }
+
+    /// Whether a bare binary-specific `--flag` is present.
+    #[must_use]
+    pub fn present(&self, flag: &str) -> bool {
+        arg_present(&self.args, flag)
+    }
+
+    /// A `usize`-valued flag with a default.
+    #[must_use]
+    pub fn usize_or(&self, flag: &str, default: usize) -> usize {
+        self.value(flag).and_then(|s| s.parse().ok()).unwrap_or(default)
+    }
+
+    /// The simulation budget from `--budget quick|standard|thorough`
+    /// (default quick, so the harness finishes promptly on one core).
+    #[must_use]
+    pub fn budget(&self) -> SimBudget {
+        match self.value("--budget").as_deref() {
+            Some("standard") => SimBudget::Standard,
+            Some("thorough") => SimBudget::Thorough,
+            _ => SimBudget::Quick,
+        }
+    }
+
+    /// The worker width from `--threads N` (default 0 = all pool workers,
+    /// the workspace-wide convention).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.usize_or("--threads", 0)
+    }
+
+    /// The sweep runner every pass of this invocation shares.
+    #[must_use]
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::with_threads(self.threads())
+    }
+
+    /// The replicate count from `--replicates R` (default 1 — a single
+    /// replicate, whose seed is still derived from the seed base).
+    #[must_use]
+    pub fn replicates(&self) -> usize {
+        self.usize_or("--replicates", 1).max(1)
+    }
+
+    /// The seed base from `--seed-base S` (accepting the retired `--seed`
+    /// spelling as an alias), falling back to the binary's historical
+    /// default.  A seed base is *derived from*, not used verbatim:
+    /// replicate `i` simulates with `replicate_seed(S, i)`.
+    #[must_use]
+    pub fn seed_base(&self, default: u64) -> u64 {
+        self.value("--seed-base")
+            .or_else(|| self.value("--seed"))
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// The adaptive stopping rule from `--ci-target <rel>` (with an
+    /// optional `--max-replicates N` cap); `None` when the flag is absent.
+    ///
+    /// # Panics
+    /// Panics if the target is outside `(0, 1)`.
+    #[must_use]
+    pub fn ci_target(&self) -> Option<CiTarget> {
+        let relative: f64 = self.value("--ci-target")?.parse().ok()?;
+        let mut target = CiTarget::new(relative);
+        if let Some(cap) = self.value("--max-replicates").and_then(|s| s.parse().ok()) {
+            target.max_replicates = cap;
+        }
+        Some(target)
+    }
+
+    /// The simulator backend every harness binary uses: `--budget` plus the
+    /// optional `--ci-target`/`--max-replicates` adaptive stopping rule.
+    #[must_use]
+    pub fn sim_backend(&self) -> SimBackend {
+        let mut backend = SimBackend::new(self.budget());
+        if let Some(target) = self.ci_target() {
+            backend = backend.with_ci_target(target);
+        }
+        backend
+    }
+
+    /// Applies the replication flags (`--replicates`, `--seed-base`) to a
+    /// scenario, with the binary's historical seed default.
+    #[must_use]
+    pub fn replicated(&self, scenario: Scenario, default_seed: u64) -> Scenario {
+        scenario.with_replicates(self.replicates()).with_seed_base(self.seed_base(default_seed))
+    }
+
+    /// Runs one backend pass over the full sweep list, restricted to this
+    /// invocation's shard (see [`SweepRunner::run_pass`] for the
+    /// chain-respecting granularity).
+    ///
+    /// # Panics
+    /// As [`SweepRunner::run`].
+    #[must_use]
+    pub fn run_pass(&self, evaluator: &dyn Evaluator, full: &[SweepSpec]) -> Vec<SweepReport> {
+        self.runner().run_pass(evaluator, self.shard, full)
+    }
+
+    /// A report sink for this invocation (plain CSV, or index-prefixed
+    /// partial when sharded).
+    #[must_use]
+    pub fn report_sink(&self) -> ReportSink {
+        ReportSink::new(self.shard)
+    }
+
+    /// Whether cross-sweep tables/plots should be printed: suppressed in
+    /// sharded runs, where a process only holds its slice of the rows.
+    #[must_use]
+    pub fn print_tables(&self) -> bool {
+        self.shard.is_none()
+    }
+
+    /// Writes a non-`RunReport` output (the `figure1` validation CSVs, the
+    /// `properties_table` rows) under `target/experiments/`, honouring the
+    /// shard: rows are `(index in the unsharded CSV, formatted row)`; an
+    /// unsharded run must pass the complete `0..n` index sequence.
+    ///
+    /// `run` is the caller's [`star_exec::RunFingerprint`] over the *full*
+    /// run description (identical in every shard of one run); the shard
+    /// count and base name are folded in here, and the digest is stamped
+    /// into the partial header so `merge-shards` refuses to mix runs.
+    ///
+    /// # Errors
+    /// Returns any I/O error from writing the file.
+    pub fn write_indexed_csv(
+        &self,
+        base: &str,
+        header: &str,
+        run: star_exec::RunFingerprint,
+        rows: &[(usize, String)],
+    ) -> io::Result<PathBuf> {
+        use star_exec::shard::{partial_header, partial_rows};
+        let dir = experiments_dir();
+        match self.shard {
+            None => {
+                debug_assert!(rows.iter().enumerate().all(|(i, (index, _))| i == *index));
+                let path = dir.join(format!("{base}.csv"));
+                let plain: Vec<String> = rows.iter().map(|(_, row)| row.clone()).collect();
+                star_workloads::write_csv(&path, header, &plain)?;
+                Ok(path)
+            }
+            Some(shard) => {
+                let mut run = run;
+                run.add_u64(shard.count as u64);
+                run.add_str(base);
+                let path = dir.join(shard.file_name(base));
+                star_workloads::write_csv(
+                    &path,
+                    &partial_header(header, run.finish()),
+                    &partial_rows(rows),
+                )?;
+                Ok(path)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> HarnessArgs {
+        HarnessArgs::from_vec(list.iter().map(ToString::to_string).collect()).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let a = args(&["--v", "9", "--budget", "standard", "--threads", "4", "--plot"]);
+        assert_eq!(a.value("--v").as_deref(), Some("9"));
+        assert_eq!(a.value("--missing"), None);
+        assert!(a.present("--plot"));
+        assert!(!a.present("--csv"));
+        assert_eq!(a.budget(), SimBudget::Standard);
+        assert_eq!(a.threads(), 4);
+        assert_eq!(a.usize_or("--v", 6), 9);
+        assert_eq!(a.usize_or("--m", 32), 32);
+        let eq = args(&["--budget=thorough"]);
+        assert_eq!(eq.budget(), SimBudget::Thorough);
+        let none = args(&[]);
+        assert_eq!(none.budget(), SimBudget::Quick);
+        assert_eq!(none.threads(), 0);
+        assert_eq!(none.runner().threads(), star_workloads::ExecPool::global().threads());
+    }
+
+    #[test]
+    fn replication_arg_parsing() {
+        let a = args(&[
+            "--replicates",
+            "8",
+            "--seed-base",
+            "99",
+            "--ci-target",
+            "0.05",
+            "--max-replicates",
+            "12",
+        ]);
+        assert_eq!(a.replicates(), 8);
+        assert_eq!(args(&[]).replicates(), 1);
+        assert_eq!(a.seed_base(7), 99);
+        assert_eq!(args(&[]).seed_base(7), 7);
+        // the retired --seed spelling keeps working as an alias
+        assert_eq!(args(&["--seed", "123"]).seed_base(7), 123);
+        let target = a.ci_target().unwrap();
+        assert_eq!(target.relative, 0.05);
+        assert_eq!(target.max_replicates, 12);
+        assert_eq!(args(&[]).ci_target(), None);
+        let scenario = a.replicated(Scenario::star(4), 7);
+        assert_eq!(scenario.replicates, 8);
+        assert_eq!(scenario.seed_base, 99);
+        let backend = a.sim_backend();
+        assert_eq!(backend.ci_target, Some(target));
+        assert!(args(&[]).sim_backend().ci_target.is_none());
+    }
+
+    #[test]
+    fn shard_arg_parsing() {
+        let a = args(&["--shard", "2/3"]);
+        let shard = a.shard.unwrap();
+        assert_eq!((shard.index, shard.count), (1, 3));
+        assert!(!a.print_tables());
+        assert!(args(&[]).shard.is_none());
+        assert!(args(&[]).print_tables());
+        assert!(HarnessArgs::from_vec(vec!["--shard".into(), "9".into()]).is_err());
+        assert!(HarnessArgs::from_vec(vec!["--shard".into(), "4/3".into()]).is_err());
+    }
+}

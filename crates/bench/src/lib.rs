@@ -7,46 +7,34 @@
 //! (`benches/`).
 //!
 //! Every binary drives the unified evaluation API —
-//! [`star_workloads::Evaluator`] backends ([`ModelBackend`] / [`SimBackend`])
-//! through a [`SweepRunner`] — instead of hand-rolling its own sweep loop,
+//! [`star_workloads::Evaluator`] backends ([`star_workloads::ModelBackend`]
+//! / [`star_workloads::SimBackend`]) through a
+//! [`star_workloads::SweepRunner`] — instead of hand-rolling its own sweep
+//! loop,
 //! prints a Markdown table (and an ASCII plot where a figure is being
 //! reproduced) to stdout and writes a CSV next to it under
 //! `target/experiments/`, so EXPERIMENTS.md can quote the numbers directly.
+//!
+//! Command-line handling lives in one place, [`cli`]: every binary parses a
+//! [`cli::HarnessArgs`] and gets the shared `--threads`/`--budget`/
+//! `--replicates`/`--seed-base`/`--ci-target` flags — and the cross-process
+//! `--shard K/N` slicing with its mergeable partial CSVs — without
+//! re-spelling any of them.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use std::path::PathBuf;
 
 use star_core::ValidationRow;
-use star_workloads::{
-    CiTarget, ModelBackend, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec,
-};
+use star_workloads::SweepReport;
 
 /// Directory where harness binaries drop their CSV outputs.
 #[must_use]
 pub fn experiments_dir() -> PathBuf {
     PathBuf::from("target/experiments")
-}
-
-/// Runs one Figure-1 curve through both backends — the analytical model
-/// (warm-started) and the simulator ((point × replicate) work items sharded
-/// across `threads` workers, replicate count and seed base taken from the
-/// sweep's scenario) — and pairs the estimates into validation rows.
-///
-/// # Panics
-/// Panics if the model backend does not cover the sweep's scenario.
-#[must_use]
-pub fn run_figure1_curve(
-    sweep: &SweepSpec,
-    sim: &SimBackend,
-    threads: usize,
-) -> Vec<ValidationRow> {
-    let runner = SweepRunner::with_threads(threads);
-    let model = runner.run_one(&ModelBackend::new(), sweep);
-    let simulated = runner.run_one(sim, sweep);
-    log_replicate_consumption(std::slice::from_ref(&simulated));
-    pair_into_validation_rows(&model, &simulated)
 }
 
 /// Zips a model sweep report with a simulation sweep report over the same
@@ -95,97 +83,6 @@ pub fn model_saturation_rate(scenario: &star_workloads::Scenario, tolerance: f64
     }
 }
 
-/// Parses a `--flag value` (or `--flag=value`) style argument list used by
-/// the harness binaries (no external CLI dependency).  Returns the value of
-/// `flag`, if any.
-#[must_use]
-pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned()).or_else(|| {
-        args.iter().find_map(|a| {
-            a.strip_prefix(flag).and_then(|rest| rest.strip_prefix('=')).map(str::to_string)
-        })
-    })
-}
-
-/// Whether a bare `--flag` is present.
-#[must_use]
-pub fn arg_present(args: &[String], flag: &str) -> bool {
-    args.iter().any(|a| a == flag)
-}
-
-/// Chooses the simulation budget from `--budget quick|standard|thorough`
-/// (default quick, so the harness finishes promptly on one core).
-#[must_use]
-pub fn budget_from_args(args: &[String]) -> SimBudget {
-    match arg_value(args, "--budget").as_deref() {
-        Some("standard") => SimBudget::Standard,
-        Some("thorough") => SimBudget::Thorough,
-        _ => SimBudget::Quick,
-    }
-}
-
-/// Chooses the worker count from `--threads N` (default 0 = all available
-/// parallelism, the [`SweepRunner`] convention).
-#[must_use]
-pub fn threads_from_args(args: &[String]) -> usize {
-    arg_value(args, "--threads").and_then(|s| s.parse().ok()).unwrap_or(0)
-}
-
-/// Chooses the replicate count from `--replicates R` (default 1 — a single
-/// replicate, whose seed is still derived from the seed base).
-#[must_use]
-pub fn replicates_from_args(args: &[String]) -> usize {
-    arg_value(args, "--replicates").and_then(|s| s.parse().ok()).unwrap_or(1).max(1)
-}
-
-/// Chooses the seed base from `--seed-base S` (accepting the retired
-/// `--seed` spelling as an alias), falling back to the binary's historical
-/// default.  Note that a seed base is *derived from*, not used verbatim:
-/// replicate `i` simulates with `replicate_seed(S, i)`, so pre-replicate
-/// single-seed CSVs are not bit-reproducible — rerun to regenerate.
-#[must_use]
-pub fn seed_base_from_args(args: &[String], default: u64) -> u64 {
-    arg_value(args, "--seed-base")
-        .or_else(|| arg_value(args, "--seed"))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(default)
-}
-
-/// Parses the adaptive stopping rule from `--ci-target <rel>` (with an
-/// optional `--max-replicates N` cap); `None` when the flag is absent.
-///
-/// # Panics
-/// Panics (exit-style message) if the target is outside `(0, 1)`.
-#[must_use]
-pub fn ci_target_from_args(args: &[String]) -> Option<CiTarget> {
-    let relative: f64 = arg_value(args, "--ci-target")?.parse().ok()?;
-    let mut target = CiTarget::new(relative);
-    if let Some(cap) = arg_value(args, "--max-replicates").and_then(|s| s.parse().ok()) {
-        target.max_replicates = cap;
-    }
-    Some(target)
-}
-
-/// Builds the simulator backend every harness binary uses: `--budget` plus
-/// the optional `--ci-target`/`--max-replicates` adaptive stopping rule.
-#[must_use]
-pub fn sim_backend_from_args(args: &[String]) -> SimBackend {
-    let mut backend = SimBackend::new(budget_from_args(args));
-    if let Some(target) = ci_target_from_args(args) {
-        backend = backend.with_ci_target(target);
-    }
-    backend
-}
-
-/// Applies the replication flags (`--replicates`, `--seed-base`) to a
-/// scenario, with the binary's historical seed default.
-#[must_use]
-pub fn replicated_scenario(scenario: Scenario, args: &[String], default_seed: u64) -> Scenario {
-    scenario
-        .with_replicates(replicates_from_args(args))
-        .with_seed_base(seed_base_from_args(args, default_seed))
-}
-
 /// Prints the per-point replicate consumption of a simulated sweep — the
 /// log the adaptive `--ci-target` stopping rule owes the user (for fixed
 /// fan-outs it is a one-line confirmation).
@@ -210,68 +107,20 @@ pub fn log_replicate_consumption(reports: &[SweepReport]) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use star_workloads::Scenario;
+    use star_workloads::{ModelBackend, Scenario, SimBackend, SimBudget, SweepRunner, SweepSpec};
 
     #[test]
-    fn arg_parsing() {
-        let args: Vec<String> = ["--v", "9", "--budget", "standard", "--threads", "4", "--plot"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
-        assert_eq!(arg_value(&args, "--v").as_deref(), Some("9"));
-        assert_eq!(arg_value(&args, "--missing"), None);
-        let eq_args: Vec<String> = ["--budget=thorough"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(arg_value(&eq_args, "--budget").as_deref(), Some("thorough"));
-        assert_eq!(budget_from_args(&eq_args), SimBudget::Thorough);
-        assert!(arg_present(&args, "--plot"));
-        assert!(!arg_present(&args, "--csv"));
-        assert_eq!(budget_from_args(&args), SimBudget::Standard);
-        assert_eq!(budget_from_args(&[]), SimBudget::Quick);
-        assert_eq!(threads_from_args(&args), 4);
-        assert_eq!(threads_from_args(&[]), 0);
-    }
-
-    #[test]
-    fn replication_arg_parsing() {
-        let args: Vec<String> = [
-            "--replicates",
-            "8",
-            "--seed-base",
-            "99",
-            "--ci-target",
-            "0.05",
-            "--max-replicates",
-            "12",
-        ]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
-        assert_eq!(replicates_from_args(&args), 8);
-        assert_eq!(replicates_from_args(&[]), 1);
-        assert_eq!(seed_base_from_args(&args, 7), 99);
-        assert_eq!(seed_base_from_args(&[], 7), 7);
-        // the retired --seed spelling keeps working as an alias
-        let legacy: Vec<String> = ["--seed", "123"].iter().map(|s| s.to_string()).collect();
-        assert_eq!(seed_base_from_args(&legacy, 7), 123);
-        let target = ci_target_from_args(&args).unwrap();
-        assert_eq!(target.relative, 0.05);
-        assert_eq!(target.max_replicates, 12);
-        assert_eq!(ci_target_from_args(&[]), None);
-        let scenario = replicated_scenario(Scenario::star(4), &args, 7);
-        assert_eq!(scenario.replicates, 8);
-        assert_eq!(scenario.seed_base, 99);
-        let backend = sim_backend_from_args(&args);
-        assert_eq!(backend.ci_target, Some(target));
-        assert!(sim_backend_from_args(&[]).ci_target.is_none());
-    }
-
-    #[test]
-    fn figure1_curve_produces_one_row_per_rate_with_replicate_cis() {
-        // tiny S4 stand-in so the test stays fast; the real curves use S5
+    fn paired_passes_produce_one_validation_row_per_rate_with_replicate_cis() {
+        // the figure1 binary's evaluation flow: a model pass and a sim pass
+        // over the same sweeps, paired into validation rows (tiny S4
+        // stand-in so the test stays fast; the real curves use S5)
         let scenario =
             Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(3);
-        let sweep = SweepSpec::new("test", scenario, vec![0.002, 0.004]);
-        let rows = run_figure1_curve(&sweep, &SimBackend::new(SimBudget::Quick), 2);
+        let sweeps = [SweepSpec::new("test", scenario, vec![0.002, 0.004])];
+        let runner = SweepRunner::with_threads(2);
+        let model = runner.run_pass(&ModelBackend::new(), None, &sweeps);
+        let sim = runner.run_pass(&SimBackend::new(SimBudget::Quick), None, &sweeps);
+        let rows = pair_into_validation_rows(&model[0], &sim[0]);
         assert_eq!(rows.len(), 2);
         for row in &rows {
             assert_eq!(row.virtual_channels, 6);

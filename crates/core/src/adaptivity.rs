@@ -72,9 +72,11 @@ impl DestinationSpectrum {
 
     /// Builds the spectrum for `S_n`, sharding the per-cycle-type path-DAG
     /// construction — the expensive part of a large-`n` spectrum, and
-    /// embarrassingly parallel — across `threads` scoped workers
-    /// (`0`/`1` = serial).  The classes are sorted afterwards, so the result
-    /// is identical for any thread count.
+    /// embarrassingly parallel — across the shared [`star_exec::ExecPool`]
+    /// (`1` = serial, `0` = all pool workers, anything else caps the
+    /// executors).  Each class is built identically wherever it runs and
+    /// the classes are sorted afterwards, so the result is identical for
+    /// any width.
     ///
     /// # Panics
     /// As [`Self::new`].
@@ -84,36 +86,19 @@ impl DestinationSpectrum {
             .into_iter()
             .filter(|(cycle_type, _)| !cycle_type.cycle_lengths.is_empty()) // skip the source
             .collect();
-        let build = |types: &[(CycleType, u64)]| -> Vec<DestinationClass> {
-            types
-                .iter()
-                .map(|(cycle_type, count)| {
-                    let representative = cycle_type.representative(symbols);
-                    let dag = MinimalPathDag::build(&representative);
-                    let profile = dag.adaptivity_profile();
-                    debug_assert_eq!(profile.distance, cycle_type.distance());
-                    DestinationClass {
-                        distance: profile.distance,
-                        cycle_type: cycle_type.clone(),
-                        count: *count,
-                        profile,
-                    }
-                })
-                .collect()
-        };
-        let mut classes = if threads <= 1 || types.len() < 2 {
-            build(&types)
-        } else {
-            let chunk = types.len().div_ceil(threads.min(types.len()));
-            std::thread::scope(|scope| {
-                let handles: Vec<_> =
-                    types.chunks(chunk).map(|chunk| scope.spawn(move || build(chunk))).collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("spectrum worker must not panic"))
-                    .collect()
-            })
-        };
+        let mut classes =
+            star_exec::ExecPool::global_ordered(threads, &types, |_, (cycle_type, count)| {
+                let representative = cycle_type.representative(symbols);
+                let dag = MinimalPathDag::build(&representative);
+                let profile = dag.adaptivity_profile();
+                debug_assert_eq!(profile.distance, cycle_type.distance());
+                DestinationClass {
+                    distance: profile.distance,
+                    cycle_type: cycle_type.clone(),
+                    count: *count,
+                    profile,
+                }
+            });
         classes.sort_by_key(|c| (c.distance, c.cycle_type.cycle_lengths.clone()));
         Self { symbols, classes }
     }

@@ -127,16 +127,22 @@ pub fn total_blocking_delay(
 
 /// The per-destination-class blocking delays of one latency step, in input
 /// order: [`total_blocking_delay`] for every profile, optionally sharded
-/// across `threads` scoped workers.
+/// across the shared [`star_exec::ExecPool`].
 ///
 /// The classes are mutually independent (this is the embarrassingly parallel
 /// inner sum of every model iteration), and each class's delay is computed
 /// exactly as in the serial path, so the output is **byte-identical for any
 /// thread count** — parallelism only re-orders wall-clock, never the
 /// per-class floating-point evaluation or the caller's summation order.
-/// `threads <= 1` (the default everywhere except explicitly opted-in solves
-/// and the `model_solve`/`hypercube_model` benches) short-circuits to the
-/// serial loop with no allocation or spawn overhead.
+///
+/// `threads` follows the workspace-wide width convention: `1` (the default
+/// everywhere except explicitly opted-in solves and the
+/// `model_solve`/`hypercube_model` benches) short-circuits to the serial
+/// loop with no queue traffic, `0` means all pool workers, any other value
+/// caps the executors.  This function is called once per fixed-point
+/// iteration — thousands of times per solve — which is exactly why it runs
+/// on persistent pool workers instead of spawning threads per call (the
+/// spawn-per-step cost used to exceed the useful work on small spectra).
 #[must_use]
 pub fn batch_blocking_delays(
     split: VcSplit,
@@ -145,21 +151,8 @@ pub fn batch_blocking_delays(
     mean_wait: f64,
     threads: usize,
 ) -> Vec<f64> {
-    let serial = |profiles: &[&AdaptivityProfile]| -> Vec<f64> {
-        profiles.iter().map(|p| total_blocking_delay(split, occupancy, p, mean_wait)).collect()
-    };
-    if threads <= 1 || profiles.len() < 2 {
-        return serial(profiles);
-    }
-    let chunk = profiles.len().div_ceil(threads.min(profiles.len()));
-    std::thread::scope(|scope| {
-        let handles: Vec<_> =
-            profiles.chunks(chunk).map(|chunk| scope.spawn(move || serial(chunk))).collect();
-        // joining in spawn order restores input order
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("blocking-delay worker must not panic"))
-            .collect()
+    star_exec::ExecPool::global_ordered(threads, profiles, |_, profile| {
+        total_blocking_delay(split, occupancy, profile, mean_wait)
     })
 }
 
@@ -351,7 +344,8 @@ mod tests {
         for (delay, profile) in serial.iter().zip(&refs) {
             assert_eq!(*delay, total_blocking_delay(SPLIT_V6, &occ, profile, 12.0));
         }
-        for threads in [2usize, 3, 5, 16] {
+        // 0 = all pool workers, the workspace-wide width convention
+        for threads in [0usize, 2, 3, 5, 16] {
             let sharded = batch_blocking_delays(SPLIT_V6, &occ, &refs, 12.0, threads);
             assert_eq!(serial, sharded, "threads = {threads}");
         }

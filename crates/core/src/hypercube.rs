@@ -532,13 +532,14 @@ impl HypercubeModel {
     }
 
     /// Shards the per-distance-class blocking sums of every fixed-point
-    /// iteration across the given number of scoped threads (`0`/`1` =
-    /// serial, the default) — the hypercube side of
+    /// iteration across the shared [`star_exec::ExecPool`] (`1` = serial,
+    /// the default; `0` = all pool workers; anything else caps the
+    /// executors) — the hypercube side of
     /// [`crate::AnalyticalModel::with_parallelism`], byte-identical for any
-    /// budget; the `hypercube_model` bench quantifies it at `Q13`.
+    /// width; the `hypercube_model` bench quantifies it at `Q13`.
     #[must_use]
     pub fn with_parallelism(mut self, threads: usize) -> Self {
-        self.parallelism = threads.max(1);
+        self.parallelism = threads;
         self
     }
 
@@ -575,7 +576,7 @@ impl HypercubeModel {
         }
         let adaptive = cfg.routing.is_adaptive();
         let mut weighted = 0.0;
-        if self.parallelism <= 1 {
+        if self.parallelism == 1 {
             // serial fast path: no per-iteration allocation in the solver's
             // innermost loop
             for class in self.spectrum.classes() {
@@ -918,7 +919,8 @@ mod tests {
             .traffic_rate(0.008)
             .build();
         let serial = HypercubeModel::new(config).solve();
-        for threads in [2usize, 4] {
+        // 0 = all pool workers, the workspace-wide width convention
+        for threads in [0usize, 2, 4] {
             let parallel = HypercubeModel::new(config).with_parallelism(threads).solve();
             assert_eq!(serial, parallel, "threads = {threads} must be byte-identical");
         }

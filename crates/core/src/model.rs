@@ -123,13 +123,16 @@ impl AnalyticalModel {
     }
 
     /// Shards the per-destination-class blocking sums of every fixed-point
-    /// iteration across the given number of scoped threads (`0`/`1` =
-    /// serial, the default).  The answer is byte-identical for any budget —
-    /// see [`crate::blocking::batch_blocking_delays`]; worth it only for the
-    /// largest spectra (`S7`+), which the `model_solve` bench quantifies.
+    /// iteration across the shared [`star_exec::ExecPool`]: `1` = serial
+    /// (the default), `0` = all pool workers, anything else caps the
+    /// executors — the same width convention as every other parallel knob
+    /// in the workspace.  The answer is byte-identical for any width — see
+    /// [`crate::blocking::batch_blocking_delays`]; worth it for the largest
+    /// spectra (`S7`+), which the `model_solve` bench quantifies against
+    /// the retired spawn-per-step baseline.
     #[must_use]
     pub fn with_parallelism(mut self, threads: usize) -> Self {
-        self.parallelism = threads.max(1);
+        self.parallelism = threads;
         self
     }
 
@@ -161,7 +164,7 @@ impl AnalyticalModel {
             return f64::INFINITY;
         }
         let mut weighted = 0.0;
-        if self.parallelism <= 1 {
+        if self.parallelism == 1 {
             // serial fast path: no per-iteration allocation in the solver's
             // innermost loop
             for class in self.spectrum.classes() {
@@ -404,7 +407,7 @@ mod tests {
             let parallel = AnalyticalModel::new(config).with_parallelism(threads).solve();
             assert_eq!(serial, parallel, "threads = {threads} must be byte-identical");
         }
-        // 0 falls back to serial rather than spawning nothing
+        // 0 = all pool workers, still byte-identical
         let zero = AnalyticalModel::new(config).with_parallelism(0).solve();
         assert_eq!(serial, zero);
     }

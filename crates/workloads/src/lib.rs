@@ -15,11 +15,14 @@
 //!   can swap backends or run both and diff them;
 //! * [`sweep_runner`] — the [`SweepRunner`] that owns the sweep loop every
 //!   binary used to hand-roll, sharding independent (point × replicate)
-//!   work items across scoped threads with deterministic output order;
+//!   work items across the persistent workers of the shared
+//!   [`star_exec::ExecPool`] with deterministic output order, plus
+//!   [`shard_sweeps`] for slicing one run across processes (`--shard K/N`);
 //! * [`experiment`] — the paper's Figure-1 sweeps as [`SweepSpec`]s;
 //! * [`budget`] — simulation effort presets (quick smoke runs for CI,
 //!   full-fidelity runs for regenerating the figures);
-//! * [`report`] — the unified cross-backend [`RunReport`] CSV schema plus
+//! * [`report`] — the unified cross-backend [`RunReport`] CSV schema, the
+//!   shard-aware [`ReportSink`] the harness binaries write through, plus
 //!   CSV / Markdown / ASCII-plot emitters used by the benchmark harness
 //!   binaries and the examples.
 //!
@@ -101,7 +104,10 @@ pub mod sweep_runner;
 pub use budget::SimBudget;
 pub use evaluator::{CiTarget, EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
 pub use experiment::figure1_sweeps;
-pub use report::{ascii_plot, markdown_table, write_csv, RunReport, RunRow};
+pub use report::{ascii_plot, markdown_table, write_csv, ReportSink, RunReport, RunRow};
 pub use scenario::{Discipline, NetworkKind, OperatingPoint, Scenario};
+pub use star_exec::{ExecPool, ShardSpec};
 pub use star_queueing::ReplicateStats;
-pub use sweep_runner::{SweepReport, SweepRunner, SweepSpec};
+pub use sweep_runner::{
+    rate_indices, retain_shard, shard_sweeps, SweepReport, SweepRunner, SweepSpec,
+};

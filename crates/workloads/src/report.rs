@@ -1,15 +1,17 @@
 //! Report emitters: the unified cross-backend [`RunReport`] CSV schema,
+//! the shard-aware [`ReportSink`] every harness binary writes through,
 //! plain CSV writing, Markdown tables and quick ASCII plots.
 
 use std::fmt::Write as _;
 use std::fs;
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
+use star_exec::ShardSpec;
 
 use crate::evaluator::PointEstimate;
-use crate::sweep_runner::SweepReport;
+use crate::sweep_runner::{SweepReport, SweepSpec};
 
 /// One row of the unified run-report schema: one backend's answer to one
 /// operating point, in the same shape whichever backend produced it.
@@ -134,6 +136,125 @@ impl RunReport {
     /// Returns any I/O error from creating directories or writing the file.
     pub fn write_csv(&self, path: &Path) -> io::Result<()> {
         write_csv(path, Self::csv_header(), &self.csv_rows())
+    }
+}
+
+/// Accumulates a harness run's [`RunRow`]s — shard-aware — and writes the
+/// CSV: the unsharded `<base>.csv` when no shard is set, or the partial
+/// `<base>.shardKofN.csv` (each row prefixed with its index in the
+/// unsharded CSV) that `cargo xtask merge-shards` reassembles.
+///
+/// The sink is fed one **pass** at a time: a backend's sweep reports
+/// together with the *full* (unsharded) sweep list the pass was sharded
+/// from.  From the full list it recovers each estimate's rate index, and
+/// hence each row's index in the CSV an unsharded run would write — that
+/// index is what makes the partials mergeable back into byte-identical
+/// output (see [`star_exec::shard`]).  Without a shard the sink degrades to
+/// exactly [`RunReport::extend_from_sweeps`] + [`RunReport::write_csv`].
+///
+/// Partial headers are stamped with a [`star_exec::RunFingerprint`] folded
+/// over the *full* run description (shard count, every pass's sweep ids,
+/// scenario labels, seed bases and rate grids) — identical in every shard
+/// of one run, different for any other run — so `merge-shards` rejects
+/// partials that were produced with different flags or from different
+/// experiments.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSink {
+    shard: Option<ShardSpec>,
+    report: RunReport,
+    /// Per-row index in the unsharded CSV (parallel to `report.rows`).
+    indices: Vec<usize>,
+    /// Rows the unsharded run would have emitted across the passes so far.
+    full_rows: usize,
+    /// Identity of the full run, folded from every pass's description.
+    fingerprint: star_exec::RunFingerprint,
+}
+
+impl ReportSink {
+    /// A sink for an unsharded (`None`) or sharded run.
+    #[must_use]
+    pub fn new(shard: Option<ShardSpec>) -> Self {
+        let mut sink = Self { shard, ..Self::default() };
+        // the fingerprint covers the shard *count* but not the index, so
+        // all N partials of one run stamp identically
+        sink.fingerprint.add_u64(shard.map_or(0, |s| s.count as u64));
+        sink
+    }
+
+    /// The rows accumulated so far (this shard's only, when sharded).
+    #[must_use]
+    pub fn rows(&self) -> &[RunRow] {
+        &self.report.rows
+    }
+
+    /// Adds one backend pass.  `full` is the unsharded sweep list of the
+    /// pass and `reports` the results actually computed — identical to
+    /// `full` in shape for unsharded runs, or produced from
+    /// [`crate::shard_sweeps`]`(shard, &full)` for sharded ones (one report
+    /// per full sweep, covering an ordered subset of its rates).
+    ///
+    /// # Panics
+    /// Panics if `reports` does not align with `full` (different sweep
+    /// count or order, or an estimate whose rate the full sweep lacks).
+    pub fn extend_pass(&mut self, full: &[SweepSpec], reports: &[SweepReport]) {
+        assert_eq!(full.len(), reports.len(), "one report per full sweep");
+        let mut offset = self.full_rows;
+        for (spec, report) in full.iter().zip(reports) {
+            assert_eq!(spec.id, report.id, "reports must align with the full sweep list");
+            // fold the pass's full description — shared by every shard of
+            // one run — into the run identity
+            self.fingerprint.add_str(&spec.id);
+            self.fingerprint.add_str(&spec.scenario.label());
+            self.fingerprint.add_u64(spec.scenario.seed_base);
+            for &rate in &spec.rates {
+                self.fingerprint.add_f64(rate);
+            }
+            for (estimate, rate_index) in
+                report.estimates.iter().zip(crate::sweep_runner::rate_indices(&spec.rates, report))
+            {
+                self.indices.push(offset + rate_index);
+                self.report.rows.push(RunRow::new(&report.id, estimate));
+            }
+            offset += spec.rates.len();
+        }
+        self.full_rows = offset;
+    }
+
+    /// The output file name for a run whose unsharded CSV would be
+    /// `<base>.csv`.
+    #[must_use]
+    pub fn file_name(&self, base: &str) -> String {
+        match self.shard {
+            Some(shard) => shard.file_name(base),
+            None => format!("{base}.csv"),
+        }
+    }
+
+    /// Writes the CSV into `dir` (the full [`RunReport`] schema, or the
+    /// index-prefixed partial when sharded) and returns the path written.
+    ///
+    /// # Errors
+    /// Returns any I/O error from creating directories or writing the file.
+    pub fn write_csv(&self, dir: &Path, base: &str) -> io::Result<PathBuf> {
+        let path = dir.join(self.file_name(base));
+        match self.shard {
+            None => self.report.write_csv(&path)?,
+            Some(_) => {
+                let indexed: Vec<(usize, String)> =
+                    self.indices.iter().copied().zip(self.report.csv_rows()).collect();
+                let mut fingerprint = self.fingerprint;
+                fingerprint.add_str(base);
+                write_csv(
+                    &path,
+                    &star_exec::shard::partial_header(
+                        RunReport::csv_header(),
+                        fingerprint.finish(),
+                    ),
+                    &star_exec::shard::partial_rows(&indexed),
+                )?;
+            }
+        }
+        Ok(path)
     }
 }
 
@@ -313,6 +434,54 @@ mod tests {
     fn ascii_plot_handles_flat_series() {
         let plot = ascii_plot("flat", &[0.0, 1.0], &[("s", vec![5.0, 5.0])], 20, 5);
         assert!(plot.contains('*'));
+    }
+
+    #[test]
+    fn sharded_partials_merge_into_the_unsharded_csv() {
+        use crate::evaluator::{ModelBackend, SimBackend};
+        use crate::scenario::Scenario;
+        use crate::sweep_runner::{SweepRunner, SweepSpec};
+        use crate::SimBudget;
+
+        let scenario =
+            Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(3);
+        let full = vec![
+            SweepSpec::new("a", scenario, vec![0.002, 0.004]),
+            SweepSpec::new("b", scenario.with_virtual_channels(9), vec![0.002, 0.004]),
+        ];
+        let runner = SweepRunner::with_threads(2);
+        let model = ModelBackend::new();
+        let sim = SimBackend::new(SimBudget::Quick);
+        let dir = std::env::temp_dir().join("star-workloads-shard-roundtrip");
+
+        // the unsharded reference: a model pass and a sim pass
+        let mut reference = ReportSink::new(None);
+        reference.extend_pass(&full, &runner.run_pass(&model, None, &full));
+        reference.extend_pass(&full, &runner.run_pass(&sim, None, &full));
+        assert_eq!(reference.rows().len(), 8);
+        let ref_path = reference.write_csv(&dir, "roundtrip").unwrap();
+        assert!(ref_path.ends_with("roundtrip.csv"));
+
+        // three shards of the same run, each writing a partial CSV
+        let partials: Vec<String> = (1..=3)
+            .map(|k| {
+                let shard = star_exec::ShardSpec::parse(&format!("{k}/3")).unwrap();
+                let mut sink = ReportSink::new(Some(shard));
+                sink.extend_pass(&full, &runner.run_pass(&model, Some(shard), &full));
+                sink.extend_pass(&full, &runner.run_pass(&sim, Some(shard), &full));
+                let path = sink.write_csv(&dir, "roundtrip").unwrap();
+                assert!(path.to_string_lossy().contains(&format!("shard{k}of3")));
+                std::fs::read_to_string(path).unwrap()
+            })
+            .collect();
+
+        let merged = star_exec::merge_shard_csvs(&partials).unwrap();
+        assert_eq!(
+            merged,
+            std::fs::read_to_string(&ref_path).unwrap(),
+            "merged shards must reproduce the unsharded CSV byte for byte"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -6,15 +6,25 @@
 //!   denied, release build, tests, doctests, a smoke run of every criterion
 //!   bench in `--test` mode (each bench body executes once), a replicate
 //!   smoke (one `star_vs_hypercube` point simulated with `--replicates 3`,
-//!   so the multi-seed fan-out path runs on every push), and
+//!   so the multi-seed fan-out path runs on every push), a **shard smoke**
+//!   (the same small sweep run unsharded and as `--shard 1/2` + `--shard
+//!   2/2`, merged with the library behind `merge-shards`, and byte-compared
+//!   — the cross-process sharding contract, enforced on every push), and
 //!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
 //!   intra-doc links fail the pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
 //!   all available cores by default; extra arguments are forwarded, e.g.
-//!   `cargo xtask figure1 -- --budget thorough --replicates 5 --threads 4`).
+//!   `cargo xtask figure1 -- --budget thorough --replicates 5 --threads 4`,
+//!   including `--shard K/N` for sharded regeneration).
+//! * `cargo xtask merge-shards --out <merged.csv> <partial.csv>...` — merges
+//!   the partial CSVs written by `--shard K/N` harness runs into one CSV
+//!   byte-identical to an unsharded run (validating that the shard set is
+//!   complete and consistent).
 
 use std::env;
+use std::fs;
+use std::path::Path;
 use std::process::{Command, ExitCode};
 use std::time::Instant;
 
@@ -27,6 +37,7 @@ fn main() -> ExitCode {
     match command {
         "ci" => ci(),
         "figure1" => figure1(rest),
+        "merge-shards" => merge_shards(rest),
         "help" | "--help" | "-h" => {
             print_help();
             ExitCode::SUCCESS
@@ -43,12 +54,16 @@ fn print_help() {
     eprintln!("usage: cargo xtask <command>\n");
     eprintln!("commands:");
     eprintln!(
-        "  ci        fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
-         replicate smoke, doc -D warnings"
+        "  ci            fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
+         replicate smoke, shard smoke, doc -D warnings"
     );
     eprintln!(
-        "  figure1   regenerate the paper's Figure 1 CSVs (forwards extra args, \
-         e.g. --budget thorough --replicates 5 --threads 4)"
+        "  figure1       regenerate the paper's Figure 1 CSVs (forwards extra args, \
+         e.g. --budget thorough --replicates 5 --threads 4 --shard 1/2)"
+    );
+    eprintln!(
+        "  merge-shards  --out <merged.csv> <partial.csv>... \
+         merge --shard K/N partial CSVs into the unsharded bytes"
     );
 }
 
@@ -123,6 +138,12 @@ fn ci() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // the cross-process sharding contract, end to end: a small sweep run
+    // unsharded and as two shards must merge to byte-identical CSV
+    if let Err(e) = shard_smoke() {
+        eprintln!("\nci FAILED at shard-smoke: {e}");
+        return ExitCode::FAILURE;
+    }
     // rustdoc warnings (broken intra-doc links, missing docs) fail the
     // pipeline: REPRODUCING.md and the crate docs are part of the contract
     if let Err(e) =
@@ -133,6 +154,55 @@ fn ci() -> ExitCode {
     }
     println!("\nci passed in {:.1}s", started.elapsed().as_secs_f64());
     ExitCode::SUCCESS
+}
+
+/// Runs one small `star_vs_hypercube` sweep unsharded and as 2 shards, then
+/// checks that the merged partials reproduce the unsharded CSV byte for
+/// byte.
+fn shard_smoke() -> Result<(), String> {
+    let base: &[&str] = &[
+        "run",
+        "--release",
+        "-p",
+        "star-bench",
+        "--bin",
+        "star_vs_hypercube",
+        "--",
+        "--n",
+        "4",
+        "--points",
+        "2",
+        "--replicates",
+        "2",
+        "--budget",
+        "quick",
+    ];
+    let with_shard = |shard: &'static str| -> Vec<&'static str> {
+        let mut args = base.to_vec();
+        if !shard.is_empty() {
+            args.extend(["--shard", shard]);
+        }
+        args
+    };
+    step("shard-smoke (unsharded)", &with_shard(""))?;
+    let dir = Path::new("target/experiments");
+    let reference = fs::read_to_string(dir.join("star_vs_hypercube.csv"))
+        .map_err(|e| format!("reading unsharded reference: {e}"))?;
+    step("shard-smoke (shard 1/2)", &with_shard("1/2"))?;
+    step("shard-smoke (shard 2/2)", &with_shard("2/2"))?;
+    let partials: Vec<String> = ["1of2", "2of2"]
+        .iter()
+        .map(|label| {
+            let path = dir.join(format!("star_vs_hypercube.shard{label}.csv"));
+            fs::read_to_string(&path).map_err(|e| format!("reading {}: {e}", path.display()))
+        })
+        .collect::<Result<_, _>>()?;
+    let merged = star_exec::merge_shard_csvs(&partials).map_err(|e| e.to_string())?;
+    if merged != reference {
+        return Err("merged shard CSVs differ from the unsharded run".to_string());
+    }
+    println!("==> shard-smoke: merged 2 shards byte-identical to the unsharded CSV");
+    Ok(())
 }
 
 fn figure1(rest: &[String]) -> ExitCode {
@@ -156,6 +226,55 @@ fn figure1(rest: &[String]) -> ExitCode {
         }
         Err(e) => {
             eprintln!("\nfigure1 FAILED: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn merge_shards(rest: &[String]) -> ExitCode {
+    let out_index = rest.iter().position(|a| a == "--out");
+    let Some(out_index) = out_index else {
+        eprintln!("usage: cargo xtask merge-shards --out <merged.csv> <partial.csv>...");
+        return ExitCode::FAILURE;
+    };
+    let Some(out_path) = rest.get(out_index + 1) else {
+        eprintln!("--out needs a file path");
+        return ExitCode::FAILURE;
+    };
+    let inputs: Vec<&String> = rest
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| i != out_index && i != out_index + 1)
+        .map(|(_, a)| a)
+        .collect();
+    if inputs.is_empty() {
+        eprintln!("no partial CSVs given");
+        return ExitCode::FAILURE;
+    }
+    let mut partials = Vec::with_capacity(inputs.len());
+    for path in &inputs {
+        match fs::read_to_string(path) {
+            Ok(content) => partials.push(content),
+            Err(e) => {
+                eprintln!("could not read {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    match star_exec::merge_shard_csvs(&partials) {
+        Ok(merged) => {
+            if let Some(parent) = Path::new(out_path).parent() {
+                let _ = fs::create_dir_all(parent);
+            }
+            if let Err(e) = fs::write(out_path, merged) {
+                eprintln!("could not write {out_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("merged {} partial(s) into {out_path}", inputs.len());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("merge failed: {e}");
             ExitCode::FAILURE
         }
     }

@@ -6,6 +6,11 @@
 //!
 //! The workspace contains:
 //!
+//! * [`exec`] (crate `star-exec`) — the shared execution layer: the
+//!   persistent deterministic [`ExecPool`] behind every parallel path
+//!   (sweep sharding, the models' per-iteration blocking sums, the
+//!   spectrum build) and the `--shard K/N` cross-process shard/merge
+//!   machinery ([`ShardSpec`], `merge_shard_csvs`);
 //! * [`graph`] (crate `star-graph`) — the star graph `S_n` and hypercube
 //!   `Q_d` topologies, permutations, minimal-path DAGs, distance
 //!   distributions;
@@ -55,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub use star_core as model;
+pub use star_exec as exec;
 pub use star_graph as graph;
 pub use star_queueing as queueing;
 pub use star_routing as routing;
@@ -66,6 +72,7 @@ pub use star_core::{
     HypercubeResult, HypercubeRouting, HypercubeSpectrum, ModelConfig, ModelResult,
     RoutingDiscipline, ValidationRow,
 };
+pub use star_exec::{merge_shard_csvs, ExecPool, ShardSpec};
 pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
 pub use star_queueing::{replicate_seed, ReplicateStats};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
@@ -73,7 +80,7 @@ pub use star_sim::{
     ReplicateReport, ReplicateRun, SimConfig, SimReport, Simulation, TrafficPattern,
 };
 pub use star_workloads::{
-    CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind, OperatingPoint,
-    PointEstimate, RunReport, RunRow, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner,
-    SweepSpec,
+    shard_sweeps, CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind,
+    OperatingPoint, PointEstimate, ReportSink, RunReport, RunRow, Scenario, SimBackend, SimBudget,
+    SweepReport, SweepRunner, SweepSpec,
 };

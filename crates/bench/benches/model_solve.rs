@@ -11,8 +11,12 @@ use std::sync::Arc;
 
 use star_core::blocking::{batch_blocking_delays, total_blocking_delay, VcSplit};
 use star_core::occupancy::ChannelOccupancy;
-use star_core::{AnalyticalModel, DestinationSpectrum, ModelConfig, ModelResult};
+use star_core::{
+    AnalyticalModel, DestinationSpectrum, ModelConfig, ModelParams, ModelResult, SpectrumModel,
+    TraversalSpectrum,
+};
 use star_exec::spawn_ordered;
+use star_graph::Torus;
 
 fn config(symbols: usize, v: usize, rate: f64) -> ModelConfig {
     ModelConfig::builder()
@@ -103,6 +107,24 @@ fn bench_spectrum_and_sweep(c: &mut Criterion) {
     group.bench_function("sweep_reusing_spectrum_s5_v6_8pts", |b| {
         let rates: Vec<f64> = (1..=8).map(|i| 0.0015 * i as f64).collect();
         b.iter(|| black_box(star_core::sweep_traffic(config(5, 6, 0.001), &rates)));
+    });
+    // the generic-path pair: the one-off BFS distance census a new topology
+    // plugin pays instead of a closed-form spectrum, and the spectrum-model
+    // solve that reuses it per operating point
+    group.bench_function("traversal_spectrum_t12_build", |b| {
+        let torus = Torus::new(12);
+        b.iter(|| black_box(TraversalSpectrum::new(&torus)));
+    });
+    group.bench_function("t12_v8_moderate_load_spectrum_solve", |b| {
+        let params = ModelParams {
+            virtual_channels: 8,
+            message_length: 32,
+            traffic_rate: 0.004,
+            ..ModelParams::default()
+        };
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(12)));
+        let model = SpectrumModel::new(params, Arc::clone(&spectrum));
+        b.iter(|| black_box(model.solve()));
     });
     group.finish();
 }

@@ -7,10 +7,18 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin figure1 -- [--v 6|9|12] [--m 32|64]
-//!     [--points N] [--budget quick|standard|thorough]
+//!     [--topology star|hypercube|torus|ring] [--points N]
+//!     [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T] [--shard K/N]
 //! ```
+//!
+//! `--topology` replays the same `V × M` grid on another family at its
+//! smoke size (`Q7`/`T8`/`R8`) — not a figure the paper has, but the same
+//! model-vs-sim cross-validation the figure performs, on a topology the
+//! closed-form star model never covered.  The curve ids (and so the CSV
+//! names) gain a `-<family>` suffix so the star figure is never
+//! overwritten.
 //!
 //! Prints a Markdown table and an ASCII plot per curve and writes
 //! `target/experiments/<curve>.csv` (with `simulated_ci95`/`sim_replicates`
@@ -24,20 +32,33 @@ use star_bench::cli::HarnessArgs;
 use star_bench::{log_replicate_consumption, pair_into_validation_rows};
 use star_core::validation::mean_absolute_relative_error;
 use star_core::ValidationRow;
-use star_workloads::{ascii_plot, figure1_sweeps, markdown_table, rate_indices, ModelBackend};
+use star_workloads::{
+    ascii_plot, figure1_sweeps, markdown_table, rate_indices, ModelBackend, Scenario, TopologyKind,
+};
 
 fn main() {
     let cli = HarnessArgs::parse();
     let v_filter: Option<usize> = cli.value("--v").and_then(|s| s.parse().ok());
     let m_filter: Option<usize> = cli.value("--m").and_then(|s| s.parse().ok());
+    let kind = cli.topology_kind(TopologyKind::Star);
     let points = cli.usize_or("--points", 6);
     let sim_backend = cli.sim_backend();
 
+    // one shared topology value for all six curves; the star grid is the
+    // paper's, any other family replays it at the family's smoke size
+    let topology = kind.topology(kind.default_size());
     let sweeps: Vec<_> = figure1_sweeps(points)
         .into_iter()
         .filter(|s| v_filter.is_none_or(|v| s.scenario.virtual_channels == v))
         .filter(|s| m_filter.is_none_or(|m| s.scenario.message_length == m))
         .map(|mut sweep| {
+            if kind != TopologyKind::Star {
+                sweep.scenario = Scenario::on(std::sync::Arc::clone(&topology))
+                    .with_discipline(sweep.scenario.discipline)
+                    .with_virtual_channels(sweep.scenario.virtual_channels)
+                    .with_message_length(sweep.scenario.message_length);
+                sweep.id = format!("{}-{}", sweep.id, kind.name());
+            }
             sweep.scenario = cli.replicated(sweep.scenario, 20_060_425);
             sweep
         })
@@ -48,8 +69,9 @@ fn main() {
     }
 
     println!(
-        "# Figure 1 — S5, Enhanced-Nbc, model vs simulation (budget {:?}, \
+        "# Figure 1 — {}, Enhanced-Nbc, model vs simulation (budget {:?}, \
          {} replicate(s), seed base {})\n",
+        sweeps[0].scenario.network_label(),
         cli.budget(),
         sweeps[0].scenario.replicates,
         sweeps[0].scenario.seed_base

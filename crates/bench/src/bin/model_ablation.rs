@@ -7,22 +7,32 @@
 //! (`routing_comparison`).
 //!
 //! ```text
-//! cargo run --release -p star-bench --bin model_ablation -- [--n 5] [--v 6]
+//! cargo run --release -p star-bench --bin model_ablation --
+//!     [--topology star|hypercube|torus|ring] [--n SIZE] [--v 6]
 //!     [--m 32] [--points N] [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T] [--shard K/N] [--no-sim]
 //! ```
+//!
+//! `--topology` runs the ablation on another family, where the generic
+//! traversal-spectrum model answers all three disciplines; `--n` then
+//! selects that family's size.  A `--v` below the family's Enhanced-Nbc
+//! escape-level floor is raised with a note on stderr.
 
 use star_bench::cli::HarnessArgs;
 use star_bench::{experiments_dir, log_replicate_consumption};
-use star_workloads::{markdown_table, Discipline, ModelBackend, Scenario, SweepReport, SweepSpec};
+use star_core::{ModelDiscipline, ModelParams};
+use star_workloads::{
+    markdown_table, Discipline, ModelBackend, SweepReport, SweepSpec, TopologyKind,
+};
 
 const DISCIPLINES: [Discipline; 3] = [Discipline::EnhancedNbc, Discipline::Nbc, Discipline::NHop];
 
 fn main() {
     let cli = HarnessArgs::parse();
-    let symbols = cli.usize_or("--n", 5);
-    let v = cli.usize_or("--v", 6);
+    let kind = cli.topology_kind(TopologyKind::Star);
+    let size = cli.usize_or("--n", kind.default_size());
+    let mut v = cli.usize_or("--v", 6);
     let m = cli.usize_or("--m", 32);
     let points = cli.usize_or("--points", 5);
     let with_sim = !cli.present("--no-sim");
@@ -30,16 +40,21 @@ fn main() {
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
+    let base = kind.scenario(size).with_message_length(m);
+    let floor =
+        ModelParams::min_virtual_channels(ModelDiscipline::EnhancedNbc, base.topology().diameter());
+    if v < floor {
+        eprintln!(
+            "[v-floor] {} needs V >= {floor} for Enhanced-Nbc; raising from {v}",
+            base.network_label()
+        );
+        v = floor;
+    }
     let sweeps: Vec<SweepSpec> = DISCIPLINES
         .iter()
         .map(|&d| {
-            let scenario = cli.replicated(
-                Scenario::star(symbols)
-                    .with_discipline(d)
-                    .with_virtual_channels(v)
-                    .with_message_length(m),
-                424_242,
-            );
+            let scenario =
+                cli.replicated(base.clone().with_discipline(d).with_virtual_channels(v), 424_242);
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
@@ -47,7 +62,8 @@ fn main() {
     let sim_reports: Option<Vec<SweepReport>> = with_sim.then(|| cli.run_pass(&backend, &sweeps));
 
     println!(
-        "# Analytical-model ablation over routing disciplines — S{symbols}, V = {v}, M = {m}\n"
+        "# Analytical-model ablation over routing disciplines — {}, V = {v}, M = {m}\n",
+        base.network_label()
     );
     if cli.print_tables() {
         let mut rows = Vec::new();

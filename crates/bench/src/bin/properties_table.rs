@@ -5,8 +5,11 @@
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin properties_table -- [--max-n N]
-//!     [--shard K/N]
+//!     [--topology star,hypercube,torus,ring] [--shard K/N]
 //! ```
+//!
+//! `--topology` selects the families to table (default the paper's star +
+//! matched hypercube; torus rows cover sides 4–16, ring rows 4–32 nodes).
 //!
 //! This table is purely combinatorial (no model solve, no simulation), so it
 //! is the one harness binary without the `--replicates`/`--seed-base`
@@ -15,50 +18,73 @@
 //! list) so the full harness surface shares one sharding story; the work
 //! saved is of course negligible.
 
+use std::sync::Arc;
+
 use star_bench::cli::HarnessArgs;
-use star_graph::{Hypercube, StarGraph, TopologyProperties};
-use star_workloads::{markdown_table, NetworkKind};
+use star_graph::{Hypercube, StarGraph, Topology, TopologyProperties};
+use star_workloads::{markdown_table, TopologyKind};
 
 fn main() {
     let cli = HarnessArgs::parse();
     let max_n = cli.usize_or("--max-n", 7);
     let max_n = max_n.clamp(3, StarGraph::MAX_TABLED_SYMBOLS);
+    let families = cli.topology_kinds(&[TopologyKind::Star, TopologyKind::Hypercube]);
+    let want = |kind: TopologyKind| families.contains(&kind);
 
-    let mut rows = Vec::new();
-    let mut csv_rows: Vec<(usize, String)> = Vec::new();
-    let mut flat = 0usize;
-    for n in 3..=max_n {
-        let star = NetworkKind::Star.topology(n);
-        let cube = Hypercube::at_least(star.node_count());
-        for props in [TopologyProperties::of(star.as_ref()), TopologyProperties::of(&cube)] {
-            let owned = cli.shard.is_none_or(|shard| shard.owns(flat));
-            if owned {
-                rows.push(vec![
-                    props.name.clone(),
-                    props.nodes.to_string(),
-                    props.degree.to_string(),
-                    props.diameter.to_string(),
-                    props.channels.to_string(),
-                    format!("{:.4}", props.mean_distance),
-                ]);
-                csv_rows.push((
-                    flat,
-                    format!(
-                        "{},{},{},{},{},{:.6}",
-                        props.name,
-                        props.nodes,
-                        props.degree,
-                        props.diameter,
-                        props.channels,
-                        props.mean_distance
-                    ),
-                ));
+    let mut topologies: Vec<Arc<dyn Topology>> = Vec::new();
+    if want(TopologyKind::Star) || want(TopologyKind::Hypercube) {
+        for n in 3..=max_n {
+            let star = TopologyKind::Star.topology(n);
+            let cube = Hypercube::at_least(star.node_count());
+            if want(TopologyKind::Star) {
+                topologies.push(star);
             }
-            flat += 1;
+            if want(TopologyKind::Hypercube) {
+                topologies.push(Arc::new(cube));
+            }
+        }
+    }
+    if want(TopologyKind::Torus) {
+        for side in [4usize, 8, 12, 16] {
+            topologies.push(TopologyKind::Torus.topology(side));
+        }
+    }
+    if want(TopologyKind::Ring) {
+        for nodes in [4usize, 8, 16, 32] {
+            topologies.push(TopologyKind::Ring.topology(nodes));
         }
     }
 
-    println!("# Star graph vs hypercube — topological properties (paper §2)\n");
+    let mut rows = Vec::new();
+    let mut csv_rows: Vec<(usize, String)> = Vec::new();
+    for (flat, topology) in topologies.iter().enumerate() {
+        if !cli.shard.is_none_or(|shard| shard.owns(flat)) {
+            continue;
+        }
+        let props = TopologyProperties::of(topology.as_ref());
+        rows.push(vec![
+            props.name.clone(),
+            props.nodes.to_string(),
+            props.degree.to_string(),
+            props.diameter.to_string(),
+            props.channels.to_string(),
+            format!("{:.4}", props.mean_distance),
+        ]);
+        csv_rows.push((
+            flat,
+            format!(
+                "{},{},{},{},{},{:.6}",
+                props.name,
+                props.nodes,
+                props.degree,
+                props.diameter,
+                props.channels,
+                props.mean_distance
+            ),
+        ));
+    }
+
+    println!("# Topological properties across families (paper §2)\n");
     if cli.print_tables() {
         println!(
             "{}",
@@ -72,6 +98,9 @@ fn main() {
     }
     let mut run = star_exec::RunFingerprint::new();
     run.add_u64(max_n as u64);
+    for family in &families {
+        run.add_str(family.name());
+    }
     match cli.write_indexed_csv(
         "properties_table",
         "network,nodes,degree,diameter,channels,mean_distance",

@@ -7,45 +7,61 @@
 //! Enhanced-Nbc.
 //!
 //! ```text
-//! cargo run --release -p star-bench --bin routing_comparison -- [--n 5] [--v 6]
+//! cargo run --release -p star-bench --bin routing_comparison --
+//!     [--topology star|hypercube|torus|ring] [--n SIZE] [--v 6]
 //!     [--m 32] [--budget quick|standard|thorough] [--points N]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T] [--shard K/N]
 //! ```
+//!
+//! `--topology` runs the same four-discipline comparison on another family
+//! (the bonus-card schemes are topology-generic); `--n` then selects that
+//! family's size (symbols / dimensions / torus side / ring nodes, default
+//! the family's smoke size).  A `--v` below the family's Enhanced-Nbc
+//! escape-level floor is raised with a note on stderr.
 
 use star_bench::cli::HarnessArgs;
 use star_bench::{experiments_dir, log_replicate_consumption};
-use star_workloads::{ascii_plot, markdown_table, Discipline, Scenario, SweepSpec};
+use star_core::{ModelDiscipline, ModelParams};
+use star_workloads::{ascii_plot, markdown_table, Discipline, SweepSpec, TopologyKind};
 
 fn main() {
     let cli = HarnessArgs::parse();
-    let symbols = cli.usize_or("--n", 5);
-    let v = cli.usize_or("--v", 6);
+    let kind = cli.topology_kind(TopologyKind::Star);
+    let size = cli.usize_or("--n", kind.default_size());
+    let mut v = cli.usize_or("--v", 6);
     let m = cli.usize_or("--m", 32);
     let points = cli.usize_or("--points", 5);
     let backend = cli.sim_backend();
     let max_rate = 0.012 * 32.0 / m as f64;
     let rates: Vec<f64> = (1..=points).map(|i| max_rate * i as f64 / points as f64).collect();
 
+    let base = kind.scenario(size).with_message_length(m);
+    let floor =
+        ModelParams::min_virtual_channels(ModelDiscipline::EnhancedNbc, base.topology().diameter());
+    if v < floor {
+        eprintln!(
+            "[v-floor] {} needs V >= {floor} for Enhanced-Nbc; raising from {v}",
+            base.network_label()
+        );
+        v = floor;
+    }
     let sweeps: Vec<SweepSpec> = Discipline::ALL
         .iter()
         .map(|&d| {
-            let scenario = cli.replicated(
-                Scenario::star(symbols)
-                    .with_discipline(d)
-                    .with_virtual_channels(v)
-                    .with_message_length(m),
-                1_993,
-            );
+            let scenario =
+                cli.replicated(base.clone().with_discipline(d).with_virtual_channels(v), 1_993);
             SweepSpec::new(d.name(), scenario, rates.clone())
         })
         .collect();
     let reports = cli.run_pass(&backend, &sweeps);
 
     println!(
-        "# Routing algorithm comparison — S{symbols}, V = {v}, M = {m} (budget {:?}, \
+        "# Routing algorithm comparison — {}, V = {v}, M = {m} (budget {:?}, \
          {} replicate(s))\n",
-        backend.budget, sweeps[0].scenario.replicates
+        base.network_label(),
+        backend.budget,
+        sweeps[0].scenario.replicates
     );
     if cli.print_tables() {
         let mut table_rows = Vec::new();

@@ -1,65 +1,111 @@
 //! Extension study C: model accuracy and scalability across network sizes,
-//! on both topology families.
+//! on every topology family the workspace ships.
 //!
-//! For every star size `S4`–`S7` the binary also evaluates the matched
+//! For every star size `S4`–`S8` the binary also evaluates the matched
 //! hypercube (the smallest `Q_d` with at least as many nodes: `Q5`, `Q7`,
-//! `Q10`, `Q13`).  Small networks (≤ 200 nodes) run both evaluation
-//! backends at a light and a moderate load so the model can be
-//! cross-validated; the large ones (`S6`/`S7` and `Q10`/`Q13`, up to 8 192
-//! nodes) run the analytical model alone — exactly the regime the paper
-//! argues analytical models are for, where flit-level simulation stops
-//! being practical.  The default is `V = 8` virtual channels because
-//! `Q13`'s negative-hop scheme needs 7 escape levels and Enhanced-Nbc one
-//! adaptive channel on top; both topologies use the same `V` so the rows
-//! stay comparable.
+//! `Q10`, `Q13`, `Q16`), and the torus family sweeps fixed sides
+//! `T8`/`T12`/`T16` (`--topology` picks any subset of
+//! `star,hypercube,torus,ring`).  Small networks (≤ 200 nodes) run both
+//! evaluation backends at a light and a moderate load so the model can be
+//! cross-validated; the large ones (`S6`–`S8`, `Q10`–`Q16` and `T16`, up to
+//! 65 536 nodes) run the analytical model alone — exactly the regime the
+//! paper argues analytical models are for, where flit-level simulation
+//! stops being practical.  The default is `V = 8` virtual channels;
+//! networks whose diameter demands more escape levels (`Q13` is the first,
+//! `Q16` needs 10) are raised to their per-network floor with a note on
+//! stderr, and the table carries a `V` column so the raised rows are
+//! visible.
 //!
 //! ```text
 //! cargo run --release -p star-bench --bin size_sweep --
-//!     [--v 8] [--m 32] [--budget quick|standard|thorough]
+//!     [--topology star,hypercube,torus,ring] [--v 8] [--m 32]
+//!     [--budget quick|standard|thorough]
 //!     [--replicates R] [--seed-base S] [--ci-target REL [--max-replicates C]]
 //!     [--threads T] [--shard K/N]
 //! ```
 
 use star_bench::cli::HarnessArgs;
 use star_bench::{experiments_dir, log_replicate_consumption};
+use star_core::{ModelDiscipline, ModelParams};
 use star_graph::Hypercube;
-use star_workloads::{markdown_table, ModelBackend, Scenario, SweepSpec};
+use star_workloads::{markdown_table, ModelBackend, Scenario, SweepSpec, TopologyKind};
 
 /// Largest network the flit-level simulator is asked to run (the model has
 /// no such limit).
 const MAX_SIM_NODES: usize = 200;
 
+/// Applies `--v`, raised to the network's Enhanced-Nbc escape-level floor
+/// where the diameter demands more.
+fn with_v_floor(scenario: Scenario, v: usize) -> Scenario {
+    let floor = ModelParams::min_virtual_channels(
+        ModelDiscipline::EnhancedNbc,
+        scenario.topology().diameter(),
+    );
+    if floor > v {
+        eprintln!(
+            "[v-floor] {} needs V >= {floor} for Enhanced-Nbc; raising from {v}",
+            scenario.network_label()
+        );
+        scenario.with_virtual_channels(floor)
+    } else {
+        scenario.with_virtual_channels(v)
+    }
+}
+
 fn main() {
     let cli = HarnessArgs::parse();
     let v = cli.usize_or("--v", 8);
     let m = cli.usize_or("--m", 32);
+    let families =
+        cli.topology_kinds(&[TopologyKind::Star, TopologyKind::Hypercube, TopologyKind::Torus]);
+    let want = |kind: TopologyKind| families.contains(&kind);
     let backend = cli.sim_backend();
     let utilisations = [0.15, 0.35];
 
-    // star sizes S4..S7 interleaved with their matched hypercubes; the load
-    // is scaled per network so the target channel utilisation λ_c·M is
-    // comparable across sizes and topologies (λ_g = u·degree/(d̄·M))
-    let scenarios: Vec<Scenario> = (4..=7usize)
-        .flat_map(|symbols| {
-            let star = cli.replicated(
-                Scenario::star(symbols).with_virtual_channels(v).with_message_length(m),
-                11,
-            );
+    // star sizes S4..S8 interleaved with their matched hypercubes, then the
+    // fixed-side tori and rings; the load is scaled per network so the
+    // target channel utilisation λ_c·M is comparable across sizes and
+    // topologies (λ_g = u·degree/(d̄·M))
+    let mut scenarios: Vec<Scenario> = Vec::new();
+    if want(TopologyKind::Star) || want(TopologyKind::Hypercube) {
+        for symbols in 4..=8usize {
+            let star =
+                cli.replicated(with_v_floor(Scenario::star(symbols).with_message_length(m), v), 11);
             let dims = Hypercube::at_least(star.topology().node_count()).dims();
-            let cube =
-                Scenario { network: star_workloads::NetworkKind::Hypercube, size: dims, ..star };
-            [star, cube]
-        })
-        .collect();
+            if want(TopologyKind::Star) {
+                scenarios.push(star);
+            }
+            if want(TopologyKind::Hypercube) {
+                scenarios.push(cli.replicated(
+                    with_v_floor(Scenario::hypercube(dims).with_message_length(m), v),
+                    11,
+                ));
+            }
+        }
+    }
+    if want(TopologyKind::Torus) {
+        for side in [8usize, 12, 16] {
+            scenarios.push(
+                cli.replicated(with_v_floor(Scenario::torus(side).with_message_length(m), v), 11),
+            );
+        }
+    }
+    if want(TopologyKind::Ring) {
+        for nodes in [8usize, 16] {
+            scenarios.push(
+                cli.replicated(with_v_floor(Scenario::ring(nodes).with_message_length(m), v), 11),
+            );
+        }
+    }
     let sweeps: Vec<SweepSpec> = scenarios
         .iter()
-        .map(|&scenario| {
+        .map(|scenario| {
             let topology = scenario.topology();
             let rates: Vec<f64> = utilisations
                 .iter()
                 .map(|u| u * topology.degree() as f64 / (topology.mean_distance() * m as f64))
                 .collect();
-            SweepSpec::new(scenario.network_label(), scenario, rates)
+            SweepSpec::new(scenario.network_label(), scenario.clone(), rates)
         })
         .collect();
     let model_reports = cli.run_pass(&ModelBackend::new(), &sweeps);
@@ -72,7 +118,7 @@ fn main() {
 
     println!(
         "# Model accuracy and scalability across network sizes and topologies \
-         (V = {v}, M = {m}, {} sim replicate(s))\n",
+         (V = {v} or the per-network floor, M = {m}, {} sim replicate(s))\n",
         scenarios[0].replicates
     );
     if cli.print_tables() {
@@ -89,6 +135,7 @@ fn main() {
                 rows.push(vec![
                     report.id.clone(),
                     format!("{}", report.scenario.topology().node_count()),
+                    format!("{}", report.scenario.virtual_channels),
                     format!("{:.0}%", utilisation * 100.0),
                     format!("{rate:.5}"),
                     model_cell,
@@ -102,6 +149,7 @@ fn main() {
                 &[
                     "network",
                     "nodes",
+                    "V",
                     "target channel utilisation",
                     "traffic rate (λ_g)",
                     "model latency",

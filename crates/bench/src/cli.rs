@@ -21,7 +21,7 @@ use std::path::PathBuf;
 
 use star_workloads::{
     CiTarget, Evaluator, ReportSink, Scenario, ShardSpec, SimBackend, SimBudget, SweepReport,
-    SweepRunner, SweepSpec,
+    SweepRunner, SweepSpec, TopologyKind,
 };
 
 use crate::experiments_dir;
@@ -125,6 +125,39 @@ impl HarnessArgs {
     #[must_use]
     pub fn replicates(&self) -> usize {
         self.usize_or("--replicates", 1).max(1)
+    }
+
+    /// The topology family from `--topology star|hypercube|torus|ring`,
+    /// falling back to the binary's default family.
+    ///
+    /// # Panics
+    /// Panics on an unknown family name, listing the accepted ones.
+    #[must_use]
+    pub fn topology_kind(&self, default: TopologyKind) -> TopologyKind {
+        self.topology_kinds(&[default])[0]
+    }
+
+    /// The topology families from a comma-separated
+    /// `--topology star,hypercube,torus` list, falling back to the binary's
+    /// defaults — for binaries that compare families side by side.
+    ///
+    /// # Panics
+    /// Panics on an unknown family name, listing the accepted ones.
+    #[must_use]
+    pub fn topology_kinds(&self, default: &[TopologyKind]) -> Vec<TopologyKind> {
+        let Some(list) = self.value("--topology") else {
+            return default.to_vec();
+        };
+        list.split(',')
+            .map(str::trim)
+            .filter(|name| !name.is_empty())
+            .map(|name| {
+                TopologyKind::parse(name).unwrap_or_else(|| {
+                    let accepted: Vec<&str> = TopologyKind::ALL.iter().map(|k| k.name()).collect();
+                    panic!("unknown topology {name:?} (expected one of: {})", accepted.join(", "))
+                })
+            })
+            .collect()
     }
 
     /// The seed base from `--seed-base S` (accepting the retired `--seed`
@@ -297,6 +330,33 @@ mod tests {
         let backend = a.sim_backend();
         assert_eq!(backend.ci_target, Some(target));
         assert!(args(&[]).sim_backend().ci_target.is_none());
+    }
+
+    #[test]
+    fn topology_arg_parsing() {
+        let single = args(&["--topology", "torus"]);
+        assert_eq!(single.topology_kind(TopologyKind::Star), TopologyKind::Torus);
+        assert_eq!(args(&[]).topology_kind(TopologyKind::Hypercube), TopologyKind::Hypercube);
+        let list = args(&["--topology", "star,hypercube,torus"]);
+        assert_eq!(
+            list.topology_kinds(&[TopologyKind::Star]),
+            vec![TopologyKind::Star, TopologyKind::Hypercube, TopologyKind::Torus]
+        );
+        assert_eq!(
+            args(&[]).topology_kinds(&[TopologyKind::Star, TopologyKind::Ring]),
+            vec![TopologyKind::Star, TopologyKind::Ring]
+        );
+        // spaces around commas are tolerated
+        assert_eq!(
+            args(&["--topology", "ring, torus"]).topology_kinds(&[]),
+            vec![TopologyKind::Ring, TopologyKind::Torus]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown topology")]
+    fn unknown_topology_name_rejected() {
+        let _ = args(&["--topology", "mesh"]).topology_kind(TopologyKind::Star);
     }
 
     #[test]

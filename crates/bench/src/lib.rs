@@ -52,34 +52,54 @@ pub fn pair_into_validation_rows(model: &SweepReport, sim: &SweepReport) -> Vec<
         .iter()
         .zip(&sim.estimates)
         .map(|(m, s)| {
-            let result = m.model_result().expect("first report must be a model sweep");
-            ValidationRow::new(result, s.latency()).with_sim_ci(s.latency_ci95(), s.replicates())
+            // any analytical detail qualifies (closed-form star/hypercube or
+            // the generic spectrum) — only a simulated first report is a bug
+            assert!(m.sim_report().is_none(), "first report must be a model sweep");
+            let scenario = &m.point.scenario;
+            let row = ValidationRow {
+                traffic_rate: m.point.traffic_rate,
+                message_length: scenario.message_length,
+                virtual_channels: scenario.virtual_channels,
+                model_latency: if m.saturated { None } else { Some(m.mean_latency) },
+                simulated_latency: s.latency(),
+                simulated_ci95: 0.0,
+                sim_replicates: 1,
+            };
+            row.with_sim_ci(s.latency_ci95(), s.replicates())
         })
         .collect()
 }
 
-/// The model-predicted saturation rate of a scenario, on either topology —
+/// The model-predicted saturation rate of a scenario, on any topology —
 /// the bisection the model-only harness binaries use to pick rate grids that
-/// cover the whole latency curve up to the knee.
+/// cover the whole latency curve up to the knee.  Star and hypercube
+/// scenarios use the closed-form solvers; anything else goes through the
+/// generic [`star_core::TraversalSpectrum`].
 ///
 /// # Panics
 /// Panics if the analytical model does not cover the scenario, or if the
 /// scenario's parameters are out of the model's range (the panic message
 /// carries the underlying config error, e.g. too few virtual channels for
-/// the cube's escape-level minimum).
+/// the topology's escape-level minimum).
 #[must_use]
 pub fn model_saturation_rate(scenario: &star_workloads::Scenario, tolerance: f64) -> f64 {
-    match scenario.model_config(0.0) {
-        Ok(Some(config)) => return star_core::saturation_rate(config, tolerance),
-        Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
-        Ok(None) => {}
-    }
-    match scenario.hypercube_model_config(0.0) {
-        Ok(Some(config)) => star_core::hypercube_saturation_rate(config, tolerance),
+    let params: star_core::ModelParams = match scenario.model_params(0.0) {
+        Ok(Some(params)) => params,
         Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
         Ok(None) => {
             panic!("the analytical model does not cover scenario {}", scenario.label())
         }
+    };
+    let topology = scenario.topology();
+    if let Some(star) = topology.as_any().downcast_ref::<star_graph::StarGraph>() {
+        let config =
+            params.star_config(star.symbols()).expect("star scenarios map to modelled disciplines");
+        star_core::saturation_rate(config, tolerance)
+    } else if let Some(cube) = topology.as_any().downcast_ref::<star_graph::Hypercube>() {
+        star_core::hypercube_saturation_rate(params.hypercube_config(cube.dims()), tolerance)
+    } else {
+        let spectrum = std::sync::Arc::new(star_core::TraversalSpectrum::new(topology.as_ref()));
+        star_core::spectrum_saturation_rate(params, &spectrum, tolerance)
     }
 }
 
@@ -136,7 +156,8 @@ mod tests {
     fn mismatched_reports_are_rejected() {
         let runner = SweepRunner::with_threads(1);
         let scenario = Scenario::star(4).with_message_length(16);
-        let a = runner.run_one(&ModelBackend::new(), &SweepSpec::new("a", scenario, vec![0.001]));
+        let a = runner
+            .run_one(&ModelBackend::new(), &SweepSpec::new("a", scenario.clone(), vec![0.001]));
         let b = runner.run_one(&ModelBackend::new(), &SweepSpec::new("b", scenario, vec![0.002]));
         let _ = pair_into_validation_rows(&a, &b);
     }

@@ -1,0 +1,484 @@
+//! The analytical latency model evaluated on a generic
+//! [`TraversalSpectrum`] — the topology-agnostic end of the latency stage.
+//!
+//! [`crate::AnalyticalModel`] walks the star's cycle-type spectrum and
+//! [`crate::HypercubeModel`] walks the hypercube's Hamming spectrum; this
+//! module walks whatever census [`TraversalSpectrum`] extracted from a
+//! [`star_graph::Topology`] value, with the *identical* fixed-point
+//! structure: the same damped solver ([`crate::model`]'s `latency_solver`),
+//! the same `λ_c = λ_g·d̄/degree` channel rate, the same saturation screens
+//! and the same warm-start contract.  On a topology whose closed-form
+//! spectrum exists (star, hypercube), the generic model reproduces the
+//! closed-form model because the spectra are bit-identical — that
+//! equivalence is what lets the torus and ring ship without their own
+//! derivation.
+
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+use star_queueing::FixedPointOutcome;
+
+use crate::blocking::{batch_blocking_delays, total_blocking_delay};
+use crate::model::latency_solver;
+use crate::occupancy::ChannelOccupancy;
+use crate::params::ModelParams;
+use crate::spectrum::{TraversalClass, TraversalSpectrum};
+use crate::waiting::{channel_waiting_time, source_waiting_time};
+
+/// Result of evaluating the generic spectrum model at one operating point:
+/// the same headline quantities as [`crate::ModelResult`], tagged with the
+/// parameters and the topology name instead of a per-topology config.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpectrumResult {
+    /// The parameters that were evaluated.
+    pub params: ModelParams,
+    /// Name of the topology the spectrum was built from.
+    pub topology: String,
+    /// Whether the operating point is beyond saturation.
+    pub saturated: bool,
+    /// Mean network latency `S̄`, in cycles.
+    pub mean_network_latency: f64,
+    /// Mean waiting time at the source queue `W_s`, in cycles.
+    pub source_waiting: f64,
+    /// Average degree of virtual-channel multiplexing `V̄`.
+    pub multiplexing: f64,
+    /// Mean message latency `(S̄ + W_s)·V̄`, in cycles.
+    pub mean_latency: f64,
+    /// Mean minimal distance `d̄`.
+    pub mean_distance: f64,
+    /// Traffic rate per channel `λ_c = λ_g·d̄/degree`.
+    pub channel_rate: f64,
+    /// Channel utilisation `λ_c · S̄` at the solution.
+    pub channel_utilization: f64,
+    /// Mean waiting time `w̄` at a channel when blocking occurs.
+    pub channel_waiting: f64,
+    /// Number of fixed-point iterations used.
+    pub iterations: usize,
+}
+
+impl SpectrumResult {
+    /// A saturated placeholder result (infinite latency).
+    fn saturated(
+        params: ModelParams,
+        topology: String,
+        mean_distance: f64,
+        channel_rate: f64,
+        iterations: usize,
+    ) -> Self {
+        Self {
+            params,
+            topology,
+            saturated: true,
+            mean_network_latency: f64::INFINITY,
+            source_waiting: f64::INFINITY,
+            multiplexing: params.virtual_channels as f64,
+            mean_latency: f64::INFINITY,
+            mean_distance,
+            channel_rate,
+            channel_utilization: 1.0,
+            channel_waiting: f64::INFINITY,
+            iterations,
+        }
+    }
+}
+
+/// The analytical model of mean message latency on any topology with a
+/// [`TraversalSpectrum`], mirroring [`crate::AnalyticalModel`] /
+/// [`crate::HypercubeModel`] with the generic census.
+#[derive(Debug, Clone)]
+pub struct SpectrumModel {
+    params: ModelParams,
+    spectrum: Arc<TraversalSpectrum>,
+    parallelism: usize,
+}
+
+impl SpectrumModel {
+    /// Builds the model around an already computed spectrum (the spectrum
+    /// only depends on the topology, so a sweep — or several threads — can
+    /// reuse one allocation).
+    ///
+    /// # Panics
+    /// Panics if the parameters are invalid for the spectrum's topology
+    /// (diameter-derived virtual-channel floor, message length, rate).
+    #[must_use]
+    pub fn new(params: ModelParams, spectrum: Arc<TraversalSpectrum>) -> Self {
+        if let Err(e) = params.try_validate_generic(spectrum.diameter()) {
+            panic!("invalid parameters for {}: {e}", spectrum.topology_name());
+        }
+        Self { params, spectrum, parallelism: 1 }
+    }
+
+    /// Builds the model and the spectrum in one go.
+    ///
+    /// # Panics
+    /// As [`Self::new`] and [`TraversalSpectrum::new`].
+    #[must_use]
+    pub fn for_topology(params: ModelParams, topology: &dyn star_graph::Topology) -> Self {
+        Self::new(params, Arc::new(TraversalSpectrum::new(topology)))
+    }
+
+    /// Shards the per-class blocking sums of every fixed-point iteration
+    /// across the shared [`star_exec::ExecPool`] (`1` = serial, the default;
+    /// `0` = all pool workers; anything else caps the executors) — the
+    /// generic side of [`crate::AnalyticalModel::with_parallelism`],
+    /// byte-identical for any width.
+    #[must_use]
+    pub fn with_parallelism(mut self, threads: usize) -> Self {
+        self.parallelism = threads;
+        self
+    }
+
+    /// The parameters being evaluated.
+    #[must_use]
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The traversal spectrum (shared across operating points of the same
+    /// topology).
+    #[must_use]
+    pub fn spectrum(&self) -> &TraversalSpectrum {
+        &self.spectrum
+    }
+
+    /// Evaluates the mean network latency implied by a current estimate of
+    /// `S̄`: one application of the blocking/waiting equations on the generic
+    /// spectrum.
+    fn network_latency_step(&self, mean_service: f64, channel_rate: f64) -> f64 {
+        let params = &self.params;
+        let split = params.vc_split(self.spectrum.diameter());
+        let occupancy = ChannelOccupancy::new(channel_rate, mean_service, params.virtual_channels);
+        let mean_wait = channel_waiting_time(channel_rate, mean_service, params.message_length);
+        if !mean_wait.is_finite() {
+            return f64::INFINITY;
+        }
+        fn profile_of(class: &TraversalClass, adaptive: bool) -> &star_graph::AdaptivityProfile {
+            if adaptive {
+                &class.adaptive_profile
+            } else {
+                &class.deterministic_profile
+            }
+        }
+        let adaptive = params.discipline.is_adaptive();
+        let mut weighted = 0.0;
+        if self.parallelism == 1 {
+            // serial fast path: no per-iteration allocation in the solver's
+            // innermost loop
+            for class in self.spectrum.classes() {
+                let blocking =
+                    total_blocking_delay(split, &occupancy, profile_of(class, adaptive), mean_wait);
+                let latency = params.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
+        } else {
+            let profiles: Vec<&star_graph::AdaptivityProfile> =
+                self.spectrum.classes().iter().map(|c| profile_of(c, adaptive)).collect();
+            let delays =
+                batch_blocking_delays(split, &occupancy, &profiles, mean_wait, self.parallelism);
+            for (class, blocking) in self.spectrum.classes().iter().zip(delays) {
+                let latency = params.message_length as f64 + class.distance as f64 + blocking;
+                weighted += latency * class.count as f64;
+            }
+        }
+        weighted / self.spectrum.destination_count() as f64
+    }
+
+    /// Solves the model at the configured operating point from the cold
+    /// (zero-load) initial state.
+    #[must_use]
+    pub fn solve(&self) -> SpectrumResult {
+        self.solve_from(&[])
+    }
+
+    /// Solves the model, warm-starting the damped fixed-point iteration from
+    /// a previously converged state vector (one component: the mean network
+    /// latency `S̄`) — the same contract as
+    /// [`crate::AnalyticalModel::solve_from`].  An empty slice or a
+    /// non-finite / below-zero-load seed falls back to the cold start.
+    #[must_use]
+    pub fn solve_from(&self, warm_state: &[f64]) -> SpectrumResult {
+        let params = &self.params;
+        let name = self.spectrum.topology_name().to_string();
+        let mean_distance = self.spectrum.mean_distance();
+        let channel_rate = params.traffic_rate * mean_distance / self.spectrum.degree() as f64;
+        let zero_load = params.message_length as f64 + mean_distance;
+
+        // a channel can never serve more than one message of M flits at a
+        // time, so λ_c·M ≥ 1 is beyond saturation
+        if channel_rate * params.message_length as f64 >= 1.0 {
+            return SpectrumResult::saturated(*params, name, mean_distance, channel_rate, 0);
+        }
+
+        let initial = match warm_state.first() {
+            Some(&seed) if seed.is_finite() && seed >= zero_load => seed,
+            _ => zero_load,
+        };
+        let solver = latency_solver();
+        let outcome = solver
+            .solve(vec![initial], |state| vec![self.network_latency_step(state[0], channel_rate)]);
+        let (mean_network_latency, iterations) = match outcome {
+            FixedPointOutcome::Converged { state, iterations } => (state[0], iterations),
+            FixedPointOutcome::Diverged { iterations, .. } => {
+                return SpectrumResult::saturated(
+                    *params,
+                    name,
+                    mean_distance,
+                    channel_rate,
+                    iterations,
+                );
+            }
+            FixedPointOutcome::MaxIterations { state, .. } => (state[0], solver.max_iterations),
+        };
+
+        let occupancy =
+            ChannelOccupancy::new(channel_rate, mean_network_latency, params.virtual_channels);
+        let multiplexing = occupancy.multiplexing_degree();
+        let channel_waiting =
+            channel_waiting_time(channel_rate, mean_network_latency, params.message_length);
+        let source_waiting = source_waiting_time(
+            params.traffic_rate,
+            params.virtual_channels,
+            mean_network_latency,
+            params.message_length,
+        );
+        if !source_waiting.is_finite() || !channel_waiting.is_finite() {
+            return SpectrumResult::saturated(
+                *params,
+                name,
+                mean_distance,
+                channel_rate,
+                iterations,
+            );
+        }
+        let mean_latency = (mean_network_latency + source_waiting) * multiplexing;
+        SpectrumResult {
+            params: *params,
+            topology: name,
+            saturated: false,
+            mean_network_latency,
+            source_waiting,
+            multiplexing,
+            mean_latency,
+            mean_distance,
+            channel_rate,
+            channel_utilization: channel_rate * mean_network_latency,
+            channel_waiting,
+            iterations,
+        }
+    }
+}
+
+/// Largest traffic generation rate at which the generic model still converges
+/// (the predicted saturation rate), found by bisection to the given relative
+/// tolerance — the spectrum analogue of [`crate::saturation_rate`] /
+/// [`crate::hypercube_saturation_rate`].
+///
+/// # Panics
+/// Panics if the parameters are invalid for the spectrum's topology or
+/// `tolerance` is outside `(0, 1)`.
+#[must_use]
+pub fn spectrum_saturation_rate(
+    base: ModelParams,
+    spectrum: &Arc<TraversalSpectrum>,
+    tolerance: f64,
+) -> f64 {
+    assert!(tolerance > 0.0 && tolerance < 1.0, "tolerance must be in (0, 1)");
+    let solves = |rate: f64| {
+        !SpectrumModel::new(base.with_rate(rate), Arc::clone(spectrum)).solve().saturated
+    };
+    let mut low = 0.0;
+    // λ_c·M ≥ 1 (one message of M flits per channel at a time) is certainly
+    // beyond saturation: λ_g = degree/(d̄·M)
+    let mut high =
+        spectrum.degree() as f64 / (spectrum.mean_distance() * base.message_length as f64);
+    debug_assert!(!solves(high));
+    while (high - low) / high.max(1e-12) > tolerance {
+        let mid = 0.5 * (low + high);
+        if solves(mid) {
+            low = mid;
+        } else {
+            high = mid;
+        }
+    }
+    low
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ModelDiscipline;
+    use crate::{AnalyticalModel, HypercubeConfig, HypercubeModel, ModelConfig};
+    use star_graph::{Hypercube, Ring, StarGraph, Torus};
+
+    fn torus_model(k: usize, v: usize, rate: f64) -> SpectrumModel {
+        let params = ModelParams { virtual_channels: v, traffic_rate: rate, ..Default::default() };
+        SpectrumModel::for_topology(params, &Torus::new(k))
+    }
+
+    #[test]
+    fn zero_load_latency_equals_message_length_plus_mean_distance() {
+        let r = torus_model(6, 6, 0.0).solve();
+        assert!(!r.saturated);
+        assert_eq!(r.topology, "T6");
+        assert!((r.mean_network_latency - (32.0 + r.mean_distance)).abs() < 1e-6);
+        assert_eq!(r.source_waiting, 0.0);
+        assert!((r.multiplexing - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reproduces_the_star_model_on_the_star_spectrum() {
+        // same spectrum integers, same solver: the generic model must land on
+        // the star model's fixed point (tiny fp-ordering differences allowed —
+        // the closed form sums classes in cycle-type order)
+        for rate in [0.0, 0.004, 0.008] {
+            let config = ModelConfig::builder()
+                .symbols(5)
+                .virtual_channels(6)
+                .message_length(32)
+                .traffic_rate(rate)
+                .build();
+            let star = AnalyticalModel::new(config).solve();
+            let params = ModelParams { traffic_rate: rate, ..Default::default() };
+            let generic = SpectrumModel::for_topology(params, &StarGraph::new(5)).solve();
+            assert_eq!(star.saturated, generic.saturated, "rate {rate}");
+            let rel = (star.mean_latency - generic.mean_latency).abs() / star.mean_latency;
+            assert!(rel < 1e-9, "rate {rate}: relative deviation {rel}");
+            assert!((star.mean_distance - generic.mean_distance).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reproduces_the_hypercube_model_on_the_cube_spectrum() {
+        for (routing, discipline) in [
+            (crate::HypercubeRouting::EnhancedNbc, ModelDiscipline::EnhancedNbc),
+            (crate::HypercubeRouting::DimensionOrder, ModelDiscipline::Deterministic),
+        ] {
+            let config = HypercubeConfig::builder()
+                .dims(7)
+                .virtual_channels(6)
+                .message_length(32)
+                .traffic_rate(0.01)
+                .routing(routing)
+                .build();
+            let cube = HypercubeModel::new(config).solve();
+            let params = ModelParams { discipline, traffic_rate: 0.01, ..Default::default() };
+            let generic = SpectrumModel::for_topology(params, &Hypercube::new(7)).solve();
+            assert_eq!(cube.saturated, generic.saturated);
+            let rel = (cube.mean_latency - generic.mean_latency).abs() / cube.mean_latency;
+            assert!(rel < 1e-9, "{discipline:?}: relative deviation {rel}");
+            // class order and spectra are identical here, so the fixed-point
+            // trajectory is too
+            assert_eq!(cube.iterations, generic.iterations);
+        }
+    }
+
+    #[test]
+    fn torus_latency_is_monotone_in_load_until_saturation() {
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(8)));
+        let mut last = 0.0;
+        let mut saturated_seen = false;
+        for i in 1..=60 {
+            let rate = i as f64 * 0.002;
+            let params = ModelParams { traffic_rate: rate, ..Default::default() };
+            let r = SpectrumModel::new(params, Arc::clone(&spectrum)).solve();
+            if r.saturated {
+                saturated_seen = true;
+                break;
+            }
+            assert!(r.mean_latency > last, "latency must grow with load at rate {rate}");
+            last = r.mean_latency;
+        }
+        assert!(saturated_seen, "the sweep must eventually saturate");
+    }
+
+    #[test]
+    fn deterministic_routing_is_slower_than_adaptive_on_the_torus() {
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(8)));
+        let rate = 0.7 * spectrum_saturation_rate(ModelParams::default(), &spectrum, 0.02);
+        let adaptive = SpectrumModel::new(
+            ModelParams { traffic_rate: rate, ..Default::default() },
+            Arc::clone(&spectrum),
+        )
+        .solve();
+        let det = SpectrumModel::new(
+            ModelParams {
+                discipline: ModelDiscipline::Deterministic,
+                traffic_rate: rate,
+                ..Default::default()
+            },
+            Arc::clone(&spectrum),
+        )
+        .solve();
+        assert!(!adaptive.saturated);
+        if !det.saturated {
+            assert!(det.mean_latency >= adaptive.mean_latency - 1e-9);
+        }
+    }
+
+    #[test]
+    fn ring_solves_at_light_load() {
+        let params = ModelParams { virtual_channels: 4, traffic_rate: 0.001, ..Default::default() };
+        let r = SpectrumModel::for_topology(params, &Ring::new(8)).solve();
+        assert!(!r.saturated);
+        assert!(r.mean_latency > 32.0 + r.mean_distance);
+    }
+
+    #[test]
+    fn warm_start_reaches_the_cold_fixed_point_with_fewer_iterations() {
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(8)));
+        let sat = spectrum_saturation_rate(ModelParams::default(), &spectrum, 0.02);
+        let near =
+            SpectrumModel::new(ModelParams::default().with_rate(sat * 0.9), Arc::clone(&spectrum));
+        let seed = near.solve();
+        assert!(!seed.saturated);
+        let model =
+            SpectrumModel::new(ModelParams::default().with_rate(sat * 0.92), Arc::clone(&spectrum));
+        let cold = model.solve();
+        let warm = model.solve_from(&[seed.mean_network_latency]);
+        assert!(!cold.saturated && !warm.saturated);
+        let rel = (warm.mean_latency - cold.mean_latency).abs() / cold.mean_latency;
+        assert!(rel < 1e-9, "warm and cold fixed points differ by {rel}");
+        assert!(warm.iterations < cold.iterations);
+    }
+
+    #[test]
+    fn saturation_rate_is_consistent_with_solves() {
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(6)));
+        let sat = spectrum_saturation_rate(ModelParams::default(), &spectrum, 0.02);
+        assert!(sat > 0.0);
+        let below =
+            SpectrumModel::new(ModelParams::default().with_rate(sat * 0.9), Arc::clone(&spectrum))
+                .solve();
+        let above =
+            SpectrumModel::new(ModelParams::default().with_rate(sat * 1.2), Arc::clone(&spectrum))
+                .solve();
+        assert!(!below.saturated);
+        assert!(above.saturated);
+    }
+
+    #[test]
+    fn parallel_blocking_sums_reproduce_the_serial_solve_exactly() {
+        let spectrum = Arc::new(TraversalSpectrum::new(&Torus::new(10)));
+        let params = ModelParams { virtual_channels: 7, traffic_rate: 0.01, ..Default::default() };
+        let serial = SpectrumModel::new(params, Arc::clone(&spectrum)).solve();
+        for threads in [0usize, 2, 4] {
+            let parallel =
+                SpectrumModel::new(params, Arc::clone(&spectrum)).with_parallelism(threads).solve();
+            assert_eq!(serial, parallel, "threads = {threads} must be byte-identical");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid parameters for T12")]
+    fn too_few_virtual_channels_are_rejected() {
+        // T12: diameter 12 → 7 levels → Enhanced-Nbc needs V ≥ 8
+        let _ = torus_model(12, 7, 0.001);
+    }
+
+    #[test]
+    fn heavy_load_is_reported_as_saturated() {
+        let r = torus_model(6, 6, 0.5).solve();
+        assert!(r.saturated);
+        assert!(r.mean_latency.is_infinite());
+    }
+}

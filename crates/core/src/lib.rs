@@ -28,19 +28,24 @@
 //! ## Derivation chain and topology split
 //!
 //! The modules compose in a fixed order — **config → spectrum → blocking →
-//! waiting → latency** — and since the hypercube extension the chain forks
-//! only at the spectrum:
+//! waiting → latency** — and the chain forks only at the spectrum:
 //!
-//! | stage | star `S_n` | hypercube `Q_d` | topology-agnostic? |
-//! |---|---|---|---|
-//! | config | [`config`] ([`ModelConfig`]) | [`hypercube`] ([`HypercubeConfig`]) | shape yes, ranges no |
-//! | spectrum | [`adaptivity`] ([`DestinationSpectrum`], cycle types + path DAGs) | [`hypercube`] ([`HypercubeSpectrum`], binomial Hamming populations) | **no** — the only star-specific derivation |
-//! | blocking | [`blocking`] (Eqs. 6–11) | same module, unchanged | yes for any bipartite network |
-//! | waiting | [`waiting`] (Eqs. 12–16) | same module, unchanged | yes |
-//! | occupancy | [`occupancy`] (Eqs. 18–19) | same module, unchanged | yes |
-//! | latency | [`model`] ([`AnalyticalModel`]) | [`hypercube`] ([`HypercubeModel`]) | same fixed point, same solver |
+//! | stage | star `S_n` | hypercube `Q_d` | any [`star_graph::Topology`] | topology-agnostic? |
+//! |---|---|---|---|---|
+//! | config | [`config`] ([`ModelConfig`]) | [`hypercube`] ([`HypercubeConfig`]) | [`params`] ([`ModelParams`]) | shape yes, ranges no |
+//! | spectrum | [`adaptivity`] ([`DestinationSpectrum`], cycle types + path DAGs) | [`hypercube`] ([`HypercubeSpectrum`], binomial Hamming populations) | [`spectrum`] ([`TraversalSpectrum`], BFS census via `min_route_ports`) | the generic census makes it so |
+//! | blocking | [`blocking`] (Eqs. 6–11) | same module, unchanged | same module, unchanged | yes for any bipartite network |
+//! | waiting | [`waiting`] (Eqs. 12–16) | same module, unchanged | same module, unchanged | yes |
+//! | occupancy | [`occupancy`] (Eqs. 18–19) | same module, unchanged | same module, unchanged | yes |
+//! | latency | [`model`] ([`AnalyticalModel`]) | [`hypercube`] ([`HypercubeModel`]) | [`generic`] ([`SpectrumModel`]) | same fixed point, same solver |
 //!
-//! Each module's docs state which side of this split it sits on.
+//! The closed-form star and hypercube columns are retained as **oracles**:
+//! the generic [`TraversalSpectrum`] reproduces both bit-identically (exact
+//! `u128` path counts, one final division), which the `spectrum` module's
+//! tests pin down.  New topologies (e.g. [`star_graph::Torus`] /
+//! [`star_graph::Ring`]) only implement the [`star_graph::Topology`] trait
+//! and go through the generic column.  Each module's docs state which side
+//! of this split it sits on.
 //!
 //! ```
 //! use star_core::{AnalyticalModel, ModelConfig};
@@ -63,19 +68,25 @@
 pub mod adaptivity;
 pub mod blocking;
 pub mod config;
+pub mod generic;
 pub mod hypercube;
 pub mod model;
 pub mod occupancy;
+pub mod params;
+pub mod spectrum;
 pub mod sweep;
 pub mod validation;
 pub mod waiting;
 
 pub use adaptivity::{DestinationClass, DestinationSpectrum};
 pub use config::{ConfigError, ModelConfig, ModelConfigBuilder, RoutingDiscipline};
+pub use generic::{spectrum_saturation_rate, SpectrumModel, SpectrumResult};
 pub use hypercube::{
     hypercube_saturation_rate, HypercubeClass, HypercubeConfig, HypercubeConfigBuilder,
     HypercubeConfigError, HypercubeModel, HypercubeResult, HypercubeRouting, HypercubeSpectrum,
 };
 pub use model::{AnalyticalModel, ModelResult};
+pub use params::{ModelDiscipline, ModelParams, ModelParamsError};
+pub use spectrum::{TraversalClass, TraversalSpectrum};
 pub use sweep::{saturation_rate, sweep_traffic, sweep_traffic_cold, SweepPoint};
 pub use validation::ValidationRow;

@@ -1,0 +1,442 @@
+//! Unified model parameters that pair with a topology value instead of a
+//! per-topology config struct.
+//!
+//! [`crate::ModelConfig`] (star) and [`crate::HypercubeConfig`] (hypercube)
+//! bundle the *same* four knobs — virtual channels `V`, message length `M`,
+//! traffic rate `λ_g`, routing discipline — with a topology-specific size
+//! field and topology-specific validation ranges.  [`ModelParams`] keeps only
+//! the four knobs; the topology arrives separately as `&dyn Topology`, and
+//! [`ModelParams::validate_for`] derives the requirements (escape-level
+//! minimum `⌊diameter/2⌋ + 1`, size ranges) from the topology itself,
+//! delegating to the closed-form validators when the topology is a star graph
+//! or hypercube so the error messages stay identical.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use star_graph::coloring::max_negative_hops;
+use star_graph::{Hypercube, StarGraph, Topology};
+
+use crate::blocking::VcSplit;
+use crate::config::{ConfigError, ModelConfig, RoutingDiscipline};
+use crate::hypercube::{HypercubeConfig, HypercubeConfigError, HypercubeRouting};
+
+/// Which routing scheme the model evaluates, across every topology.
+///
+/// The three adaptive variants are the star paper's negative-hop disciplines
+/// ([`RoutingDiscipline`]); `Deterministic` is the dimension-order style
+/// baseline (one admissible output port and one admissible virtual channel
+/// per hop), which the closed-form star model does not cover but the
+/// hypercube model ([`HypercubeRouting::DimensionOrder`]) and the generic
+/// [`crate::SpectrumModel`] do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ModelDiscipline {
+    /// Minimal escape levels plus fully adaptive class-a channels, with
+    /// bonus cards on the escape levels (the paper's algorithm).
+    #[default]
+    EnhancedNbc,
+    /// Negative-hop with bonus cards over all `V` virtual channels.
+    Nbc,
+    /// Plain negative-hop: one admissible virtual channel per admissible
+    /// physical channel.
+    NHop,
+    /// Deterministic minimal routing: one admissible output port per hop,
+    /// one admissible virtual channel (the mandatory negative-hop level).
+    Deterministic,
+}
+
+impl ModelDiscipline {
+    /// Whether the scheme offers every profitable output port (adaptive) or
+    /// a single canonical one (deterministic).
+    #[must_use]
+    pub fn is_adaptive(self) -> bool {
+        !matches!(self, ModelDiscipline::Deterministic)
+    }
+
+    /// Whether headers may climb above their mandatory escape level
+    /// (bonus cards).
+    #[must_use]
+    pub fn bonus_cards(self) -> bool {
+        matches!(self, ModelDiscipline::EnhancedNbc | ModelDiscipline::Nbc)
+    }
+
+    /// The star-model discipline, if the closed-form star model covers this
+    /// scheme (it has no deterministic variant).
+    #[must_use]
+    pub fn star_discipline(self) -> Option<RoutingDiscipline> {
+        match self {
+            ModelDiscipline::EnhancedNbc => Some(RoutingDiscipline::EnhancedNbc),
+            ModelDiscipline::Nbc => Some(RoutingDiscipline::Nbc),
+            ModelDiscipline::NHop => Some(RoutingDiscipline::NHop),
+            ModelDiscipline::Deterministic => None,
+        }
+    }
+
+    /// The hypercube-model routing scheme (every discipline is covered;
+    /// `Deterministic` maps to dimension-order e-cube routing).
+    #[must_use]
+    pub fn hypercube_routing(self) -> HypercubeRouting {
+        match self {
+            ModelDiscipline::EnhancedNbc => HypercubeRouting::EnhancedNbc,
+            ModelDiscipline::Nbc => HypercubeRouting::Nbc,
+            ModelDiscipline::NHop => HypercubeRouting::NHop,
+            ModelDiscipline::Deterministic => HypercubeRouting::DimensionOrder,
+        }
+    }
+}
+
+/// Why a [`ModelParams`] / topology pairing is invalid.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ModelParamsError {
+    /// The star-graph validator rejected the pairing.
+    Star(ConfigError),
+    /// The hypercube validator rejected the pairing.
+    Hypercube(HypercubeConfigError),
+    /// Messages must be at least one flit long.
+    ZeroLengthMessage,
+    /// The traffic generation rate is negative, NaN or infinite.
+    InvalidTrafficRate {
+        /// The rejected rate.
+        rate: f64,
+    },
+    /// The discipline needs more virtual channels than were configured.
+    TooFewVirtualChannels {
+        /// The discipline being modelled.
+        discipline: ModelDiscipline,
+        /// Minimum negative-hop levels the topology requires.
+        required_levels: usize,
+        /// The rejected virtual-channel count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ModelParamsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelParamsError::Star(e) => e.fmt(f),
+            ModelParamsError::Hypercube(e) => e.fmt(f),
+            ModelParamsError::ZeroLengthMessage => write!(f, "messages need at least one flit"),
+            ModelParamsError::InvalidTrafficRate { rate } => {
+                write!(f, "traffic rate must be finite and non-negative, got {rate}")
+            }
+            ModelParamsError::TooFewVirtualChannels {
+                discipline: ModelDiscipline::EnhancedNbc,
+                required_levels,
+                got,
+            } => write!(
+                f,
+                "Enhanced-Nbc needs more than {required_levels} virtual channels, got {got}"
+            ),
+            ModelParamsError::TooFewVirtualChannels { discipline, required_levels, got } => {
+                write!(
+                    f,
+                    "{discipline:?} needs at least {required_levels} virtual channels, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for ModelParamsError {}
+
+/// The four model knobs that are common to every topology: virtual channels
+/// `V`, message length `M`, traffic generation rate `λ_g` and the routing
+/// discipline.  Pair with a [`Topology`] (or a
+/// [`crate::TraversalSpectrum`]) to evaluate the model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ModelParams {
+    /// Virtual channels `V` per physical channel.
+    pub virtual_channels: usize,
+    /// Message length `M` in flits.
+    pub message_length: usize,
+    /// Traffic generation rate `λ_g` in messages per node per cycle.
+    pub traffic_rate: f64,
+    /// Routing discipline being modelled.
+    pub discipline: ModelDiscipline,
+}
+
+impl Default for ModelParams {
+    /// The paper's `V = 6`, `M = 32`, Enhanced-Nbc configuration at a low
+    /// load (the topology is supplied separately).
+    fn default() -> Self {
+        Self {
+            virtual_channels: 6,
+            message_length: 32,
+            traffic_rate: 0.001,
+            discipline: ModelDiscipline::EnhancedNbc,
+        }
+    }
+}
+
+impl ModelParams {
+    /// Returns a copy with the traffic rate replaced — the knob sweeps turn.
+    #[must_use]
+    pub fn with_rate(self, rate: f64) -> Self {
+        Self { traffic_rate: rate, ..self }
+    }
+
+    /// Minimum number of negative-hop levels a bipartite topology of the
+    /// given diameter requires (`⌊diameter/2⌋ + 1`).
+    #[must_use]
+    pub fn required_levels(diameter: usize) -> usize {
+        max_negative_hops(diameter, 2) + 1
+    }
+
+    /// Smallest valid `V` for this discipline on a topology of the given
+    /// diameter (`levels + 1` for Enhanced-Nbc, which needs at least one
+    /// class-a channel; `levels` otherwise).
+    #[must_use]
+    pub fn min_virtual_channels(discipline: ModelDiscipline, diameter: usize) -> usize {
+        let levels = Self::required_levels(diameter);
+        match discipline {
+            ModelDiscipline::EnhancedNbc => levels + 1,
+            _ => levels,
+        }
+    }
+
+    /// Number of class-b (escape) virtual channels for a topology of the
+    /// given diameter.
+    #[must_use]
+    pub fn escape_levels(&self, diameter: usize) -> usize {
+        match self.discipline {
+            ModelDiscipline::EnhancedNbc => Self::required_levels(diameter),
+            _ => self.virtual_channels,
+        }
+    }
+
+    /// Number of class-a (fully adaptive) virtual channels for a topology of
+    /// the given diameter.
+    #[must_use]
+    pub fn adaptive_channels(&self, diameter: usize) -> usize {
+        match self.discipline {
+            ModelDiscipline::EnhancedNbc => self.virtual_channels - Self::required_levels(diameter),
+            _ => 0,
+        }
+    }
+
+    /// The virtual-channel split the blocking equations assume on a topology
+    /// of the given diameter.
+    #[must_use]
+    pub fn vc_split(&self, diameter: usize) -> VcSplit {
+        VcSplit {
+            adaptive: self.adaptive_channels(diameter),
+            escape_levels: self.escape_levels(diameter),
+            bonus_cards: self.discipline.bonus_cards(),
+        }
+    }
+
+    /// Topology-agnostic validation against a diameter: message length,
+    /// traffic rate and the virtual-channel floor.
+    ///
+    /// # Errors
+    /// Returns a [`ModelParamsError`] describing the first violation.
+    pub fn try_validate_generic(&self, diameter: usize) -> Result<(), ModelParamsError> {
+        if self.message_length < 1 {
+            return Err(ModelParamsError::ZeroLengthMessage);
+        }
+        if !(self.traffic_rate >= 0.0 && self.traffic_rate.is_finite()) {
+            return Err(ModelParamsError::InvalidTrafficRate { rate: self.traffic_rate });
+        }
+        if self.virtual_channels < Self::min_virtual_channels(self.discipline, diameter) {
+            return Err(ModelParamsError::TooFewVirtualChannels {
+                discipline: self.discipline,
+                required_levels: Self::required_levels(diameter),
+                got: self.virtual_channels,
+            });
+        }
+        Ok(())
+    }
+
+    /// Validates the pairing of these parameters with a topology, delegating
+    /// to the closed-form validators when the topology is a [`StarGraph`] or
+    /// [`Hypercube`] (so their size-range checks and error messages apply)
+    /// and to [`Self::try_validate_generic`] otherwise.
+    ///
+    /// A star graph with the deterministic discipline validates generically:
+    /// the closed-form star model has no deterministic variant, but the
+    /// generic spectrum model covers it.
+    ///
+    /// # Errors
+    /// Returns a [`ModelParamsError`] describing the first violation.
+    pub fn validate_for(&self, topology: &dyn Topology) -> Result<(), ModelParamsError> {
+        if let Some(star) = topology.as_any().downcast_ref::<StarGraph>() {
+            if let Some(config) = self.star_config(star.symbols()) {
+                return config.try_validate().map_err(ModelParamsError::Star);
+            }
+        } else if let Some(cube) = topology.as_any().downcast_ref::<Hypercube>() {
+            return self
+                .hypercube_config(cube.dims())
+                .try_validate()
+                .map_err(ModelParamsError::Hypercube);
+        }
+        self.try_validate_generic(topology.diameter())
+    }
+
+    /// The closed-form star configuration for `S_n`, if the star model
+    /// covers this discipline (not validated — pair with
+    /// [`ModelConfig::try_validate`]).
+    #[must_use]
+    pub fn star_config(&self, symbols: usize) -> Option<ModelConfig> {
+        Some(ModelConfig {
+            symbols,
+            virtual_channels: self.virtual_channels,
+            message_length: self.message_length,
+            traffic_rate: self.traffic_rate,
+            discipline: self.discipline.star_discipline()?,
+        })
+    }
+
+    /// The closed-form hypercube configuration for `Q_d` (not validated —
+    /// pair with [`HypercubeConfig::try_validate`]).
+    #[must_use]
+    pub fn hypercube_config(&self, dims: usize) -> HypercubeConfig {
+        HypercubeConfig {
+            dims,
+            virtual_channels: self.virtual_channels,
+            message_length: self.message_length,
+            traffic_rate: self.traffic_rate,
+            routing: self.discipline.hypercube_routing(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::{Ring, Torus};
+
+    fn params(v: usize) -> ModelParams {
+        ModelParams { virtual_channels: v, ..ModelParams::default() }
+    }
+
+    #[test]
+    fn default_matches_the_papers_knobs() {
+        let p = ModelParams::default();
+        assert_eq!(p.virtual_channels, 6);
+        assert_eq!(p.message_length, 32);
+        assert_eq!(p.discipline, ModelDiscipline::EnhancedNbc);
+        assert!((p.with_rate(0.004).traffic_rate - 0.004).abs() < 1e-15);
+    }
+
+    #[test]
+    fn star_validation_delegates_to_the_closed_form() {
+        let star = StarGraph::new(5);
+        assert!(params(6).validate_for(&star).is_ok());
+        // V = 4 fails with the star validator's error, not the generic one
+        assert_eq!(
+            params(4).validate_for(&star),
+            Err(ModelParamsError::Star(ConfigError::TooFewVirtualChannels {
+                discipline: RoutingDiscipline::EnhancedNbc,
+                symbols: 5,
+                required_levels: 4,
+                got: 4,
+            }))
+        );
+        let msg = params(4).validate_for(&star).unwrap_err().to_string();
+        assert!(msg.contains("Enhanced-Nbc on S_5"), "delegated message: {msg}");
+    }
+
+    #[test]
+    fn hypercube_validation_delegates_to_the_closed_form() {
+        let cube = Hypercube::new(10);
+        assert!(params(8).validate_for(&cube).is_ok());
+        let err = params(6).validate_for(&cube).unwrap_err();
+        assert!(matches!(err, ModelParamsError::Hypercube(_)));
+        assert!(err.to_string().contains("Q_10"));
+        // the deterministic discipline maps to dimension-order and accepts
+        // V == required levels
+        let det = ModelParams { discipline: ModelDiscipline::Deterministic, ..params(6) };
+        assert!(det.validate_for(&cube).is_ok());
+    }
+
+    #[test]
+    fn generic_validation_covers_torus_and_ring() {
+        let t12 = Torus::new(12); // diameter 12 → 7 levels → V ≥ 8 for Enhanced-Nbc
+        assert_eq!(ModelParams::required_levels(t12.diameter()), 7);
+        assert!(params(8).validate_for(&t12).is_ok());
+        assert_eq!(
+            params(7).validate_for(&t12),
+            Err(ModelParamsError::TooFewVirtualChannels {
+                discipline: ModelDiscipline::EnhancedNbc,
+                required_levels: 7,
+                got: 7,
+            })
+        );
+        let ring = Ring::new(8); // diameter 4 → 3 levels
+        assert!(params(4).validate_for(&ring).is_ok());
+        let nhop = ModelParams { discipline: ModelDiscipline::NHop, ..params(3) };
+        assert!(nhop.validate_for(&ring).is_ok(), "escape-only schemes accept V == levels");
+    }
+
+    #[test]
+    fn generic_validation_rejects_bad_messages_and_rates() {
+        let torus = Torus::new(8);
+        let zero = ModelParams { message_length: 0, ..params(8) };
+        assert_eq!(zero.validate_for(&torus), Err(ModelParamsError::ZeroLengthMessage));
+        let nan = ModelParams { traffic_rate: f64::NAN, ..params(8) };
+        assert!(matches!(
+            nan.validate_for(&torus),
+            Err(ModelParamsError::InvalidTrafficRate { .. })
+        ));
+    }
+
+    #[test]
+    fn star_deterministic_falls_back_to_generic_validation() {
+        let star = StarGraph::new(5);
+        let det = ModelParams { discipline: ModelDiscipline::Deterministic, ..params(4) };
+        assert!(det.star_config(5).is_none(), "no closed-form star deterministic model");
+        assert!(det.validate_for(&star).is_ok(), "V = 4 covers the 4 levels S5 needs");
+    }
+
+    #[test]
+    fn vc_split_matches_the_per_topology_configs() {
+        let p = params(6);
+        let star_cfg = p.star_config(5).unwrap();
+        let split = p.vc_split(star_cfg.diameter());
+        assert_eq!(split.adaptive, star_cfg.adaptive_channels());
+        assert_eq!(split.escape_levels, star_cfg.escape_levels());
+        assert_eq!(split.bonus_cards, star_cfg.bonus_cards());
+        let cube_cfg = params(8).hypercube_config(10);
+        let split = params(8).vc_split(cube_cfg.diameter());
+        assert_eq!(split.adaptive, cube_cfg.adaptive_channels());
+        assert_eq!(split.escape_levels, cube_cfg.escape_levels());
+        assert_eq!(split.bonus_cards, cube_cfg.bonus_cards());
+    }
+
+    #[test]
+    fn discipline_mappings_round_trip() {
+        for d in [
+            ModelDiscipline::EnhancedNbc,
+            ModelDiscipline::Nbc,
+            ModelDiscipline::NHop,
+            ModelDiscipline::Deterministic,
+        ] {
+            assert_eq!(d.is_adaptive(), d.hypercube_routing().is_adaptive());
+            if let Some(star) = d.star_discipline() {
+                assert_eq!(format!("{star:?}"), format!("{d:?}"));
+            }
+        }
+        assert!(!ModelDiscipline::NHop.bonus_cards());
+        assert!(!ModelDiscipline::Deterministic.bonus_cards());
+        assert!(ModelDiscipline::Nbc.bonus_cards());
+    }
+
+    #[test]
+    fn error_displays() {
+        let err = ModelParamsError::TooFewVirtualChannels {
+            discipline: ModelDiscipline::EnhancedNbc,
+            required_levels: 7,
+            got: 7,
+        };
+        assert_eq!(err.to_string(), "Enhanced-Nbc needs more than 7 virtual channels, got 7");
+        let err = ModelParamsError::TooFewVirtualChannels {
+            discipline: ModelDiscipline::Deterministic,
+            required_levels: 3,
+            got: 2,
+        };
+        assert_eq!(err.to_string(), "Deterministic needs at least 3 virtual channels, got 2");
+        let boxed: Box<dyn std::error::Error> = Box::new(ModelParamsError::ZeroLengthMessage);
+        assert_eq!(boxed.to_string(), "messages need at least one flit");
+    }
+}

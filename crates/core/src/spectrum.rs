@@ -1,0 +1,406 @@
+//! The generic traversal spectrum: the model's destination census derived
+//! from any [`Topology`] instead of a per-topology closed form.
+//!
+//! **Topology split:** this module *removes* the split.  The star spectrum
+//! ([`crate::DestinationSpectrum`]) enumerates permutation cycle types and the
+//! hypercube spectrum ([`crate::HypercubeSpectrum`]) uses binomial Hamming
+//! populations; both are exact combinatorial constructions that only exist
+//! because someone derived them.  [`TraversalSpectrum`] instead asks the
+//! topology three questions — `symmetry_classes()`, `min_route_ports()` and
+//! `neighbor()` — and rebuilds the same information by breadth-first search
+//! over the minimal-path DAG of each class representative, with the same
+//! prefix/suffix path-counting DP `star_graph::path` uses.
+//!
+//! Because both builders accumulate exact `u128` path counts per adaptivity
+//! value and divide once at the end, the generic spectrum reproduces the
+//! closed forms **bit-identically** (see the oracle tests below), which is
+//! what lets the closed-form stacks be retained as oracles rather than as
+//! load-bearing code.  The contract a topology must satisfy for the census to
+//! be meaningful is documented on [`Topology`] ("The spectrum contract").
+
+use std::collections::{BTreeMap, HashMap};
+
+use star_graph::topology::NodeId;
+use star_graph::{AdaptivityProfile, Topology};
+
+/// One destination equivalence class of a topology: all `count` destinations
+/// that look like `representative` from node 0, with the per-hop adaptivity
+/// profiles both routing families see on the way there.
+#[derive(Debug, Clone)]
+pub struct TraversalClass {
+    /// Class representative (a destination node id).
+    pub representative: NodeId,
+    /// Number of destinations in this class.
+    pub count: u64,
+    /// Distance from the source.
+    pub distance: usize,
+    /// Per-hop adaptivity under fully adaptive minimal routing, uniformly
+    /// weighted over all minimal paths to the representative.
+    pub adaptive_profile: AdaptivityProfile,
+    /// Per-hop adaptivity under deterministic (dimension-order style) minimal
+    /// routing: always exactly one admissible output port.
+    pub deterministic_profile: AdaptivityProfile,
+}
+
+/// The traversal spectrum of an arbitrary vertex-transitive [`Topology`]:
+/// destination populations and per-hop adaptivity profiles in the same shape
+/// the closed-form [`crate::DestinationSpectrum`] / [`crate::HypercubeSpectrum`]
+/// provide, so the same blocking/waiting/occupancy chain consumes it
+/// unchanged (see [`crate::SpectrumModel`]).
+#[derive(Debug, Clone)]
+pub struct TraversalSpectrum {
+    topology_name: String,
+    node_count: usize,
+    degree: usize,
+    diameter: usize,
+    classes: Vec<TraversalClass>,
+}
+
+/// Builds the adaptivity profile for routing node 0 → `dest` by BFS over the
+/// minimal-path DAG: levels are discovered through [`Topology::min_route_ports`]
+/// (profitable successors only), path counts by the prefix/suffix DP, and the
+/// per-hop histograms by exact `u128` accumulation — the node-id mirror of
+/// [`star_graph::path::MinimalPathDag`].
+fn profile_to(topology: &dyn Topology, dest: NodeId) -> AdaptivityProfile {
+    let source: NodeId = 0;
+    let distance = topology.distance(source, dest);
+    let mut levels: Vec<Vec<NodeId>> = vec![Vec::new(); distance + 1];
+    levels[0].push(source);
+    let mut discovered: HashMap<NodeId, usize> = HashMap::new();
+    discovered.insert(source, 0);
+    for level in 0..distance {
+        let current = levels[level].clone();
+        for node in current {
+            for port in topology.min_route_ports(node, dest) {
+                let next = topology.neighbor(node, port);
+                if let std::collections::hash_map::Entry::Vacant(e) = discovered.entry(next) {
+                    e.insert(level + 1);
+                    levels[level + 1].push(next);
+                }
+            }
+        }
+    }
+    debug_assert_eq!(levels[distance], vec![dest]);
+
+    // suffix counts: minimal paths from node to dest, bottom-up
+    let mut suffix_counts: HashMap<NodeId, u128> = HashMap::new();
+    suffix_counts.insert(dest, 1);
+    for level in (0..distance).rev() {
+        for &node in &levels[level] {
+            let total: u128 = topology
+                .min_route_ports(node, dest)
+                .into_iter()
+                .map(|port| suffix_counts[&topology.neighbor(node, port)])
+                .sum();
+            suffix_counts.insert(node, total);
+        }
+    }
+
+    // prefix counts: minimal paths from the source to node, top-down
+    let mut prefix_counts: HashMap<NodeId, u128> = HashMap::new();
+    prefix_counts.insert(source, 1);
+    for level_nodes in levels.iter().take(distance) {
+        for &node in level_nodes {
+            let from = prefix_counts[&node];
+            for port in topology.min_route_ports(node, dest) {
+                *prefix_counts.entry(topology.neighbor(node, port)).or_insert(0) += from;
+            }
+        }
+    }
+
+    let path_count = suffix_counts[&source];
+    let mut hop_adaptivity = Vec::with_capacity(distance);
+    for level_nodes in levels.iter().take(distance) {
+        // exact u128 sums per adaptivity value, divided once — the same
+        // order-independent arithmetic as `MinimalPathDag::adaptivity_profile`,
+        // so identical integers produce identical floats
+        let mut sums: BTreeMap<usize, u128> = BTreeMap::new();
+        for &node in level_nodes {
+            *sums.entry(topology.min_route_ports(node, dest).len()).or_insert(0) +=
+                prefix_counts[&node] * suffix_counts[&node];
+        }
+        hop_adaptivity
+            .push(sums.into_iter().map(|(f, s)| (f, s as f64 / path_count as f64)).collect());
+    }
+    AdaptivityProfile { distance, path_count, hop_adaptivity }
+}
+
+impl TraversalSpectrum {
+    /// Builds the spectrum of a topology from its symmetry classes.
+    ///
+    /// # Panics
+    /// Panics if the topology's [`Topology::symmetry_classes`] do not cover
+    /// exactly the `node_count() − 1` destinations.
+    #[must_use]
+    pub fn new(topology: &dyn Topology) -> Self {
+        Self::with_threads(topology, 1)
+    }
+
+    /// Builds the spectrum, sharding the per-class path-DAG construction
+    /// across the shared [`star_exec::ExecPool`] (`1` = serial, `0` = all
+    /// pool workers, anything else caps the executors).  Each class is built
+    /// identically wherever it runs and the classes are sorted afterwards,
+    /// so the result is identical for any width.
+    ///
+    /// # Panics
+    /// As [`Self::new`].
+    #[must_use]
+    pub fn with_threads(topology: &dyn Topology, threads: usize) -> Self {
+        let reps = topology.symmetry_classes();
+        let covered: u64 = reps.iter().map(|&(_, count)| count).sum();
+        assert_eq!(
+            covered,
+            (topology.node_count() - 1) as u64,
+            "symmetry classes of {} must cover every destination",
+            topology.name()
+        );
+        let mut classes =
+            star_exec::ExecPool::global_ordered(threads, &reps, |_, &(representative, count)| {
+                let adaptive_profile = profile_to(topology, representative);
+                let distance = adaptive_profile.distance;
+                let deterministic_profile = AdaptivityProfile {
+                    distance,
+                    path_count: 1,
+                    hop_adaptivity: vec![vec![(1, 1.0)]; distance],
+                };
+                TraversalClass {
+                    representative,
+                    count,
+                    distance,
+                    adaptive_profile,
+                    deterministic_profile,
+                }
+            });
+        classes.sort_by_key(|c| (c.distance, c.representative));
+        Self {
+            topology_name: topology.name(),
+            node_count: topology.node_count(),
+            degree: topology.degree(),
+            diameter: topology.diameter(),
+            classes,
+        }
+    }
+
+    /// Name of the topology the spectrum was built from (e.g. `"T8"`).
+    #[must_use]
+    pub fn topology_name(&self) -> &str {
+        &self.topology_name
+    }
+
+    /// Number of nodes of the underlying topology.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.node_count
+    }
+
+    /// Router degree of the underlying topology.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.degree
+    }
+
+    /// Diameter of the underlying topology.
+    #[must_use]
+    pub fn diameter(&self) -> usize {
+        self.diameter
+    }
+
+    /// The destination classes, sorted by `(distance, representative)`.
+    #[must_use]
+    pub fn classes(&self) -> &[TraversalClass] {
+        &self.classes
+    }
+
+    /// Total number of destinations (`node_count − 1`).
+    #[must_use]
+    pub fn destination_count(&self) -> u64 {
+        self.classes.iter().map(|c| c.count).sum()
+    }
+
+    /// Mean distance over all destinations (the generic Eq. 2).
+    #[must_use]
+    pub fn mean_distance(&self) -> f64 {
+        let weighted: f64 = self.classes.iter().map(|c| c.distance as f64 * c.count as f64).sum();
+        weighted / self.destination_count() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_graph::{factorial, Hypercube, Ring, StarGraph, Torus};
+
+    #[test]
+    fn star_census_matches_closed_form_exactly() {
+        // the generic BFS census must reproduce the cycle-type spectrum of
+        // S3–S6 bit-for-bit: same populations, path counts and per-hop
+        // adaptivity histograms (exact f64 equality, not tolerance)
+        for n in 3..=6 {
+            let star = StarGraph::new(n);
+            let generic = TraversalSpectrum::new(&star);
+            let oracle = crate::DestinationSpectrum::new(n);
+            assert_eq!(generic.destination_count(), factorial(n) - 1);
+            assert_eq!(generic.classes().len(), oracle.classes().len(), "S{n} class count");
+            // cycle-type order and (distance, representative) order may
+            // interleave within a distance; compare sorted per-distance bags
+            let mut a: Vec<_> = generic
+                .classes()
+                .iter()
+                .map(|c| {
+                    (
+                        c.distance,
+                        c.count,
+                        c.adaptive_profile.path_count,
+                        c.adaptive_profile.hop_adaptivity.clone(),
+                    )
+                })
+                .collect();
+            let mut b: Vec<_> = oracle
+                .classes()
+                .iter()
+                .map(|c| {
+                    (c.distance, c.count, c.profile.path_count, c.profile.hop_adaptivity.clone())
+                })
+                .collect();
+            a.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            b.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            assert_eq!(a, b, "S{n}: generic census must equal the cycle-type oracle exactly");
+            assert!((generic.mean_distance() - oracle.mean_distance()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn hypercube_census_matches_closed_form_exactly() {
+        for d in 3..=8 {
+            let cube = Hypercube::new(d);
+            let generic = TraversalSpectrum::new(&cube);
+            let oracle = crate::HypercubeSpectrum::new(d);
+            assert_eq!(generic.classes().len(), oracle.classes().len(), "Q{d} class count");
+            for (g, o) in generic.classes().iter().zip(oracle.classes()) {
+                assert_eq!(g.distance, o.distance);
+                assert_eq!(g.count, o.count, "Q{d} population at h={}", o.distance);
+                assert_eq!(g.adaptive_profile, o.adaptive_profile, "Q{d} adaptive profile");
+                assert_eq!(g.deterministic_profile, o.deterministic_profile);
+            }
+            assert!((generic.mean_distance() - oracle.mean_distance()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn symmetry_classes_match_the_default_all_destinations_census() {
+        // the folded-displacement classes of the torus and ring must describe
+        // the same spectrum as treating every destination as its own class
+        struct NoSymmetry<T: Topology>(T);
+        impl<T: Topology + 'static> Topology for NoSymmetry<T> {
+            fn name(&self) -> String {
+                self.0.name()
+            }
+            fn node_count(&self) -> usize {
+                self.0.node_count()
+            }
+            fn degree(&self) -> usize {
+                self.0.degree()
+            }
+            fn diameter(&self) -> usize {
+                self.0.diameter()
+            }
+            fn neighbor(&self, node: NodeId, port: usize) -> NodeId {
+                self.0.neighbor(node, port)
+            }
+            fn distance(&self, a: NodeId, b: NodeId) -> usize {
+                self.0.distance(a, b)
+            }
+            fn min_route_ports(&self, current: NodeId, dest: NodeId) -> Vec<usize> {
+                self.0.min_route_ports(current, dest)
+            }
+            fn color(&self, node: NodeId) -> star_graph::Color {
+                self.0.color(node)
+            }
+            fn mean_distance(&self) -> f64 {
+                self.0.mean_distance()
+            }
+            fn as_any(&self) -> &dyn std::any::Any {
+                self
+            }
+            // inherit the trait's every-destination default
+        }
+        let grouped = TraversalSpectrum::new(&Torus::new(6));
+        let flat = TraversalSpectrum::new(&NoSymmetry(Torus::new(6)));
+        assert_eq!(grouped.destination_count(), flat.destination_count());
+        assert!((grouped.mean_distance() - flat.mean_distance()).abs() < 1e-15);
+        // aggregate the flat census into (distance, profile) → count and
+        // compare against the grouped classes
+        let mut flat_bags: HashMap<(usize, String), u64> = HashMap::new();
+        for c in flat.classes() {
+            *flat_bags.entry((c.distance, format!("{:?}", c.adaptive_profile))).or_insert(0) +=
+                c.count;
+        }
+        let mut grouped_bags: HashMap<(usize, String), u64> = HashMap::new();
+        for c in grouped.classes() {
+            *grouped_bags.entry((c.distance, format!("{:?}", c.adaptive_profile))).or_insert(0) +=
+                c.count;
+        }
+        assert_eq!(grouped_bags, flat_bags, "T6: folded-displacement classes must be exact");
+
+        let grouped = TraversalSpectrum::new(&Ring::new(10));
+        let flat = TraversalSpectrum::new(&NoSymmetry(Ring::new(10)));
+        assert_eq!(grouped.destination_count(), flat.destination_count());
+        assert!((grouped.mean_distance() - flat.mean_distance()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn torus_spectrum_shape() {
+        let t = TraversalSpectrum::new(&Torus::new(6));
+        assert_eq!(t.topology_name(), "T6");
+        assert_eq!(t.node_count(), 36);
+        assert_eq!(t.degree(), 4);
+        assert_eq!(t.diameter(), 6);
+        assert_eq!(t.destination_count(), 35);
+        assert!((t.mean_distance() - Torus::new(6).mean_distance()).abs() < 1e-12);
+        for class in t.classes() {
+            assert_eq!(class.adaptive_profile.distance, class.distance);
+            assert_eq!(class.adaptive_profile.hop_adaptivity.len(), class.distance);
+            // last hop of any minimal path is forced
+            let last = &class.adaptive_profile.hop_adaptivity[class.distance - 1];
+            assert_eq!(last, &vec![(1, 1.0)]);
+            for hop in &class.adaptive_profile.hop_adaptivity {
+                let sum: f64 = hop.iter().map(|&(_, p)| p).sum();
+                assert!((sum - 1.0).abs() < 1e-9);
+            }
+        }
+        // the antipode class (k/2, k/2) sees all 4 ports on the first hop
+        let antipode = t.classes().iter().find(|c| c.distance == 6).unwrap();
+        assert_eq!(antipode.adaptive_profile.hop_adaptivity[0], vec![(4, 1.0)]);
+    }
+
+    #[test]
+    fn ring_spectrum_has_one_or_two_destinations_per_distance() {
+        let r = TraversalSpectrum::new(&Ring::new(8));
+        assert_eq!(r.destination_count(), 7);
+        for class in r.classes() {
+            if class.distance == 4 {
+                // the antipode: unique, reachable both ways round
+                assert_eq!(class.count, 1);
+                assert_eq!(class.adaptive_profile.path_count, 2);
+            } else {
+                assert_eq!(class.count, 2);
+                assert_eq!(class.adaptive_profile.path_count, 1);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_spectrum_construction_matches_serial() {
+        let star = StarGraph::new(5);
+        let serial = TraversalSpectrum::new(&star);
+        for threads in [0usize, 2, 4] {
+            let threaded = TraversalSpectrum::with_threads(&star, threads);
+            assert_eq!(serial.classes().len(), threaded.classes().len());
+            for (a, b) in serial.classes().iter().zip(threaded.classes()) {
+                assert_eq!(a.representative, b.representative, "threads = {threads}");
+                assert_eq!(a.count, b.count);
+                assert_eq!(a.adaptive_profile, b.adaptive_profile);
+            }
+        }
+    }
+}

@@ -35,7 +35,9 @@ use crate::config::{SelectionPolicy, SimConfig};
 use crate::message::{Message, MessageId};
 use crate::traffic::TrafficPattern;
 
-/// A staged flit arrival, applied at the end of the cycle.
+/// A staged flit arrival, applied at the end of the cycle.  `port` is the
+/// *input* port at the arriving node (`reverse_port` of the sender's output
+/// port).
 #[derive(Debug, Clone, Copy)]
 struct StagedArrival {
     node: NodeId,
@@ -96,9 +98,9 @@ impl Network {
     /// configuration.
     ///
     /// # Panics
-    /// Panics if the configuration is invalid or the topology does not use the
-    /// same port index for both directions of a link (all topologies in this
-    /// workspace do).
+    /// Panics if the configuration is invalid or the topology's
+    /// [`reverse_port`](Topology::reverse_port) mapping does not invert its
+    /// links (all topologies in this workspace honour the contract).
     #[must_use]
     pub fn new(
         topology: Arc<dyn Topology>,
@@ -111,14 +113,15 @@ impl Network {
         let degree = topology.degree();
         let vcs = routing.virtual_channels();
         let inj_slots = if config.injection_slots == 0 { vcs } else { config.injection_slots };
-        // The simulator relies on links being symmetric in their port index.
+        // The simulator routes credits upstream through reverse_port, so the
+        // mapping must invert every link.
         for node in 0..nodes as NodeId {
             for port in 0..degree {
                 let nb = topology.neighbor(node, port);
                 assert_eq!(
-                    topology.neighbor(nb, port),
+                    topology.neighbor(nb, topology.reverse_port(node, port)),
                     node,
-                    "topology must use the same port index in both directions"
+                    "reverse_port must lead back across the link"
                 );
             }
         }
@@ -380,7 +383,8 @@ impl Network {
                     if source.0 < self.degree {
                         // return a credit to the upstream output VC feeding this input
                         let upstream_node = self.topology.neighbor(node, source.0);
-                        let upstream = self.out_idx(upstream_node, source.0, source.1);
+                        let upstream_port = self.topology.reverse_port(node, source.0);
+                        let upstream = self.out_idx(upstream_node, upstream_port, source.1);
                         self.staged_credits.push(upstream);
                     }
                     let length = self.messages[&msg_id].length;
@@ -403,7 +407,8 @@ impl Network {
                     let downstream = self.topology.neighbor(node, port);
                     self.staged_arrivals.push(StagedArrival {
                         node: downstream,
-                        port,
+                        // the *input* port at the downstream router
+                        port: self.topology.reverse_port(node, port),
                         vc,
                         message: msg_id,
                     });
@@ -424,7 +429,8 @@ impl Network {
                 // consumed by the local processor immediately; the buffer slot
                 // is never occupied, so the credit flows straight back
                 let upstream_node = self.topology.neighbor(arrival.node, arrival.port);
-                let upstream = self.out_idx(upstream_node, arrival.port, arrival.vc);
+                let upstream_port = self.topology.reverse_port(arrival.node, arrival.port);
+                let upstream = self.out_idx(upstream_node, upstream_port, arrival.vc);
                 self.staged_credits.push(upstream);
                 let finished = {
                     let msg = self.messages.get_mut(&arrival.message).expect("in flight");
@@ -505,7 +511,8 @@ impl Network {
                     let out = &self.output_vcs[self.out_idx(node, port, vc)];
                     assert!(out.credits <= self.config.buffer_depth, "credit overflow");
                     let downstream = self.topology.neighbor(node, port);
-                    let ivc = &self.input_vcs[self.in_idx(downstream, port, vc)];
+                    let down_port = self.topology.reverse_port(node, port);
+                    let ivc = &self.input_vcs[self.in_idx(downstream, down_port, vc)];
                     assert!(
                         ivc.buffered + out.credits <= self.config.buffer_depth,
                         "buffered flits plus credits exceed the buffer depth"

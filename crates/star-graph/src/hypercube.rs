@@ -95,6 +95,23 @@ impl Topology for Hypercube {
     fn mean_distance(&self) -> f64 {
         hypercube_mean_distance(self.dims)
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn symmetry_classes(&self) -> Vec<(NodeId, u64)> {
+        // destinations seen from node 0 are classified by Hamming weight:
+        // the lowest h bits set represent the C(d, h) nodes at distance h
+        (1..=self.dims)
+            .map(|h| {
+                let count = (1..=h as u64).fold(1u64, |acc, i| {
+                    acc * (self.dims as u64 - i + 1) / i // binomial, exact at every step
+                });
+                ((1u64 << h) as NodeId - 1, count)
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -161,17 +161,21 @@ impl MinimalPathDag {
     #[must_use]
     pub fn adaptivity_profile(&self) -> AdaptivityProfile {
         let distance = self.distance();
-        let total = self.path_count() as f64;
+        let total = self.path_count();
         let mut hop_adaptivity = Vec::with_capacity(distance);
         for level in 0..distance {
-            let mut dist: HashMap<usize, f64> = HashMap::new();
+            // accumulate exact u128 path counts per adaptivity value and
+            // divide once, so the resulting probabilities are independent of
+            // node iteration order (and bit-identical to any other builder
+            // that sums the same integers)
+            let mut sums: std::collections::BTreeMap<usize, u128> =
+                std::collections::BTreeMap::new();
             for node in &self.levels[level] {
-                let weight = (self.prefix_counts[node] * self.suffix_counts[node]) as f64 / total;
-                *dist.entry(node.adaptivity()).or_insert(0.0) += weight;
+                *sums.entry(node.adaptivity()).or_insert(0) +=
+                    self.prefix_counts[node] * self.suffix_counts[node];
             }
-            let mut pairs: Vec<(usize, f64)> = dist.into_iter().collect();
-            pairs.sort_by_key(|&(f, _)| f);
-            hop_adaptivity.push(pairs);
+            hop_adaptivity
+                .push(sums.into_iter().map(|(f, s)| (f, s as f64 / total as f64)).collect());
         }
         AdaptivityProfile { distance, path_count: self.path_count(), hop_adaptivity }
     }

@@ -150,6 +150,24 @@ impl Topology for StarGraph {
     fn mean_distance(&self) -> f64 {
         self.mean_distance
     }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn symmetry_classes(&self) -> Vec<(NodeId, u64)> {
+        // destinations seen from the identity fall into permutation
+        // cycle-type classes; the *inverse* of the canonical representative
+        // is used so that the relative permutation seen when routing node 0
+        // to the class node (identity.relative_to(rep) = rep⁻¹) is exactly
+        // the canonical representative — the same permutation the closed-form
+        // spectrum builds its path DAG from
+        distance::enumerate_types(self.n)
+            .into_iter()
+            .filter(|(t, _)| !t.cycle_lengths.is_empty()) // skip the source itself
+            .map(|(t, count)| (self.node_of(&t.representative(self.n).inverse()), count))
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -14,6 +14,29 @@ pub type NodeId = u32;
 
 /// A direct interconnection network with minimal-path adaptive routing
 /// information.
+///
+/// # The spectrum contract
+///
+/// The analytical model derives every queueing quantity from a *traversal
+/// spectrum* built through this trait (a BFS distance census plus per-hop
+/// adaptivity profiles from [`Topology::min_route_ports`]).  For the model to
+/// be valid on a new topology, the implementation must guarantee:
+///
+/// * **Minimality.**  `min_route_ports(u, dest)` returns exactly the ports
+///   whose neighbour is one hop closer to `dest` (strictly distance
+///   decreasing, and *every* such port — the census counts minimal paths by
+///   multiplying per-node branch counts).  It is empty iff `u == dest`.
+/// * **Bipartiteness.**  [`Topology::color`] is a proper 2-colouring (every
+///   link joins the two colour classes).  The negative-hop escape levels —
+///   and hence the model's `⌊diameter/2⌋ + 1` virtual-channel minimum — rely
+///   on it.
+/// * **Vertex transitivity.**  [`Topology::symmetry_classes`] describes the
+///   destination census *as seen from node 0*; the model applies it to every
+///   source, which is only exact when the network looks the same from every
+///   node (true for the star graph, hypercube, torus and ring shipped here).
+/// * **Consistency.**  `distance`, `neighbor` and `min_route_ports` agree
+///   with each other and with `diameter()`/`mean_distance()` (which must be
+///   the exact maximum/mean of `distance(0, ·)` over all nodes).
 pub trait Topology: Send + Sync {
     /// Human-readable name, e.g. `"S5"` or `"Q7"`.
     fn name(&self) -> String;
@@ -31,6 +54,20 @@ pub trait Topology: Send + Sync {
     /// The neighbour reached from `node` through port `port`
     /// (`port < degree()`).
     fn neighbor(&self, node: NodeId, port: usize) -> NodeId;
+
+    /// The port index at `self.neighbor(node, port)` whose link leads back
+    /// to `node` — i.e. `neighbor(neighbor(node, p), reverse_port(node, p))
+    /// == node` for every `p < degree()`.  The flit-level simulator routes
+    /// credits upstream through this mapping.
+    ///
+    /// The default returns `port`, which is correct whenever every port's
+    /// move is an involution (star transpositions, hypercube bit flips);
+    /// ±-step topologies like the torus and ring override it to swap each
+    /// `+`/`−` port pair.
+    fn reverse_port(&self, node: NodeId, port: usize) -> usize {
+        let _ = node;
+        port
+    }
 
     /// Minimal distance (in hops) between two nodes.
     fn distance(&self, a: NodeId, b: NodeId) -> usize;
@@ -55,6 +92,29 @@ pub trait Topology: Send + Sync {
     /// Convenience: verify that `a` and `b` are adjacent.
     fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
         (0..self.degree()).any(|p| self.neighbor(a, p) == b)
+    }
+
+    /// The concrete type behind the trait object, so backends can keep
+    /// closed-form fast paths for specific topologies (the star and hypercube
+    /// spectra have exact combinatorial constructions; everything else goes
+    /// through the generic BFS census).
+    fn as_any(&self) -> &dyn std::any::Any;
+
+    /// Destination equivalence classes seen from node 0, as
+    /// `(representative, multiplicity)` pairs: every destination other than
+    /// the source belongs to exactly one class (the multiplicities sum to
+    /// `node_count() - 1`), and all members of a class have the same distance
+    /// and per-hop adaptivity profile as the representative.
+    ///
+    /// The default groups nothing (every destination is its own class of
+    /// one), which is always correct; override it with the topology's
+    /// symmetry classes (permutation cycle types on `S_n`, Hamming weight on
+    /// `Q_d`, folded displacement on the torus and ring) to shrink the
+    /// generic spectrum construction from `node_count` path DAGs to a
+    /// handful.
+    fn symmetry_classes(&self) -> Vec<(NodeId, u64)> {
+        #[allow(clippy::cast_possible_truncation)]
+        (1..self.node_count() as NodeId).map(|d| (d, 1)).collect()
     }
 }
 

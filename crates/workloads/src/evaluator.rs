@@ -24,13 +24,14 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 use star_core::{
     AnalyticalModel, DestinationSpectrum, HypercubeModel, HypercubeResult, HypercubeSpectrum,
-    ModelResult,
+    ModelParams, ModelResult, SpectrumModel, SpectrumResult, TraversalSpectrum,
 };
+use star_graph::{Hypercube, StarGraph};
 use star_queueing::ReplicateStats;
 use star_sim::{ReplicateReport, ReplicateRun, SimReport};
 
 use crate::budget::SimBudget;
-use crate::scenario::{NetworkKind, OperatingPoint, Scenario};
+use crate::scenario::{OperatingPoint, Scenario};
 
 /// Backend-specific diagnostics attached to a [`PointEstimate`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -41,6 +42,12 @@ pub enum EstimateDetail {
     /// The full hypercube analytical-model result (same quantities, `Q_d`
     /// configuration).
     HypercubeModel(HypercubeResult),
+    /// The generic spectrum-model result, for topologies without a
+    /// closed-form spectrum (torus, ring, any plugged-in [`Topology`]
+    /// implementation).
+    ///
+    /// [`Topology`]: star_graph::Topology
+    Spectrum(SpectrumResult),
     /// The replicate set of simulation reports with across-replicate
     /// statistics (cycles, observed multiplexing, … per replicate).
     Sim(Box<ReplicateReport>),
@@ -98,6 +105,16 @@ impl PointEstimate {
         }
     }
 
+    /// The generic spectrum-model result, if this estimate came from the
+    /// model on a topology outside the two closed forms.
+    #[must_use]
+    pub fn spectrum_result(&self) -> Option<&SpectrumResult> {
+        match &self.detail {
+            EstimateDetail::Spectrum(r) => Some(r),
+            _ => None,
+        }
+    }
+
     /// The replicate set of simulation reports, if this estimate came from
     /// the simulator.
     #[must_use]
@@ -134,12 +151,13 @@ impl PointEstimate {
         self.latency_stats.relative_ci95()
     }
 
-    /// Fixed-point iterations spent (model estimates only, either topology).
+    /// Fixed-point iterations spent (model estimates only, any topology).
     #[must_use]
     pub fn iterations(&self) -> Option<usize> {
         match &self.detail {
             EstimateDetail::Model(r) => Some(r.iterations),
             EstimateDetail::HypercubeModel(r) => Some(r.iterations),
+            EstimateDetail::Spectrum(r) => Some(r.iterations),
             EstimateDetail::Sim(_) => None,
         }
     }
@@ -256,44 +274,65 @@ pub trait Evaluator: Sync {
 }
 
 /// The topology spectrum a model sweep shares across its rates: the star's
-/// cycle-type destination spectrum or the hypercube's Hamming traversal
-/// spectrum, behind one `Arc` so threads and rates reuse one allocation.
+/// cycle-type destination spectrum, the hypercube's Hamming traversal
+/// spectrum, or the generic BFS traversal census for any other
+/// [`star_graph::Topology`] — behind one `Arc` so threads and rates reuse
+/// one allocation.
+///
+/// Dispatch is by downcast on the scenario's topology *value*, not by a kind
+/// enum: the two closed forms are an optimisation (and the oracles the
+/// generic census is tested against), everything else flows through
+/// [`TraversalSpectrum`].
 enum ModelSpectrum {
-    Star(Arc<DestinationSpectrum>),
-    Hypercube(Arc<HypercubeSpectrum>),
+    Star { symbols: usize, spectrum: Arc<DestinationSpectrum> },
+    Hypercube { dims: usize, spectrum: Arc<HypercubeSpectrum> },
+    Generic(Arc<TraversalSpectrum>),
 }
 
 impl ModelSpectrum {
     fn for_scenario(scenario: &Scenario) -> Self {
-        match scenario.network {
-            NetworkKind::Star => Self::Star(Arc::new(DestinationSpectrum::new(scenario.size))),
-            NetworkKind::Hypercube => {
-                Self::Hypercube(Arc::new(HypercubeSpectrum::new(scenario.size)))
+        let topology = scenario.topology();
+        if let Some(star) = topology.as_any().downcast_ref::<StarGraph>() {
+            Self::Star {
+                symbols: star.symbols(),
+                spectrum: Arc::new(DestinationSpectrum::new(star.symbols())),
             }
+        } else if let Some(cube) = topology.as_any().downcast_ref::<Hypercube>() {
+            Self::Hypercube {
+                dims: cube.dims(),
+                spectrum: Arc::new(HypercubeSpectrum::new(cube.dims())),
+            }
+        } else {
+            Self::Generic(Arc::new(TraversalSpectrum::new(topology.as_ref())))
         }
     }
 }
 
 /// The analytical model as an [`Evaluator`]: microseconds per point.  Covers
-/// star networks with the three modelled disciplines and hypercube networks
-/// with all four (deterministic routing on `Q_d` is dimension-order), under
-/// uniform traffic.
+/// star networks with the three modelled disciplines and every other
+/// topology with all four (deterministic routing on `Q_d` is
+/// dimension-order), under uniform traffic.  Star and hypercube scenarios
+/// use the closed-form spectra; any other topology (torus, ring, plugged-in
+/// implementations) goes through the generic [`TraversalSpectrum`].
 ///
 /// ```
 /// use star_workloads::{Evaluator, ModelBackend, Scenario};
 ///
 /// let backend = ModelBackend::new();
-/// // the same backend answers both topologies, model-only — this is what
+/// // the same backend answers every topology, model-only — this is what
 /// // lets the star-vs-hypercube comparison run at S6/Q10 and S7/Q13 scale,
 /// // far beyond the flit-level simulator's reach
 /// let star = backend.evaluate(&Scenario::star(5).at(0.004));
 /// let cube = backend.evaluate(&Scenario::hypercube(7).at(0.004));
-/// assert!(!star.saturated && !cube.saturated);
+/// let torus = backend.evaluate(&Scenario::torus(8).at(0.004));
+/// assert!(!star.saturated && !cube.saturated && !torus.saturated);
 /// assert!(star.model_result().is_some());
 /// assert!(cube.hypercube_result().is_some());
-/// // both are latency estimates above their zero-load bound M + d̄
+/// assert!(torus.spectrum_result().is_some());
+/// // all are latency estimates above their zero-load bound M + d̄
 /// assert!(star.mean_latency > 32.0);
 /// assert!(cube.mean_latency > 32.0);
+/// assert!(torus.mean_latency > 32.0);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ModelBackend {
@@ -329,28 +368,35 @@ impl ModelBackend {
         warm_state: &[f64],
     ) -> PointEstimate {
         let scenario = &point.scenario;
+        let params: ModelParams = scenario
+            .model_params(point.traffic_rate)
+            .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", scenario.label()))
+            .unwrap_or_else(|| panic!("{}", Self::unsupported_message(scenario)));
         let (saturated, mean_latency, detail) = match spectrum {
-            ModelSpectrum::Star(spectrum) => {
-                let config = scenario
-                    .model_config(point.traffic_rate)
-                    .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", scenario.label()))
+            ModelSpectrum::Star { symbols, spectrum } => {
+                let config = params
+                    .star_config(*symbols)
                     .unwrap_or_else(|| panic!("{}", Self::unsupported_message(scenario)));
                 let result = AnalyticalModel::with_spectrum(config, Arc::clone(spectrum))
                     .solve_from(warm_state);
                 (result.saturated, result.mean_latency, EstimateDetail::Model(result))
             }
-            ModelSpectrum::Hypercube(spectrum) => {
-                let config = scenario
-                    .hypercube_model_config(point.traffic_rate)
-                    .unwrap_or_else(|e| panic!("invalid model scenario {}: {e}", scenario.label()))
-                    .unwrap_or_else(|| panic!("{}", Self::unsupported_message(scenario)));
-                let result = HypercubeModel::with_spectrum(config, Arc::clone(spectrum))
-                    .solve_from(warm_state);
+            ModelSpectrum::Hypercube { dims, spectrum } => {
+                let result = HypercubeModel::with_spectrum(
+                    params.hypercube_config(*dims),
+                    Arc::clone(spectrum),
+                )
+                .solve_from(warm_state);
                 (result.saturated, result.mean_latency, EstimateDetail::HypercubeModel(result))
+            }
+            ModelSpectrum::Generic(spectrum) => {
+                let result =
+                    SpectrumModel::new(params, Arc::clone(spectrum)).solve_from(warm_state);
+                (result.saturated, result.mean_latency, EstimateDetail::Spectrum(result))
             }
         };
         PointEstimate {
-            point: *point,
+            point: point.clone(),
             backend: self.name().to_string(),
             saturated,
             mean_latency,
@@ -368,20 +414,21 @@ impl ModelBackend {
     fn unsupported_message(scenario: &Scenario) -> String {
         format!(
             "the analytical model does not cover scenario {} \
-             (star: enhanced-nbc/nbc/nhop; hypercube: any discipline; \
-             uniform traffic only)",
+             (star: enhanced-nbc/nbc/nhop; any other topology: any \
+             discipline; uniform traffic only)",
             scenario.label()
         )
     }
 
     /// The converged mean network latency an estimate contributes as the next
-    /// rate's warm-start seed (either topology).
+    /// rate's warm-start seed (any topology).
     fn warm_seed(estimate: &PointEstimate) -> Option<f64> {
         match &estimate.detail {
             // saturated points leave a non-finite seed, which solve_from
             // ignores in favour of the cold start
             EstimateDetail::Model(r) => Some(r.mean_network_latency),
             EstimateDetail::HypercubeModel(r) => Some(r.mean_network_latency),
+            EstimateDetail::Spectrum(r) => Some(r.mean_network_latency),
             EstimateDetail::Sim(_) => None,
         }
     }
@@ -393,12 +440,7 @@ impl Evaluator for ModelBackend {
     }
 
     fn supports(&self, scenario: &Scenario) -> bool {
-        match scenario.network {
-            NetworkKind::Star => matches!(scenario.model_config(0.0), Ok(Some(_))),
-            NetworkKind::Hypercube => {
-                matches!(scenario.hypercube_model_config(0.0), Ok(Some(_)))
-            }
-        }
+        matches!(scenario.model_params(0.0), Ok(Some(_)))
     }
 
     fn evaluate_replicate(&self, point: &OperatingPoint, _replicate: usize) -> PointEstimate {
@@ -529,7 +571,7 @@ impl SimBackend {
         // mean of 0.0 as a valid finite latency
         let unusable = report.saturated || report.deadlock_detected;
         PointEstimate {
-            point: *point,
+            point: point.clone(),
             backend: self.name().to_string(),
             saturated: unusable,
             // keep the headline field's contract backend-agnostic: infinite
@@ -567,7 +609,7 @@ impl Evaluator for SimBackend {
 
     fn aggregate(&self, replicates: Vec<PointEstimate>) -> PointEstimate {
         assert!(!replicates.is_empty(), "a point aggregates at least one replicate");
-        let point = replicates[0].point;
+        let point = replicates[0].point.clone();
         let runs: Vec<SimReport> = replicates
             .into_iter()
             .flat_map(|estimate| match estimate.detail {
@@ -638,10 +680,14 @@ mod tests {
         assert!(!backend.supports(&s4().with_virtual_channels(3)));
         // hypercube scenarios check against the cube's own level minimum
         assert!(!backend.supports(&Scenario::hypercube(10).with_virtual_channels(6)));
-        // non-uniform traffic is outside both models
+        // generic topologies check against their diameter's level minimum
+        assert!(!backend.supports(&Scenario::torus(12).with_virtual_channels(7)));
+        assert!(backend.supports(&Scenario::torus(12).with_virtual_channels(8)));
+        // non-uniform traffic is outside the model on every topology
         let hot = star_sim::TrafficPattern::HotSpot { node: 0, fraction: 0.2 };
         assert!(!backend.supports(&s4().with_pattern(hot)));
         assert!(!backend.supports(&Scenario::hypercube(4).with_pattern(hot)));
+        assert!(!backend.supports(&Scenario::torus(8).with_pattern(hot)));
     }
 
     #[test]
@@ -666,6 +712,54 @@ mod tests {
             assert!(estimate.model_result().is_none());
             assert!(estimate.sim_report().is_none());
         }
+    }
+
+    #[test]
+    fn model_backend_answers_torus_and_ring_scenarios() {
+        // the generic spectrum path: no closed form anywhere, every
+        // discipline covered (deterministic routing has one admissible port
+        // per hop on the torus's BFS DAG)
+        let backend = ModelBackend::new();
+        for discipline in Discipline::ALL {
+            let scenario = Scenario::torus(8).with_discipline(discipline);
+            assert!(backend.supports(&scenario), "{discipline:?} must be modelled on T8");
+            let estimate = backend.evaluate(&scenario.at(0.004));
+            assert_eq!(estimate.backend, "model");
+            assert!(!estimate.saturated);
+            assert!(estimate.latency().unwrap() > 32.0);
+            assert!(estimate.iterations().unwrap() > 0);
+            assert!(estimate.spectrum_result().is_some());
+            assert!(estimate.model_result().is_none());
+            assert!(estimate.hypercube_result().is_none());
+        }
+        let ring = backend.evaluate(&Scenario::ring(8).with_virtual_channels(4).at(0.004));
+        assert!(!ring.saturated);
+        assert_eq!(ring.spectrum_result().unwrap().topology, "R8");
+    }
+
+    #[test]
+    fn warm_started_torus_sweep_matches_independent_evaluations() {
+        // the generic spectrum model participates in the same warm-start
+        // chain as the closed forms
+        let backend = ModelBackend::new();
+        let scenario = Scenario::torus(8);
+        let rates = [0.006, 0.010, 0.013];
+        let swept = backend.evaluate_sweep(&scenario, &rates);
+        let total_warm: usize = swept.iter().filter_map(PointEstimate::iterations).sum();
+        let mut total_solo = 0;
+        for (est, &rate) in swept.iter().zip(&rates) {
+            let solo = backend.evaluate(&scenario.at(rate));
+            total_solo += solo.iterations().unwrap();
+            assert_eq!(est.saturated, solo.saturated);
+            if !est.saturated {
+                let rel = (est.mean_latency - solo.mean_latency).abs() / solo.mean_latency;
+                assert!(rel < 1e-9, "rate {rate}: sweep vs solo differ by {rel}");
+            }
+        }
+        assert!(
+            total_warm < total_solo,
+            "warm-starting must carry over to the torus ({total_warm} vs {total_solo})"
+        );
     }
 
     #[test]

@@ -46,15 +46,15 @@ pub fn figure1_sweeps(points: usize) -> Vec<SweepSpec> {
 mod tests {
     use super::*;
     use crate::evaluator::{Evaluator as _, ModelBackend};
-    use crate::scenario::{Discipline, NetworkKind};
+    use crate::scenario::Discipline;
 
     #[test]
     fn figure1_has_six_curves_covering_the_paper_configurations() {
         let sweeps = figure1_sweeps(8);
         assert_eq!(sweeps.len(), 6);
         for sweep in &sweeps {
-            assert_eq!(sweep.scenario.network, NetworkKind::Star);
-            assert_eq!(sweep.scenario.size, 5);
+            assert_eq!(sweep.scenario.network_label(), "S5");
+            assert_eq!(sweep.scenario.topology().node_count(), 120);
             assert_eq!(sweep.scenario.discipline, Discipline::EnhancedNbc);
             assert_eq!(sweep.rates.len(), 8);
             assert!([6, 9, 12].contains(&sweep.scenario.virtual_channels));

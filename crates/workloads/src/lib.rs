@@ -3,9 +3,10 @@
 //! The unified evaluation layer of the star-wormhole workspace:
 //!
 //! * [`scenario`] — topology-generic [`Scenario`]/[`OperatingPoint`] types
-//!   naming what both evaluation backends must agree on (network kind and
-//!   size, routing discipline, `V`, `M`, traffic pattern, rate, and the
-//!   replication policy: `replicates` × `seed_base`);
+//!   naming what both evaluation backends must agree on (the topology as an
+//!   `Arc<dyn Topology>` value, routing discipline, `V`, `M`, traffic
+//!   pattern, rate, and the replication policy: `replicates` × `seed_base`),
+//!   plus the [`TopologyKind`] names the `--topology` CLI flag parses into;
 //! * [`evaluator`] — the [`Evaluator`] trait with its common
 //!   [`PointEstimate`] output, implemented by the analytical model
 //!   ([`ModelBackend`], covering star **and** hypercube scenarios,
@@ -32,12 +33,14 @@
 //! `Scenario` → `OperatingPoint` → `Evaluator` → `PointEstimate` — and the
 //! guarantees each stage makes:
 //!
-//! * **Scenario totality.**  A [`Scenario`] is pure `Copy` data:
-//!   constructing one never validates anything, so harnesses can
-//!   describe sweeps they may never run.  Validation happens when a backend
-//!   is asked: [`Evaluator::supports`] answers cheaply and
-//!   [`Evaluator::evaluate`] may panic on scenarios the backend declared
-//!   unsupported.
+//! * **Scenario totality.**  A [`Scenario`] is cheap-to-clone data around a
+//!   shared topology handle (`Arc<dyn Topology>`): constructing one builds
+//!   the topology's tables once, but never validates the *pairing* of
+//!   topology and knobs, so harnesses can describe sweeps they may never
+//!   run.  Validation happens when a backend is asked:
+//!   [`Evaluator::supports`] answers cheaply (via
+//!   [`Scenario::model_params`]) and [`Evaluator::evaluate`] may panic on
+//!   scenarios the backend declared unsupported.
 //! * **Replicate semantics.**  A stochastic backend answers one point as
 //!   the aggregate of [`Scenario::replicates`] independent replications,
 //!   replicate `i` seeded with
@@ -105,7 +108,9 @@ pub use budget::SimBudget;
 pub use evaluator::{CiTarget, EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
 pub use experiment::figure1_sweeps;
 pub use report::{ascii_plot, markdown_table, write_csv, ReportSink, RunReport, RunRow};
-pub use scenario::{Discipline, NetworkKind, OperatingPoint, Scenario};
+#[allow(deprecated)]
+pub use scenario::NetworkKind;
+pub use scenario::{Discipline, OperatingPoint, Scenario, TopologyKind};
 pub use star_exec::{ExecPool, ShardSpec};
 pub use star_queueing::ReplicateStats;
 pub use sweep_runner::{

@@ -446,7 +446,7 @@ mod tests {
         let scenario =
             Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(3);
         let full = vec![
-            SweepSpec::new("a", scenario, vec![0.002, 0.004]),
+            SweepSpec::new("a", scenario.clone(), vec![0.002, 0.004]),
             SweepSpec::new("b", scenario.with_virtual_channels(9), vec![0.002, 0.004]),
         ];
         let runner = SweepRunner::with_threads(2);

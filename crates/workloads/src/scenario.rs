@@ -2,56 +2,124 @@
 //!
 //! The paper's whole evaluation is "the same operating point, answered twice"
 //! — once by the analytical model and once by the flit-level simulator.  A
-//! [`Scenario`] names everything both backends need to agree on (network kind
-//! and size, routing discipline, virtual channels, message length, traffic
-//! pattern); an [`OperatingPoint`] pins a scenario to one traffic generation
-//! rate.  Every harness binary, example and test builds these instead of the
-//! old star-only `ExperimentPoint`, so model and simulator stay swappable.
+//! [`Scenario`] names everything both backends need to agree on — the
+//! topology **as a value** (`Arc<dyn Topology>`), routing discipline, virtual
+//! channels, message length, traffic pattern — and an [`OperatingPoint`] pins
+//! a scenario to one traffic generation rate.  Every harness binary, example
+//! and test builds these, so model and simulator stay swappable.
+//!
+//! Topologies are plugged in, not enumerated: [`Scenario::on`] accepts any
+//! [`Topology`] implementation, and the family constructors
+//! ([`Scenario::star`], [`Scenario::hypercube`], [`Scenario::torus`],
+//! [`Scenario::ring`]) are thin wrappers over it.  [`TopologyKind`] exists
+//! only where a *name* must round-trip through a CLI flag
+//! (`--topology star|hypercube|torus|ring`); nothing in the evaluation path
+//! matches on it.
 
+use std::fmt;
 use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
-use star_core::{
-    ConfigError, HypercubeConfig, HypercubeConfigError, HypercubeRouting, ModelConfig,
-    RoutingDiscipline,
-};
-use star_graph::{Hypercube, StarGraph, Topology};
+use star_core::{ModelDiscipline, ModelParams, ModelParamsError};
+use star_graph::{Hypercube, Ring, StarGraph, Topology, Torus};
 use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
 use star_sim::TrafficPattern;
 
-/// Which network family a scenario runs on.
+/// The topology families with a CLI name — the `--topology` flag of the
+/// harness binaries parses into this.
+///
+/// This enum is a *naming* convenience only: scenarios carry an
+/// `Arc<dyn Topology>` value ([`Scenario::on`]), so a topology outside this
+/// list plugs into the whole evaluation stack without touching it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
-pub enum NetworkKind {
+pub enum TopologyKind {
     /// The star graph `S_n` (`size` is the number of symbols `n`).
     #[default]
     Star,
     /// The binary hypercube `Q_d` (`size` is the dimension `d`).
     Hypercube,
+    /// The k-ary 2-cube `T_k` (`size` is the side length `k`, even).
+    Torus,
+    /// The even cycle `R_k` (`size` is the node count `k`).
+    Ring,
 }
 
-impl NetworkKind {
-    /// Instantiates the topology of this kind at the given size.
+impl TopologyKind {
+    /// Every named family, in CLI/report order.
+    pub const ALL: [TopologyKind; 4] =
+        [TopologyKind::Star, TopologyKind::Hypercube, TopologyKind::Torus, TopologyKind::Ring];
+
+    /// Instantiates the topology of this family at the given size.
     ///
     /// # Panics
     /// Panics if the size is out of range for the topology family.
     #[must_use]
     pub fn topology(self, size: usize) -> Arc<dyn Topology> {
         match self {
-            NetworkKind::Star => Arc::new(StarGraph::new(size)),
-            NetworkKind::Hypercube => Arc::new(Hypercube::new(size)),
+            TopologyKind::Star => Arc::new(StarGraph::new(size)),
+            TopologyKind::Hypercube => Arc::new(Hypercube::new(size)),
+            TopologyKind::Torus => Arc::new(Torus::new(size)),
+            TopologyKind::Ring => Arc::new(Ring::new(size)),
         }
     }
 
     /// The conventional name of the network at the given size
-    /// (`"S5"`, `"Q7"`, …).
+    /// (`"S5"`, `"Q7"`, `"T8"`, `"R8"`).
     #[must_use]
     pub fn label(self, size: usize) -> String {
         match self {
-            NetworkKind::Star => format!("S{size}"),
-            NetworkKind::Hypercube => format!("Q{size}"),
+            TopologyKind::Star => format!("S{size}"),
+            TopologyKind::Hypercube => format!("Q{size}"),
+            TopologyKind::Torus => format!("T{size}"),
+            TopologyKind::Ring => format!("R{size}"),
         }
     }
+
+    /// The kebab-case name used by the `--topology` CLI flag.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TopologyKind::Star => "star",
+            TopologyKind::Hypercube => "hypercube",
+            TopologyKind::Torus => "torus",
+            TopologyKind::Ring => "ring",
+        }
+    }
+
+    /// Parses the kebab-case CLI name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.name() == name)
+    }
+
+    /// The family's conventional smoke-test size (`S5`, `Q7`, `T8`, `R8`) —
+    /// what a harness binary evaluates when `--topology` is given without an
+    /// explicit size.
+    #[must_use]
+    pub fn default_size(self) -> usize {
+        match self {
+            TopologyKind::Star => 5,
+            TopologyKind::Hypercube => 7,
+            TopologyKind::Torus | TopologyKind::Ring => 8,
+        }
+    }
+
+    /// A scenario on this family at the given size, with the paper's default
+    /// knobs — shorthand for [`Scenario::on`]`(self.topology(size))`.
+    ///
+    /// # Panics
+    /// Panics if the size is out of range for the topology family.
+    #[must_use]
+    pub fn scenario(self, size: usize) -> Scenario {
+        Scenario::on(self.topology(size))
+    }
 }
+
+/// The old name of [`TopologyKind`], kept for one release so downstream code
+/// migrates gradually.
+#[deprecated(note = "renamed to TopologyKind; scenarios now carry an Arc<dyn Topology> — \
+            construct them with Scenario::on or the per-family constructors")]
+pub type NetworkKind = TopologyKind;
 
 /// Routing discipline of a scenario: the three schemes the analytical model
 /// covers plus the deterministic minimal baseline the simulator also
@@ -66,8 +134,9 @@ pub enum Discipline {
     Nbc,
     /// Plain negative-hop.
     NHop,
-    /// Deterministic minimal routing (simulator-only baseline; the analytical
-    /// model does not cover it).
+    /// Deterministic minimal routing (the analytical model covers it on
+    /// every topology except the star, where the closed form has no
+    /// deterministic variant).
     Deterministic,
 }
 
@@ -93,29 +162,16 @@ impl Discipline {
         Self::ALL.into_iter().find(|d| d.name() == name)
     }
 
-    /// The analytical-model discipline, when the star model covers this
-    /// scheme.
+    /// The unified analytical-model discipline.  All four map;
+    /// [`ModelDiscipline`] itself knows which closed-form models cover which
+    /// scheme (the star model skips `Deterministic`).
     #[must_use]
-    pub fn model_discipline(self) -> Option<RoutingDiscipline> {
+    pub fn model_discipline(self) -> ModelDiscipline {
         match self {
-            Discipline::EnhancedNbc => Some(RoutingDiscipline::EnhancedNbc),
-            Discipline::Nbc => Some(RoutingDiscipline::Nbc),
-            Discipline::NHop => Some(RoutingDiscipline::NHop),
-            Discipline::Deterministic => None,
-        }
-    }
-
-    /// The hypercube-model routing scheme for this discipline.  All four
-    /// disciplines are covered: on `Q_d` the deterministic baseline (lowest
-    /// profitable port first) *is* dimension-order routing, which the
-    /// hypercube model evaluates with `f = 1` alternative ports per hop.
-    #[must_use]
-    pub fn hypercube_routing(self) -> HypercubeRouting {
-        match self {
-            Discipline::EnhancedNbc => HypercubeRouting::EnhancedNbc,
-            Discipline::Nbc => HypercubeRouting::Nbc,
-            Discipline::NHop => HypercubeRouting::NHop,
-            Discipline::Deterministic => HypercubeRouting::DimensionOrder,
+            Discipline::EnhancedNbc => ModelDiscipline::EnhancedNbc,
+            Discipline::Nbc => ModelDiscipline::Nbc,
+            Discipline::NHop => ModelDiscipline::NHop,
+            Discipline::Deterministic => ModelDiscipline::Deterministic,
         }
     }
 
@@ -144,15 +200,17 @@ impl Discipline {
 }
 
 /// Everything an evaluation backend needs to know about an experiment except
-/// the traffic rate: the network, the routing discipline, the message shape
-/// and the replication policy.  Pin a rate with [`Scenario::at`] to get an
-/// [`OperatingPoint`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+/// the traffic rate: the topology (held as a shared value), the routing
+/// discipline, the message shape and the replication policy.  Pin a rate with
+/// [`Scenario::at`] to get an [`OperatingPoint`].
+///
+/// Cloning a scenario is cheap — the topology is behind an `Arc`, so clones
+/// share one instance (and one neighbour table).
+#[derive(Clone, Serialize, Deserialize)]
 pub struct Scenario {
-    /// Network family.
-    pub network: NetworkKind,
-    /// Network size (`n` for `S_n`, `d` for `Q_d`).
-    pub size: usize,
+    /// The network, as a value.  Private so every scenario is guaranteed to
+    /// hold a live topology; read it back with [`Self::topology`].
+    topology: Arc<dyn Topology>,
     /// Routing discipline.
     pub discipline: Discipline,
     /// Virtual channels per physical channel.
@@ -172,14 +230,45 @@ pub struct Scenario {
     pub seed_base: u64,
 }
 
+impl fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Scenario")
+            .field("topology", &self.topology.name())
+            .field("discipline", &self.discipline)
+            .field("virtual_channels", &self.virtual_channels)
+            .field("message_length", &self.message_length)
+            .field("pattern", &self.pattern)
+            .field("replicates", &self.replicates)
+            .field("seed_base", &self.seed_base)
+            .finish()
+    }
+}
+
+impl PartialEq for Scenario {
+    /// Two scenarios are equal when they describe the same experiment: the
+    /// topology is compared by name (`"S5"`, `"T8"`, …), which the
+    /// [`Topology`] contract makes unique per family and size.
+    fn eq(&self, other: &Self) -> bool {
+        self.topology.name() == other.topology.name()
+            && self.discipline == other.discipline
+            && self.virtual_channels == other.virtual_channels
+            && self.message_length == other.message_length
+            && self.pattern == other.pattern
+            && self.replicates == other.replicates
+            && self.seed_base == other.seed_base
+    }
+}
+
 impl Scenario {
-    /// A star-graph scenario at the paper's defaults (Enhanced-Nbc, `V = 6`,
-    /// `M = 32`, uniform traffic, one replicate off seed base 0).
+    /// A scenario on any topology value, at the paper's defaults
+    /// (Enhanced-Nbc, `V = 6`, `M = 32`, uniform traffic, one replicate off
+    /// seed base 0).  This is the primitive constructor every family
+    /// shorthand delegates to — hand it anything that implements
+    /// [`Topology`].
     #[must_use]
-    pub fn star(symbols: usize) -> Self {
+    pub fn on(topology: Arc<dyn Topology>) -> Self {
         Self {
-            network: NetworkKind::Star,
-            size: symbols,
+            topology,
             discipline: Discipline::EnhancedNbc,
             virtual_channels: 6,
             message_length: 32,
@@ -189,10 +278,40 @@ impl Scenario {
         }
     }
 
-    /// A hypercube scenario with the same defaults.
+    /// A star-graph scenario `S_n`.
+    ///
+    /// # Panics
+    /// Panics if `symbols` is out of the tabled range.
+    #[must_use]
+    pub fn star(symbols: usize) -> Self {
+        Self::on(Arc::new(StarGraph::new(symbols)))
+    }
+
+    /// A hypercube scenario `Q_d` with the same defaults.
+    ///
+    /// # Panics
+    /// Panics if `dims` is out of range.
     #[must_use]
     pub fn hypercube(dims: usize) -> Self {
-        Self { network: NetworkKind::Hypercube, size: dims, ..Self::star(dims) }
+        Self::on(Arc::new(Hypercube::new(dims)))
+    }
+
+    /// A k-ary 2-cube (torus) scenario `T_k` with the same defaults.
+    ///
+    /// # Panics
+    /// Panics unless `side` is even and at least 4.
+    #[must_use]
+    pub fn torus(side: usize) -> Self {
+        Self::on(Arc::new(Torus::new(side)))
+    }
+
+    /// A ring scenario `R_k` with the same defaults.
+    ///
+    /// # Panics
+    /// Panics unless `nodes` is even and at least 4.
+    #[must_use]
+    pub fn ring(nodes: usize) -> Self {
+        Self::on(Arc::new(Ring::new(nodes)))
     }
 
     /// Sets the routing discipline.
@@ -242,10 +361,11 @@ impl Scenario {
         self
     }
 
-    /// The conventional network name (`"S5"`, `"Q7"`, …).
+    /// The conventional network name (`"S5"`, `"Q7"`, `"T8"`, `"R8"`, …) —
+    /// the topology's own [`Topology::name`].
     #[must_use]
     pub fn network_label(&self) -> String {
-        self.network.label(self.size)
+        self.topology.name()
     }
 
     /// A short identifier for reports:
@@ -265,13 +385,11 @@ impl Scenario {
         )
     }
 
-    /// Instantiates the topology.
-    ///
-    /// # Panics
-    /// Panics if the size is out of range for the network family.
+    /// The scenario's topology (a shared handle — cloning the `Arc` is
+    /// cheap, the underlying tables are built once per scenario family).
     #[must_use]
     pub fn topology(&self) -> Arc<dyn Topology> {
-        self.network.topology(self.size)
+        Arc::clone(&self.topology)
     }
 
     /// Instantiates the routing algorithm on this scenario's topology.
@@ -281,68 +399,51 @@ impl Scenario {
     /// this topology.
     #[must_use]
     pub fn routing(&self) -> Arc<dyn RoutingAlgorithm> {
-        self.discipline.routing(self.topology().as_ref(), self.virtual_channels)
+        self.discipline.routing(self.topology.as_ref(), self.virtual_channels)
     }
 
-    /// The star analytical-model configuration at the given traffic rate,
-    /// when the star model covers this scenario (star network, one of the
-    /// three modelled disciplines, uniform traffic — the paper's
-    /// assumptions).  Scenarios outside the star model's reach (hypercube,
-    /// deterministic routing, non-uniform traffic) yield `Ok(None)`;
-    /// hypercube scenarios are answered by
-    /// [`Self::hypercube_model_config`] instead.
+    /// The unified analytical-model parameters at the given traffic rate,
+    /// when the model covers this scenario, validated against this
+    /// scenario's topology.  One surface replaces the old per-topology
+    /// `model_config` / `hypercube_model_config` pair:
+    ///
+    /// * `Ok(Some(params))` — the model covers the scenario; pair the
+    ///   parameters with [`Self::topology`] (closed-form star/hypercube
+    ///   solvers or the generic spectrum model — the backend picks).
+    /// * `Ok(None)` — outside the model's reach by *kind*, not by range:
+    ///   non-uniform traffic, or deterministic routing on the star graph
+    ///   (the closed form has no deterministic variant and the star's
+    ///   generic spectrum is reserved as the adaptive oracle).
     ///
     /// # Errors
-    /// Returns the [`ConfigError`] when the scenario is in the model's reach
-    /// but its parameters are out of range.
-    pub fn model_config(&self, traffic_rate: f64) -> Result<Option<ModelConfig>, ConfigError> {
-        let Some(discipline) = self.discipline.model_discipline() else {
+    /// Returns the [`ModelParamsError`] when the scenario is in the model's
+    /// reach but its parameters are out of range (too few virtual channels
+    /// for the topology's escape-level minimum, zero-length messages, …).
+    /// Star and hypercube scenarios keep their closed-form validators' exact
+    /// errors.
+    pub fn model_params(&self, traffic_rate: f64) -> Result<Option<ModelParams>, ModelParamsError> {
+        if self.pattern != TrafficPattern::Uniform {
             return Ok(None);
+        }
+        let params = ModelParams {
+            virtual_channels: self.virtual_channels,
+            message_length: self.message_length,
+            traffic_rate,
+            discipline: self.discipline.model_discipline(),
         };
-        if self.network != NetworkKind::Star || self.pattern != TrafficPattern::Uniform {
+        let topology = self.topology.as_ref();
+        if params.discipline == ModelDiscipline::Deterministic
+            && topology.as_any().downcast_ref::<StarGraph>().is_some()
+        {
             return Ok(None);
         }
-        ModelConfig::builder()
-            .symbols(self.size)
-            .virtual_channels(self.virtual_channels)
-            .message_length(self.message_length)
-            .traffic_rate(traffic_rate)
-            .discipline(discipline)
-            .try_build()
-            .map(Some)
-    }
-
-    /// The hypercube analytical-model configuration at the given traffic
-    /// rate, when the hypercube model covers this scenario (hypercube
-    /// network, uniform traffic; all four disciplines map — deterministic
-    /// routing is dimension-order on `Q_d`).  Star and non-uniform scenarios
-    /// yield `Ok(None)`.
-    ///
-    /// # Errors
-    /// Returns the [`HypercubeConfigError`] when the scenario is in the
-    /// model's reach but its parameters are out of range (e.g. too few
-    /// virtual channels for the cube's escape-level minimum).
-    pub fn hypercube_model_config(
-        &self,
-        traffic_rate: f64,
-    ) -> Result<Option<HypercubeConfig>, HypercubeConfigError> {
-        if self.network != NetworkKind::Hypercube || self.pattern != TrafficPattern::Uniform {
-            return Ok(None);
-        }
-        HypercubeConfig::builder()
-            .dims(self.size)
-            .virtual_channels(self.virtual_channels)
-            .message_length(self.message_length)
-            .traffic_rate(traffic_rate)
-            .routing(self.discipline.hypercube_routing())
-            .try_build()
-            .map(Some)
+        params.validate_for(topology).map(|()| Some(params))
     }
 
     /// Pins the scenario to one traffic generation rate.
     #[must_use]
     pub fn at(&self, traffic_rate: f64) -> OperatingPoint {
-        OperatingPoint { scenario: *self, traffic_rate }
+        OperatingPoint { scenario: self.clone(), traffic_rate }
     }
 
     /// One operating point per rate, in order.
@@ -354,7 +455,7 @@ impl Scenario {
 
 /// One scenario at one traffic generation rate — the unit both evaluation
 /// backends answer.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct OperatingPoint {
     /// The scenario being evaluated.
     pub scenario: Scenario,
@@ -378,48 +479,96 @@ mod tests {
     }
 
     #[test]
+    fn family_constructors_are_thin_wrappers_over_on() {
+        for (scenario, label, nodes) in [
+            (Scenario::star(5), "S5", 120),
+            (Scenario::hypercube(7), "Q7", 128),
+            (Scenario::torus(8), "T8", 64),
+            (Scenario::ring(8), "R8", 8),
+        ] {
+            assert_eq!(scenario.network_label(), label);
+            assert_eq!(scenario.topology().node_count(), nodes);
+            // the same scenario built through the primitive constructor
+            let direct = Scenario::on(scenario.topology());
+            assert_eq!(direct, scenario);
+            assert_eq!(direct.virtual_channels, 6);
+            assert_eq!(direct.message_length, 32);
+        }
+    }
+
+    #[test]
+    fn scenarios_share_one_topology_instance_across_clones() {
+        let s = Scenario::torus(8);
+        let t1 = s.topology();
+        let point = s.at(0.004);
+        let t2 = point.scenario.topology();
+        assert!(Arc::ptr_eq(&t1, &t2), "clones must share the Arc, not rebuild tables");
+    }
+
+    #[test]
+    fn topology_kind_round_trips_names_and_builds_all_families() {
+        for kind in TopologyKind::ALL {
+            assert_eq!(TopologyKind::parse(kind.name()), Some(kind));
+            let size = kind.default_size();
+            let scenario = kind.scenario(size);
+            assert_eq!(scenario.network_label(), kind.label(size));
+            assert_eq!(scenario.topology().name(), kind.label(size));
+        }
+        assert_eq!(TopologyKind::parse("mesh"), None);
+        assert_eq!(TopologyKind::Torus.label(8), "T8");
+        assert_eq!(TopologyKind::Ring.default_size(), 8);
+    }
+
+    #[test]
     fn hypercube_scenario_builds_the_cube() {
         let s = Scenario::hypercube(7).with_message_length(64);
         assert_eq!(s.network_label(), "Q7");
         assert_eq!(s.topology().node_count(), 128);
         assert_eq!(s.message_length, 64);
-        // the star model does not cover it, the hypercube model does
-        assert_eq!(s.model_config(0.001), Ok(None));
-        let cfg = s.hypercube_model_config(0.001).unwrap().unwrap();
-        assert_eq!(cfg.dims, 7);
-        assert_eq!(cfg.message_length, 64);
-        assert_eq!(cfg.routing, HypercubeRouting::EnhancedNbc);
+        let params = s.model_params(0.001).unwrap().unwrap();
+        assert_eq!(params.message_length, 64);
+        assert_eq!(params.discipline, ModelDiscipline::EnhancedNbc);
     }
 
     #[test]
-    fn hypercube_model_config_maps_every_discipline() {
-        for (discipline, routing) in [
-            (Discipline::EnhancedNbc, HypercubeRouting::EnhancedNbc),
-            (Discipline::Nbc, HypercubeRouting::Nbc),
-            (Discipline::NHop, HypercubeRouting::NHop),
-            (Discipline::Deterministic, HypercubeRouting::DimensionOrder),
-        ] {
-            let s = Scenario::hypercube(5).with_discipline(discipline);
-            let cfg = s.hypercube_model_config(0.002).unwrap().unwrap();
-            assert_eq!(cfg.routing, routing);
+    fn model_params_maps_every_discipline_off_the_star() {
+        for discipline in Discipline::ALL {
+            for scenario in [Scenario::hypercube(5), Scenario::torus(6), Scenario::ring(8)] {
+                let scenario = scenario.with_discipline(discipline);
+                let params = scenario.model_params(0.002).unwrap().unwrap();
+                assert_eq!(params.discipline, discipline.model_discipline());
+                assert!((params.traffic_rate - 0.002).abs() < 1e-15);
+            }
         }
-        // star scenarios are outside the hypercube model's reach...
-        assert_eq!(Scenario::star(5).hypercube_model_config(0.002), Ok(None));
-        // ...and out-of-range parameters surface as errors, not None
-        assert!(Scenario::hypercube(10).hypercube_model_config(0.002).is_err());
+        // out-of-range parameters surface as errors, not None — with the
+        // closed-form validator's own error on the hypercube
+        assert!(matches!(
+            Scenario::hypercube(10).model_params(0.002),
+            Err(ModelParamsError::Hypercube(_))
+        ));
+        // …and the generic validator's on the torus
+        assert!(matches!(
+            Scenario::torus(12).model_params(0.002),
+            Err(ModelParamsError::TooFewVirtualChannels { .. })
+        ));
     }
 
     #[test]
-    fn model_config_covers_modelled_disciplines_only() {
+    fn model_params_covers_modelled_star_disciplines_only() {
         let s = Scenario::star(5);
-        let cfg = s.model_config(0.004).unwrap().unwrap();
-        assert_eq!(cfg.symbols, 5);
-        assert_eq!(cfg.traffic_rate, 0.004);
-        assert_eq!(cfg.discipline, RoutingDiscipline::EnhancedNbc);
-        let det = s.with_discipline(Discipline::Deterministic);
-        assert_eq!(det.model_config(0.004), Ok(None));
+        let params = s.model_params(0.004).unwrap().unwrap();
+        assert_eq!(params.virtual_channels, 6);
+        assert!((params.traffic_rate - 0.004).abs() < 1e-15);
+        assert_eq!(params.discipline, ModelDiscipline::EnhancedNbc);
+        // the closed-form star model has no deterministic variant
+        let det = s.clone().with_discipline(Discipline::Deterministic);
+        assert_eq!(det.model_params(0.004), Ok(None));
+        // star errors come from the star validator
         let invalid = s.with_virtual_channels(4);
-        assert!(invalid.model_config(0.004).is_err());
+        assert!(matches!(invalid.model_params(0.004), Err(ModelParamsError::Star(_))));
+        // non-uniform traffic is outside the model on every topology
+        let hot = TrafficPattern::HotSpot { node: 0, fraction: 0.2 };
+        assert_eq!(Scenario::torus(8).with_pattern(hot).model_params(0.004), Ok(None));
     }
 
     #[test]
@@ -427,14 +576,15 @@ mod tests {
         let s = Scenario::star(5);
         assert_eq!(s.replicates, 1);
         assert_eq!(s.seed_base, 0);
-        let r = s.with_replicates(8).with_seed_base(0xC0FFEE);
+        let r = s.clone().with_replicates(8).with_seed_base(0xC0FFEE);
         assert_eq!(r.replicates, 8);
         assert_eq!(r.seed_base, 0xC0FFEE);
         // replication shows in the label only when it fans out
         assert_eq!(s.label(), "S5/enhanced-nbc/V6/M32");
         assert_eq!(r.label(), "S5/enhanced-nbc/V6/M32/R8");
-        // the hypercube constructor inherits the same defaults
+        // every family constructor inherits the same defaults
         assert_eq!(Scenario::hypercube(6).replicates, 1);
+        assert_eq!(Scenario::torus(6).replicates, 1);
     }
 
     #[test]
@@ -452,13 +602,27 @@ mod tests {
     }
 
     #[test]
-    fn every_discipline_builds_routing_on_both_topologies() {
-        for scenario in [Scenario::star(4), Scenario::hypercube(4)] {
+    fn every_discipline_builds_routing_on_every_family() {
+        for scenario in
+            [Scenario::star(4), Scenario::hypercube(4), Scenario::torus(4), Scenario::ring(8)]
+        {
             for d in Discipline::ALL {
-                let routing = scenario.with_discipline(d).routing();
+                let routing = scenario.clone().with_discipline(d).routing();
                 assert_eq!(routing.virtual_channels(), 6);
             }
         }
+    }
+
+    #[test]
+    fn debug_and_equality_see_through_the_topology_arc() {
+        let a = Scenario::torus(8);
+        let b = Scenario::torus(8);
+        let c = Scenario::torus(10);
+        assert_eq!(a, b, "equal experiments compare equal across distinct Arcs");
+        assert_ne!(a, c);
+        assert_ne!(a, a.clone().with_virtual_channels(9));
+        let debug = format!("{a:?}");
+        assert!(debug.contains("\"T8\""), "debug prints the topology name: {debug}");
     }
 
     #[test]

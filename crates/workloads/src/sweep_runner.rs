@@ -186,7 +186,7 @@ impl SweepRunner {
             .iter()
             .map(|s| SweepReport {
                 id: s.id.clone(),
-                scenario: s.scenario,
+                scenario: s.scenario.clone(),
                 estimates: Vec::with_capacity(s.rates.len()),
             })
             .collect();
@@ -334,7 +334,7 @@ pub fn shard_sweeps(shard: ShardSpec, sweeps: &[SweepSpec]) -> Vec<SweepSpec> {
                     keep
                 })
                 .collect();
-            SweepSpec { id: spec.id.clone(), scenario: spec.scenario, rates }
+            SweepSpec { id: spec.id.clone(), scenario: spec.scenario.clone(), rates }
         })
         .collect()
 }
@@ -401,7 +401,7 @@ mod tests {
         // sequential backend produces
         let scenario =
             Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(17);
-        let sweep = SweepSpec::new("s4r3", scenario, vec![0.003, 0.005]);
+        let sweep = SweepSpec::new("s4r3", scenario.clone(), vec![0.003, 0.005]);
         let backend = SimBackend::new(SimBudget::Quick);
         let direct: Vec<_> =
             sweep.rates.iter().map(|&r| backend.evaluate(&scenario.at(r))).collect();

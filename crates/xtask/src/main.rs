@@ -6,17 +6,23 @@
 //!   denied, release build, tests, doctests, a smoke run of every criterion
 //!   bench in `--test` mode (each bench body executes once), a replicate
 //!   smoke (one `star_vs_hypercube` point simulated with `--replicates 3`,
-//!   so the multi-seed fan-out path runs on every push), a **shard smoke**
-//!   (the same small sweep run unsharded and as `--shard 1/2` + `--shard
-//!   2/2`, merged with the library behind `merge-shards`, and byte-compared
-//!   — the cross-process sharding contract, enforced on every push), and
-//!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
-//!   intra-doc links fail the pipeline.
+//!   so the multi-seed fan-out path runs on every push), a **torus smoke**
+//!   (one simulated `T6` point checked against the generic traversal-spectrum
+//!   model with `--check-band 25`, so the topology-plugin path — BFS census,
+//!   spectrum model and simulator on a non-closed-form topology — is
+//!   cross-validated on every push), a **shard smoke** (the same small sweep
+//!   run unsharded and as `--shard 1/2` + `--shard 2/2`, merged with the
+//!   library behind `merge-shards`, and byte-compared — the cross-process
+//!   sharding contract, enforced on every push), and `cargo doc --no-deps`
+//!   with `RUSTDOCFLAGS="-D warnings"` so broken intra-doc links fail the
+//!   pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
 //!   all available cores by default; extra arguments are forwarded, e.g.
 //!   `cargo xtask figure1 -- --budget thorough --replicates 5 --threads 4`,
-//!   including `--shard K/N` for sharded regeneration).
+//!   including `--shard K/N` for sharded regeneration and
+//!   `--topology hypercube|torus|ring` to replay the grid on another
+//!   family).
 //! * `cargo xtask merge-shards --out <merged.csv> <partial.csv>...` — merges
 //!   the partial CSVs written by `--shard K/N` harness runs into one CSV
 //!   byte-identical to an unsharded run (validating that the shard set is
@@ -55,11 +61,11 @@ fn print_help() {
     eprintln!("commands:");
     eprintln!(
         "  ci            fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
-         replicate smoke, shard smoke, doc -D warnings"
+         replicate smoke, torus smoke, shard smoke, doc -D warnings"
     );
     eprintln!(
         "  figure1       regenerate the paper's Figure 1 CSVs (forwards extra args, \
-         e.g. --budget thorough --replicates 5 --threads 4 --shard 1/2)"
+         e.g. --budget thorough --replicates 5 --threads 4 --shard 1/2 --topology torus)"
     );
     eprintln!(
         "  merge-shards  --out <merged.csv> <partial.csv>... \
@@ -120,6 +126,8 @@ fn ci() -> ExitCode {
                 "--bin",
                 "star_vs_hypercube",
                 "--",
+                "--topology",
+                "star,hypercube",
                 "--n",
                 "4",
                 "--points",
@@ -128,6 +136,35 @@ fn ci() -> ExitCode {
                 "3",
                 "--budget",
                 "quick",
+            ],
+        ),
+        // a short simulated torus sweep cross-validated against the generic
+        // traversal-spectrum model: the topology-plugin path (no closed
+        // form anywhere) must agree with the simulator within the moderate
+        // tolerance band on every push (the gate covers the grid's points
+        // up to moderate utilisation; the top point sits beyond it)
+        (
+            "torus-smoke",
+            &[
+                "run",
+                "--release",
+                "-p",
+                "star-bench",
+                "--bin",
+                "star_vs_hypercube",
+                "--",
+                "--topology",
+                "torus",
+                "--torus-k",
+                "6",
+                "--points",
+                "3",
+                "--replicates",
+                "3",
+                "--budget",
+                "quick",
+                "--check-band",
+                "25",
             ],
         ),
     ];
@@ -168,6 +205,8 @@ fn shard_smoke() -> Result<(), String> {
         "--bin",
         "star_vs_hypercube",
         "--",
+        "--topology",
+        "star,hypercube",
         "--n",
         "4",
         "--points",

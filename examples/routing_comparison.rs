@@ -16,7 +16,7 @@ fn main() {
     let rates = vec![0.01, 0.02, 0.03];
     let sweeps: Vec<SweepSpec> = Discipline::ALL
         .iter()
-        .map(|&d| SweepSpec::new(d.name(), base.with_discipline(d), rates.clone()))
+        .map(|&d| SweepSpec::new(d.name(), base.clone().with_discipline(d), rates.clone()))
         .collect();
     let reports = SweepRunner::new().run(&SimBackend::new(SimBudget::Quick), &sweeps);
 

@@ -11,9 +11,9 @@
 //!   (sweep sharding, the models' per-iteration blocking sums, the
 //!   spectrum build) and the `--shard K/N` cross-process shard/merge
 //!   machinery ([`ShardSpec`], `merge_shard_csvs`);
-//! * [`graph`] (crate `star-graph`) — the star graph `S_n` and hypercube
-//!   `Q_d` topologies, permutations, minimal-path DAGs, distance
-//!   distributions;
+//! * [`graph`] (crate `star-graph`) — the [`Topology`] trait with its star
+//!   graph `S_n`, hypercube `Q_d`, torus `T_k` and ring implementations,
+//!   permutations, minimal-path DAGs, distance distributions;
 //! * [`queueing`] (crate `star-queueing`) — M/G/1 waiting times, the virtual
 //!   channel occupancy chain, fixed-point solvers and statistics;
 //! * [`routing`] (crate `star-routing`) — the NHop, Nbc, Enhanced-Nbc and
@@ -23,9 +23,13 @@
 //! * [`model`] (crate `star-core`) — **the paper's contribution**: the
 //!   analytical latency model and its traffic sweeps, extended to the
 //!   binary hypercube (`HypercubeModel`) so the star-vs-hypercube
-//!   comparison runs model-only far beyond simulator scale;
+//!   comparison runs model-only far beyond simulator scale, plus the
+//!   generic [`TraversalSpectrum`]/[`SpectrumModel`] pair that evaluates
+//!   the same model on **any** [`Topology`] value from a BFS distance
+//!   census (the closed forms remain as exact oracles);
 //! * [`workloads`] (crate `star-workloads`) — the unified evaluation API:
-//!   topology-generic [`Scenario`]s (including the `replicates` ×
+//!   [`Scenario`]s carrying their topology as an `Arc<dyn Topology>` value
+//!   (including the `replicates` ×
 //!   `seed_base` replication policy), the [`Evaluator`] trait answered by
 //!   both the analytical model ([`ModelBackend`]) and the simulator
 //!   ([`SimBackend`], fanning each point out to independently seeded
@@ -68,19 +72,24 @@ pub use star_sim as sim;
 pub use star_workloads as workloads;
 
 pub use star_core::{
-    AnalyticalModel, ConfigError, HypercubeConfig, HypercubeConfigError, HypercubeModel,
-    HypercubeResult, HypercubeRouting, HypercubeSpectrum, ModelConfig, ModelResult,
-    RoutingDiscipline, ValidationRow,
+    spectrum_saturation_rate, AnalyticalModel, ConfigError, HypercubeConfig, HypercubeConfigError,
+    HypercubeModel, HypercubeResult, HypercubeRouting, HypercubeSpectrum, ModelConfig,
+    ModelDiscipline, ModelParams, ModelParamsError, ModelResult, RoutingDiscipline, SpectrumModel,
+    SpectrumResult, TraversalSpectrum, ValidationRow,
 };
 pub use star_exec::{merge_shard_csvs, ExecPool, ShardSpec};
-pub use star_graph::{Hypercube, Permutation, StarGraph, Topology, TopologyProperties};
+pub use star_graph::{
+    Hypercube, Permutation, Ring, StarGraph, Topology, TopologyProperties, Torus,
+};
 pub use star_queueing::{replicate_seed, ReplicateStats};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
 pub use star_sim::{
     ReplicateReport, ReplicateRun, SimConfig, SimReport, Simulation, TrafficPattern,
 };
+#[allow(deprecated)]
+pub use star_workloads::NetworkKind;
 pub use star_workloads::{
-    shard_sweeps, CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, NetworkKind,
-    OperatingPoint, PointEstimate, ReportSink, RunReport, RunRow, Scenario, SimBackend, SimBudget,
-    SweepReport, SweepRunner, SweepSpec,
+    shard_sweeps, CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, OperatingPoint,
+    PointEstimate, ReportSink, RunReport, RunRow, Scenario, SimBackend, SimBudget, SweepReport,
+    SweepRunner, SweepSpec, TopologyKind,
 };

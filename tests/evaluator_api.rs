@@ -156,7 +156,7 @@ fn replicate_aggregation_is_byte_identical_for_one_vs_many_threads() {
     // undersubscribed, matched, oversubscribed — reassembles them into the
     // same bytes the sequential evaluation produces
     let scenario = Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(41);
-    let sweep = SweepSpec::new("r3", scenario, vec![0.003, 0.006]);
+    let sweep = SweepSpec::new("r3", scenario.clone(), vec![0.003, 0.006]);
     let backend = SimBackend::new(SimBudget::Quick);
     let sequential: Vec<_> =
         sweep.rates.iter().map(|&rate| backend.evaluate(&scenario.at(rate))).collect();
@@ -206,7 +206,7 @@ fn both_backends_answer_the_same_point_within_tolerance() {
     // simulated side is a replicate mean with its CI in the failure message
     let scenario = Scenario::star(4).with_message_length(16).with_replicates(3).with_seed_base(101);
     let model = SweepRunner::with_threads(1)
-        .run_one(&ModelBackend::new(), &SweepSpec::new("m", scenario, vec![0.004]));
+        .run_one(&ModelBackend::new(), &SweepSpec::new("m", scenario.clone(), vec![0.004]));
     let sim = SweepRunner::with_threads(1)
         .run_one(&SimBackend::new(SimBudget::Quick), &SweepSpec::new("s", scenario, vec![0.004]));
     let m = &model.estimates[0];

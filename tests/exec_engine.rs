@@ -85,11 +85,13 @@ fn evaluator_panics_cross_the_pool_boundary() {
         Scenario::star(4).with_message_length(16).with_virtual_channels(3),
         vec![0.001],
     );
-    let result = std::panic::catch_unwind(|| {
+    // AssertUnwindSafe: the sweep is only read, and the panic fires before
+    // any state it owns could be half-mutated
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         // V = 3 < the 4 escape levels S4 needs: supports() is false, the
         // runner's up-front check panics before any pool work starts
         SweepRunner::with_threads(2).run_one(&ModelBackend::new(), &sweep)
-    });
+    }));
     assert!(result.is_err());
 }
 
@@ -100,7 +102,7 @@ fn evaluator_panics_cross_the_pool_boundary() {
 fn three_way_shard_merge_is_byte_identical() {
     let scenario = Scenario::star(4).with_message_length(16).with_replicates(2).with_seed_base(9);
     let full = vec![
-        SweepSpec::new("s4", scenario, vec![0.002, 0.003, 0.004]),
+        SweepSpec::new("s4", scenario.clone(), vec![0.002, 0.003, 0.004]),
         SweepSpec::new("s4v9", scenario.with_virtual_channels(9), vec![0.002, 0.003, 0.004]),
     ];
     let runner = SweepRunner::with_threads(2);

@@ -6,10 +6,10 @@
 
 use star_wormhole::{
     replicate_seed, AnalyticalModel, CiTarget, ConfigError, DeterministicMinimal, Discipline,
-    EnhancedNbc, Evaluator as _, Hypercube, ModelBackend, ModelConfig, ModelResult, NHop, Nbc,
-    NetworkKind, Permutation, ReplicateStats, RoutingAlgorithm, RunReport, Scenario, SimBackend,
-    SimBudget, SimConfig, StarGraph, SweepRunner, SweepSpec, Topology, TopologyProperties,
-    TrafficPattern,
+    EnhancedNbc, Evaluator as _, Hypercube, ModelBackend, ModelConfig, ModelParams, ModelResult,
+    NHop, Nbc, Permutation, ReplicateStats, Ring, RoutingAlgorithm, RunReport, Scenario,
+    SimBackend, SimBudget, SimConfig, SpectrumModel, StarGraph, SweepRunner, SweepSpec, Topology,
+    TopologyKind, TopologyProperties, Torus, TrafficPattern, TraversalSpectrum,
 };
 
 /// The root doc example, restated: the documented sweep must solve
@@ -46,7 +46,8 @@ fn evaluator_reexports_compose() {
         .with_discipline(Discipline::EnhancedNbc)
         .with_message_length(16)
         .with_pattern(TrafficPattern::Uniform);
-    assert_eq!(scenario.network, NetworkKind::Star);
+    assert_eq!(scenario.network_label(), "S4");
+    assert_eq!(scenario, TopologyKind::Star.scenario(4).with_message_length(16));
     let model = ModelBackend::new();
     assert!(model.supports(&scenario));
     let estimate = model.evaluate(&scenario.at(0.003));
@@ -54,6 +55,17 @@ fn evaluator_reexports_compose() {
     assert_eq!(estimate.latency_ci95(), 0.0, "the model's interval is degenerate");
     let sim = SimBackend::new(SimBudget::Quick).with_ci_target(CiTarget::new(0.2));
     assert!(sim.supports(&Scenario::hypercube(3)));
+    // the topology-plugin surface travels through the facade: a torus
+    // scenario answered by the generic spectrum model, no closed form
+    let torus = Scenario::torus(4).with_message_length(16);
+    assert!(model.supports(&torus));
+    let params: ModelParams = torus.model_params(0.002).expect("valid pairing").expect("modelled");
+    let spectrum = TraversalSpectrum::new(torus.topology().as_ref());
+    assert_eq!(spectrum.topology_name(), "T4");
+    let result = SpectrumModel::new(params, std::sync::Arc::new(spectrum)).solve();
+    assert!(!result.saturated);
+    assert_eq!(Torus::new(4).node_count(), 16);
+    assert_eq!(Ring::new(8).node_count(), 8);
     // the replicate-statistics surface travels through the facade
     let stats = ReplicateStats::from_samples(&[40.0, 44.0]);
     assert!(stats.ci95 > 0.0);

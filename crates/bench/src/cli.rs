@@ -266,7 +266,7 @@ impl HarnessArgs {
                 let path = dir.join(shard.file_name(base));
                 star_workloads::write_csv(
                     &path,
-                    &partial_header(header, run.finish()),
+                    &partial_header(header, run),
                     &partial_rows(rows),
                 )?;
                 Ok(path)

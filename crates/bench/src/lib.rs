@@ -25,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod loadgen;
 
 use std::path::PathBuf;
 

@@ -9,7 +9,9 @@
 //! locking on the hot path; results land in per-index slots and are
 //! collected in item order once the batch closes.
 //!
-//! The only `unsafe` in the workspace lives here, in one well-worn shape
+//! The load-bearing `unsafe` of the workspace lives here (the only other
+//! occurrence is `star-serve`'s one-line SIGINT binding), in one well-worn
+//! shape
 //! (the same lifetime erasure `rayon`/`crossbeam` scopes are built on): a
 //! batch borrows the caller's stack, but pool workers are `'static`
 //! threads, so the helper jobs carry a type-erased raw pointer to the

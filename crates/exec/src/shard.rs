@@ -83,6 +83,31 @@ impl RunFingerprint {
     pub fn finish(&self) -> u64 {
         self.0
     }
+
+    /// The digest as its stable 16-digit lower-hex spelling — the exact
+    /// string stamped into shard partial headers and used as a cache key by
+    /// the serving layer, so the two agree on one identity format.
+    ///
+    /// ```
+    /// use star_exec::RunFingerprint;
+    ///
+    /// let mut fp = RunFingerprint::new();
+    /// fp.add_str("S5/enhanced-nbc/V6/M32");
+    /// assert_eq!(fp.to_hex().len(), 16);
+    /// assert_eq!(fp.to_hex(), format!("{fp}"));
+    /// assert_eq!(fp.to_hex(), format!("{:016x}", fp.finish()));
+    /// ```
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        format!("{self}")
+    }
+}
+
+impl fmt::Display for RunFingerprint {
+    /// Formats the digest as 16 lower-hex digits (zero-padded, no prefix).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
 }
 
 /// One shard of a cross-process run: this process owns every `count`-th
@@ -171,10 +196,11 @@ impl fmt::Display for ShardSpec {
 }
 
 /// The header line of a partial CSV for the given unsharded header,
-/// stamped with the run's [`RunFingerprint`] digest.
+/// stamped with the run's [`RunFingerprint`] digest (its stable
+/// [`RunFingerprint::to_hex`] spelling).
 #[must_use]
-pub fn partial_header(header: &str, fingerprint: u64) -> String {
-    format!("{PARTIAL_INDEX_COLUMN}:{fingerprint:016x},{header}")
+pub fn partial_header(header: &str, fingerprint: RunFingerprint) -> String {
+    format!("{PARTIAL_INDEX_COLUMN}:{fingerprint},{header}")
 }
 
 /// Partial CSV rows: each unsharded-run row prefixed with its index in the
@@ -380,7 +406,13 @@ mod tests {
         assert_eq!(specs[1].file_name("report"), "report.shard2of3.csv");
     }
 
-    fn partial_of_run(header: &str, fingerprint: u64, rows: &[(usize, &str)]) -> String {
+    fn fp_of(tag: u64) -> RunFingerprint {
+        let mut fp = RunFingerprint::new();
+        fp.add_u64(tag);
+        fp
+    }
+
+    fn partial_of_run(header: &str, fingerprint: RunFingerprint, rows: &[(usize, &str)]) -> String {
         let mut out = partial_header(header, fingerprint);
         out.push('\n');
         let owned: Vec<(usize, String)> = rows.iter().map(|&(i, r)| (i, r.to_string())).collect();
@@ -392,7 +424,7 @@ mod tests {
     }
 
     fn partial(header: &str, rows: &[(usize, &str)]) -> String {
-        partial_of_run(header, 7, rows)
+        partial_of_run(header, fp_of(7), rows)
     }
 
     #[test]
@@ -429,6 +461,20 @@ mod tests {
     }
 
     #[test]
+    fn hex_spelling_is_stable_and_round_trips_through_headers() {
+        let fp = fp_of(0xBEEF);
+        assert_eq!(fp.to_hex(), format!("{:016x}", fp.finish()));
+        assert_eq!(fp.to_hex(), fp.to_string(), "Display and to_hex agree");
+        assert_eq!(fp.to_hex().len(), 16, "zero-padded to a fixed width");
+        // the header stamp is exactly the hex spelling, and the merge parser
+        // reads it back as the same digest
+        let header = partial_header("x,y", fp);
+        assert_eq!(header, format!("row:{},x,y", fp.to_hex()));
+        let merged = merge_shard_csvs(&[format!("{header}\n0,1,a\n")]).unwrap();
+        assert_eq!(merged, "x,y\n1,a\n");
+    }
+
+    #[test]
     fn merge_restores_the_unsharded_bytes() {
         let a = partial("x,y", &[(0, "0.1,a"), (2, "0.3,c")]);
         let b = partial("x,y", &[(1, "0.2,b"), (3, "0.4,d")]);
@@ -460,10 +506,11 @@ mod tests {
             );
         }
         // complementary indices, same schema, but written by different runs
-        let other_run = partial_of_run("x,y", 8, &[(1, "0.2,b")]);
+        let other_run = partial_of_run("x,y", fp_of(8), &[(1, "0.2,b")]);
         assert!(matches!(
             merge_shard_csvs(&[good.clone(), other_run]),
-            Err(MergeError::RunMismatch { partial: 1, expected: 7, found: 8 })
+            Err(MergeError::RunMismatch { partial: 1, expected, found })
+                if expected == fp_of(7).finish() && found == fp_of(8).finish()
         ));
         assert!(matches!(
             merge_shard_csvs(&[good.clone(), partial("x,z", &[(1, "0.2,b")])]),

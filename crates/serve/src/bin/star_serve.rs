@@ -1,0 +1,82 @@
+//! The `star-serve` binary: bind, announce, serve until drained.
+//!
+//! ```text
+//! star-serve [--addr HOST:PORT] [--width N] [--window N] [--cache-bytes N]
+//! ```
+//!
+//! Prints exactly one `star-serve listening on HOST:PORT` line to stdout
+//! once the socket is bound (the handshake `cargo xtask serve-smoke` and
+//! the integration tests parse), then serves until SIGINT or a wire
+//! `shutdown` request, draining in-flight queries before exiting.
+
+use std::io::Write;
+use std::process::ExitCode;
+
+use star_serve::{signal, Daemon, ServeConfig};
+
+fn usage() -> &'static str {
+    "usage: star-serve [--addr HOST:PORT] [--width N] [--window N] [--cache-bytes N]\n\
+     \n\
+     --addr HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral port)\n\
+     --width N          exec-pool width per evaluation batch (default 0 = all workers)\n\
+     --window N         max pipelined requests per batch (default 64)\n\
+     --cache-bytes N    solve-cache byte budget (default 4194304)"
+}
+
+fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
+    let mut config = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr")?.to_string(),
+            "--width" => {
+                config.width = value("--width")?.parse().map_err(|e| format!("--width: {e}"))?;
+            }
+            "--window" => {
+                config.window = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+            }
+            "--cache-bytes" => {
+                config.cache_bytes =
+                    value("--cache-bytes")?.parse().map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(config)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let config = match parse_args(&args) {
+        Ok(config) => config,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    signal::install();
+    let daemon = match Daemon::bind(config) {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("star-serve: bind failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // the one line launchers wait for — flushed so piped stdout sees it now
+    println!("star-serve listening on {}", daemon.local_addr());
+    let _ = std::io::stdout().flush();
+    match daemon.run() {
+        Ok(()) => {
+            eprintln!("star-serve: drained, exiting");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("star-serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

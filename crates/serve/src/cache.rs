@@ -1,0 +1,447 @@
+//! The daemon's two-level answer cache.
+//!
+//! **Level 1 — [`ConfigCache`].**  Keyed by the [`WireScenario`]
+//! fingerprint (the same [`star_exec::RunFingerprint`] hex that stamps
+//! shard partial headers): one entry per configuration ever queried,
+//! holding the rebuilt [`Scenario`] and the `Arc`-shared
+//! [`ScenarioSpectrum`].  Entries of different configurations on the same
+//! network (`S7` under two disciplines, say) share one topology value and
+//! one spectrum build, so the expensive half of a solve is paid once per
+//! *network*, not once per configuration — let alone per query.  The
+//! configuration space is small (four families × tabled sizes × four
+//! disciplines × a handful of `V`/`M` values), so this level is unbounded.
+//!
+//! **Level 2 — [`SolveCache`].**  Keyed by (fingerprint hex, exact rate
+//! bits): the canonical encoded answer of every solve, with a per-entry hit
+//! counter, under an LRU byte budget.  Beyond verbatim hits it keeps, per
+//! configuration, the rate-ordered chain of converged warm-start seeds —
+//! exactly the value [`star_workloads::ModelBackend`] chains through a
+//! batch sweep — so a `warm`-mode miss can start its fixed point from the
+//! **nearest cached rate** instead of from cold.  Entries remember whether
+//! they were solved cold (`exact`) or warm-started; `exact`-mode queries
+//! are only ever answered by exact entries, keeping the daemon's
+//! byte-identity contract intact.
+//!
+//! Positive finite `f64` rates are order-isomorphic to their IEEE-754 bit
+//! patterns, which is what lets the seed chain live in a `BTreeMap<u64, _>`
+//! and answer nearest-rate lookups with two bounded range scans.
+
+use std::collections::{BTreeMap, HashMap};
+
+use serde_json::Value;
+use star_workloads::{Scenario, ScenarioSpectrum, WireScenario};
+
+use crate::protocol::SolveMode;
+use std::sync::Arc;
+
+/// One resolved configuration: the rebuilt scenario plus its shared
+/// spectrum, ready to answer any rate.
+#[derive(Debug)]
+pub struct ConfigEntry {
+    /// The configuration fingerprint, as the canonical 16-hex-digit string.
+    pub fingerprint: String,
+    /// The batch scenario this configuration denotes.
+    pub scenario: Scenario,
+    /// The topology's spectrum build, shared by every query and every
+    /// configuration on the same network.
+    pub spectrum: Arc<ScenarioSpectrum>,
+}
+
+/// Level 1: fingerprint → configuration, with per-network sharing of the
+/// topology value and spectrum build.
+#[derive(Debug, Default)]
+pub struct ConfigCache {
+    by_fingerprint: HashMap<String, Arc<ConfigEntry>>,
+    /// First scenario seen per network label, holding the shared topology
+    /// `Arc`, next to the network's one spectrum build.
+    by_network: HashMap<String, (Scenario, Arc<ScenarioSpectrum>)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl ConfigCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The configuration for a wire scenario, building topology and
+    /// spectrum only on first sight of the network.
+    pub fn resolve(&mut self, wire: &WireScenario) -> Arc<ConfigEntry> {
+        let fingerprint = wire.fingerprint().to_hex();
+        if let Some(entry) = self.by_fingerprint.get(&fingerprint) {
+            self.hits += 1;
+            return Arc::clone(entry);
+        }
+        self.misses += 1;
+        let label = wire.network_label();
+        let (base, spectrum) = self.by_network.entry(label).or_insert_with(|| {
+            let scenario = wire.scenario();
+            let spectrum = Arc::new(ScenarioSpectrum::build(&scenario));
+            (scenario, spectrum)
+        });
+        let entry = Arc::new(ConfigEntry {
+            fingerprint: fingerprint.clone(),
+            scenario: wire.scenario_on(base.topology()),
+            spectrum: Arc::clone(spectrum),
+        });
+        self.by_fingerprint.insert(fingerprint, Arc::clone(&entry));
+        entry
+    }
+
+    /// Counters as a JSON object (`entries`/`networks`/`hits`/`misses`).
+    #[must_use]
+    pub fn stats(&self) -> Value {
+        Value::Object(vec![
+            ("entries".to_string(), Value::from(self.by_fingerprint.len())),
+            ("networks".to_string(), Value::from(self.by_network.len())),
+            ("hits".to_string(), Value::from(self.hits)),
+            ("misses".to_string(), Value::from(self.misses)),
+        ])
+    }
+}
+
+/// What a [`SolveCache::lookup`] answered.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lookup {
+    /// The exact (configuration, rate) pair is cached and admissible for
+    /// the requested mode: the stored answer, verbatim, with the entry's
+    /// hit count after this hit.
+    Hit {
+        /// The canonical encoded answer.
+        payload: String,
+        /// Times this entry has been served, including now.
+        hits: u64,
+    },
+    /// No admissible entry; solve it.  `warm`-mode misses carry the
+    /// converged seed of the nearest cached rate of the same
+    /// configuration, when one exists.
+    Miss {
+        /// Warm-start seed from the nearest cached chain point.
+        warm_seed: Option<f64>,
+    },
+}
+
+#[derive(Debug)]
+struct SolveEntry {
+    payload: String,
+    exact: bool,
+    hits: u64,
+    stamp: u64,
+}
+
+type SolveKey = (String, u64);
+
+/// Level 2: the LRU-budgeted answer cache with the per-configuration
+/// warm-seed chain.  See the [module docs](self).
+#[derive(Debug)]
+pub struct SolveCache {
+    budget_bytes: usize,
+    used_bytes: usize,
+    entries: HashMap<SolveKey, SolveEntry>,
+    /// Recency order: stamp → key (stamps are unique and monotonic).
+    lru: BTreeMap<u64, SolveKey>,
+    /// Per-fingerprint chain of converged warm seeds, rate-ordered via the
+    /// positive-float/bits isomorphism.
+    seeds: HashMap<String, BTreeMap<u64, f64>>,
+    next_stamp: u64,
+    hits: u64,
+    misses: u64,
+    seeded: u64,
+    evictions: u64,
+}
+
+/// Approximate heap cost of one cached solve, for the byte budget: the two
+/// key strings, the payload, the seed-chain slot and map overheads.
+fn entry_cost(key: &SolveKey, payload: &str) -> usize {
+    2 * key.0.len() + payload.len() + 96
+}
+
+impl SolveCache {
+    /// A cache evicting least-recently-used answers beyond `budget_bytes`
+    /// of (approximate) heap use.  The most recent answer always stays,
+    /// however small the budget.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            budget_bytes,
+            used_bytes: 0,
+            entries: HashMap::new(),
+            lru: BTreeMap::new(),
+            seeds: HashMap::new(),
+            next_stamp: 0,
+            hits: 0,
+            misses: 0,
+            seeded: 0,
+            evictions: 0,
+        }
+    }
+
+    fn stamp(&mut self) -> u64 {
+        self.next_stamp += 1;
+        self.next_stamp
+    }
+
+    /// Looks up (configuration, rate) for the given mode, counting the
+    /// outcome and refreshing recency on hits.
+    pub fn lookup(&mut self, fingerprint: &str, rate: f64, mode: SolveMode) -> Lookup {
+        let key: SolveKey = (fingerprint.to_string(), rate.to_bits());
+        let fresh = self.stamp();
+        if let Some(entry) = self.entries.get_mut(&key) {
+            // warm-solved answers sit within solver tolerance of the exact
+            // ones — good enough for warm mode, inadmissible for exact mode
+            if entry.exact || mode == SolveMode::Warm {
+                entry.hits += 1;
+                self.hits += 1;
+                let old = std::mem::replace(&mut entry.stamp, fresh);
+                let payload = entry.payload.clone();
+                let hits = entry.hits;
+                self.lru.remove(&old);
+                self.lru.insert(fresh, key);
+                return Lookup::Hit { payload, hits };
+            }
+        }
+        self.misses += 1;
+        let warm_seed = if mode == SolveMode::Warm {
+            let seed = self.nearest_seed(fingerprint, rate);
+            if seed.is_some() {
+                self.seeded += 1;
+            }
+            seed
+        } else {
+            None
+        };
+        Lookup::Miss { warm_seed }
+    }
+
+    /// The converged seed of the cached rate nearest to `rate` for this
+    /// configuration, if any rate of it is cached at all.
+    fn nearest_seed(&self, fingerprint: &str, rate: f64) -> Option<f64> {
+        let chain = self.seeds.get(fingerprint)?;
+        let bits = rate.to_bits();
+        let below = chain.range(..=bits).next_back();
+        let above = chain.range(bits..).next();
+        match (below, above) {
+            (Some((&b, &s_b)), Some((&a, &s_a))) => {
+                let d_b = (rate - f64::from_bits(b)).abs();
+                let d_a = (f64::from_bits(a) - rate).abs();
+                Some(if d_b <= d_a { s_b } else { s_a })
+            }
+            (Some((_, &s)), None) | (None, Some((_, &s))) => Some(s),
+            (None, None) => None,
+        }
+    }
+
+    /// Stores a solved answer: the canonical payload, whether it was
+    /// solved cold (`exact`), and its converged warm seed for the chain
+    /// (non-finite seeds — saturated points — are kept out of the chain;
+    /// `solve_from` would ignore them anyway).  Re-inserting a key
+    /// replaces the old entry; an exact re-solve upgrades a warm one.
+    pub fn insert(
+        &mut self,
+        fingerprint: &str,
+        rate: f64,
+        payload: String,
+        exact: bool,
+        warm_seed: f64,
+    ) {
+        let key: SolveKey = (fingerprint.to_string(), rate.to_bits());
+        let cost = entry_cost(&key, &payload);
+        if let Some(old) = self.entries.remove(&key) {
+            self.lru.remove(&old.stamp);
+            self.used_bytes -= entry_cost(&key, &old.payload);
+        }
+        if warm_seed.is_finite() {
+            self.seeds.entry(key.0.clone()).or_default().insert(key.1, warm_seed);
+        }
+        let stamp = self.stamp();
+        self.entries.insert(key.clone(), SolveEntry { payload, exact, hits: 0, stamp });
+        self.lru.insert(stamp, key);
+        self.used_bytes += cost;
+        self.evict_to_budget();
+    }
+
+    fn evict_to_budget(&mut self) {
+        while self.used_bytes > self.budget_bytes && self.entries.len() > 1 {
+            let (&stamp, _) = self.lru.iter().next().expect("lru tracks every entry");
+            let key = self.lru.remove(&stamp).expect("stamp just observed");
+            let entry = self.entries.remove(&key).expect("entries track every lru stamp");
+            self.used_bytes -= entry_cost(&key, &entry.payload);
+            if let Some(chain) = self.seeds.get_mut(&key.0) {
+                chain.remove(&key.1);
+                if chain.is_empty() {
+                    self.seeds.remove(&key.0);
+                }
+            }
+            self.evictions += 1;
+        }
+    }
+
+    /// Number of cached answers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Counters as a JSON object (`entries`/`bytes`/`budget_bytes`/`hits`/
+    /// `misses`/`seeded`/`evictions`).
+    #[must_use]
+    pub fn stats(&self) -> Value {
+        Value::Object(vec![
+            ("entries".to_string(), Value::from(self.entries.len())),
+            ("bytes".to_string(), Value::from(self.used_bytes)),
+            ("budget_bytes".to_string(), Value::from(self.budget_bytes)),
+            ("hits".to_string(), Value::from(self.hits)),
+            ("misses".to_string(), Value::from(self.misses)),
+            ("seeded".to_string(), Value::from(self.seeded)),
+            ("evictions".to_string(), Value::from(self.evictions)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use star_workloads::{Discipline, TopologyKind};
+
+    fn wire(discipline: Discipline, vc: usize) -> WireScenario {
+        WireScenario {
+            kind: TopologyKind::Star,
+            size: 5,
+            discipline,
+            virtual_channels: vc,
+            message_length: 32,
+        }
+    }
+
+    #[test]
+    fn config_cache_shares_spectra_per_network_and_hits_per_fingerprint() {
+        let mut cache = ConfigCache::new();
+        let a = cache.resolve(&wire(Discipline::EnhancedNbc, 6));
+        let b = cache.resolve(&wire(Discipline::EnhancedNbc, 6));
+        assert!(Arc::ptr_eq(&a, &b), "same fingerprint must be one entry");
+        let c = cache.resolve(&wire(Discipline::Nbc, 7));
+        assert_ne!(a.fingerprint, c.fingerprint);
+        // different configurations, one network: topology and spectrum shared
+        assert!(Arc::ptr_eq(&a.spectrum, &c.spectrum));
+        assert!(Arc::ptr_eq(&a.scenario.topology(), &c.scenario.topology()));
+        let stats = cache.stats();
+        assert_eq!(stats.get("entries").unwrap().as_u64(), Some(2));
+        assert_eq!(stats.get("networks").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("hits").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("misses").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn exact_entries_serve_both_modes_warm_entries_only_warm() {
+        let mut cache = SolveCache::new(1 << 20);
+        cache.insert("aaaa", 0.004, "{\"exact\":true}".to_string(), true, 40.0);
+        cache.insert("aaaa", 0.005, "{\"warm\":true}".to_string(), false, 41.0);
+        // exact entry: admissible everywhere, hit counter climbs
+        assert_eq!(
+            cache.lookup("aaaa", 0.004, SolveMode::Exact),
+            Lookup::Hit { payload: "{\"exact\":true}".to_string(), hits: 1 }
+        );
+        assert_eq!(
+            cache.lookup("aaaa", 0.004, SolveMode::Warm),
+            Lookup::Hit { payload: "{\"exact\":true}".to_string(), hits: 2 }
+        );
+        // warm entry: never answers exact mode (and exact misses never
+        // carry a seed — they must solve cold)
+        assert_eq!(cache.lookup("aaaa", 0.005, SolveMode::Exact), Lookup::Miss { warm_seed: None });
+        assert_eq!(
+            cache.lookup("aaaa", 0.005, SolveMode::Warm),
+            Lookup::Hit { payload: "{\"warm\":true}".to_string(), hits: 1 }
+        );
+        // an exact re-solve upgrades the entry in place
+        cache.insert("aaaa", 0.005, "{\"exact\":2}".to_string(), true, 41.5);
+        assert_eq!(
+            cache.lookup("aaaa", 0.005, SolveMode::Exact),
+            Lookup::Hit { payload: "{\"exact\":2}".to_string(), hits: 1 }
+        );
+    }
+
+    #[test]
+    fn warm_misses_seed_from_the_nearest_cached_rate() {
+        let mut cache = SolveCache::new(1 << 20);
+        assert_eq!(cache.lookup("f", 0.004, SolveMode::Warm), Lookup::Miss { warm_seed: None });
+        cache.insert("f", 0.002, "a".to_string(), true, 20.0);
+        cache.insert("f", 0.008, "b".to_string(), true, 80.0);
+        // below, between (closer to each side), above — and other
+        // fingerprints never leak their seeds
+        assert_eq!(
+            cache.lookup("f", 0.001, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(20.0) }
+        );
+        assert_eq!(
+            cache.lookup("f", 0.003, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(20.0) }
+        );
+        assert_eq!(
+            cache.lookup("f", 0.007, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(80.0) }
+        );
+        assert_eq!(
+            cache.lookup("f", 0.020, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(80.0) }
+        );
+        assert_eq!(cache.lookup("g", 0.004, SolveMode::Warm), Lookup::Miss { warm_seed: None });
+        // saturated answers (non-finite seeds) stay out of the chain
+        cache.insert("f", 0.015, "sat".to_string(), true, f64::INFINITY);
+        assert_eq!(
+            cache.lookup("f", 0.014, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(80.0) }
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.get("seeded").unwrap().as_u64(), Some(5));
+    }
+
+    #[test]
+    fn lru_budget_evicts_cold_entries_first_and_keeps_the_newest() {
+        let one = entry_cost(&("ffffffffffffffff".to_string(), 0), "x");
+        let mut cache = SolveCache::new(3 * one + one / 2);
+        cache.insert("ffffffffffffffff", 0.001, "x".to_string(), true, 1.0);
+        cache.insert("ffffffffffffffff", 0.002, "x".to_string(), true, 2.0);
+        cache.insert("ffffffffffffffff", 0.003, "x".to_string(), true, 3.0);
+        assert_eq!(cache.len(), 3);
+        // touch 0.001 so 0.002 is the least recently used…
+        assert!(matches!(
+            cache.lookup("ffffffffffffffff", 0.001, SolveMode::Exact),
+            Lookup::Hit { .. }
+        ));
+        cache.insert("ffffffffffffffff", 0.004, "x".to_string(), true, 4.0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            cache.lookup("ffffffffffffffff", 0.002, SolveMode::Exact),
+            Lookup::Miss { warm_seed: None }
+        );
+        assert!(matches!(
+            cache.lookup("ffffffffffffffff", 0.001, SolveMode::Exact),
+            Lookup::Hit { .. }
+        ));
+        // …and the evicted entry's seed left the warm chain with it
+        // (0.0015 now seeds from 0.001, not the evicted 0.002)
+        assert_eq!(
+            cache.lookup("ffffffffffffffff", 0.0015, SolveMode::Warm),
+            Lookup::Miss { warm_seed: Some(1.0) }
+        );
+        // a budget below one entry still holds exactly the newest answer
+        let mut tiny = SolveCache::new(1);
+        tiny.insert("ffffffffffffffff", 0.001, "x".to_string(), true, 1.0);
+        tiny.insert("ffffffffffffffff", 0.002, "y".to_string(), true, 2.0);
+        assert_eq!(tiny.len(), 1);
+        assert!(matches!(
+            tiny.lookup("ffffffffffffffff", 0.002, SolveMode::Exact),
+            Lookup::Hit { .. }
+        ));
+        assert!(tiny.stats().get("evictions").unwrap().as_u64().unwrap() >= 1);
+        assert!(!tiny.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! The daemon proper: accept loop, per-connection pipelining, pool-backed
+//! evaluation, graceful drain.
+//!
+//! One [`Daemon`] owns a non-blocking TCP listener and a shared
+//! [`ServerState`] (the model backend, the two cache levels and the traffic
+//! counters).  Each connection gets a thread; within a connection, queries
+//! are **pipelined**: the reader drains whatever lines are already queued
+//! (up to [`ServeConfig::window`]) and evaluates the whole window's cache
+//! misses as one ordered batch on the shared [`star_exec::ExecPool`] —
+//! so a client that streams 100 queries gets every core, while a
+//! one-query-at-a-time client still gets sub-millisecond turnarounds.
+//! Responses always come back in request order.
+//!
+//! Shutdown is cooperative and draining: a SIGINT (via
+//! [`crate::signal::install`]) or a wire `shutdown` request trips one flag;
+//! the accept loop stops accepting, every connection finishes the window it
+//! is working on, flushes, closes, and [`Daemon::run`] joins them all
+//! before returning.  Nothing in flight is dropped.
+
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use serde_json::Value;
+use star_exec::ExecPool;
+use star_workloads::{encode_estimate, ModelBackend, OperatingPoint, ScenarioSpectrum};
+
+use crate::cache::{ConfigCache, Lookup, SolveCache};
+use crate::protocol::{self, CacheOutcome, Request};
+use crate::signal;
+
+/// Daemon tuning knobs, all defaulted for the smoke/bench setups.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port (read it back with
+    /// [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Worker width for each evaluation batch (`0` = all pool workers).
+    pub width: usize,
+    /// Maximum pipelined requests evaluated as one batch per connection.
+    pub window: usize,
+    /// Solve-cache byte budget (see [`SolveCache`]).
+    pub cache_bytes: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { addr: "127.0.0.1:0".to_string(), width: 0, window: 64, cache_bytes: 4 << 20 }
+    }
+}
+
+/// Everything the connection threads share.
+#[derive(Debug)]
+pub struct ServerState {
+    backend: ModelBackend,
+    configs: Mutex<ConfigCache>,
+    solves: Mutex<SolveCache>,
+    queries: AtomicU64,
+    errors: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    fn new(cache_bytes: usize) -> Self {
+        Self {
+            backend: ModelBackend::new(),
+            configs: Mutex::new(ConfigCache::new()),
+            solves: Mutex::new(SolveCache::new(cache_bytes)),
+            queries: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether drain-and-exit has been requested, by wire or by signal.
+    fn draining(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed) || signal::triggered()
+    }
+
+    /// The stats snapshot behind the wire `stats` op, also available to
+    /// embedders running an in-process daemon.
+    #[must_use]
+    pub fn stats(&self) -> Value {
+        Value::Object(vec![
+            ("queries".to_string(), Value::from(self.queries.load(Ordering::Relaxed))),
+            ("errors".to_string(), Value::from(self.errors.load(Ordering::Relaxed))),
+            ("configs".to_string(), self.configs.lock().expect("config cache poisoned").stats()),
+            ("solves".to_string(), self.solves.lock().expect("solve cache poisoned").stats()),
+        ])
+    }
+}
+
+/// One solve the window batch owes the pool: everything `estimate_with`
+/// needs, pre-resolved so the hot closure only computes.
+struct SolveJob {
+    point: OperatingPoint,
+    spectrum: Arc<ScenarioSpectrum>,
+    warm_state: Vec<f64>,
+    fingerprint: String,
+}
+
+/// What each request line of a window turns into before responses are
+/// written back in line order.
+enum Planned {
+    /// Response already known (errors, control ops, cache hits).
+    Ready(String),
+    /// Stats snapshot, taken after the window's solves land.
+    Stats { id: u64 },
+    /// Awaiting solve job `index`'s estimate.
+    Pending { id: u64, index: usize, outcome: CacheOutcome },
+}
+
+/// The serving daemon.  [`Daemon::bind`] then [`Daemon::run`]; the run
+/// blocks until shutdown and returns once every connection has drained.
+///
+/// ```
+/// use std::io::{BufRead, BufReader, Write};
+/// use std::net::TcpStream;
+/// use star_serve::{Daemon, ServeConfig};
+///
+/// let daemon = Daemon::bind(ServeConfig::default()).unwrap();
+/// let addr = daemon.local_addr();
+/// let server = std::thread::spawn(move || daemon.run().unwrap());
+///
+/// let mut conn = TcpStream::connect(addr).unwrap();
+/// writeln!(conn, r#"{{"id":1,"topology":"star","size":4,"m":16,"rate":0.004}}"#).unwrap();
+/// writeln!(conn, r#"{{"id":2,"op":"shutdown"}}"#).unwrap();
+/// let mut lines = BufReader::new(conn).lines();
+/// let first = lines.next().unwrap().unwrap();
+/// assert!(first.starts_with(r#"{"id":1,"status":"ok","cached":"cold""#));
+/// server.join().unwrap(); // drained and exited
+/// ```
+#[derive(Debug)]
+pub struct Daemon {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    config: ServeConfig,
+}
+
+/// How long an idle connection waits for bytes before re-checking the
+/// shutdown flag.
+const IDLE_POLL: Duration = Duration::from_millis(25);
+
+impl Daemon {
+    /// Binds the listener (port 0 = ephemeral) and builds the shared state.
+    ///
+    /// # Errors
+    /// Any socket error from binding the address.
+    pub fn bind(config: ServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(ServerState::new(config.cache_bytes));
+        Ok(Self { listener, state, config })
+    }
+
+    /// The bound address (the one thing a caller needs after port 0).
+    ///
+    /// # Panics
+    /// Never after a successful [`Daemon::bind`].
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listener.local_addr().expect("a bound listener has an address")
+    }
+
+    /// The shared state — exposed so an embedding test can read stats or
+    /// request a drain without a connection.
+    #[must_use]
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Asks a running daemon to drain and exit, as if SIGINT had arrived.
+    pub fn request_shutdown(state: &ServerState) {
+        state.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Serves until shutdown (SIGINT or a wire `shutdown` request), then
+    /// drains: in-flight windows finish, responses flush, connections
+    /// close, and every connection thread is joined before returning.
+    ///
+    /// # Errors
+    /// Fatal listener errors only; per-connection I/O errors close that
+    /// connection and are otherwise ignored.
+    pub fn run(self) -> io::Result<()> {
+        let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
+        while !self.state.draining() {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let state = Arc::clone(&self.state);
+                    let width = self.config.width;
+                    let window = self.config.window.max(1);
+                    workers.push(thread::spawn(move || {
+                        // a broken connection is the client's problem
+                        let _ = serve_connection(&stream, &state, width, window);
+                    }));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    thread::sleep(IDLE_POLL);
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+            workers.retain(|w| !w.is_finished());
+        }
+        drop(self.listener);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// Reads request lines, pipelines them into windows and answers in order
+/// until EOF or drain.
+///
+/// A window opens with one blocking read (bounded by [`IDLE_POLL`] so the
+/// shutdown flag stays live on idle connections), then drains whatever
+/// lines have *already arrived* with non-blocking reads — a pipelining
+/// client's whole burst lands in one evaluation batch, while a
+/// query-at-a-time client is answered immediately instead of waiting out a
+/// batching timer.
+fn serve_connection(
+    stream: &TcpStream,
+    state: &ServerState,
+    width: usize,
+    window_cap: usize,
+) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut pending = String::new();
+    let mut window: Vec<String> = Vec::new();
+    loop {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(IDLE_POLL))?;
+        let mut eof = match reader.read_line(&mut pending) {
+            Ok(0) => true,
+            Ok(_) => {
+                window.push(std::mem::take(&mut pending));
+                false
+            }
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                // idle (a timed-out read keeps any partial line buffered in
+                // `pending` for the next pass): drain out when asked to
+                if state.draining() {
+                    return writer.flush();
+                }
+                continue;
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if !eof {
+            stream.set_nonblocking(true)?;
+            while window.len() < window_cap {
+                match reader.read_line(&mut pending) {
+                    Ok(0) => {
+                        eof = true;
+                        break;
+                    }
+                    Ok(_) => window.push(std::mem::take(&mut pending)),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+        }
+        if eof && !pending.trim().is_empty() {
+            // a trailing unterminated line still deserves an answer
+            window.push(std::mem::take(&mut pending));
+        }
+        if !window.is_empty() {
+            let draining = process_window(state, width, &std::mem::take(&mut window), &mut writer)?;
+            writer.flush()?;
+            if draining {
+                return Ok(());
+            }
+        }
+        if eof {
+            return writer.flush();
+        }
+    }
+}
+
+/// Evaluates one window of request lines and writes one response line per
+/// request, in order.  Returns whether a shutdown request was seen.
+fn process_window(
+    state: &ServerState,
+    width: usize,
+    lines: &[String],
+    writer: &mut impl Write,
+) -> io::Result<bool> {
+    let mut planned: Vec<Planned> = Vec::with_capacity(lines.len());
+    let mut jobs: Vec<SolveJob> = Vec::new();
+    let mut saw_shutdown = false;
+    for line in lines {
+        planned.push(match Request::parse(line) {
+            Err(e) => {
+                state.errors.fetch_add(1, Ordering::Relaxed);
+                Planned::Ready(protocol::error_response(e.id, &e.message))
+            }
+            Ok(Request::Stats { id }) => Planned::Stats { id },
+            Ok(Request::Shutdown { id }) => {
+                saw_shutdown = true;
+                Daemon::request_shutdown(state);
+                Planned::Ready(protocol::ok_shutdown(id))
+            }
+            Ok(Request::Query(query)) => {
+                state.queries.fetch_add(1, Ordering::Relaxed);
+                let entry =
+                    state.configs.lock().expect("config cache poisoned").resolve(&query.wire);
+                // out-of-range knobs (V below the discipline's escape-level
+                // minimum, …) and model-less pairings answer as errors, not
+                // panics — the same validation the batch backend trusts
+                match entry.scenario.model_params(query.rate) {
+                    Err(e) => {
+                        state.errors.fetch_add(1, Ordering::Relaxed);
+                        Planned::Ready(protocol::error_response(Some(query.id), &e.to_string()))
+                    }
+                    Ok(None) => {
+                        state.errors.fetch_add(1, Ordering::Relaxed);
+                        Planned::Ready(protocol::error_response(
+                            Some(query.id),
+                            &format!(
+                                "the analytical model does not cover {} (uniform traffic; \
+                                 star networks have no deterministic variant)",
+                                entry.scenario.label()
+                            ),
+                        ))
+                    }
+                    Ok(Some(_)) => {
+                        let lookup = state.solves.lock().expect("solve cache poisoned").lookup(
+                            &entry.fingerprint,
+                            query.rate,
+                            query.mode,
+                        );
+                        match lookup {
+                            Lookup::Hit { payload, hits } => Planned::Ready(protocol::ok_query(
+                                query.id,
+                                CacheOutcome::Exact,
+                                hits,
+                                &payload,
+                            )),
+                            Lookup::Miss { warm_seed } => {
+                                let outcome = if warm_seed.is_some() {
+                                    CacheOutcome::Warm
+                                } else {
+                                    CacheOutcome::Cold
+                                };
+                                jobs.push(SolveJob {
+                                    point: entry.scenario.at(query.rate),
+                                    spectrum: Arc::clone(&entry.spectrum),
+                                    warm_state: warm_seed.map(|s| vec![s]).unwrap_or_default(),
+                                    fingerprint: entry.fingerprint.clone(),
+                                });
+                                Planned::Pending { id: query.id, index: jobs.len() - 1, outcome }
+                            }
+                        }
+                    }
+                }
+            }
+        });
+    }
+
+    // the window's misses, solved as one deterministic ordered batch
+    let estimates = ExecPool::global_ordered(width, &jobs, |_, job| {
+        state.backend.estimate_with(&job.point, &job.spectrum, &job.warm_state)
+    });
+    let mut payloads: Vec<String> = Vec::with_capacity(estimates.len());
+    {
+        let mut solves = state.solves.lock().expect("solve cache poisoned");
+        for (job, estimate) in jobs.iter().zip(&estimates) {
+            let payload = encode_estimate(estimate);
+            let seed = ModelBackend::warm_seed(estimate).unwrap_or(f64::NAN);
+            solves.insert(
+                &job.fingerprint,
+                job.point.traffic_rate,
+                payload.clone(),
+                job.warm_state.is_empty(),
+                seed,
+            );
+            payloads.push(payload);
+        }
+    }
+
+    for plan in planned {
+        let response = match plan {
+            Planned::Ready(response) => response,
+            Planned::Stats { id } => protocol::ok_stats(id, &state.stats()),
+            Planned::Pending { id, index, outcome } => {
+                protocol::ok_query(id, outcome, 0, &payloads[index])
+            }
+        };
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+    }
+    Ok(saw_shutdown)
+}

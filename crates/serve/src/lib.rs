@@ -1,0 +1,52 @@
+//! # star-serve
+//!
+//! A persistent evaluation daemon for the analytical model: scenario
+//! queries as line-delimited JSON over TCP, answered from a
+//! fingerprint-keyed two-level cache instead of a fresh process per batch.
+//!
+//! The batch pipeline pays its fixed costs — topology tables, destination
+//! spectra, process startup — on every invocation.  A *serving* deployment
+//! (a design-space dashboard, a surrogate-training loop issuing millions of
+//! point queries) wants them paid once:
+//!
+//! * **Level 1** ([`cache::ConfigCache`]): configurations keyed by their
+//!   [`star_exec::RunFingerprint`] identity, holding `Arc`-shared spectrum
+//!   builds — one spectrum per *network* across all disciplines and knobs.
+//! * **Level 2** ([`cache::SolveCache`]): solved answers keyed by
+//!   (fingerprint, exact rate bits) under an LRU byte budget with per-entry
+//!   hit counters, plus the rate-ordered chain of converged warm-start
+//!   seeds per configuration, so `warm`-mode misses start their fixed
+//!   point from the nearest cached rate.
+//!
+//! The contract that keeps the daemon honest ([`protocol`]): `exact`-mode
+//! answers are **byte-identical** to what the batch
+//! [`star_workloads::ModelBackend`] encodes for the same point — cold
+//! solves through literally the same code path
+//! ([`star_workloads::ModelBackend::estimate_with`] with an empty warm
+//! state), cache hits replaying previously-solved bytes verbatim.
+//! `warm`-mode answers trade that guarantee for fewer fixed-point
+//! iterations and agree to solver tolerance (1e-9 relative latency), the
+//! same deal [`star_workloads::Evaluator::evaluate_sweep`] already makes
+//! within a batch sweep.
+//!
+//! Queries pipelined on one connection are evaluated as deterministic
+//! ordered batches on the shared [`star_exec::ExecPool`]; SIGINT or a wire
+//! `shutdown` request drains in-flight windows before the process exits
+//! ([`daemon`], [`signal`]).
+//!
+//! The workspace facade re-exports this crate as `star_wormhole::serve`;
+//! the `star-serve` binary wraps [`Daemon`] behind a tiny CLI, and the
+//! `star-load` binary (in `star-bench`) replays mixed query streams
+//! against it.
+
+#![deny(unsafe_code)] // one exception: the SIGINT binding in `signal`
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod daemon;
+pub mod protocol;
+pub mod signal;
+
+pub use cache::{ConfigCache, Lookup, SolveCache};
+pub use daemon::{Daemon, ServeConfig, ServerState};
+pub use protocol::{CacheOutcome, Query, Request, RequestError, SolveMode};

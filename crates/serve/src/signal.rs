@@ -1,0 +1,70 @@
+//! Minimal ctrl-c handling without a libc dependency.
+//!
+//! The daemon drains in-flight work on SIGINT; all the handler has to do is
+//! flip one flag the accept/connection loops already poll.  The container
+//! ships no `libc`/`signal-hook` crate, so the binding is a single
+//! `extern "C"` declaration of ISO C `signal(2)` — the one place outside
+//! `star_exec::pool` where the workspace says `unsafe`.  An async-signal
+//! handler may do almost nothing; a relaxed atomic store is on the short
+//! list of things it may.
+//!
+//! On non-Unix targets [`install`] is a no-op and the flag just never
+//! trips from a signal (wire `shutdown` requests still work everywhere).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TRIGGERED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT has been received since [`install`].
+#[must_use]
+pub fn triggered() -> bool {
+    TRIGGERED.load(Ordering::Relaxed)
+}
+
+/// Trips the flag by hand — what the wire `shutdown` op and the tests use;
+/// indistinguishable from a signal to the polling loops.
+pub fn trigger() {
+    TRIGGERED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::TRIGGERED;
+    use std::sync::atomic::Ordering;
+
+    /// ISO C signal handler shape; `signal(2)` returns the previous
+    /// handler (a pointer, spelled as `usize` here since we never call it).
+    type Handler = extern "C" fn(i32);
+
+    unsafe extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+
+    extern "C" fn on_sigint(_signum: i32) {
+        TRIGGERED.store(true, Ordering::Relaxed);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal` is the ISO C routine; the handler only performs
+        // an atomic store, which is async-signal-safe.
+        unsafe {
+            signal(SIGINT, on_sigint);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT handler (first ctrl-c drains; a second one hits the
+/// default disposition only if the handler is reinstalled — it is not, so
+/// repeated SIGINTs keep draining).  Call once from the binary; tests and
+/// embedded daemons skip it and use [`trigger`] or wire shutdown instead.
+pub fn install() {
+    imp::install();
+}

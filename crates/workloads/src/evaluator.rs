@@ -289,6 +289,43 @@ enum ModelSpectrum {
     Generic(Arc<TraversalSpectrum>),
 }
 
+/// The spectrum build a scenario's model evaluations share, as a reusable
+/// value: the expensive topology-dependent half of a model solve (the
+/// star's cycle-type census, the hypercube's Hamming populations, or the
+/// generic BFS traversal census), `Arc`-shared internally so clones and
+/// concurrent evaluations reuse one allocation.
+///
+/// [`Evaluator::evaluate`] builds one per call; callers that answer *many*
+/// points of one scenario family — the serving daemon's topology/spectrum
+/// cache, long-lived REPL sessions — build it once with
+/// [`ScenarioSpectrum::build`] and pass it to
+/// [`ModelBackend::estimate_with`], which is exactly the
+/// [`Evaluator::evaluate`] computation with the spectrum build hoisted out
+/// (the answers are bit-identical).
+pub struct ScenarioSpectrum(ModelSpectrum);
+
+impl std::fmt::Debug for ScenarioSpectrum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let family = match &self.0 {
+            ModelSpectrum::Star { symbols, .. } => format!("Star(S{symbols})"),
+            ModelSpectrum::Hypercube { dims, .. } => format!("Hypercube(Q{dims})"),
+            ModelSpectrum::Generic(_) => "Generic".to_string(),
+        };
+        f.debug_tuple("ScenarioSpectrum").field(&family).finish()
+    }
+}
+
+impl ScenarioSpectrum {
+    /// Builds the spectrum for a scenario's topology (closed-form star and
+    /// hypercube spectra, generic BFS census otherwise).  Only the topology
+    /// matters: every `V`/`M`/rate/discipline of the same network shares
+    /// the build.
+    #[must_use]
+    pub fn build(scenario: &Scenario) -> Self {
+        Self(ModelSpectrum::for_scenario(scenario))
+    }
+}
+
 impl ModelSpectrum {
     fn for_scenario(scenario: &Scenario) -> Self {
         let topology = scenario.topology();
@@ -420,9 +457,50 @@ impl ModelBackend {
         )
     }
 
+    /// [`Evaluator::evaluate`] with the spectrum build hoisted out: answers
+    /// the point reusing a prebuilt [`ScenarioSpectrum`] (which must belong
+    /// to the point's topology) and an optional warm-start state (empty
+    /// slice = cold start, the [`Evaluator::evaluate`] behaviour).
+    ///
+    /// With an empty `warm_state` the returned estimate is **bit-identical**
+    /// to [`Evaluator::evaluate`] on the same point — this is the contract
+    /// the serving daemon's byte-identity guarantee rests on.  With a warm
+    /// seed (see [`Self::warm_seed`]) the answer agrees to solver tolerance
+    /// (1e-9 relative latency) with fewer iterations, exactly like the
+    /// sweep chain of [`Evaluator::evaluate_sweep`].
+    ///
+    /// # Panics
+    /// As [`Evaluator::evaluate`]; also if the spectrum was built for a
+    /// different topology family or size than the point's.
+    #[must_use]
+    pub fn estimate_with(
+        &self,
+        point: &OperatingPoint,
+        spectrum: &ScenarioSpectrum,
+        warm_state: &[f64],
+    ) -> PointEstimate {
+        match (&spectrum.0, point.scenario.topology().name().as_str()) {
+            (ModelSpectrum::Star { symbols, .. }, name) => {
+                assert_eq!(name, format!("S{symbols}"), "spectrum built for another topology");
+            }
+            (ModelSpectrum::Hypercube { dims, .. }, name) => {
+                assert_eq!(name, format!("Q{dims}"), "spectrum built for another topology");
+            }
+            (ModelSpectrum::Generic(s), name) => {
+                assert_eq!(name, s.topology_name(), "spectrum built for another topology");
+            }
+        }
+        self.estimate(point, &spectrum.0, warm_state)
+    }
+
     /// The converged mean network latency an estimate contributes as the next
-    /// rate's warm-start seed (any topology).
-    fn warm_seed(estimate: &PointEstimate) -> Option<f64> {
+    /// rate's warm-start seed (any topology): the value
+    /// [`Evaluator::evaluate_sweep`] chains between rates, and the value the
+    /// serving daemon's solve cache stores per chain point.  `None` for
+    /// simulator estimates; non-finite (and ignored by `solve_from` in
+    /// favour of a cold start) for saturated points.
+    #[must_use]
+    pub fn warm_seed(estimate: &PointEstimate) -> Option<f64> {
         match &estimate.detail {
             // saturated points leave a non-finite seed, which solve_from
             // ignores in favour of the cold start

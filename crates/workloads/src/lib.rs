@@ -103,9 +103,12 @@ pub mod experiment;
 pub mod report;
 pub mod scenario;
 pub mod sweep_runner;
+pub mod wire;
 
 pub use budget::SimBudget;
-pub use evaluator::{CiTarget, EstimateDetail, Evaluator, ModelBackend, PointEstimate, SimBackend};
+pub use evaluator::{
+    CiTarget, EstimateDetail, Evaluator, ModelBackend, PointEstimate, ScenarioSpectrum, SimBackend,
+};
 pub use experiment::figure1_sweeps;
 pub use report::{ascii_plot, markdown_table, write_csv, ReportSink, RunReport, RunRow};
 #[allow(deprecated)]
@@ -116,3 +119,4 @@ pub use star_queueing::ReplicateStats;
 pub use sweep_runner::{
     rate_indices, retain_shard, shard_sweeps, SweepReport, SweepRunner, SweepSpec,
 };
+pub use wire::{encode_estimate, scenario_fingerprint, WireError, WireScenario};

@@ -246,10 +246,7 @@ impl ReportSink {
                 fingerprint.add_str(base);
                 write_csv(
                     &path,
-                    &star_exec::shard::partial_header(
-                        RunReport::csv_header(),
-                        fingerprint.finish(),
-                    ),
+                    &star_exec::shard::partial_header(RunReport::csv_header(), fingerprint),
                     &star_exec::shard::partial_rows(&indexed),
                 )?;
             }

@@ -13,8 +13,14 @@
 //!   cross-validated on every push), a **shard smoke** (the same small sweep
 //!   run unsharded and as `--shard 1/2` + `--shard 2/2`, merged with the
 //!   library behind `merge-shards`, and byte-compared — the cross-process
-//!   sharding contract, enforced on every push), and `cargo doc --no-deps`
-//!   with `RUSTDOCFLAGS="-D warnings"` so broken intra-doc links fail the
+//!   sharding contract, enforced on every push), a **serve smoke** (the
+//!   `star-serve` daemon is launched on an ephemeral port, a deterministic
+//!   query mix is replayed twice over TCP, every answer is byte-compared to
+//!   a batch [`star_workloads::ModelBackend`] solve of the same operating
+//!   point, the second pass must come from the solve cache, and the daemon
+//!   is drained through the wire `shutdown` op — the serving contract,
+//!   enforced on every push), and `cargo doc --no-deps` with
+//!   `RUSTDOCFLAGS="-D warnings"` so broken intra-doc links fail the
 //!   pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
@@ -27,11 +33,18 @@
 //!   the partial CSVs written by `--shard K/N` harness runs into one CSV
 //!   byte-identical to an unsharded run (validating that the shard set is
 //!   complete and consistent).
+//! * `cargo xtask serve-bench` — launches `star-serve` on an ephemeral port,
+//!   replays the pinned `star-load` stream against it (2000 queries, seed 7,
+//!   half warm-mode, pipeline 8) and appends the measurement to
+//!   `BENCH_serve.json` at the repository root; extra arguments are
+//!   forwarded to `star-load` and override the pinned knobs.
 
 use std::env;
 use std::fs;
-use std::path::Path;
-use std::process::{Command, ExitCode};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, ExitCode, Stdio};
 use std::time::Instant;
 
 fn main() -> ExitCode {
@@ -44,6 +57,14 @@ fn main() -> ExitCode {
         "ci" => ci(),
         "figure1" => figure1(rest),
         "merge-shards" => merge_shards(rest),
+        "serve-bench" => serve_bench(rest),
+        "serve-smoke" => match serve_smoke() {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("\nserve-smoke FAILED: {e}");
+                ExitCode::FAILURE
+            }
+        },
         "help" | "--help" | "-h" => {
             print_help();
             ExitCode::SUCCESS
@@ -61,7 +82,7 @@ fn print_help() {
     eprintln!("commands:");
     eprintln!(
         "  ci            fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
-         replicate smoke, torus smoke, shard smoke, doc -D warnings"
+         replicate smoke, torus smoke, shard smoke, serve smoke, doc -D warnings"
     );
     eprintln!(
         "  figure1       regenerate the paper's Figure 1 CSVs (forwards extra args, \
@@ -70,6 +91,14 @@ fn print_help() {
     eprintln!(
         "  merge-shards  --out <merged.csv> <partial.csv>... \
          merge --shard K/N partial CSVs into the unsharded bytes"
+    );
+    eprintln!(
+        "  serve-bench   launch star-serve, replay the pinned star-load stream and \
+         append the measurement to BENCH_serve.json (forwards extra args to star-load)"
+    );
+    eprintln!(
+        "  serve-smoke   just the ci serving-contract check (needs a release build of \
+         star-serve: cargo build --release -p star-serve)"
     );
 }
 
@@ -181,6 +210,13 @@ fn ci() -> ExitCode {
         eprintln!("\nci FAILED at shard-smoke: {e}");
         return ExitCode::FAILURE;
     }
+    // the serving contract, end to end: the daemon must answer the wire
+    // protocol byte-identically to a batch ModelBackend solve, serve the
+    // second pass from its cache, and drain on the `shutdown` op
+    if let Err(e) = serve_smoke() {
+        eprintln!("\nci FAILED at serve-smoke: {e}");
+        return ExitCode::FAILURE;
+    }
     // rustdoc warnings (broken intra-doc links, missing docs) fail the
     // pipeline: REPRODUCING.md and the crate docs are part of the contract
     if let Err(e) =
@@ -242,6 +278,218 @@ fn shard_smoke() -> Result<(), String> {
     }
     println!("==> shard-smoke: merged 2 shards byte-identical to the unsharded CSV");
     Ok(())
+}
+
+/// Path of a release-profile binary built by the `build` step.
+fn release_bin(name: &str) -> PathBuf {
+    Path::new("target/release").join(format!("{name}{}", env::consts::EXE_SUFFIX))
+}
+
+/// A spawned `star-serve` child with the ephemeral address it reported on
+/// its handshake line.
+struct ServeDaemon {
+    child: Child,
+    addr: String,
+}
+
+/// Launches `target/release/star-serve` on an ephemeral port and parses the
+/// `star-serve listening on HOST:PORT` handshake from its stdout.
+fn spawn_daemon() -> Result<ServeDaemon, String> {
+    let binary = release_bin("star-serve");
+    let mut child = Command::new(&binary)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", binary.display()))?;
+    let stdout = child.stdout.take().ok_or("daemon stdout was not captured")?;
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(stdout).read_line(&mut line) {
+        let _ = child.kill();
+        let _ = child.wait();
+        return Err(format!("reading daemon handshake: {e}"));
+    }
+    match line.trim().strip_prefix("star-serve listening on ") {
+        Some(addr) if !addr.is_empty() => Ok(ServeDaemon { child, addr: addr.to_string() }),
+        _ => {
+            let _ = child.kill();
+            let _ = child.wait();
+            Err(format!("unexpected daemon handshake: {line:?}"))
+        }
+    }
+}
+
+/// Launches the daemon, replays a deterministic query mix twice and checks
+/// the serving contract: every `result` payload byte-identical to a batch
+/// [`star_workloads::ModelBackend`] solve, the whole second pass served from
+/// the solve cache, and a clean drain through the wire `shutdown` op.
+fn serve_smoke() -> Result<(), String> {
+    use star_workloads::{encode_estimate, Evaluator, ModelBackend, Scenario};
+
+    println!("\n==> serve-smoke: daemon round-trip vs batch ModelBackend");
+    let started = Instant::now();
+    // (wire fields, equivalent batch scenario, rate) — distinct rates so the
+    // first pass is all cold solves and the second pass is all cache hits
+    let mut cases: Vec<(String, Scenario, f64)> = Vec::new();
+    for rate in [0.001, 0.002, 0.003] {
+        cases.push((
+            format!("\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":{rate}"),
+            Scenario::star(4).with_message_length(16),
+            rate,
+        ));
+    }
+    for rate in [0.0005, 0.001] {
+        cases.push((
+            format!("\"topology\":\"hypercube\",\"size\":5,\"rate\":{rate}"),
+            Scenario::hypercube(5),
+            rate,
+        ));
+    }
+    let backend = ModelBackend::new();
+    let expected: Vec<String> =
+        cases.iter().map(|(_, s, r)| encode_estimate(&backend.evaluate(&s.at(*r)))).collect();
+
+    let mut daemon = spawn_daemon()?;
+    let outcome = (|| -> Result<(), String> {
+        let stream = TcpStream::connect(&daemon.addr)
+            .map_err(|e| format!("connecting to {}: {e}", daemon.addr))?;
+        let _ = stream.set_nodelay(true);
+        let mut reader =
+            BufReader::new(stream.try_clone().map_err(|e| format!("cloning stream: {e}"))?);
+        let mut writer = &stream;
+        let mut next_line = || -> Result<String, String> {
+            let mut line = String::new();
+            reader.read_line(&mut line).map_err(|e| format!("reading response: {e}"))?;
+            Ok(line)
+        };
+        for (pass, expect_cached) in [(1u64, "cold"), (2, "exact")] {
+            let mut batch = String::new();
+            for (i, (fields, _, _)) in cases.iter().enumerate() {
+                let id = pass * 100 + i as u64;
+                batch.push_str(&format!("{{\"id\":{id},{fields},\"mode\":\"exact\"}}\n"));
+            }
+            writer.write_all(batch.as_bytes()).map_err(|e| format!("writing pass {pass}: {e}"))?;
+            for (i, (fields, _, _)) in cases.iter().enumerate() {
+                let id = pass * 100 + i as u64;
+                let response = next_line()?;
+                let prefix = format!(
+                    "{{\"id\":{id},\"status\":\"ok\",\"cached\":\"{expect_cached}\",\"hits\":"
+                );
+                if !response.starts_with(&prefix) {
+                    return Err(format!(
+                        "pass {pass} query {{{fields}}}: expected {expect_cached}, got {response:?}"
+                    ));
+                }
+                if expect_cached == "exact" {
+                    let hits: u64 = response[prefix.len()..]
+                        .chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                        .parse()
+                        .map_err(|e| format!("unparseable hit counter in {response:?}: {e}"))?;
+                    if hits == 0 {
+                        return Err(format!("cached response reports zero hits: {response:?}"));
+                    }
+                }
+                let suffix = format!("\"result\":{}}}\n", expected[i]);
+                if !response.ends_with(&suffix) {
+                    return Err(format!(
+                        "pass {pass} query {{{fields}}}: daemon answer diverges from the batch \
+                         ModelBackend solve\n  daemon: {response:?}\n  batch result: {:?}",
+                        expected[i]
+                    ));
+                }
+            }
+        }
+        writer
+            .write_all(b"{\"op\":\"stats\",\"id\":900}\n{\"op\":\"shutdown\",\"id\":901}\n")
+            .map_err(|e| format!("writing stats/shutdown: {e}"))?;
+        let stats = next_line()?;
+        if !stats.starts_with("{\"id\":900,\"status\":\"ok\",\"stats\":") {
+            return Err(format!("unexpected stats response: {stats:?}"));
+        }
+        let shutdown = next_line()?;
+        if shutdown.trim() != "{\"id\":901,\"status\":\"ok\",\"shutdown\":true}" {
+            return Err(format!("unexpected shutdown response: {shutdown:?}"));
+        }
+        Ok(())
+    })();
+    if outcome.is_err() {
+        let _ = daemon.child.kill();
+    }
+    let status = daemon.child.wait().map_err(|e| format!("waiting for daemon: {e}"))?;
+    outcome?;
+    if !status.success() {
+        return Err(format!("daemon exited with {status}"));
+    }
+    println!(
+        "==> serve-smoke: {} queries byte-identical to batch, second pass cached, clean drain \
+         ({:.1}s)",
+        cases.len() * 2,
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+/// `cargo xtask serve-bench`: build, launch the daemon, replay the pinned
+/// `star-load` stream and append the measurement to `BENCH_serve.json`.
+fn serve_bench(rest: &[String]) -> ExitCode {
+    if let Err(e) = step("build", &["build", "--release", "-p", "star-serve", "-p", "star-bench"]) {
+        eprintln!("\nserve-bench FAILED at {e}");
+        return ExitCode::FAILURE;
+    }
+    let daemon = match spawn_daemon() {
+        Ok(daemon) => daemon,
+        Err(e) => {
+            eprintln!("\nserve-bench FAILED: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut daemon = daemon;
+    println!("==> star-serve listening on {}", daemon.addr);
+    let load = release_bin("star-load");
+    // the pinned trajectory configuration; forwarded args come last so they
+    // win over the pins (star-load's parser keeps the last assignment)
+    let mut args: Vec<String> = [
+        "--addr",
+        &daemon.addr,
+        "--queries",
+        "2000",
+        "--seed",
+        "7",
+        "--warm-fraction",
+        "0.5",
+        "--pipeline",
+        "8",
+        "--rates",
+        "24",
+        "--json",
+        "BENCH_serve.json",
+        "--shutdown",
+    ]
+    .map(str::to_string)
+    .to_vec();
+    args.extend(rest.iter().filter(|a| a.as_str() != "--").cloned());
+    println!("==> star-load {}", args.join(" "));
+    let load_status = Command::new(&load).args(&args).status();
+    if !matches!(&load_status, Ok(status) if status.success()) {
+        // star-load never reached the shutdown op: don't wait on a live daemon
+        let _ = daemon.child.kill();
+    }
+    let daemon_status = daemon.child.wait();
+    match (load_status, daemon_status) {
+        (Ok(load), Ok(served)) if load.success() && served.success() => {
+            println!("\nserve-bench: measurement appended to BENCH_serve.json");
+            ExitCode::SUCCESS
+        }
+        (Ok(load), Ok(served)) => {
+            eprintln!("\nserve-bench FAILED: star-load exited {load}, star-serve exited {served}");
+            ExitCode::FAILURE
+        }
+        (load, served) => {
+            eprintln!("\nserve-bench FAILED: star-load {load:?}, star-serve {served:?}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn figure1(rest: &[String]) -> ExitCode {

@@ -27,6 +27,13 @@
 //!   generic [`TraversalSpectrum`]/[`SpectrumModel`] pair that evaluates
 //!   the same model on **any** [`Topology`] value from a BFS distance
 //!   census (the closed forms remain as exact oracles);
+//! * [`serve`] (crate `star-serve`) — the persistent evaluation daemon:
+//!   a line-delimited-JSON TCP server answering scenario queries from a
+//!   two-level cache (fingerprint-keyed topology/spectrum sharing plus an
+//!   LRU solve cache that warm-starts rate-adjacent queries), byte-identical
+//!   in `exact` mode to a batch [`ModelBackend`] solve (see
+//!   `REPRODUCING.md`'s *Serving mode* and the `star-serve` / `star-load`
+//!   binaries);
 //! * [`workloads`] (crate `star-workloads`) — the unified evaluation API:
 //!   [`Scenario`]s carrying their topology as an `Arc<dyn Topology>` value
 //!   (including the `replicates` ×
@@ -68,6 +75,7 @@ pub use star_exec as exec;
 pub use star_graph as graph;
 pub use star_queueing as queueing;
 pub use star_routing as routing;
+pub use star_serve as serve;
 pub use star_sim as sim;
 pub use star_workloads as workloads;
 
@@ -83,13 +91,15 @@ pub use star_graph::{
 };
 pub use star_queueing::{replicate_seed, ReplicateStats};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
+pub use star_serve::{Daemon, ServeConfig};
 pub use star_sim::{
     ReplicateReport, ReplicateRun, SimConfig, SimReport, Simulation, TrafficPattern,
 };
 #[allow(deprecated)]
 pub use star_workloads::NetworkKind;
 pub use star_workloads::{
-    shard_sweeps, CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, OperatingPoint,
-    PointEstimate, ReportSink, RunReport, RunRow, Scenario, SimBackend, SimBudget, SweepReport,
-    SweepRunner, SweepSpec, TopologyKind,
+    encode_estimate, scenario_fingerprint, shard_sweeps, CiTarget, Discipline, EstimateDetail,
+    Evaluator, ModelBackend, OperatingPoint, PointEstimate, ReportSink, RunReport, RunRow,
+    Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec, TopologyKind,
+    WireScenario,
 };

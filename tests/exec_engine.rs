@@ -141,7 +141,12 @@ fn three_way_shard_merge_is_byte_identical() {
 /// loudly.
 #[test]
 fn merge_rejects_missing_duplicate_and_foreign_shards() {
-    let header = partial_header("a,b", 42);
+    let fingerprint = |tag: &str| {
+        let mut fp = star_wormhole::exec::shard::RunFingerprint::new();
+        fp.add_str(tag);
+        fp
+    };
+    let header = partial_header("a,b", fingerprint("this run"));
     let shard = |rows: &[(usize, String)]| format!("{header}\n{}\n", partial_rows(rows).join("\n"));
     let first = shard(&[(0, "1,x".into())]);
     let third = shard(&[(2, "3,z".into())]);
@@ -150,7 +155,7 @@ fn merge_rejects_missing_duplicate_and_foreign_shards() {
     // complementary indices and the same schema, but a different run
     let foreign = format!(
         "{}\n{}\n",
-        partial_header("a,b", 43),
+        partial_header("a,b", fingerprint("another run")),
         partial_rows(&[(1, "2,y".into())]).join("\n")
     );
     assert!(merge_shard_csvs(&[first, foreign]).is_err(), "cross-run mix must be rejected");

@@ -1,0 +1,206 @@
+//! Serving-contract test: an in-process [`Daemon`] on an ephemeral port must
+//! answer a mixed query batch **byte-identically** to batch [`ModelBackend`]
+//! solves of the same operating points, serve the whole second pass from its
+//! solve cache, answer `stats`, survive malformed and out-of-model input
+//! without dying, and drain cleanly on the wire `shutdown` op.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+use star_wormhole::serve::protocol::{query_line, Query, SolveMode};
+use star_wormhole::serve::{Daemon, ServeConfig, ServerState};
+use star_wormhole::{
+    encode_estimate, Discipline, Evaluator as _, ModelBackend, Scenario, TopologyKind, WireScenario,
+};
+
+/// Binds a daemon on an ephemeral loopback port and runs it on a thread.
+fn spawn_daemon() -> (SocketAddr, Arc<ServerState>, JoinHandle<std::io::Result<()>>) {
+    let daemon = Daemon::bind(ServeConfig::default()).expect("bind an ephemeral port");
+    let addr = daemon.local_addr();
+    let state = daemon.state();
+    (addr, state, thread::spawn(move || daemon.run()))
+}
+
+/// A line-delimited JSON client over one connection.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect to the daemon");
+        stream.set_nodelay(true).expect("set nodelay");
+        let reader = BufReader::new(stream.try_clone().expect("clone the stream"));
+        Self { reader, writer: stream }
+    }
+
+    fn send(&mut self, line: &str) {
+        self.writer.write_all(line.as_bytes()).expect("write request");
+        self.writer.write_all(b"\n").expect("write newline");
+    }
+
+    fn recv(&mut self) -> String {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line).expect("read response");
+        assert!(n > 0, "daemon closed the connection early");
+        assert!(line.ends_with('\n'), "responses are newline-terminated: {line:?}");
+        line.truncate(line.len() - 1);
+        line
+    }
+}
+
+/// The mixed batch: three topology families, two disciplines, two message
+/// lengths — with the equivalent batch-API scenario for each query.
+fn mixed_cases() -> Vec<(WireScenario, Scenario, f64)> {
+    let wire = |kind, size, discipline, m| WireScenario {
+        kind,
+        size,
+        discipline,
+        virtual_channels: 6,
+        message_length: m,
+    };
+    vec![
+        (
+            wire(TopologyKind::Star, 4, Discipline::EnhancedNbc, 16),
+            Scenario::star(4).with_message_length(16),
+            0.002,
+        ),
+        (
+            wire(TopologyKind::Star, 4, Discipline::EnhancedNbc, 16),
+            Scenario::star(4).with_message_length(16),
+            0.004,
+        ),
+        (
+            wire(TopologyKind::Star, 5, Discipline::Nbc, 32),
+            Scenario::star(5).with_discipline(Discipline::Nbc),
+            0.001,
+        ),
+        (
+            wire(TopologyKind::Hypercube, 5, Discipline::EnhancedNbc, 32),
+            Scenario::hypercube(5),
+            0.001,
+        ),
+        (
+            wire(TopologyKind::Torus, 4, Discipline::Deterministic, 16),
+            Scenario::torus(4).with_discipline(Discipline::Deterministic).with_message_length(16),
+            0.002,
+        ),
+    ]
+}
+
+#[test]
+fn daemon_answers_byte_identically_and_caches_the_second_pass() {
+    let cases = mixed_cases();
+    // the reference answers: plain batch-API solves, no daemon involved
+    let backend = ModelBackend::new();
+    let expected: Vec<String> =
+        cases.iter().map(|(_, s, r)| encode_estimate(&backend.evaluate(&s.at(*r)))).collect();
+
+    let (addr, state, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+    for (pass, cached) in [(1u64, "cold"), (2, "exact")] {
+        // pipeline the whole pass, then read the answers in order
+        for (i, (wire, _, rate)) in cases.iter().enumerate() {
+            let query = Query {
+                id: pass * 100 + i as u64,
+                wire: *wire,
+                rate: *rate,
+                mode: SolveMode::Exact,
+            };
+            client.send(&query_line(&query));
+        }
+        for (i, (wire, _, _)) in cases.iter().enumerate() {
+            let id = pass * 100 + i as u64;
+            let response = client.recv();
+            let prefix = format!("{{\"id\":{id},\"status\":\"ok\",\"cached\":\"{cached}\"");
+            assert!(
+                response.starts_with(&prefix),
+                "pass {pass} on {wire:?}: expected {cached}, got {response}"
+            );
+            // byte identity: the daemon's result field carries exactly the
+            // bytes `encode_estimate` produces for the batch solve
+            let suffix = format!("\"result\":{}}}", expected[i]);
+            assert!(
+                response.ends_with(&suffix),
+                "pass {pass} on {wire:?}: daemon diverged from the batch solve\n  \
+                 daemon:   {response}\n  expected: …{suffix}"
+            );
+            if pass == 2 {
+                assert!(
+                    !response.contains("\"hits\":0,"),
+                    "a cache hit must bump the entry's counter: {response}"
+                );
+            }
+        }
+    }
+
+    // the stats op reflects the ten queries and the second-pass hits
+    client.send("{\"op\":\"stats\",\"id\":900}");
+    let stats = client.recv();
+    assert!(stats.starts_with("{\"id\":900,\"status\":\"ok\",\"stats\":{"), "got {stats}");
+    assert!(stats.contains("\"queries\":10"), "ten queries answered: {stats}");
+    assert!(stats.contains("\"errors\":0"), "no errors yet: {stats}");
+
+    // shutdown drains: the op is acknowledged, then the daemon thread ends
+    client.send("{\"op\":\"shutdown\",\"id\":901}");
+    assert_eq!(client.recv(), "{\"id\":901,\"status\":\"ok\",\"shutdown\":true}");
+    handle.join().expect("daemon thread").expect("clean drain");
+    assert_eq!(state.stats().get("queries").and_then(|v| v.as_u64()), Some(10));
+}
+
+#[test]
+fn warm_mode_stays_within_solver_tolerance_of_exact() {
+    let (addr, _state, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+    // seed the chain with an exact solve, then ask warm for a nearby rate
+    client.send(
+        "{\"id\":1,\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":0.002,\"mode\":\"exact\"}",
+    );
+    let _ = client.recv();
+    client.send(
+        "{\"id\":2,\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":0.0021,\"mode\":\"warm\"}",
+    );
+    let warm = client.recv();
+    assert!(warm.starts_with("{\"id\":2,\"status\":\"ok\",\"cached\":\"warm\""), "got {warm}");
+    let latency = |line: &str| -> f64 {
+        let tail = line.split("\"latency\":").nth(1).expect("a latency field");
+        tail[..tail.find(',').expect("more fields follow")].parse().expect("a number")
+    };
+    let exact = ModelBackend::new()
+        .evaluate(&Scenario::star(4).with_message_length(16).at(0.0021))
+        .mean_latency;
+    let relative = (latency(&warm) - exact).abs() / exact;
+    assert!(relative < 1e-6, "warm-started solve drifted {relative:e} from the cold one");
+    client.send("{\"op\":\"shutdown\",\"id\":3}");
+    let _ = client.recv();
+    handle.join().expect("daemon thread").expect("clean drain");
+}
+
+#[test]
+fn bad_input_yields_error_responses_not_a_dead_daemon() {
+    let (addr, _state, handle) = spawn_daemon();
+    let mut client = Client::connect(addr);
+    // not JSON, unknown topology, out-of-range size, missing rate — each one
+    // line, each answered, none fatal
+    client.send("this is not json");
+    assert!(client.recv().contains("\"status\":\"error\""));
+    client.send("{\"id\":1,\"topology\":\"mesh\",\"size\":4,\"rate\":0.001}");
+    let unknown = client.recv();
+    assert!(unknown.starts_with("{\"id\":1,\"status\":\"error\""), "got {unknown}");
+    client.send("{\"id\":2,\"topology\":\"star\",\"size\":99,\"rate\":0.001}");
+    let range = client.recv();
+    assert!(range.starts_with("{\"id\":2,\"status\":\"error\""), "got {range}");
+    client.send("{\"id\":3,\"topology\":\"star\",\"size\":4}");
+    let missing = client.recv();
+    assert!(missing.starts_with("{\"id\":3,\"status\":\"error\""), "got {missing}");
+    // the daemon is still alive and solving
+    client.send("{\"id\":4,\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":0.002}");
+    let ok = client.recv();
+    assert!(ok.starts_with("{\"id\":4,\"status\":\"ok\""), "got {ok}");
+    client.send("{\"op\":\"shutdown\",\"id\":5}");
+    let _ = client.recv();
+    handle.join().expect("daemon thread").expect("clean drain");
+}

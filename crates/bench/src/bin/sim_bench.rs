@@ -1,0 +1,300 @@
+//! The `sim-bench` binary: the simulator flit-throughput benchmark and the
+//! engine-equivalence smoke, behind `cargo xtask sim-bench` and the
+//! `sim-equiv-smoke` step of `cargo xtask ci`.
+//!
+//! ```text
+//! sim-bench [--messages N] [--seed N] [--json PATH]
+//! sim-bench --equiv
+//! ```
+//!
+//! The default mode runs one pinned operating point — `S5`, Enhanced-NBC,
+//! `V = 6`, `M = 16`, ~10% channel utilisation — once per engine
+//! ([`SimCore::Ticking`] and [`SimCore::EventDriven`]), checks the two
+//! reports are byte-identical (the equivalence contract rides along on every
+//! benchmark run), and reports wall-clock flits/sec per engine plus the
+//! event-over-ticking speedup.  With `--json PATH` the measurement is
+//! appended to the JSON trajectory file — how `cargo xtask sim-bench`
+//! maintains `BENCH_sim.json` at the repository root.
+//!
+//! `--equiv` instead runs the CI smoke: a quick ticking-vs-event byte-compare
+//! on every topology family (`S4`/`Q5`/`T6`/`R8`), then one `S6` light-load
+//! point on the event-driven default checked against the analytical model's
+//! 10% light-load band.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+use serde_json::Value;
+use star_bench::loadgen::append_trajectory;
+use star_graph::{Hypercube, Ring, StarGraph, Topology, Torus};
+use star_routing::EnhancedNbc;
+use star_sim::{ReplicateReport, ReplicateRun, SimConfig, SimCore, SimReport, TrafficPattern};
+use star_workloads::{Discipline, Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget};
+
+fn usage() -> &'static str {
+    "usage: sim-bench [--messages N] [--seed N] [--json PATH]\n\
+     \x20      sim-bench --equiv\n\
+     \n\
+     --messages N  measured messages per engine in bench mode (default 20000)\n\
+     --seed N      simulation seed (default 42)\n\
+     --json PATH   append the measurement to this trajectory file\n\
+     --equiv       run the engine-equivalence smoke instead of the benchmark"
+}
+
+/// Knobs of the pinned benchmark point that the command line may override.
+struct BenchConfig {
+    messages: u64,
+    seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self { messages: 20_000, seed: 42 }
+    }
+}
+
+enum Mode {
+    Bench(BenchConfig, Option<PathBuf>),
+    Equiv,
+}
+
+fn parse_args(args: &[String]) -> Result<Mode, String> {
+    let mut config = BenchConfig::default();
+    let mut json: Option<PathBuf> = None;
+    let mut equiv = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--messages" => {
+                config.messages =
+                    value("--messages")?.parse().map_err(|e| format!("--messages: {e}"))?;
+            }
+            "--seed" => {
+                config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--json" => json = Some(PathBuf::from(value("--json")?)),
+            "--equiv" => equiv = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    if equiv {
+        if json.is_some() {
+            return Err("--equiv does not write a trajectory (drop --json)".to_string());
+        }
+        return Ok(Mode::Equiv);
+    }
+    Ok(Mode::Bench(config, json))
+}
+
+/// The generation rate that targets channel utilisation `u` on `topology`
+/// with `M`-flit messages (`λ_g = u·degree/(d̄·M)`).
+fn rate_at_utilisation(topology: &dyn Topology, u: f64, m: usize) -> f64 {
+    u * topology.degree() as f64 / (topology.mean_distance() * m as f64)
+}
+
+/// Runs the pinned benchmark point on one engine and times it.
+fn timed_run(config: &BenchConfig, core: SimCore) -> (SimReport, f64) {
+    let topology: Arc<dyn Topology> = Arc::new(StarGraph::new(5));
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
+    let rate = rate_at_utilisation(topology.as_ref(), 0.10, 16);
+    let sim_config = SimConfig::builder()
+        .message_length(16)
+        .traffic_rate(rate)
+        .warmup_cycles(2_000)
+        .measured_messages(config.messages)
+        .max_cycles(4_000_000)
+        .seed(config.seed)
+        .core(core)
+        .build();
+    let started = Instant::now();
+    let report = ReplicateRun::new(topology, routing, sim_config, TrafficPattern::Uniform, 1)
+        .run()
+        .runs
+        .remove(0);
+    (report, started.elapsed().as_secs_f64())
+}
+
+fn round3(x: f64) -> f64 {
+    (x * 1000.0).round() / 1000.0
+}
+
+/// One engine's timing as a JSON object.
+fn engine_point(seconds: f64, flits_per_sec: f64) -> Value {
+    Value::Object(vec![
+        ("seconds".to_string(), Value::from(round3(seconds))),
+        ("flits_per_sec".to_string(), Value::from(flits_per_sec.round())),
+    ])
+}
+
+fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
+    let (ticking, ticking_secs) = timed_run(config, SimCore::Ticking);
+    let (event, event_secs) = timed_run(config, SimCore::EventDriven);
+    if ticking != event {
+        return Err(format!(
+            "engines diverged on the benchmark point (seed {}):\n  ticking: {ticking:?}\n  \
+             event:   {event:?}",
+            config.seed
+        ));
+    }
+    if event.saturated || event.deadlock_detected {
+        return Err("the pinned benchmark point must run below saturation".to_string());
+    }
+    let ticking_fps = ticking.flit_transfers as f64 / ticking_secs;
+    let event_fps = event.flit_transfers as f64 / event_secs;
+    let speedup = ticking_secs / event_secs;
+    println!(
+        "point       {} / {} / V{} / M{} @ rate {:.6} (seed {})",
+        event.topology,
+        event.routing,
+        event.virtual_channels,
+        event.message_length,
+        event.offered_rate,
+        config.seed
+    );
+    println!(
+        "cycles      {} ({} flit transfers, byte-identical engines)",
+        event.cycles, event.flit_transfers
+    );
+    println!("ticking     {ticking_secs:.3}s  ({ticking_fps:.0} flits/sec)");
+    println!("event       {event_secs:.3}s  ({event_fps:.0} flits/sec)");
+    println!("speedup     {speedup:.2}x event over ticking");
+    if let Some(path) = json {
+        let point = Value::Object(vec![
+            (
+                "config".to_string(),
+                Value::Object(vec![
+                    ("topology".to_string(), Value::from(event.topology.clone())),
+                    ("routing".to_string(), Value::from(event.routing.clone())),
+                    ("virtual_channels".to_string(), Value::from(event.virtual_channels)),
+                    ("message_length".to_string(), Value::from(event.message_length)),
+                    ("rate".to_string(), Value::from(event.offered_rate)),
+                    ("messages".to_string(), Value::from(config.messages)),
+                    ("seed".to_string(), Value::from(config.seed)),
+                ]),
+            ),
+            ("cycles".to_string(), Value::from(event.cycles)),
+            ("flits".to_string(), Value::from(event.flit_transfers)),
+            ("mean_latency".to_string(), Value::from(round3(event.mean_message_latency))),
+            ("ticking".to_string(), engine_point(ticking_secs, ticking_fps)),
+            ("event".to_string(), engine_point(event_secs, event_fps)),
+            ("speedup".to_string(), Value::from(round3(speedup))),
+        ]);
+        append_trajectory(path, &point).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!("trajectory  appended to {}", path.display());
+    }
+    Ok(())
+}
+
+/// Replicates per compared point in `--equiv` mode — more than one so
+/// replicate-seed derivation is part of the smoke.
+const EQUIV_REPLICATES: usize = 2;
+
+/// Runs one quick operating point on one engine.
+fn equiv_run(topology: &Arc<dyn Topology>, rate: f64, seed: u64, core: SimCore) -> ReplicateReport {
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
+    let config = SimConfig::builder()
+        .message_length(16)
+        .traffic_rate(rate)
+        .warmup_cycles(1_000)
+        .measured_messages(1_000)
+        .max_cycles(200_000)
+        .seed(seed)
+        .core(core)
+        .build();
+    ReplicateRun::new(
+        Arc::clone(topology),
+        routing,
+        config,
+        TrafficPattern::Uniform,
+        EQUIV_REPLICATES,
+    )
+    .run()
+}
+
+/// The CI equivalence smoke: byte-identical engines on every topology
+/// family, then one larger light-load point on the event-driven default
+/// cross-checked against the analytical model.
+fn equiv() -> Result<(), String> {
+    let started = Instant::now();
+    let cases: Vec<(&str, Arc<dyn Topology>, f64, u64)> = vec![
+        ("S4", Arc::new(StarGraph::new(4)), 0.010, 9101),
+        ("Q5", Arc::new(Hypercube::new(5)), 0.010, 9102),
+        ("T6", Arc::new(Torus::new(6)), 0.008, 9103),
+        ("R8", Arc::new(Ring::new(8)), 0.010, 9104),
+    ];
+    for (label, topology, rate, seed) in &cases {
+        let ticking = equiv_run(topology, *rate, *seed, SimCore::Ticking);
+        let event = equiv_run(topology, *rate, *seed, SimCore::EventDriven);
+        if ticking != event {
+            return Err(format!(
+                "{label}: engines diverged at rate {rate}, seed {seed}\n  ticking: \
+                 {ticking:?}\n  event:   {event:?}"
+            ));
+        }
+        if event.saturated || event.deadlock_detected {
+            return Err(format!("{label}: the smoke point must run below saturation"));
+        }
+        println!(
+            "==> sim-equiv: {label} byte-identical across engines ({EQUIV_REPLICATES} replicates)"
+        );
+    }
+    // one size class above the historical validation ceiling, affordable in
+    // the CI budget only because the event-driven default skips idle channels
+    let scenario = Scenario::star(6)
+        .with_message_length(16)
+        .with_discipline(Discipline::EnhancedNbc)
+        .with_seed_base(601);
+    if scenario.core != SimCore::EventDriven {
+        return Err("the default simulator core must be event-driven".to_string());
+    }
+    let rate = rate_at_utilisation(scenario.topology().as_ref(), 0.03, 16);
+    let point = scenario.at(rate);
+    let m = ModelBackend::new().evaluate(&point);
+    let s = SimBackend::new(SimBudget::Quick).evaluate(&point);
+    if m.saturated || s.saturated {
+        return Err("the S6 light-load point must not saturate".to_string());
+    }
+    let err = (m.mean_latency - s.mean_latency).abs() / s.mean_latency;
+    if err >= 0.10 {
+        return Err(format!(
+            "S6 light load on the event-driven default: model {} vs sim {} ({:.1}%, band 10%)",
+            m.mean_latency,
+            s.mean_latency,
+            err * 100.0
+        ));
+    }
+    println!(
+        "==> sim-equiv: S6 event-driven vs model within the 10% band ({:.1}%), {:.1}s total",
+        err * 100.0,
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mode = match parse_args(&args) {
+        Ok(mode) => mode,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let outcome = match mode {
+        Mode::Bench(config, json) => bench(&config, json.as_ref()),
+        Mode::Equiv => equiv(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("sim-bench: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

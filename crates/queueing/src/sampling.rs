@@ -110,6 +110,32 @@ impl PoissonProcess {
     pub fn next_arrival_time(&self) -> f64 {
         self.next_arrival
     }
+
+    /// The earliest integer cycle at which [`Self::arrivals_at`] would report
+    /// a non-zero count, `None` when no arrival is pending (rate 0).
+    ///
+    /// This is the event-scheduling twin of [`Self::arrivals_at`]: it
+    /// evaluates the *same* float predicate (`t <= cycle + 1 - ε`, with the
+    /// identical operation order and therefore identical rounding), so an
+    /// event-driven caller that sleeps until the returned cycle and then
+    /// calls `arrivals_at` observes exactly the arrivals a caller polling
+    /// every cycle would — cycle for cycle, count for count.
+    #[must_use]
+    pub fn next_arrival_cycle(&self) -> Option<u64> {
+        if !self.next_arrival.is_finite() {
+            return None;
+        }
+        let t = self.next_arrival;
+        // Lower bound: the predicate needs cycle + 1 - ε >= t, so the answer
+        // is at least floor(t - 1).  Walk forward with the literal predicate
+        // rather than a closed-form ceil — the expression's f64 rounding is
+        // magnitude-dependent and must match arrivals_at bit for bit.
+        let mut cycle = if t > 1.0 { (t - 1.0) as u64 } else { 0 };
+        while t > cycle as f64 + 1.0 - f64::EPSILON {
+            cycle += 1;
+        }
+        Some(cycle)
+    }
 }
 
 #[cfg(test)]
@@ -209,5 +235,38 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn negative_rate_rejected() {
         let _ = PoissonProcess::new(-0.1, 0, 0);
+    }
+
+    #[test]
+    fn next_arrival_cycle_agrees_with_polling() {
+        // The event-scheduling contract: jumping straight to
+        // next_arrival_cycle and draining there reproduces the per-cycle
+        // polling sequence exactly, across many rates and seeds.
+        for &(rate, seed) in &[(0.0005, 3u64), (0.01, 7), (0.3, 11), (2.5, 13)] {
+            let mut polled = PoissonProcess::new(rate, seed, 0);
+            let mut jumped = PoissonProcess::new(rate, seed, 0);
+            let horizon = 20_000u64;
+            let reference: Vec<(u64, usize)> = (0..horizon)
+                .filter_map(|t| match polled.arrivals_at(t) {
+                    0 => None,
+                    n => Some((t, n)),
+                })
+                .collect();
+            let mut observed = Vec::new();
+            while let Some(cycle) = jumped.next_arrival_cycle() {
+                if cycle >= horizon {
+                    break;
+                }
+                let count = jumped.arrivals_at(cycle);
+                assert!(count > 0, "a scheduled arrival cycle must fire (rate {rate})");
+                observed.push((cycle, count));
+            }
+            assert_eq!(observed, reference, "rate {rate} seed {seed}");
+        }
+    }
+
+    #[test]
+    fn next_arrival_cycle_is_none_for_zero_rate() {
+        assert_eq!(PoissonProcess::new(0.0, 1, 0).next_arrival_cycle(), None);
     }
 }

@@ -1,0 +1,700 @@
+//! The event-driven simulator engine.
+//!
+//! [`EventNetwork`] implements the *identical* per-cycle router semantics as
+//! the ticking [`Network`](crate::network::Network) — same five stages, same
+//! RNG draw order, same counters — but finds the work of a cycle through
+//! active-entity sets instead of scanning every channel of every node:
+//!
+//! * **Generation** is event-scheduled: each node's next Poisson arrival
+//!   cycle sits on an [`EventCalendar`] (computed with
+//!   [`PoissonProcess::next_arrival_cycle`], which evaluates the same float
+//!   predicate as the per-cycle poll), so idle sources cost nothing.
+//! * **Injection** iterates only nodes with a non-empty source queue.
+//! * **Routing** iterates only input VCs holding an unrouted header.  Blocked
+//!   headers stay in the set and retry every cycle — exactly like the
+//!   ticking scan, which is what keeps the blocking counters and the shared
+//!   selection-RNG draw order identical.
+//! * **Switch allocation** iterates only physical channels with at least one
+//!   owned output VC.
+//! * When nothing at all is in flight, the driver can fast-forward straight
+//!   to the next scheduled arrival ([`EventNetwork::is_idle`] /
+//!   [`EventNetwork::next_scheduled_arrival`]) — cycles a ticking loop must
+//!   burn one by one.
+//!
+//! # Determinism / equivalence invariants
+//!
+//! The engine is pinned **byte-identical** to the ticking engine (see
+//! `tests/sim_equivalence.rs`).  That rests on four ordering facts:
+//!
+//! 1. The active sets are `BTreeSet`s over dense indices whose ascending
+//!    order equals the ticking engine's scan order (node-major, then
+//!    network ports before injection slots, then VC), so the shared
+//!    `dest_rng`/`select_rng` streams are consumed in the same order.
+//! 2. Staged arrivals and credits are pushed in that same scan order, so
+//!    end-of-cycle application — and with it the float summation order of
+//!    the measurement statistics — is unchanged.
+//! 3. Busy-VC occupancy is maintained incrementally (`Σb` and `Σb²` updated
+//!    on allocate/release) and sampled on the same cycles; skipped idle
+//!    cycles contribute zero to both sums, exactly as an all-free scan
+//!    would.
+//! 4. A message releases every virtual channel it owned in the very cycle
+//!    its tail is consumed (credits return through the same-cycle staged
+//!    drain), so "no messages outstanding" really means "no channel state
+//!    anywhere" and fast-forwarding cannot skip latent work.
+//!
+//! Channel state lives in struct-of-arrays tables ([`InputVcTable`],
+//! [`OutputVcTable`]) and messages in a dense [`MessageStore`] slab, so the
+//! per-flit hot path is vector indexing only.
+
+use std::collections::{BTreeSet, VecDeque};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use star_graph::{NodeId, Topology};
+use star_queueing::sampling::{seeded_rng, PoissonProcess};
+use star_routing::RoutingAlgorithm;
+
+use crate::calendar::EventCalendar;
+use crate::channel::{InputVcTable, OutputVcTable};
+use crate::config::{SelectionPolicy, SimConfig};
+use crate::message::{Message, MessageId, MessageStore};
+use crate::network::NetworkCounters;
+use crate::traffic::TrafficPattern;
+
+/// A staged flit arrival, applied at the end of the cycle.  `port` is the
+/// *input* port at the arriving node.
+#[derive(Debug, Clone, Copy)]
+struct StagedArrival {
+    node: NodeId,
+    port: usize,
+    vc: usize,
+    slot: u32,
+}
+
+/// The event-driven network state (see the module docs for the invariants).
+pub struct EventNetwork {
+    topology: Arc<dyn Topology>,
+    routing: Arc<dyn RoutingAlgorithm>,
+    config: SimConfig,
+    pattern: TrafficPattern,
+    nodes: usize,
+    degree: usize,
+    vcs: usize,
+    inj_slots: usize,
+    input_stride: usize,
+    inputs: InputVcTable,
+    outputs: OutputVcTable,
+    rr_pointers: Vec<usize>,
+    source_queues: Vec<VecDeque<u32>>,
+    messages: MessageStore,
+    next_message_id: MessageId,
+    sources: Vec<PoissonProcess>,
+    /// Next generation cycle per node, keyed by node id.
+    arrivals: EventCalendar,
+    dest_rng: StdRng,
+    select_rng: StdRng,
+    staged_arrivals: Vec<StagedArrival>,
+    staged_credits: Vec<usize>,
+    delivered: Vec<Message>,
+    counters: NetworkCounters,
+    /// Nodes with a non-empty source queue, ascending.
+    queued_nodes: BTreeSet<u32>,
+    /// Input VCs holding an unrouted header, by global input index ascending
+    /// (== the ticking engine's routing scan order).
+    pending_headers: BTreeSet<u32>,
+    /// Physical channels (`node * degree + port`) with ≥ 1 owned output VC,
+    /// ascending (== the ticking engine's switch scan order).
+    active_channels: BTreeSet<u32>,
+    /// Owned-VC count per physical channel (the busy count the occupancy
+    /// sampler observes).
+    owned_vcs: Vec<u32>,
+    /// Current `Σ busy` over all physical channels.
+    busy_sum: u64,
+    /// Current `Σ busy²` over all physical channels.
+    busy_sq_sum: u64,
+    /// Cycles actually processed by [`Self::step`] (excludes fast-forwarded
+    /// idle cycles).
+    processed_cycles: u64,
+    scratch: Vec<u32>,
+}
+
+impl EventNetwork {
+    /// Builds the event-driven network state for a topology, routing
+    /// algorithm and configuration.
+    ///
+    /// # Panics
+    /// Panics if the configuration is invalid or the topology's
+    /// [`reverse_port`](Topology::reverse_port) mapping does not invert its
+    /// links (the same contract the ticking engine asserts).
+    #[must_use]
+    pub fn new(
+        topology: Arc<dyn Topology>,
+        routing: Arc<dyn RoutingAlgorithm>,
+        config: SimConfig,
+        pattern: TrafficPattern,
+    ) -> Self {
+        config.validate();
+        let nodes = topology.node_count();
+        let degree = topology.degree();
+        let vcs = routing.virtual_channels();
+        let inj_slots = if config.injection_slots == 0 { vcs } else { config.injection_slots };
+        for node in 0..nodes as NodeId {
+            for port in 0..degree {
+                let nb = topology.neighbor(node, port);
+                assert_eq!(
+                    topology.neighbor(nb, topology.reverse_port(node, port)),
+                    node,
+                    "reverse_port must lead back across the link"
+                );
+            }
+        }
+        let input_stride = degree * vcs + inj_slots;
+        let sources: Vec<PoissonProcess> = (0..nodes)
+            .map(|node| PoissonProcess::new(config.traffic_rate, config.seed, node as u64))
+            .collect();
+        let mut arrivals = EventCalendar::new(nodes);
+        for (node, source) in sources.iter().enumerate() {
+            if let Some(cycle) = source.next_arrival_cycle() {
+                arrivals.schedule(node as u32, cycle);
+            }
+        }
+        let dest_rng = seeded_rng(config.seed, 0xDE57_1A71);
+        let select_rng = seeded_rng(config.seed, 0x5E1E_C700);
+        let buffer_depth = u32::try_from(config.buffer_depth).expect("buffer depth fits u32");
+        Self {
+            inputs: InputVcTable::new(nodes * input_stride),
+            outputs: OutputVcTable::new(nodes * degree * vcs, buffer_depth),
+            rr_pointers: vec![0; nodes * degree],
+            source_queues: vec![VecDeque::new(); nodes],
+            messages: MessageStore::new(),
+            next_message_id: 0,
+            sources,
+            arrivals,
+            dest_rng,
+            select_rng,
+            staged_arrivals: Vec::new(),
+            staged_credits: Vec::new(),
+            delivered: Vec::new(),
+            counters: NetworkCounters::default(),
+            queued_nodes: BTreeSet::new(),
+            pending_headers: BTreeSet::new(),
+            active_channels: BTreeSet::new(),
+            owned_vcs: vec![0; nodes * degree],
+            busy_sum: 0,
+            busy_sq_sum: 0,
+            processed_cycles: 0,
+            scratch: Vec::new(),
+            topology,
+            routing,
+            config,
+            pattern,
+            nodes,
+            degree,
+            vcs,
+            inj_slots,
+            input_stride,
+        }
+    }
+
+    #[inline]
+    fn in_idx(&self, node: NodeId, port: usize, vc: usize) -> usize {
+        debug_assert!(port < self.degree && vc < self.vcs);
+        node as usize * self.input_stride + port * self.vcs + vc
+    }
+
+    #[inline]
+    fn inj_idx(&self, node: NodeId, slot: usize) -> usize {
+        debug_assert!(slot < self.inj_slots);
+        node as usize * self.input_stride + self.degree * self.vcs + slot
+    }
+
+    #[inline]
+    fn out_idx(&self, node: NodeId, port: usize, vc: usize) -> usize {
+        debug_assert!(port < self.degree && vc < self.vcs);
+        (node as usize * self.degree + port) * self.vcs + vc
+    }
+
+    /// Index of the input VC that `(node, in_port, in_vc)` denotes, where
+    /// `in_port == degree` means an injection slot.
+    #[inline]
+    fn source_input_idx(&self, node: NodeId, in_port: usize, in_vc: usize) -> usize {
+        if in_port == self.degree {
+            self.inj_idx(node, in_vc)
+        } else {
+            self.in_idx(node, in_port, in_vc)
+        }
+    }
+
+    /// The topology being simulated.
+    #[must_use]
+    pub fn topology(&self) -> &dyn Topology {
+        self.topology.as_ref()
+    }
+
+    /// Aggregate counters.  `busy_vc_samples` counts every (channel, sample)
+    /// pair of *processed* cycles; on skipped idle cycles all channels are
+    /// free, so `busy_vc_sum`/`busy_vc_sq_sum` (the quantities the reports
+    /// derive from) match the ticking engine exactly.
+    #[must_use]
+    pub fn counters(&self) -> &NetworkCounters {
+        &self.counters
+    }
+
+    /// Number of messages currently in flight or queued.
+    #[must_use]
+    pub fn outstanding_messages(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Whether any source queue exceeds `limit` flits.  Only queued nodes
+    /// are scanned — a node outside the queued-node set has an empty
+    /// queue — so the check costs activity, not network size.
+    #[must_use]
+    pub fn queue_saturated(&self, limit: usize) -> bool {
+        self.queued_nodes.iter().any(|&node| self.source_queues[node as usize].len() > limit)
+    }
+
+    /// Cycles actually processed by [`Self::step`]; the gap to the driver's
+    /// cycle count is the idle time fast-forwarded over.
+    #[must_use]
+    pub fn processed_cycles(&self) -> u64 {
+        self.processed_cycles
+    }
+
+    /// Whether nothing at all is in flight: no queued, injected or routed
+    /// message and no channel still draining.  While idle, every future
+    /// cycle up to the next scheduled arrival is a provable no-op.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        let idle = self.messages.is_empty();
+        debug_assert!(
+            !idle
+                || (self.queued_nodes.is_empty()
+                    && self.pending_headers.is_empty()
+                    && self.active_channels.is_empty()
+                    && self.busy_sum == 0),
+            "channel state must drain in the delivery cycle of the last message"
+        );
+        idle
+    }
+
+    /// The next cycle with a scheduled source arrival, `None` when no
+    /// arrival is pending (zero traffic rate).
+    pub fn next_scheduled_arrival(&mut self) -> Option<u64> {
+        self.arrivals.next_time()
+    }
+
+    /// Drains the messages delivered during the last call to [`Self::step`].
+    pub fn take_delivered(&mut self) -> Vec<Message> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Advances the network by one cycle (same stage order as the ticking
+    /// engine).
+    pub fn step(&mut self, cycle: u64) {
+        self.processed_cycles += 1;
+        self.generate_messages(cycle);
+        self.fill_injection_slots();
+        self.route_and_allocate(cycle);
+        self.switch_and_transfer(cycle);
+        self.apply_staged(cycle);
+        if cycle % 8 == 0 {
+            self.counters.busy_vc_sum += self.busy_sum;
+            self.counters.busy_vc_sq_sum += self.busy_sq_sum;
+            self.counters.busy_vc_samples += (self.nodes * self.degree) as u64;
+        }
+    }
+
+    fn generate_messages(&mut self, cycle: u64) {
+        let mut due = std::mem::take(&mut self.scratch);
+        due.clear();
+        self.arrivals.pop_due_into(cycle, &mut due);
+        // ascending node order == the ticking engine's generation scan order,
+        // which fixes the draw order on the shared destination RNG
+        due.sort_unstable();
+        for &node in &due {
+            let count = self.sources[node as usize].arrivals_at(cycle);
+            debug_assert!(count > 0, "scheduled arrival events always fire");
+            for _ in 0..count {
+                let dest =
+                    self.pattern.pick_destination(self.topology.as_ref(), node, &mut self.dest_rng);
+                let id = self.next_message_id;
+                self.next_message_id += 1;
+                let measured = cycle >= self.config.warmup_cycles;
+                let slot = self.messages.insert(Message::new(
+                    id,
+                    node,
+                    dest,
+                    self.config.message_length,
+                    cycle,
+                    measured,
+                ));
+                self.source_queues[node as usize].push_back(slot);
+                self.counters.generated += 1;
+            }
+            self.queued_nodes.insert(node);
+            if let Some(next) = self.sources[node as usize].next_arrival_cycle() {
+                self.arrivals.schedule(node, next);
+            }
+        }
+        self.scratch = due;
+    }
+
+    fn fill_injection_slots(&mut self) {
+        let mut nodes = std::mem::take(&mut self.scratch);
+        nodes.clear();
+        nodes.extend(self.queued_nodes.iter().copied());
+        for &node in &nodes {
+            for slot in 0..self.inj_slots {
+                let idx = self.inj_idx(node, slot);
+                if !self.inputs.is_free(idx) {
+                    continue;
+                }
+                let Some(msg_slot) = self.source_queues[node as usize].pop_front() else { break };
+                let length = self.config.message_length as u32;
+                self.inputs.claim_for_injection(idx, msg_slot, length);
+                self.pending_headers.insert(idx as u32);
+            }
+            if self.source_queues[node as usize].is_empty() {
+                self.queued_nodes.remove(&node);
+            }
+        }
+        self.scratch = nodes;
+    }
+
+    fn route_and_allocate(&mut self, cycle: u64) {
+        let layout = self.routing.layout();
+        let mut pending = std::mem::take(&mut self.scratch);
+        pending.clear();
+        // ascending input-VC index == node-major, network ports before
+        // injection slots — the ticking engine's routing scan order
+        pending.extend(self.pending_headers.iter().copied());
+        for &idx32 in &pending {
+            let idx = idx32 as usize;
+            let node = (idx / self.input_stride) as NodeId;
+            let rem = idx % self.input_stride;
+            let (in_port, in_vc) = if rem < self.degree * self.vcs {
+                (rem / self.vcs, rem % self.vcs)
+            } else {
+                (self.degree, rem - self.degree * self.vcs)
+            };
+            debug_assert!(self.inputs.buffered(idx) > 0, "pending headers are buffered");
+            let slot = self.inputs.owner(idx).expect("pending input VC has an owner");
+            let (dest, state, length) = {
+                let msg = self.messages.get(slot);
+                (msg.dest, msg.routing, msg.length)
+            };
+            debug_assert_ne!(node, dest, "flits at the destination are consumed, not routed");
+            self.counters.header_allocation_attempts += 1;
+            let candidates = self.routing.candidates(self.topology.as_ref(), node, dest, &state);
+            let free: Vec<_> = candidates
+                .iter()
+                .copied()
+                .filter(|c| self.outputs.is_free(self.out_idx(node, c.port, c.vc)))
+                .collect();
+            if free.is_empty() {
+                self.counters.blocked_header_cycles += 1;
+                continue;
+            }
+            let choice = match self.config.selection {
+                SelectionPolicy::FirstFree => free[0],
+                SelectionPolicy::Random => *free.choose(&mut self.select_rng).expect("non-empty"),
+                SelectionPolicy::AdaptiveFirst => {
+                    let adaptive: Vec<_> =
+                        free.iter().copied().filter(|c| layout.is_adaptive(c.vc)).collect();
+                    if adaptive.is_empty() {
+                        let min_vc = free.iter().map(|c| c.vc).min().expect("non-empty");
+                        let lowest: Vec<_> =
+                            free.iter().copied().filter(|c| c.vc == min_vc).collect();
+                        *lowest.choose(&mut self.select_rng).expect("non-empty")
+                    } else {
+                        *adaptive.choose(&mut self.select_rng).expect("non-empty")
+                    }
+                }
+            };
+            let out = self.out_idx(node, choice.port, choice.vc);
+            self.outputs.allocate(out, slot, (in_port, in_vc), length as u32);
+            self.inputs.set_route(idx, choice.port, choice.vc);
+            self.pending_headers.remove(&idx32);
+            // the channel gained an owned VC: update the active set and the
+            // incremental occupancy sums (b → b + 1 adds 2b + 1 to Σb²)
+            let chan = node as usize * self.degree + choice.port;
+            let busy = self.owned_vcs[chan];
+            if busy == 0 {
+                self.active_channels.insert(chan as u32);
+            }
+            self.owned_vcs[chan] = busy + 1;
+            self.busy_sum += 1;
+            self.busy_sq_sum += 2 * u64::from(busy) + 1;
+            let next = self.topology.neighbor(node, choice.port);
+            let escape_level = if layout.is_adaptive(choice.vc) {
+                None
+            } else {
+                Some(choice.vc - layout.adaptive)
+            };
+            let msg = self.messages.get_mut(slot);
+            msg.routing = msg.routing.after_hop(self.topology.as_ref(), node, next, escape_level);
+            if msg.injected_at.is_none() {
+                msg.injected_at = Some(cycle);
+            }
+        }
+        self.scratch = pending;
+    }
+
+    fn switch_and_transfer(&mut self, cycle: u64) {
+        let mut channels = std::mem::take(&mut self.scratch);
+        channels.clear();
+        // ascending physical-channel index == node-major, port-major — the
+        // ticking engine's switch scan order, which fixes the order staged
+        // arrivals (and so delivered messages) are produced in
+        channels.extend(self.active_channels.iter().copied());
+        for &chan in &channels {
+            let node = (chan as usize / self.degree) as NodeId;
+            let port = chan as usize % self.degree;
+            let rr_idx = chan as usize;
+            let start = self.rr_pointers[rr_idx];
+            for offset in 0..self.vcs {
+                let vc = (start + offset) % self.vcs;
+                let out = self.out_idx(node, port, vc);
+                // a VC whose tail has been sent keeps its allocation until
+                // the downstream buffer drains, but never pulls more flits
+                if !self.outputs.ready_to_send(out) {
+                    continue;
+                }
+                let source = self.outputs.source(out).expect("allocated output VC has a source");
+                let src_idx = self.source_input_idx(node, source.0, source.1);
+                if self.inputs.buffered(src_idx) == 0 {
+                    continue;
+                }
+                // --- transfer one flit ---
+                self.inputs.pop_flit(src_idx);
+                if source.0 < self.degree {
+                    // return a credit to the upstream output VC feeding this
+                    // input
+                    let upstream_node = self.topology.neighbor(node, source.0);
+                    let upstream_port = self.topology.reverse_port(node, source.0);
+                    let upstream = self.out_idx(upstream_node, upstream_port, source.1);
+                    self.staged_credits.push(upstream);
+                }
+                let slot = self.outputs.owner(out).expect("ready output VC has an owner");
+                let length = self.messages.get(slot).length as u32;
+                self.outputs.send_flit(out);
+                // release the input VC once its tail has moved on
+                if self.inputs.received(src_idx) == length && self.inputs.buffered(src_idx) == 0 {
+                    self.inputs.release(src_idx);
+                }
+                let downstream = self.topology.neighbor(node, port);
+                self.staged_arrivals.push(StagedArrival {
+                    node: downstream,
+                    port: self.topology.reverse_port(node, port),
+                    vc,
+                    slot,
+                });
+                self.counters.flit_transfers += 1;
+                self.counters.last_transfer_cycle = cycle;
+                self.rr_pointers[rr_idx] = (vc + 1) % self.vcs;
+                break;
+            }
+        }
+        self.scratch = channels;
+    }
+
+    fn apply_staged(&mut self, cycle: u64) {
+        let arrivals = std::mem::take(&mut self.staged_arrivals);
+        for arrival in arrivals {
+            let dest = self.messages.get(arrival.slot).dest;
+            if arrival.node == dest {
+                // consumed by the local processor immediately; the buffer
+                // slot is never occupied, so the credit flows straight back
+                let upstream_node = self.topology.neighbor(arrival.node, arrival.port);
+                let upstream_port = self.topology.reverse_port(arrival.node, arrival.port);
+                let upstream = self.out_idx(upstream_node, upstream_port, arrival.vc);
+                self.staged_credits.push(upstream);
+                let finished = {
+                    let msg = self.messages.get_mut(arrival.slot);
+                    msg.flits_consumed += 1;
+                    msg.flits_consumed == msg.length
+                };
+                if finished {
+                    let mut msg = self.messages.remove(arrival.slot);
+                    msg.delivered_at = Some(cycle + 1);
+                    self.delivered.push(msg);
+                }
+            } else {
+                let idx = self.in_idx(arrival.node, arrival.port, arrival.vc);
+                if self.inputs.is_free(idx) {
+                    self.inputs.claim_for_arrival(idx, arrival.slot);
+                    // an unrouted header is now buffered here; it competes
+                    // in the routing stage from the next cycle on
+                    self.pending_headers.insert(idx as u32);
+                }
+                debug_assert_eq!(
+                    self.inputs.owner(idx),
+                    Some(arrival.slot),
+                    "one message per virtual channel"
+                );
+                self.inputs.push_flit(idx);
+            }
+        }
+        let credits = std::mem::take(&mut self.staged_credits);
+        let buffer_depth = self.config.buffer_depth as u32;
+        for out in credits {
+            self.outputs.return_credit(out);
+            debug_assert!(self.outputs.credits(out) <= buffer_depth);
+            // a VC returns to the idle pool once its tail has been sent and
+            // the downstream buffer has fully drained
+            if self.outputs.tail_sent(out) && self.outputs.credits(out) == buffer_depth {
+                self.outputs.release(out);
+                let chan = out / self.vcs;
+                let busy = self.owned_vcs[chan];
+                debug_assert!(busy > 0);
+                self.owned_vcs[chan] = busy - 1;
+                self.busy_sum -= 1;
+                self.busy_sq_sum -= 2 * u64::from(busy) - 1;
+                if busy == 1 {
+                    self.active_channels.remove(&(chan as u32));
+                }
+            }
+        }
+    }
+
+    /// Observed average degree of virtual-channel multiplexing (same
+    /// definition as the ticking engine's).
+    #[must_use]
+    pub fn observed_multiplexing(&self) -> f64 {
+        if self.counters.busy_vc_sum == 0 {
+            1.0
+        } else {
+            self.counters.busy_vc_sq_sum as f64 / self.counters.busy_vc_sum as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::Network;
+    use star_graph::StarGraph;
+    use star_routing::EnhancedNbc;
+
+    fn config(rate: f64, seed: u64) -> SimConfig {
+        SimConfig::builder()
+            .message_length(8)
+            .traffic_rate(rate)
+            .warmup_cycles(0)
+            .measured_messages(100)
+            .max_cycles(100_000)
+            .seed(seed)
+            .build()
+    }
+
+    fn pair(rate: f64, seed: u64) -> (Network, EventNetwork) {
+        let topology = Arc::new(StarGraph::new(4));
+        let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 5));
+        let ticking = Network::new(
+            topology.clone(),
+            routing.clone(),
+            config(rate, seed),
+            TrafficPattern::Uniform,
+        );
+        let event =
+            EventNetwork::new(topology, routing, config(rate, seed), TrafficPattern::Uniform);
+        (ticking, event)
+    }
+
+    #[test]
+    fn stepping_both_engines_every_cycle_is_byte_identical() {
+        // The strongest form of the equivalence contract at the network
+        // level: same deliveries in the same order with the same
+        // timestamps, same counters, same occupancy statistics.
+        for &(rate, seed) in &[(0.01, 7u64), (0.03, 11), (0.06, 3)] {
+            let (mut ticking, mut event) = pair(rate, seed);
+            let mut delivered_t = Vec::new();
+            let mut delivered_e = Vec::new();
+            for cycle in 0..12_000 {
+                ticking.step(cycle);
+                event.step(cycle);
+                delivered_t.extend(
+                    ticking.take_delivered().into_iter().map(|m| (m.id, m.total_latency())),
+                );
+                delivered_e
+                    .extend(event.take_delivered().into_iter().map(|m| (m.id, m.total_latency())));
+            }
+            assert_eq!(delivered_t, delivered_e, "rate {rate} seed {seed}");
+            assert!(!delivered_t.is_empty());
+            let (ct, ce) = (ticking.counters(), event.counters());
+            assert_eq!(ct.generated, ce.generated);
+            assert_eq!(ct.flit_transfers, ce.flit_transfers);
+            assert_eq!(ct.blocked_header_cycles, ce.blocked_header_cycles);
+            assert_eq!(ct.header_allocation_attempts, ce.header_allocation_attempts);
+            assert_eq!(ct.busy_vc_sum, ce.busy_vc_sum);
+            assert_eq!(ct.busy_vc_sq_sum, ce.busy_vc_sq_sum);
+            assert_eq!(ct.last_transfer_cycle, ce.last_transfer_cycle);
+            assert_eq!(ticking.observed_multiplexing(), event.observed_multiplexing());
+            assert_eq!(ticking.outstanding_messages(), event.outstanding_messages());
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_cycles_without_changing_results() {
+        // Sparse traffic leaves long idle gaps between messages.  The ticking
+        // engine must burn every one of those cycles; the event engine jumps
+        // straight to the next scheduled arrival — and still produces the
+        // same deliveries and counters.
+        let horizon = 200_000u64;
+        let (mut ticking, mut event) = pair(0.0001, 21);
+        let mut delivered_t = Vec::new();
+        for cycle in 0..horizon {
+            ticking.step(cycle);
+            delivered_t
+                .extend(ticking.take_delivered().into_iter().map(|m| (m.id, m.total_latency())));
+        }
+        let mut delivered_e = Vec::new();
+        let mut cycle = 0u64;
+        while cycle < horizon {
+            if event.is_idle() {
+                match event.next_scheduled_arrival() {
+                    Some(next) if next < horizon => cycle = cycle.max(next),
+                    _ => break,
+                }
+            }
+            event.step(cycle);
+            delivered_e
+                .extend(event.take_delivered().into_iter().map(|m| (m.id, m.total_latency())));
+            cycle += 1;
+        }
+        assert_eq!(delivered_t, delivered_e);
+        assert!(!delivered_t.is_empty());
+        assert_eq!(ticking.counters().generated, event.counters().generated);
+        assert_eq!(ticking.counters().flit_transfers, event.counters().flit_transfers);
+        assert_eq!(ticking.counters().busy_vc_sum, event.counters().busy_vc_sum);
+        assert_eq!(ticking.counters().busy_vc_sq_sum, event.counters().busy_vc_sq_sum);
+        assert!(
+            event.processed_cycles() * 3 < horizon,
+            "at this rate most cycles are idle and must be skipped ({} of {horizon} processed)",
+            event.processed_cycles()
+        );
+    }
+
+    #[test]
+    fn idle_network_is_reported_idle_and_reawakens_on_schedule() {
+        let (_, mut event) = pair(0.0005, 5);
+        assert!(event.is_idle(), "no arrivals yet at cycle 0");
+        let first = event.next_scheduled_arrival().expect("positive rate schedules arrivals");
+        // stepping exactly at the scheduled cycle generates work
+        event.step(first);
+        assert!(!event.is_idle());
+        assert_eq!(event.counters().generated, 1);
+    }
+
+    #[test]
+    fn zero_rate_schedules_nothing() {
+        let (_, mut event) = pair(0.0, 9);
+        assert!(event.is_idle());
+        assert_eq!(event.next_scheduled_arrival(), None);
+        event.step(0);
+        assert_eq!(event.counters().generated, 0);
+        assert_eq!(event.counters().flit_transfers, 0);
+    }
+}

@@ -17,6 +17,15 @@
 //!   contention), and the mean message latency is measured from generation to
 //!   the arrival of the last data flit.
 //!
+//! Two engines execute these semantics, selected by
+//! [`SimCore`]: the legacy *ticking* engine scans every
+//! channel of every node each cycle, while the *event-driven* engine (the
+//! default) schedules source arrivals on an [`EventCalendar`] and walks
+//! active-entity sets only, fast-forwarding over idle stretches.  Both
+//! produce byte-identical reports for identical configurations — the
+//! equivalence suite (`tests/sim_equivalence.rs`) pins this replicate for
+//! replicate — so engine choice is purely a wall-clock decision.
+//!
 //! The simulator is deterministic for a fixed seed, detects saturation
 //! (unbounded source queues), and reports message latency, network latency,
 //! source-queueing time, channel utilisation and the observed degree of
@@ -50,8 +59,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod calendar;
 pub mod channel;
 pub mod config;
+pub mod event;
 pub mod message;
 pub mod metrics;
 pub mod network;
@@ -59,7 +70,9 @@ pub mod replicate;
 pub mod sim;
 pub mod traffic;
 
-pub use config::{SelectionPolicy, SimConfig, SimConfigBuilder};
+pub use calendar::EventCalendar;
+pub use config::{SelectionPolicy, SimConfig, SimConfigBuilder, SimCore};
+pub use event::EventNetwork;
 pub use message::{Message, MessageId};
 pub use metrics::{ReplicateReport, SimReport};
 pub use replicate::ReplicateRun;

@@ -53,6 +53,11 @@ pub struct SimReport {
     /// Mean utilisation of the network channels (flit transfers per channel
     /// per cycle over the whole run).
     pub channel_utilization: f64,
+    /// Total flit transfers on network channels over the whole run — the raw
+    /// count behind [`Self::channel_utilization`], kept as its own field so
+    /// throughput benchmarks can report flits/sec and the equivalence suite
+    /// can pin engines flit for flit.
+    pub flit_transfers: u64,
     /// Observed average degree of virtual-channel multiplexing
     /// (`Σ v² / Σ v` over sampled busy-VC counts).
     pub observed_multiplexing: f64,
@@ -283,6 +288,7 @@ impl MeasurementAccumulator {
             mean_hops: self.hops.mean(),
             accepted_rate,
             channel_utilization,
+            flit_transfers: counters.flit_transfers,
             observed_multiplexing: outcome.observed_multiplexing,
             blocking_probability,
         }
@@ -328,6 +334,7 @@ mod tests {
             mean_hops: 3.7,
             accepted_rate: 0.004,
             channel_utilization: 0.3,
+            flit_transfers: 1_000_000,
             observed_multiplexing: 1.8,
             blocking_probability: 0.05,
         };

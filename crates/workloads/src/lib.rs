@@ -116,6 +116,7 @@ pub use scenario::NetworkKind;
 pub use scenario::{Discipline, OperatingPoint, Scenario, TopologyKind};
 pub use star_exec::{ExecPool, ShardSpec};
 pub use star_queueing::ReplicateStats;
+pub use star_sim::SimCore;
 pub use sweep_runner::{
     rate_indices, retain_shard, shard_sweeps, SweepReport, SweepRunner, SweepSpec,
 };

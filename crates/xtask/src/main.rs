@@ -19,9 +19,13 @@
 //!   a batch [`star_workloads::ModelBackend`] solve of the same operating
 //!   point, the second pass must come from the solve cache, and the daemon
 //!   is drained through the wire `shutdown` op — the serving contract,
-//!   enforced on every push), and `cargo doc --no-deps` with
-//!   `RUSTDOCFLAGS="-D warnings"` so broken intra-doc links fail the
-//!   pipeline.
+//!   enforced on every push), a **sim-equiv smoke** (`sim-bench --equiv`:
+//!   the ticking and event-driven simulator engines byte-compared on every
+//!   topology family plus one `S6` light-load point on the event-driven
+//!   default cross-checked against the analytical model — the
+//!   engine-equivalence contract, enforced on every push), and
+//!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
+//!   intra-doc links fail the pipeline.
 //! * `cargo xtask figure1` — regenerates the paper's Figure 1 CSVs under
 //!   `target/experiments/` via the `figure1` harness binary (quick budget and
 //!   all available cores by default; extra arguments are forwarded, e.g.
@@ -38,6 +42,11 @@
 //!   half warm-mode, pipeline 8) and appends the measurement to
 //!   `BENCH_serve.json` at the repository root; extra arguments are
 //!   forwarded to `star-load` and override the pinned knobs.
+//! * `cargo xtask sim-bench` — runs the pinned `sim-bench` flit-throughput
+//!   point (S5, Enhanced-NBC, 20 000 measured messages, seed 42) on both
+//!   simulator engines and appends flits/sec per engine plus the speedup to
+//!   `BENCH_sim.json` at the repository root; extra arguments are forwarded
+//!   to `sim-bench` and override the pinned knobs.
 
 use std::env;
 use std::fs;
@@ -58,6 +67,14 @@ fn main() -> ExitCode {
         "figure1" => figure1(rest),
         "merge-shards" => merge_shards(rest),
         "serve-bench" => serve_bench(rest),
+        "sim-bench" => sim_bench(rest),
+        "sim-equiv-smoke" => match step("sim-equiv-smoke", SIM_EQUIV_SMOKE) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("\nsim-equiv-smoke FAILED at {e}");
+                ExitCode::FAILURE
+            }
+        },
         "serve-smoke" => match serve_smoke() {
             Ok(()) => ExitCode::SUCCESS,
             Err(e) => {
@@ -82,7 +99,8 @@ fn print_help() {
     eprintln!("commands:");
     eprintln!(
         "  ci            fmt-check, clippy -D warnings, build, test, doctest, bench smoke, \
-         replicate smoke, torus smoke, shard smoke, serve smoke, doc -D warnings"
+         replicate smoke, torus smoke, sim-equiv smoke, shard smoke, serve smoke, \
+         doc -D warnings"
     );
     eprintln!(
         "  figure1       regenerate the paper's Figure 1 CSVs (forwards extra args, \
@@ -100,7 +118,19 @@ fn print_help() {
         "  serve-smoke   just the ci serving-contract check (needs a release build of \
          star-serve: cargo build --release -p star-serve)"
     );
+    eprintln!(
+        "  sim-bench     run the pinned sim-bench point on both simulator engines and \
+         append flits/sec to BENCH_sim.json (forwards extra args to sim-bench)"
+    );
+    eprintln!("  sim-equiv-smoke  just the ci engine-equivalence check (sim-bench --equiv)");
 }
+
+/// The ci engine-equivalence step: `sim-bench --equiv` byte-compares the
+/// ticking and event-driven engines on every topology family and
+/// cross-checks one `S6` point on the event-driven default against the
+/// analytical model.
+const SIM_EQUIV_SMOKE: &[&str] =
+    &["run", "--release", "-p", "star-bench", "--bin", "sim-bench", "--", "--equiv"];
 
 /// The cargo binary driving this xtask (set by cargo itself).
 fn cargo() -> String {
@@ -196,6 +226,10 @@ fn ci() -> ExitCode {
                 "25",
             ],
         ),
+        // the simulator engine-equivalence contract: ticking vs event-driven
+        // byte-compared on every topology family, plus one S6 light-load
+        // point on the event-driven default held to the model's 10% band
+        ("sim-equiv-smoke", SIM_EQUIV_SMOKE),
     ];
     let started = Instant::now();
     for (name, args) in pipeline {
@@ -487,6 +521,42 @@ fn serve_bench(rest: &[String]) -> ExitCode {
         }
         (load, served) => {
             eprintln!("\nserve-bench FAILED: star-load {load:?}, star-serve {served:?}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `cargo xtask sim-bench`: build, run the pinned flit-throughput point on
+/// both simulator engines and append the measurement to `BENCH_sim.json`.
+fn sim_bench(rest: &[String]) -> ExitCode {
+    if let Err(e) = step("build", &["build", "--release", "-p", "star-bench"]) {
+        eprintln!("\nsim-bench FAILED at {e}");
+        return ExitCode::FAILURE;
+    }
+    let binary = release_bin("sim-bench");
+    // the pinned trajectory configuration; forwarded args come last so they
+    // win over the pins (sim-bench's parser keeps the last assignment)
+    let mut args: Vec<String> = ["--messages", "20000", "--seed", "42", "--json", "BENCH_sim.json"]
+        .map(str::to_string)
+        .to_vec();
+    args.extend(rest.iter().filter(|a| a.as_str() != "--").cloned());
+    println!("==> sim-bench {}", args.join(" "));
+    // the trajectory file actually written (a forwarded --json overrides the pin)
+    let json = args.iter().rposition(|a| a == "--json").and_then(|i| args.get(i + 1)).cloned();
+    match Command::new(&binary).args(&args).status() {
+        Ok(status) if status.success() => {
+            println!(
+                "\nsim-bench: measurement appended to {}",
+                json.as_deref().unwrap_or("the trajectory file")
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(status) => {
+            eprintln!("\nsim-bench FAILED: sim-bench exited with {status}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("\nsim-bench FAILED: spawning {}: {e}", binary.display());
             ExitCode::FAILURE
         }
     }

@@ -93,7 +93,7 @@ pub use star_queueing::{replicate_seed, ReplicateStats};
 pub use star_routing::{DeterministicMinimal, EnhancedNbc, NHop, Nbc, RoutingAlgorithm};
 pub use star_serve::{Daemon, ServeConfig};
 pub use star_sim::{
-    ReplicateReport, ReplicateRun, SimConfig, SimReport, Simulation, TrafficPattern,
+    ReplicateReport, ReplicateRun, SimConfig, SimCore, SimReport, Simulation, TrafficPattern,
 };
 #[allow(deprecated)]
 pub use star_workloads::NetworkKind;

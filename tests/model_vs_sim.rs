@@ -119,6 +119,36 @@ fn both_model_and_simulation_show_latency_growth_with_load() {
 }
 
 #[test]
+fn model_matches_simulation_at_light_load_s6_on_the_event_engine() {
+    // A full size class above the historical S4/S5 validation ceiling: S6 has
+    // 720 nodes and 3600 channels, which the event-driven engine (the
+    // default core) makes affordable inside a debug test run — only active
+    // channels cost work at ~3% utilisation.
+    use star_wormhole::{
+        Discipline, Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget, SimCore,
+    };
+    let scenario = Scenario::star(6)
+        .with_message_length(16)
+        .with_discipline(Discipline::EnhancedNbc)
+        .with_seed_base(601);
+    assert_eq!(scenario.core, SimCore::EventDriven, "event-driven is the default engine");
+    let topology = scenario.topology();
+    let rate = 0.03 * topology.degree() as f64 / (topology.mean_distance() * 16.0);
+    let point = scenario.at(rate);
+    let m = ModelBackend::new().evaluate(&point);
+    let s = SimBackend::new(SimBudget::Quick).evaluate(&point);
+    assert!(!m.saturated && !s.saturated, "S6 must not saturate at light load");
+    let err = (m.mean_latency - s.mean_latency).abs() / s.mean_latency;
+    assert!(
+        err < 0.10,
+        "S6 light load: model {} vs sim {} ({:.1}%)",
+        m.mean_latency,
+        s.mean_latency,
+        err * 100.0
+    );
+}
+
+#[test]
 fn simulated_hop_count_matches_mean_distance() {
     let s = simulate(4, 6, 16, 0.005, 7);
     let topo = StarGraph::new(4);

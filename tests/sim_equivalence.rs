@@ -1,0 +1,145 @@
+//! The legacy-equivalence harness: the ticking reference engine and the
+//! event-driven engine must produce **byte-identical** results, replicate for
+//! replicate, on every topology family.
+//!
+//! Both engines share the RNG streams, the stage order and the staged-update
+//! order, so equal configurations must yield equal [`SimReport`]s — not just
+//! statistically compatible ones.  The asserts therefore use full struct
+//! equality (every field, including float latency means and raw flit counts)
+//! rather than tolerance bands; a tolerance would hide exactly the class of
+//! bug (a reordered RNG draw, a skipped counter) the harness exists to catch.
+
+use std::sync::Arc;
+
+use star_wormhole::{
+    EnhancedNbc, Hypercube, ReplicateReport, ReplicateRun, Ring, SimConfig, SimCore, SimReport,
+    StarGraph, Topology, Torus, TrafficPattern,
+};
+
+/// Replicates per compared operating point — more than one so replicate-seed
+/// derivation is part of the contract.
+const REPLICATES: usize = 3;
+
+fn run(
+    topology: Arc<dyn Topology>,
+    rate: f64,
+    seed: u64,
+    core: SimCore,
+    configure: impl Fn(star_wormhole::sim::SimConfigBuilder) -> star_wormhole::sim::SimConfigBuilder,
+) -> ReplicateReport {
+    let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
+    let builder = SimConfig::builder()
+        .message_length(16)
+        .traffic_rate(rate)
+        .warmup_cycles(2_000)
+        .measured_messages(2_000)
+        .max_cycles(200_000)
+        .seed(seed)
+        .core(core);
+    let config = configure(builder).build();
+    ReplicateRun::new(topology, routing, config, TrafficPattern::Uniform, REPLICATES).run()
+}
+
+fn both(
+    topology: Arc<dyn Topology>,
+    rate: f64,
+    seed: u64,
+    configure: impl Fn(star_wormhole::sim::SimConfigBuilder) -> star_wormhole::sim::SimConfigBuilder
+        + Copy,
+) -> (ReplicateReport, ReplicateReport) {
+    let ticking = run(Arc::clone(&topology), rate, seed, SimCore::Ticking, configure);
+    let event = run(topology, rate, seed, SimCore::EventDriven, configure);
+    (ticking, event)
+}
+
+fn assert_identical(label: &str, ticking: &ReplicateReport, event: &ReplicateReport) {
+    assert_eq!(ticking.replicates(), event.replicates(), "{label}: replicate count");
+    for (i, (t, e)) in ticking.runs.iter().zip(&event.runs).enumerate() {
+        assert_eq!(t, e, "{label}: replicate {i} must be byte-identical across engines");
+    }
+    assert_eq!(ticking, event, "{label}: replicate summary must be byte-identical");
+}
+
+#[test]
+fn engines_are_byte_identical_on_the_star_graph() {
+    let (t, e) = both(Arc::new(StarGraph::new(4)), 0.010, 1101, |b| b);
+    assert!(!e.saturated && !e.deadlock_detected);
+    assert!(e.runs.iter().all(|r| r.measured_messages >= 2_000));
+    assert_identical("S4", &t, &e);
+}
+
+#[test]
+fn engines_are_byte_identical_on_the_hypercube() {
+    let (t, e) = both(Arc::new(Hypercube::new(5)), 0.010, 1102, |b| b);
+    assert!(!e.saturated && !e.deadlock_detected);
+    assert_identical("Q5", &t, &e);
+}
+
+#[test]
+fn engines_are_byte_identical_on_the_torus() {
+    let (t, e) = both(Arc::new(Torus::new(6)), 0.008, 1103, |b| b);
+    assert!(!e.saturated && !e.deadlock_detected);
+    assert_identical("T6", &t, &e);
+}
+
+#[test]
+fn engines_are_byte_identical_on_the_ring() {
+    let (t, e) = both(Arc::new(Ring::new(8)), 0.010, 1104, |b| b);
+    assert!(!e.saturated && !e.deadlock_detected);
+    assert_identical("R8", &t, &e);
+}
+
+#[test]
+fn engines_agree_on_the_saturated_side_too() {
+    // Beyond saturation the run ends through the queue-limit branch; the
+    // engines must agree on the termination cycle and flags, not just on
+    // happy-path statistics.
+    let (t, e) = both(Arc::new(StarGraph::new(4)), 0.2, 1105, |b| {
+        b.measured_messages(50_000).max_cycles(60_000).saturation_queue_limit(100)
+    });
+    assert!(e.saturated, "this operating point is far beyond saturation");
+    assert_identical("S4 overload", &t, &e);
+    for r in &e.runs {
+        assert!(r.saturated && !r.deadlock_detected);
+    }
+}
+
+/// Event-scheduled injection regression: the exact flit counts the arrival
+/// calendar produces, pinned per seed against the legacy per-cycle Poisson
+/// polling.  A change to arrival scheduling (the RNG stream, the
+/// cycle-rounding predicate, the draw order across nodes) moves these
+/// numbers and must be caught, not absorbed.
+#[test]
+fn injected_flit_counts_per_seed_are_pinned_across_engines() {
+    let expected: [(u64, u64, u64); 3] =
+        [(2101, 27_762, 501), (2102, 27_186, 500), (2103, 27_540, 500)];
+    for (seed, flit_transfers, measured) in expected {
+        let single = |core| {
+            let topology: Arc<dyn Topology> = Arc::new(StarGraph::new(4));
+            let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
+            let config = SimConfig::builder()
+                .message_length(16)
+                .traffic_rate(0.006)
+                .warmup_cycles(1_000)
+                .measured_messages(500)
+                .max_cycles(200_000)
+                .seed(seed)
+                .core(core)
+                .build();
+            let run: SimReport =
+                ReplicateRun::new(topology, routing, config, TrafficPattern::Uniform, 1)
+                    .run()
+                    .runs
+                    .remove(0);
+            run
+        };
+        let ticking = single(SimCore::Ticking);
+        let event = single(SimCore::EventDriven);
+        assert_eq!(ticking, event, "seed {seed}");
+        assert_eq!(
+            (event.flit_transfers, event.measured_messages),
+            (flit_transfers, measured),
+            "seed {seed}: pinned injection/transfer counts moved"
+        );
+    }
+}

@@ -33,12 +33,13 @@ fn relative_error(model: &PointEstimate, sim: &PointEstimate) -> f64 {
 }
 
 #[test]
-fn model_matches_simulation_at_light_load_t4_and_t6() {
+fn model_matches_simulation_at_light_load_t4_to_t8() {
     // ~3% channel utilisation, the regime the star light-load validation
-    // runs in, held to the same 10% band
+    // runs in, held to the same 10% band.  T8 (64 nodes) rides along now
+    // that the event-driven default engine only pays for active channels.
     let model = ModelBackend::new();
     let sim = SimBackend::new(SimBudget::Quick);
-    for side in [4usize, 6] {
+    for side in [4usize, 6, 8] {
         let scenario = torus(side, Discipline::EnhancedNbc).with_seed_base(501);
         let point = scenario.at(rate_at_utilisation(&scenario, 0.03));
         let m = model.evaluate(&point);

@@ -4,7 +4,8 @@
 //!
 //! ```text
 //! star-load --addr HOST:PORT [--queries N] [--seed N] [--warm-fraction F]
-//!           [--pipeline N] [--rates N] [--json PATH] [--shutdown]
+//!           [--pipeline N] [--connections K] [--rates N] [--json PATH]
+//!           [--shutdown]
 //! ```
 //!
 //! With `--json PATH` the measurement is appended to the JSON trajectory
@@ -18,13 +19,14 @@ use star_bench::loadgen::{append_trajectory, run_load, LoadConfig};
 
 fn usage() -> &'static str {
     "usage: star-load --addr HOST:PORT [--queries N] [--seed N] [--warm-fraction F]\n\
-     \x20                [--pipeline N] [--rates N] [--json PATH] [--shutdown]\n\
+     \x20                [--pipeline N] [--connections K] [--rates N] [--json PATH] [--shutdown]\n\
      \n\
      --addr HOST:PORT   the running star-serve daemon (required)\n\
      --queries N        total queries to issue (default 2000)\n\
      --seed N           stream seed (default 7)\n\
      --warm-fraction F  fraction of warm-mode queries in [0,1] (default 0.5)\n\
-     --pipeline N       requests in flight per batch (default 8)\n\
+     --pipeline N       requests in flight per batch per connection (default 8)\n\
+     --connections K    concurrent connections sharing the stream (default 1)\n\
      --rates N          distinct rates per configuration (default 24)\n\
      --json PATH        append the measurement to this trajectory file\n\
      --shutdown         ask the daemon to drain and exit afterwards"
@@ -58,6 +60,10 @@ fn parse_args(args: &[String]) -> Result<(LoadConfig, Option<PathBuf>), String> 
             "--pipeline" => {
                 config.pipeline =
                     value("--pipeline")?.parse().map_err(|e| format!("--pipeline: {e}"))?;
+            }
+            "--connections" => {
+                config.connections =
+                    value("--connections")?.parse().map_err(|e| format!("--connections: {e}"))?;
             }
             "--rates" => {
                 config.rates = value("--rates")?.parse().map_err(|e| format!("--rates: {e}"))?;

@@ -84,24 +84,9 @@ pub fn pair_into_validation_rows(model: &SweepReport, sim: &SweepReport) -> Vec<
 /// the topology's escape-level minimum).
 #[must_use]
 pub fn model_saturation_rate(scenario: &star_workloads::Scenario, tolerance: f64) -> f64 {
-    let params: star_core::ModelParams = match scenario.model_params(0.0) {
-        Ok(Some(params)) => params,
-        Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
-        Ok(None) => {
-            panic!("the analytical model does not cover scenario {}", scenario.label())
-        }
-    };
-    let topology = scenario.topology();
-    if let Some(star) = topology.as_any().downcast_ref::<star_graph::StarGraph>() {
-        let config =
-            params.star_config(star.symbols()).expect("star scenarios map to modelled disciplines");
-        star_core::saturation_rate(config, tolerance)
-    } else if let Some(cube) = topology.as_any().downcast_ref::<star_graph::Hypercube>() {
-        star_core::hypercube_saturation_rate(params.hypercube_config(cube.dims()), tolerance)
-    } else {
-        let spectrum = std::sync::Arc::new(star_core::TraversalSpectrum::new(topology.as_ref()));
-        star_core::spectrum_saturation_rate(params, &spectrum, tolerance)
-    }
+    // the shared implementation lives next to the wire vocabulary so the
+    // daemon's prewarmer and the load generator agree bit for bit
+    star_workloads::model_saturation_rate(scenario, tolerance)
 }
 
 /// Prints the per-point replicate consumption of a simulated sweep — the

@@ -10,12 +10,16 @@
 //! so the stream has the skew that makes a cache interesting; rates and
 //! the exact/warm mode split are uniform draws.
 //!
-//! Requests are pipelined in fixed-size batches on one connection.  The
-//! per-query service latency sample is the batch round-trip divided by the
-//! batch size — the *amortized* latency a pipelining client experiences —
-//! and p50/p99 are taken over those samples.  Throughput is queries over
-//! total wall-clock.  The cache hit rate is the fraction of responses the
-//! daemon answered verbatim from its solve cache (`"cached":"exact"`).
+//! Requests are pipelined in fixed-size batches across
+//! [`LoadConfig::connections`] concurrent connections (batches dealt
+//! round-robin, so every connection sees the same mix) — one connection
+//! cannot observe the daemon's sharded-cache win; contention needs
+//! cross-connection traffic.  The per-query service latency sample is the
+//! batch round-trip divided by the batch size — the *amortized* latency a
+//! pipelining client experiences — and p50/p99 are taken over those
+//! samples.  Throughput is queries over total wall-clock.  The cache hit
+//! rate is the fraction of responses the daemon answered verbatim from its
+//! solve cache (`"cached":"exact"`).
 //!
 //! [`append_trajectory`] maintains `BENCH_serve.json`: a JSON array of
 //! measurement points, one appended per `cargo xtask serve-bench` run, so
@@ -32,9 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde_json::Value;
 use star_serve::protocol::{query_line, Query, SolveMode};
-use star_workloads::{Discipline, TopologyKind, WireScenario};
-
-use crate::model_saturation_rate;
+use star_workloads::{load_rate_grid, WireScenario};
 
 /// What to replay and how hard.
 #[derive(Debug, Clone)]
@@ -47,8 +49,11 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Fraction of queries issued in `warm` mode (the rest are `exact`).
     pub warm_fraction: f64,
-    /// Requests in flight per batch on the one connection.
+    /// Requests in flight per batch per connection.
     pub pipeline: usize,
+    /// Concurrent connections replaying the stream (batches dealt
+    /// round-robin across them).
+    pub connections: usize,
     /// Distinct rates per configuration (the rate grid resolution; with
     /// `queries` well above `pool × rates`, repeats drive the hit rate).
     pub rates: usize,
@@ -65,6 +70,7 @@ impl Default for LoadConfig {
             seed: 7,
             warm_fraction: 0.5,
             pipeline: 8,
+            connections: 1,
             rates: 24,
             shutdown: false,
         }
@@ -73,24 +79,12 @@ impl Default for LoadConfig {
 
 /// The pinned configuration pool: all four families, three disciplines,
 /// everything inside the analytical model's validated ranges.  Order
-/// matters — earlier entries are drawn more often.
+/// matters — earlier entries are drawn more often.  This is
+/// [`star_workloads::default_config_pool`], the same list the daemon's
+/// `--prewarm pool` solves before listening.
 #[must_use]
 pub fn config_pool() -> Vec<WireScenario> {
-    let wire = |kind, size, discipline| WireScenario {
-        kind,
-        size,
-        discipline,
-        virtual_channels: 6,
-        message_length: 32,
-    };
-    vec![
-        wire(TopologyKind::Star, 5, Discipline::EnhancedNbc),
-        wire(TopologyKind::Star, 6, Discipline::EnhancedNbc),
-        wire(TopologyKind::Hypercube, 7, Discipline::EnhancedNbc),
-        wire(TopologyKind::Hypercube, 5, Discipline::Nbc),
-        wire(TopologyKind::Torus, 8, Discipline::Deterministic),
-        wire(TopologyKind::Ring, 8, Discipline::NHop),
-    ]
+    star_workloads::default_config_pool()
 }
 
 /// The deterministic query stream for a load config (ids are sequential
@@ -98,19 +92,10 @@ pub fn config_pool() -> Vec<WireScenario> {
 #[must_use]
 pub fn query_stream(config: &LoadConfig) -> Vec<Query> {
     let pool = config_pool();
-    let grids: Vec<Vec<f64>> = pool
-        .iter()
-        .map(|wire| {
-            let saturation = model_saturation_rate(&wire.scenario(), 1e-5);
-            let steps = config.rates.max(1);
-            (0..steps)
-                .map(|i| {
-                    let t = i as f64 / steps as f64;
-                    saturation * (0.20 + 0.65 * t)
-                })
-                .collect()
-        })
-        .collect();
+    // the shared grid keeps generated rates bit-identical to the ones the
+    // daemon's `--prewarm` pass solves, so prewarmed traffic hits verbatim
+    let grids: Vec<Vec<f64>> =
+        pool.iter().map(|wire| load_rate_grid(&wire.scenario(), config.rates)).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     (0..config.queries as u64)
         .map(|id| {
@@ -168,6 +153,7 @@ impl LoadReport {
                     ("seed".to_string(), Value::from(config.seed)),
                     ("warm_fraction".to_string(), Value::from(config.warm_fraction)),
                     ("pipeline".to_string(), Value::from(config.pipeline)),
+                    ("connections".to_string(), Value::from(config.connections)),
                     ("rates".to_string(), Value::from(config.rates)),
                     ("pool".to_string(), Value::from(config_pool().len())),
                 ]),
@@ -216,30 +202,34 @@ fn invalid(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
-/// Replays the config's stream against the daemon and measures it.
-///
-/// # Errors
-/// Connection failures, short reads, out-of-order or malformed responses.
-pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
-    let stream = query_stream(config);
-    let conn = TcpStream::connect(&config.addr)?;
+/// One connection's tallies, merged into the [`LoadReport`] afterwards.
+struct ConnectionTally {
+    outcomes: BTreeMap<String, u64>,
+    errors: u64,
+    samples_us: Vec<f64>,
+}
+
+/// Replays one connection's share of the batches, pipelined batch by
+/// batch, checking per-connection response order.
+fn replay_connection(addr: &str, batches: &[&[Query]]) -> io::Result<ConnectionTally> {
+    let conn = TcpStream::connect(addr)?;
     conn.set_nodelay(true)?;
     let mut reader = BufReader::new(conn.try_clone()?);
     let mut writer = BufWriter::new(conn);
-
-    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
-    let mut errors = 0u64;
-    let mut samples_us: Vec<f64> = Vec::with_capacity(stream.len());
+    let mut tally = ConnectionTally {
+        outcomes: BTreeMap::new(),
+        errors: 0,
+        samples_us: Vec::with_capacity(batches.iter().map(|b| b.len()).sum()),
+    };
     let mut line = String::new();
-    let started = Instant::now();
-    for batch in stream.chunks(config.pipeline.max(1)) {
+    for batch in batches {
         let batch_started = Instant::now();
-        for query in batch {
+        for query in *batch {
             writer.write_all(query_line(query).as_bytes())?;
             writer.write_all(b"\n")?;
         }
         writer.flush()?;
-        for query in batch {
+        for query in *batch {
             line.clear();
             if reader.read_line(&mut line)? == 0 {
                 return Err(invalid("daemon closed mid-replay".to_string()));
@@ -258,20 +248,71 @@ pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
                         .and_then(Value::as_str)
                         .unwrap_or("unknown")
                         .to_string();
-                    *outcomes.entry(outcome).or_insert(0) += 1;
+                    *tally.outcomes.entry(outcome).or_insert(0) += 1;
                 }
-                _ => errors += 1,
+                _ => tally.errors += 1,
             }
         }
         let amortized_us = batch_started.elapsed().as_secs_f64() * 1e6 / batch.len() as f64;
-        samples_us.extend(std::iter::repeat_n(amortized_us, batch.len()));
+        tally.samples_us.extend(std::iter::repeat_n(amortized_us, batch.len()));
     }
+    Ok(tally)
+}
+
+/// Replays the config's stream against the daemon and measures it.
+///
+/// The stream's batches are dealt round-robin across
+/// [`LoadConfig::connections`] concurrent connections; each connection
+/// pipelines its own batches independently, and the tallies merge into one
+/// report.  The stats snapshot (and the optional shutdown) goes over a
+/// fresh connection after every replay connection has finished, so it sees
+/// the post-replay cache state.
+///
+/// # Errors
+/// Connection failures, short reads, out-of-order or malformed responses.
+///
+/// # Panics
+/// Panics if a replay thread itself panics (it never should — failures
+/// come back as errors).
+pub fn run_load(config: &LoadConfig) -> io::Result<LoadReport> {
+    let stream = query_stream(config);
+    let batches: Vec<&[Query]> = stream.chunks(config.pipeline.max(1)).collect();
+    let connections = config.connections.max(1).min(batches.len().max(1));
+
+    let started = Instant::now();
+    let tallies: Vec<io::Result<ConnectionTally>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|worker| {
+                let mine: Vec<&[Query]> =
+                    batches.iter().copied().skip(worker).step_by(connections).collect();
+                let addr = config.addr.as_str();
+                scope.spawn(move || replay_connection(addr, &mine))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("replay thread panicked")).collect()
+    });
     let elapsed_s = started.elapsed().as_secs_f64();
 
+    let mut outcomes: BTreeMap<String, u64> = BTreeMap::new();
+    let mut errors = 0u64;
+    let mut samples_us: Vec<f64> = Vec::with_capacity(stream.len());
+    for tally in tallies {
+        let tally = tally?;
+        for (outcome, count) in tally.outcomes {
+            *outcomes.entry(outcome).or_insert(0) += count;
+        }
+        errors += tally.errors;
+        samples_us.extend(tally.samples_us);
+    }
+
     // one stats snapshot after the replay, through the same wire
+    let conn = TcpStream::connect(&config.addr)?;
+    conn.set_nodelay(true)?;
+    let mut reader = BufReader::new(conn.try_clone()?);
+    let mut writer = BufWriter::new(conn);
+    let mut line = String::new();
     writeln!(writer, "{{\"id\":{},\"op\":\"stats\"}}", stream.len())?;
     writer.flush()?;
-    line.clear();
     reader.read_line(&mut line)?;
     let stats = serde_json::from_str(line.trim_end())
         .ok()

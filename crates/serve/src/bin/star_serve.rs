@@ -1,26 +1,36 @@
-//! The `star-serve` binary: bind, announce, serve until drained.
+//! The `star-serve` binary: bind, prewarm, announce, serve until drained.
 //!
 //! ```text
 //! star-serve [--addr HOST:PORT] [--width N] [--window N] [--cache-bytes N]
+//!            [--shards N] [--max-connections N]
+//!            [--prewarm LIST] [--prewarm-rates N]
 //! ```
 //!
 //! Prints exactly one `star-serve listening on HOST:PORT` line to stdout
-//! once the socket is bound (the handshake `cargo xtask serve-smoke` and
-//! the integration tests parse), then serves until SIGINT or a wire
+//! once the socket is bound — and prewarmed, when `--prewarm` names
+//! configurations (the prewarm report goes to stderr first) — so the
+//! handshake `cargo xtask serve-smoke` and the integration tests parse
+//! never races a cold cache.  Then serves until SIGINT or a wire
 //! `shutdown` request, draining in-flight queries before exiting.
 
 use std::io::Write;
 use std::process::ExitCode;
 
-use star_serve::{signal, Daemon, ServeConfig};
+use star_serve::{parse_prewarm_list, signal, Daemon, ServeConfig};
 
 fn usage() -> &'static str {
     "usage: star-serve [--addr HOST:PORT] [--width N] [--window N] [--cache-bytes N]\n\
+     \x20                 [--shards N] [--max-connections N] [--prewarm LIST] [--prewarm-rates N]\n\
      \n\
-     --addr HOST:PORT   bind address (default 127.0.0.1:0 = ephemeral port)\n\
-     --width N          exec-pool width per evaluation batch (default 0 = all workers)\n\
-     --window N         max pipelined requests per batch (default 64)\n\
-     --cache-bytes N    solve-cache byte budget (default 4194304)"
+     --addr HOST:PORT     bind address (default 127.0.0.1:0 = ephemeral port)\n\
+     --width N            exec-pool width per evaluation batch (default 0 = all workers)\n\
+     --window N           max pipelined requests per batch (default 64)\n\
+     --cache-bytes N      total solve-cache byte budget, split across shards (default 4194304)\n\
+     --shards N           independently locked solve-cache shards (default 8)\n\
+     --max-connections N  connection budget; extra connects get a busy line (default 64, 0 = unlimited)\n\
+     --prewarm LIST       configurations to solve before listening: `pool` and/or\n\
+     \x20                    comma-separated topology[:size[:discipline[:vc[:m]]]] items\n\
+     --prewarm-rates N    rates per prewarmed configuration across the load grid (default 24)"
 }
 
 fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
@@ -41,6 +51,23 @@ fn parse_args(args: &[String]) -> Result<ServeConfig, String> {
             "--cache-bytes" => {
                 config.cache_bytes =
                     value("--cache-bytes")?.parse().map_err(|e| format!("--cache-bytes: {e}"))?;
+            }
+            "--shards" => {
+                config.shards = value("--shards")?.parse().map_err(|e| format!("--shards: {e}"))?;
+            }
+            "--max-connections" => {
+                config.max_connections = value("--max-connections")?
+                    .parse()
+                    .map_err(|e| format!("--max-connections: {e}"))?;
+            }
+            "--prewarm" => {
+                config.prewarm = parse_prewarm_list(value("--prewarm")?)
+                    .map_err(|e| format!("--prewarm: {e}"))?;
+            }
+            "--prewarm-rates" => {
+                config.prewarm_rates = value("--prewarm-rates")?
+                    .parse()
+                    .map_err(|e| format!("--prewarm-rates: {e}"))?;
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
@@ -66,6 +93,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(report) = daemon.prewarmed() {
+        eprintln!(
+            "star-serve: prewarmed {} configurations, {} solves cached",
+            report.configs, report.solves
+        );
+    }
     // the one line launchers wait for — flushed so piped stdout sees it now
     println!("star-serve listening on {}", daemon.local_addr());
     let _ = std::io::stdout().flush();

@@ -1,15 +1,27 @@
-//! The daemon proper: accept loop, per-connection pipelining, pool-backed
-//! evaluation, graceful drain.
+//! The daemon proper: accept loop with a connection budget, per-connection
+//! pipelining, single-flight admission, pool-backed evaluation, graceful
+//! drain.
 //!
 //! One [`Daemon`] owns a non-blocking TCP listener and a shared
 //! [`ServerState`] (the model backend, the two cache levels and the traffic
-//! counters).  Each connection gets a thread; within a connection, queries
-//! are **pipelined**: the reader drains whatever lines are already queued
-//! (up to [`ServeConfig::window`]) and evaluates the whole window's cache
-//! misses as one ordered batch on the shared [`star_exec::ExecPool`] —
-//! so a client that streams 100 queries gets every core, while a
+//! counters).  Each connection gets a thread, up to
+//! [`ServeConfig::max_connections`]; connections past the budget receive
+//! one `busy` line and are closed, so overload degrades into explicit
+//! refusals instead of unbounded thread growth.  Within a connection,
+//! queries are **pipelined**: the reader drains whatever lines are already
+//! queued (up to [`ServeConfig::window`]) and evaluates the whole window's
+//! cache misses as one ordered batch on the shared [`star_exec::ExecPool`]
+//! — so a client that streams 100 queries gets every core, while a
 //! one-query-at-a-time client still gets sub-millisecond turnarounds.
 //! Responses always come back in request order.
+//!
+//! Cache misses go through the sharded cache's **single-flight admission**
+//! ([`ShardedSolveCache::admit`]): the first miss on a (configuration,
+//! rate, kind) key leads and owes the solve; duplicate misses — in the same
+//! window or racing in from other connections — follow that flight and
+//! reuse its answer instead of re-solving.  Every window publishes all the
+//! flights it leads *before* waiting on any flight it follows, so no two
+//! connections can deadlock waiting on each other.
 //!
 //! Shutdown is cooperative and draining: a SIGINT (via
 //! [`crate::signal::install`]) or a wire `shutdown` request trips one flag;
@@ -20,15 +32,18 @@
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
 use serde_json::Value;
 use star_exec::ExecPool;
-use star_workloads::{encode_estimate, ModelBackend, OperatingPoint, ScenarioSpectrum};
+use star_workloads::{
+    encode_estimate, ModelBackend, OperatingPoint, ScenarioSpectrum, WireScenario,
+};
 
-use crate::cache::{ConfigCache, Lookup, SolveCache};
+use crate::cache::{Admission, ConfigCache, Flight, FlightToken, ShardedSolveCache};
+use crate::prewarm::{self, PrewarmReport};
 use crate::protocol::{self, CacheOutcome, Request};
 use crate::signal;
 
@@ -42,33 +57,57 @@ pub struct ServeConfig {
     pub width: usize,
     /// Maximum pipelined requests evaluated as one batch per connection.
     pub window: usize,
-    /// Solve-cache byte budget (see [`SolveCache`]).
+    /// Total solve-cache byte budget, split evenly across the shards.
     pub cache_bytes: usize,
+    /// Solve-cache shard count (each shard is independently locked).
+    pub shards: usize,
+    /// Connection budget: accepts past this many live connections get one
+    /// `busy` line and a close.  `0` means unlimited.
+    pub max_connections: usize,
+    /// Configurations to solve across the whole rate grid before the
+    /// listener opens, so their steady-state traffic starts at the warm
+    /// hit rate (empty = no prewarming).
+    pub prewarm: Vec<WireScenario>,
+    /// Rates per prewarmed configuration, spread over the same grid
+    /// [`star_workloads::load_rate_grid`] gives the load generator.
+    pub prewarm_rates: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        Self { addr: "127.0.0.1:0".to_string(), width: 0, window: 64, cache_bytes: 4 << 20 }
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            width: 0,
+            window: 64,
+            cache_bytes: 4 << 20,
+            shards: 8,
+            max_connections: 64,
+            prewarm: Vec::new(),
+            prewarm_rates: 24,
+        }
     }
 }
 
-/// Everything the connection threads share.
+/// Everything the connection threads share.  The cache levels synchronise
+/// internally ([`ConfigCache`] behind a read-mostly lock,
+/// [`ShardedSolveCache`] behind per-shard locks), so there is no global
+/// lock left to serialise on.
 #[derive(Debug)]
 pub struct ServerState {
-    backend: ModelBackend,
-    configs: Mutex<ConfigCache>,
-    solves: Mutex<SolveCache>,
+    pub(crate) backend: ModelBackend,
+    pub(crate) configs: ConfigCache,
+    pub(crate) solves: ShardedSolveCache,
     queries: AtomicU64,
     errors: AtomicU64,
     shutdown: AtomicBool,
 }
 
 impl ServerState {
-    fn new(cache_bytes: usize) -> Self {
+    fn new(cache_bytes: usize, shards: usize) -> Self {
         Self {
             backend: ModelBackend::new(),
-            configs: Mutex::new(ConfigCache::new()),
-            solves: Mutex::new(SolveCache::new(cache_bytes)),
+            configs: ConfigCache::new(),
+            solves: ShardedSolveCache::new(cache_bytes, shards),
             queries: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
@@ -82,23 +121,43 @@ impl ServerState {
 
     /// The stats snapshot behind the wire `stats` op, also available to
     /// embedders running an in-process daemon.
+    ///
+    /// The snapshot is *consistent*: every solve shard is locked (in index
+    /// order) while the traffic counters and config-cache stats are read,
+    /// so the reply can never interleave mid-update counts from the two
+    /// cache levels.
     #[must_use]
     pub fn stats(&self) -> Value {
+        let (solves, (queries, errors, configs)) = self.solves.snapshot(|| {
+            (
+                self.queries.load(Ordering::Relaxed),
+                self.errors.load(Ordering::Relaxed),
+                self.configs.stats(),
+            )
+        });
         Value::Object(vec![
-            ("queries".to_string(), Value::from(self.queries.load(Ordering::Relaxed))),
-            ("errors".to_string(), Value::from(self.errors.load(Ordering::Relaxed))),
-            ("configs".to_string(), self.configs.lock().expect("config cache poisoned").stats()),
-            ("solves".to_string(), self.solves.lock().expect("solve cache poisoned").stats()),
+            ("queries".to_string(), Value::from(queries)),
+            ("errors".to_string(), Value::from(errors)),
+            ("configs".to_string(), configs),
+            ("solves".to_string(), solves),
         ])
     }
 }
 
-/// One solve the window batch owes the pool: everything `estimate_with`
-/// needs, pre-resolved so the hot closure only computes.
+/// One solve this window leads: everything `estimate_with` needs,
+/// pre-resolved so the hot closure only computes, plus the flight token
+/// that publishes the answer to any followers.
 struct SolveJob {
     point: OperatingPoint,
     spectrum: Arc<ScenarioSpectrum>,
     warm_state: Vec<f64>,
+    token: FlightToken,
+}
+
+/// The self-solve a follower falls back to if its leader aborts.
+struct Fallback {
+    point: OperatingPoint,
+    spectrum: Arc<ScenarioSpectrum>,
     fingerprint: String,
 }
 
@@ -109,8 +168,10 @@ enum Planned {
     Ready(String),
     /// Stats snapshot, taken after the window's solves land.
     Stats { id: u64 },
-    /// Awaiting solve job `index`'s estimate.
+    /// Awaiting solve job `index`'s estimate (this window leads it).
     Pending { id: u64, index: usize, outcome: CacheOutcome },
+    /// Awaiting another leader's flight (coalesced duplicate miss).
+    Follow { id: u64, outcome: CacheOutcome, flight: Arc<Flight>, fallback: Fallback },
 }
 
 /// The serving daemon.  [`Daemon::bind`] then [`Daemon::run`]; the run
@@ -138,6 +199,7 @@ pub struct Daemon {
     listener: TcpListener,
     state: Arc<ServerState>,
     config: ServeConfig,
+    prewarmed: Option<PrewarmReport>,
 }
 
 /// How long an idle connection waits for bytes before re-checking the
@@ -145,15 +207,25 @@ pub struct Daemon {
 const IDLE_POLL: Duration = Duration::from_millis(25);
 
 impl Daemon {
-    /// Binds the listener (port 0 = ephemeral) and builds the shared state.
+    /// Binds the listener (port 0 = ephemeral), builds the shared state,
+    /// and — when [`ServeConfig::prewarm`] names configurations — solves
+    /// their full rate grids into the cache *before* returning, so the
+    /// first client never sees a cold cache for a prewarmed configuration.
     ///
     /// # Errors
-    /// Any socket error from binding the address.
+    /// Any socket error from binding the address, or
+    /// [`io::ErrorKind::InvalidInput`] for a prewarm configuration the
+    /// analytical model cannot solve.
     pub fn bind(config: ServeConfig) -> io::Result<Self> {
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
-        let state = Arc::new(ServerState::new(config.cache_bytes));
-        Ok(Self { listener, state, config })
+        let state = Arc::new(ServerState::new(config.cache_bytes, config.shards));
+        let prewarmed = if config.prewarm.is_empty() {
+            None
+        } else {
+            Some(prewarm::prewarm(&state, config.width, &config.prewarm, config.prewarm_rates)?)
+        };
+        Ok(Self { listener, state, config, prewarmed })
     }
 
     /// The bound address (the one thing a caller needs after port 0).
@@ -163,6 +235,12 @@ impl Daemon {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.listener.local_addr().expect("a bound listener has an address")
+    }
+
+    /// What [`Daemon::bind`] prewarmed, when it was asked to.
+    #[must_use]
+    pub fn prewarmed(&self) -> Option<&PrewarmReport> {
+        self.prewarmed.as_ref()
     }
 
     /// The shared state — exposed so an embedding test can read stats or
@@ -185,10 +263,16 @@ impl Daemon {
     /// Fatal listener errors only; per-connection I/O errors close that
     /// connection and are otherwise ignored.
     pub fn run(self) -> io::Result<()> {
+        let limit = self.config.max_connections;
         let mut workers: Vec<thread::JoinHandle<()>> = Vec::new();
         while !self.state.draining() {
             match self.listener.accept() {
                 Ok((stream, _)) => {
+                    workers.retain(|w| !w.is_finished());
+                    if limit != 0 && workers.len() >= limit {
+                        refuse_busy(&stream, limit);
+                        continue;
+                    }
                     let state = Arc::clone(&self.state);
                     let width = self.config.width;
                     let window = self.config.window.max(1);
@@ -211,6 +295,17 @@ impl Daemon {
         }
         Ok(())
     }
+}
+
+/// Answers a connection past the budget with one `busy` line and closes
+/// it.  Refusal errors are ignored — the client is gone either way.
+fn refuse_busy(stream: &TcpStream, limit: usize) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(IDLE_POLL));
+    let mut writer = BufWriter::new(stream);
+    let _ = writer.write_all(protocol::busy_response(limit).as_bytes());
+    let _ = writer.write_all(b"\n");
+    let _ = writer.flush();
 }
 
 /// Reads request lines, pipelines them into windows and answers in order
@@ -288,6 +383,13 @@ fn serve_connection(
 
 /// Evaluates one window of request lines and writes one response line per
 /// request, in order.  Returns whether a shutdown request was seen.
+///
+/// Ordering discipline: admission happens line by line (hits answer
+/// verbatim, first misses lead, duplicates follow), then *every* led
+/// flight is solved and published, and only then does the response loop
+/// wait on followed flights.  A follower can therefore only ever wait on
+/// a flight whose leader — this window or another connection — publishes
+/// without waiting on anyone, so cross-connection waits cannot cycle.
 fn process_window(
     state: &ServerState,
     width: usize,
@@ -311,8 +413,7 @@ fn process_window(
             }
             Ok(Request::Query(query)) => {
                 state.queries.fetch_add(1, Ordering::Relaxed);
-                let entry =
-                    state.configs.lock().expect("config cache poisoned").resolve(&query.wire);
+                let entry = state.configs.resolve(&query.wire);
                 // out-of-range knobs (V below the discipline's escape-level
                 // minimum, …) and model-less pairings answer as errors, not
                 // panics — the same validation the batch backend trusts
@@ -333,19 +434,14 @@ fn process_window(
                         ))
                     }
                     Ok(Some(_)) => {
-                        let lookup = state.solves.lock().expect("solve cache poisoned").lookup(
-                            &entry.fingerprint,
-                            query.rate,
-                            query.mode,
-                        );
-                        match lookup {
-                            Lookup::Hit { payload, hits } => Planned::Ready(protocol::ok_query(
+                        match state.solves.admit(&entry.fingerprint, query.rate, query.mode) {
+                            Admission::Hit { payload, hits } => Planned::Ready(protocol::ok_query(
                                 query.id,
                                 CacheOutcome::Exact,
                                 hits,
                                 &payload,
                             )),
-                            Lookup::Miss { warm_seed } => {
+                            Admission::Lead { token, warm_seed } => {
                                 let outcome = if warm_seed.is_some() {
                                     CacheOutcome::Warm
                                 } else {
@@ -355,9 +451,23 @@ fn process_window(
                                     point: entry.scenario.at(query.rate),
                                     spectrum: Arc::clone(&entry.spectrum),
                                     warm_state: warm_seed.map(|s| vec![s]).unwrap_or_default(),
-                                    fingerprint: entry.fingerprint.clone(),
+                                    token,
                                 });
                                 Planned::Pending { id: query.id, index: jobs.len() - 1, outcome }
+                            }
+                            Admission::Follow { flight, cold } => {
+                                let outcome =
+                                    if cold { CacheOutcome::Cold } else { CacheOutcome::Warm };
+                                Planned::Follow {
+                                    id: query.id,
+                                    outcome,
+                                    flight,
+                                    fallback: Fallback {
+                                        point: entry.scenario.at(query.rate),
+                                        spectrum: Arc::clone(&entry.spectrum),
+                                        fingerprint: entry.fingerprint.clone(),
+                                    },
+                                }
                             }
                         }
                     }
@@ -366,25 +476,18 @@ fn process_window(
         });
     }
 
-    // the window's misses, solved as one deterministic ordered batch
+    // the window's led misses, solved as one deterministic ordered batch…
     let estimates = ExecPool::global_ordered(width, &jobs, |_, job| {
         state.backend.estimate_with(&job.point, &job.spectrum, &job.warm_state)
     });
+    // …then published (cache insert + follower wake-up) before any Follow
+    // below is waited on
     let mut payloads: Vec<String> = Vec::with_capacity(estimates.len());
-    {
-        let mut solves = state.solves.lock().expect("solve cache poisoned");
-        for (job, estimate) in jobs.iter().zip(&estimates) {
-            let payload = encode_estimate(estimate);
-            let seed = ModelBackend::warm_seed(estimate).unwrap_or(f64::NAN);
-            solves.insert(
-                &job.fingerprint,
-                job.point.traffic_rate,
-                payload.clone(),
-                job.warm_state.is_empty(),
-                seed,
-            );
-            payloads.push(payload);
-        }
+    for (job, estimate) in jobs.into_iter().zip(&estimates) {
+        let payload = encode_estimate(estimate);
+        let seed = ModelBackend::warm_seed(estimate).unwrap_or(f64::NAN);
+        state.solves.complete(job.token, payload.clone(), seed);
+        payloads.push(payload);
     }
 
     for plan in planned {
@@ -394,6 +497,25 @@ fn process_window(
             Planned::Pending { id, index, outcome } => {
                 protocol::ok_query(id, outcome, 0, &payloads[index])
             }
+            Planned::Follow { id, outcome, flight, fallback } => match flight.wait() {
+                Some(payload) => protocol::ok_query(id, outcome, 0, &payload),
+                None => {
+                    // the leader died mid-solve: solve cold ourselves (an
+                    // exact answer, admissible whatever mode asked)
+                    let estimate =
+                        state.backend.estimate_with(&fallback.point, &fallback.spectrum, &[]);
+                    let payload = encode_estimate(&estimate);
+                    let seed = ModelBackend::warm_seed(&estimate).unwrap_or(f64::NAN);
+                    state.solves.insert(
+                        &fallback.fingerprint,
+                        fallback.point.traffic_rate,
+                        payload.clone(),
+                        true,
+                        seed,
+                    );
+                    protocol::ok_query(id, CacheOutcome::Cold, 0, &payload)
+                }
+            },
         };
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;

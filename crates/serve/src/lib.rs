@@ -12,11 +12,23 @@
 //! * **Level 1** ([`cache::ConfigCache`]): configurations keyed by their
 //!   [`star_exec::RunFingerprint`] identity, holding `Arc`-shared spectrum
 //!   builds — one spectrum per *network* across all disciplines and knobs.
-//! * **Level 2** ([`cache::SolveCache`]): solved answers keyed by
+//! * **Level 2** ([`cache::ShardedSolveCache`]): solved answers keyed by
 //!   (fingerprint, exact rate bits) under an LRU byte budget with per-entry
 //!   hit counters, plus the rate-ordered chain of converged warm-start
 //!   seeds per configuration, so `warm`-mode misses start their fixed
-//!   point from the nearest cached rate.
+//!   point from the nearest cached rate.  The level is **sharded**: the
+//!   fingerprint hash picks one of N independently locked
+//!   [`cache::SolveCache`] shards (all rates of a configuration share a
+//!   shard, so its warm chain stays whole), and each shard runs
+//!   **single-flight admission** — concurrent misses on one
+//!   (configuration, rate) coalesce into one solve instead of racing.
+//!
+//! Around the caches, the daemon scales out instead of serialising:
+//! hot configurations can be **prewarmed** ([`prewarm`]) across the whole
+//! load-generator rate grid before the listener opens, and the accept loop
+//! enforces a **connection budget** ([`daemon::ServeConfig::max_connections`])
+//! that answers overload with explicit `busy` refusals rather than
+//! unbounded thread growth.
 //!
 //! The contract that keeps the daemon honest ([`protocol`]): `exact`-mode
 //! answers are **byte-identical** to what the batch
@@ -44,9 +56,14 @@
 
 pub mod cache;
 pub mod daemon;
+pub mod prewarm;
 pub mod protocol;
 pub mod signal;
 
-pub use cache::{ConfigCache, Lookup, SolveCache};
+pub use cache::{
+    Admission, ConfigCache, Flight, FlightToken, Lookup, ShardedSolveCache, SolveCache,
+    SolveCounters,
+};
 pub use daemon::{Daemon, ServeConfig, ServerState};
+pub use prewarm::{parse_prewarm_list, PrewarmReport};
 pub use protocol::{CacheOutcome, Query, Request, RequestError, SolveMode};

@@ -198,6 +198,16 @@ pub fn ok_shutdown(id: u64) -> String {
     format!("{{\"id\":{id},\"status\":\"ok\",\"shutdown\":true}}")
 }
 
+/// The one-line refusal a connection past the daemon's budget receives
+/// before its socket closes.  `id` is null — the refusal answers the
+/// connection, not any particular request.
+#[must_use]
+pub fn busy_response(limit: usize) -> String {
+    format!(
+        "{{\"id\":null,\"status\":\"busy\",\"error\":\"connection budget ({limit}) exhausted; retry later\"}}"
+    )
+}
+
 /// An error response (JSON-escaping the message; `id` null when unknown).
 #[must_use]
 pub fn error_response(id: Option<u64>, message: &str) -> String {

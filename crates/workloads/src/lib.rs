@@ -120,4 +120,7 @@ pub use star_sim::SimCore;
 pub use sweep_runner::{
     rate_indices, retain_shard, shard_sweeps, SweepReport, SweepRunner, SweepSpec,
 };
-pub use wire::{encode_estimate, scenario_fingerprint, WireError, WireScenario};
+pub use wire::{
+    default_config_pool, encode_estimate, load_rate_grid, model_saturation_rate,
+    scenario_fingerprint, WireError, WireScenario,
+};

@@ -114,6 +114,32 @@ fn size_in_range(kind: TopologyKind, size: u64) -> bool {
 }
 
 impl WireScenario {
+    /// A range-checked constructor: the same validation [`Self::from_value`]
+    /// applies to remote queries, for callers assembling wire scenarios
+    /// programmatically (the daemon's `--prewarm` list parser).
+    ///
+    /// # Errors
+    /// [`WireError::SizeOutOfRange`] outside the family's constructible
+    /// range, [`WireError::BadField`] for zero `vc` or `m`.
+    pub fn checked(
+        kind: TopologyKind,
+        size: usize,
+        discipline: Discipline,
+        virtual_channels: usize,
+        message_length: usize,
+    ) -> Result<Self, WireError> {
+        if !size_in_range(kind, size as u64) {
+            return Err(WireError::SizeOutOfRange { kind, size: size as u64 });
+        }
+        if virtual_channels == 0 {
+            return Err(WireError::BadField { field: "vc", expected: "a positive integer" });
+        }
+        if message_length == 0 {
+            return Err(WireError::BadField { field: "m", expected: "a positive integer" });
+        }
+        Ok(Self { kind, size, discipline, virtual_channels, message_length })
+    }
+
     /// Decodes the scenario fields of a query object: `topology` (required),
     /// `size` (defaults to the family's conventional size), `discipline`
     /// (defaults to `enhanced-nbc`), `vc` (defaults to 6) and `m` (defaults
@@ -275,6 +301,85 @@ pub fn scenario_fingerprint(scenario: &Scenario) -> Result<RunFingerprint, WireE
     Ok(WireScenario::from_scenario(scenario)?.fingerprint())
 }
 
+/// The pinned serving configuration pool: all four families, three
+/// disciplines, everything inside the analytical model's validated ranges.
+/// Order matters — the `star-load` generator draws earlier entries more
+/// often, and the daemon's `--prewarm pool` list solves exactly these
+/// configurations before opening its listener.
+#[must_use]
+pub fn default_config_pool() -> Vec<WireScenario> {
+    let wire = |kind, size, discipline| WireScenario {
+        kind,
+        size,
+        discipline,
+        virtual_channels: 6,
+        message_length: 32,
+    };
+    vec![
+        wire(TopologyKind::Star, 5, Discipline::EnhancedNbc),
+        wire(TopologyKind::Star, 6, Discipline::EnhancedNbc),
+        wire(TopologyKind::Hypercube, 7, Discipline::EnhancedNbc),
+        wire(TopologyKind::Hypercube, 5, Discipline::Nbc),
+        wire(TopologyKind::Torus, 8, Discipline::Deterministic),
+        wire(TopologyKind::Ring, 8, Discipline::NHop),
+    ]
+}
+
+/// The model-predicted saturation rate of a scenario, on any topology —
+/// the bisection the model-only harness binaries and the serving layer use
+/// to pick rate grids that cover the whole latency curve up to the knee.
+/// Star and hypercube scenarios use the closed-form solvers; anything else
+/// goes through the generic [`star_core::TraversalSpectrum`].
+///
+/// # Panics
+/// Panics if the analytical model does not cover the scenario, or if the
+/// scenario's parameters are out of the model's range (the panic message
+/// carries the underlying config error, e.g. too few virtual channels for
+/// the topology's escape-level minimum).
+#[must_use]
+pub fn model_saturation_rate(scenario: &Scenario, tolerance: f64) -> f64 {
+    let params: star_core::ModelParams = match scenario.model_params(0.0) {
+        Ok(Some(params)) => params,
+        Err(e) => panic!("invalid model scenario {}: {e}", scenario.label()),
+        Ok(None) => {
+            panic!("the analytical model does not cover scenario {}", scenario.label())
+        }
+    };
+    let topology = scenario.topology();
+    if let Some(star) = topology.as_any().downcast_ref::<StarGraph>() {
+        let config =
+            params.star_config(star.symbols()).expect("star scenarios map to modelled disciplines");
+        star_core::saturation_rate(config, tolerance)
+    } else if let Some(cube) = topology.as_any().downcast_ref::<Hypercube>() {
+        star_core::hypercube_saturation_rate(params.hypercube_config(cube.dims()), tolerance)
+    } else {
+        let spectrum = Arc::new(star_core::TraversalSpectrum::new(topology.as_ref()));
+        star_core::spectrum_saturation_rate(params, &spectrum, tolerance)
+    }
+}
+
+/// The saturation-scaled serving rate grid of a scenario: `steps` rates
+/// placed between 20% and 85% of the model-predicted saturation rate.  This
+/// is the grid `star-load` draws its queries from *and* the grid the
+/// daemon's prewarmer solves — the two must agree to the bit for prewarmed
+/// entries to answer load-generator traffic verbatim, which is why the
+/// formula lives here once.
+///
+/// # Panics
+/// As [`model_saturation_rate`] — callers must validate
+/// [`Scenario::model_params`] first when the scenario came from outside.
+#[must_use]
+pub fn load_rate_grid(scenario: &Scenario, steps: usize) -> Vec<f64> {
+    let saturation = model_saturation_rate(scenario, 1e-5);
+    let steps = steps.max(1);
+    (0..steps)
+        .map(|i| {
+            let t = i as f64 / steps as f64;
+            saturation * (0.20 + 0.65 * t)
+        })
+        .collect()
+}
+
 /// Encodes a model answer as the canonical wire payload:
 /// `{"latency":…,"saturated":…,"iterations":…}` with `latency` null beyond
 /// saturation and `iterations` null for non-model backends.  Field order is
@@ -382,6 +487,42 @@ mod tests {
             Err(WireError::Unencodable(_))
         ));
         assert!(scenario_fingerprint(&Scenario::star(5)).is_ok());
+    }
+
+    #[test]
+    fn checked_constructor_applies_the_wire_validation() {
+        let ok = WireScenario::checked(TopologyKind::Star, 5, Discipline::Nbc, 6, 32).unwrap();
+        assert_eq!(ok.network_label(), "S5");
+        assert_eq!(
+            WireScenario::checked(TopologyKind::Star, 40, Discipline::Nbc, 6, 32),
+            Err(WireError::SizeOutOfRange { kind: TopologyKind::Star, size: 40 })
+        );
+        assert_eq!(
+            WireScenario::checked(TopologyKind::Ring, 8, Discipline::NHop, 0, 32),
+            Err(WireError::BadField { field: "vc", expected: "a positive integer" })
+        );
+        assert_eq!(
+            WireScenario::checked(TopologyKind::Ring, 8, Discipline::NHop, 6, 0),
+            Err(WireError::BadField { field: "m", expected: "a positive integer" })
+        );
+    }
+
+    #[test]
+    fn pool_configs_are_modelled_and_grids_cover_the_curve_below_the_knee() {
+        let pool = default_config_pool();
+        assert!(pool.len() >= 4, "the pool spans the families");
+        for wire in &pool {
+            let scenario = wire.scenario();
+            assert!(matches!(scenario.model_params(0.001), Ok(Some(_))), "{}", scenario.label());
+            let grid = load_rate_grid(&scenario, 5);
+            assert_eq!(grid.len(), 5);
+            let saturation = model_saturation_rate(&scenario, 1e-5);
+            assert!(grid.windows(2).all(|w| w[0] < w[1]), "grids ascend");
+            assert!(grid[0] > 0.0 && grid[4] < saturation, "grid stays below the knee");
+            // the grid is a pure function of (scenario, steps): prewarming
+            // and load generation land on bit-identical rates
+            assert_eq!(grid, load_rate_grid(&scenario, 5));
+        }
     }
 
     #[test]

@@ -13,13 +13,16 @@
 //!   cross-validated on every push), a **shard smoke** (the same small sweep
 //!   run unsharded and as `--shard 1/2` + `--shard 2/2`, merged with the
 //!   library behind `merge-shards`, and byte-compared — the cross-process
-//!   sharding contract, enforced on every push), a **serve smoke** (the
-//!   `star-serve` daemon is launched on an ephemeral port, a deterministic
-//!   query mix is replayed twice over TCP, every answer is byte-compared to
-//!   a batch [`star_workloads::ModelBackend`] solve of the same operating
-//!   point, the second pass must come from the solve cache, and the daemon
-//!   is drained through the wire `shutdown` op — the serving contract,
-//!   enforced on every push), a **sim-equiv smoke** (`sim-bench --equiv`:
+//!   sharding contract, enforced on every push), a **serve smoke** (two
+//!   `star-serve` launches on ephemeral ports: first a cold daemon whose
+//!   deterministic query mix is replayed twice over TCP, every answer
+//!   byte-compared to a batch [`star_workloads::ModelBackend`] solve of
+//!   the same operating point with the second pass served from the solve
+//!   cache; then a **prewarmed** daemon (`--prewarm pool`, 4 shards) whose
+//!   very first queries must hit `exact` with the same byte-identity, and
+//!   which must survive a `star-load --connections 4` replay with zero
+//!   errors — the serving contract plus the scale-out path, enforced on
+//!   every push), a **sim-equiv smoke** (`sim-bench --equiv`:
 //!   the ticking and event-driven simulator engines byte-compared on every
 //!   topology family plus one `S6` light-load point on the event-driven
 //!   default cross-checked against the analytical model — the
@@ -37,11 +40,12 @@
 //!   the partial CSVs written by `--shard K/N` harness runs into one CSV
 //!   byte-identical to an unsharded run (validating that the shard set is
 //!   complete and consistent).
-//! * `cargo xtask serve-bench` — launches `star-serve` on an ephemeral port,
-//!   replays the pinned `star-load` stream against it (2000 queries, seed 7,
-//!   half warm-mode, pipeline 8) and appends the measurement to
-//!   `BENCH_serve.json` at the repository root; extra arguments are
-//!   forwarded to `star-load` and override the pinned knobs.
+//! * `cargo xtask serve-bench` — launches `star-serve` on an ephemeral port
+//!   (8 shards, the `pool` prewarm list) and replays the pinned `star-load`
+//!   stream against it (2000 queries, seed 7, half warm-mode, pipeline 8,
+//!   4 connections), appending the measurement to `BENCH_serve.json` at the
+//!   repository root; extra arguments are forwarded to `star-load` and
+//!   override the pinned knobs.
 //! * `cargo xtask sim-bench` — runs the pinned `sim-bench` flit-throughput
 //!   point (S5, Enhanced-NBC, 20 000 measured messages, seed 42) on both
 //!   simulator engines and appends flits/sec per engine plus the speedup to
@@ -115,8 +119,8 @@ fn print_help() {
          append the measurement to BENCH_serve.json (forwards extra args to star-load)"
     );
     eprintln!(
-        "  serve-smoke   just the ci serving-contract check (needs a release build of \
-         star-serve: cargo build --release -p star-serve)"
+        "  serve-smoke   just the ci serving-contract check, cold and prewarmed (needs release \
+         builds: cargo build --release -p star-serve -p star-bench)"
     );
     eprintln!(
         "  sim-bench     run the pinned sim-bench point on both simulator engines and \
@@ -326,12 +330,16 @@ struct ServeDaemon {
     addr: String,
 }
 
-/// Launches `target/release/star-serve` on an ephemeral port and parses the
-/// `star-serve listening on HOST:PORT` handshake from its stdout.
-fn spawn_daemon() -> Result<ServeDaemon, String> {
+/// Launches `target/release/star-serve` on an ephemeral port (with any
+/// extra flags, e.g. `--shards`/`--prewarm`) and parses the
+/// `star-serve listening on HOST:PORT` handshake from its stdout.  The
+/// handshake only prints after prewarming finishes, so a caller never
+/// races a cold cache it asked to be warm.
+fn spawn_daemon(extra: &[&str]) -> Result<ServeDaemon, String> {
     let binary = release_bin("star-serve");
     let mut child = Command::new(&binary)
         .args(["--addr", "127.0.0.1:0"])
+        .args(extra)
         .stdout(Stdio::piped())
         .spawn()
         .map_err(|e| format!("spawning {}: {e}", binary.display()))?;
@@ -352,11 +360,24 @@ fn spawn_daemon() -> Result<ServeDaemon, String> {
     }
 }
 
-/// Launches the daemon, replays a deterministic query mix twice and checks
-/// the serving contract: every `result` payload byte-identical to a batch
-/// [`star_workloads::ModelBackend`] solve, the whole second pass served from
-/// the solve cache, and a clean drain through the wire `shutdown` op.
+/// The serving contract, checked end to end in two launches.
+///
+/// **Cold:** a deterministic query mix replayed twice; every `result`
+/// payload byte-identical to a batch [`star_workloads::ModelBackend`]
+/// solve, the whole second pass served from the solve cache, and a clean
+/// drain through the wire `shutdown` op.
+///
+/// **Prewarmed:** a daemon launched with `--shards 4 --prewarm pool` must
+/// answer its *first* query per pool configuration as an `exact` cache hit
+/// with the same byte-identity, then survive a
+/// `star-load --connections 4` replay with zero error responses.
 fn serve_smoke() -> Result<(), String> {
+    cold_serve_smoke()?;
+    prewarmed_serve_smoke()
+}
+
+/// The cold half of [`serve_smoke`].
+fn cold_serve_smoke() -> Result<(), String> {
     use star_workloads::{encode_estimate, Evaluator, ModelBackend, Scenario};
 
     println!("\n==> serve-smoke: daemon round-trip vs batch ModelBackend");
@@ -382,7 +403,7 @@ fn serve_smoke() -> Result<(), String> {
     let expected: Vec<String> =
         cases.iter().map(|(_, s, r)| encode_estimate(&backend.evaluate(&s.at(*r)))).collect();
 
-    let mut daemon = spawn_daemon()?;
+    let mut daemon = spawn_daemon(&[])?;
     let outcome = (|| -> Result<(), String> {
         let stream = TcpStream::connect(&daemon.addr)
             .map_err(|e| format!("connecting to {}: {e}", daemon.addr))?;
@@ -464,6 +485,115 @@ fn serve_smoke() -> Result<(), String> {
     Ok(())
 }
 
+/// The prewarmed half of [`serve_smoke`]: sharded cache, `--prewarm pool`,
+/// first-query exact hits, and a zero-error `--connections 4` replay.
+fn prewarmed_serve_smoke() -> Result<(), String> {
+    use star_workloads::{
+        default_config_pool, encode_estimate, load_rate_grid, Evaluator, ModelBackend,
+    };
+
+    println!("\n==> serve-smoke: prewarmed daemon (4 shards, pool) + --connections 4 load");
+    let started = Instant::now();
+    const PREWARM_RATES: usize = 6;
+    let mut daemon = spawn_daemon(&[
+        "--shards",
+        "4",
+        "--prewarm",
+        "pool",
+        "--prewarm-rates",
+        &PREWARM_RATES.to_string(),
+    ])?;
+    let outcome = (|| -> Result<(), String> {
+        let backend = ModelBackend::new();
+        let stream = TcpStream::connect(&daemon.addr)
+            .map_err(|e| format!("connecting to {}: {e}", daemon.addr))?;
+        let _ = stream.set_nodelay(true);
+        let mut reader =
+            BufReader::new(stream.try_clone().map_err(|e| format!("cloning stream: {e}"))?);
+        let mut writer = &stream;
+        // the daemon has served nothing yet: its first query per pool
+        // configuration, at a mid-grid rate, must already be an exact hit
+        // and byte-identical to the batch solve of the same point
+        for (i, wire) in default_config_pool().iter().enumerate() {
+            let scenario = wire.scenario();
+            let rate = load_rate_grid(&scenario, PREWARM_RATES)[PREWARM_RATES / 2];
+            let expected = encode_estimate(&backend.evaluate(&scenario.at(rate)));
+            let request = format!(
+                "{{\"id\":{i},\"topology\":\"{}\",\"size\":{},\"discipline\":\"{}\",\"vc\":{},\
+                 \"m\":{},\"rate\":{rate},\"mode\":\"exact\"}}\n",
+                wire.kind.name(),
+                wire.size,
+                wire.discipline.name(),
+                wire.virtual_channels,
+                wire.message_length,
+            );
+            writer.write_all(request.as_bytes()).map_err(|e| format!("writing query {i}: {e}"))?;
+            let mut response = String::new();
+            reader.read_line(&mut response).map_err(|e| format!("reading response {i}: {e}"))?;
+            let prefix = format!("{{\"id\":{i},\"status\":\"ok\",\"cached\":\"exact\",\"hits\":");
+            if !response.starts_with(&prefix) {
+                return Err(format!(
+                    "prewarmed first query {} was not an exact hit: {response:?}",
+                    wire.network_label()
+                ));
+            }
+            let suffix = format!("\"result\":{expected}}}\n");
+            if !response.ends_with(&suffix) {
+                return Err(format!(
+                    "prewarmed answer for {} diverges from the batch ModelBackend solve\n  \
+                     daemon: {response:?}\n  batch result: {expected:?}",
+                    wire.network_label()
+                ));
+            }
+        }
+        drop(reader);
+        drop(stream);
+        // a multi-connection replay over the same grid: star-load exits
+        // non-zero on any error response, and --shutdown drains the daemon
+        let load = release_bin("star-load");
+        let args = [
+            "--addr",
+            &daemon.addr,
+            "--queries",
+            "800",
+            "--seed",
+            "7",
+            "--warm-fraction",
+            "0.5",
+            "--pipeline",
+            "8",
+            "--connections",
+            "4",
+            "--rates",
+            &PREWARM_RATES.to_string(),
+            "--shutdown",
+        ];
+        println!("==> star-load {}", args.join(" "));
+        let status = Command::new(&load)
+            .args(args)
+            .status()
+            .map_err(|e| format!("spawning {}: {e}", load.display()))?;
+        if !status.success() {
+            return Err(format!("star-load --connections 4 exited with {status}"));
+        }
+        Ok(())
+    })();
+    if outcome.is_err() {
+        let _ = daemon.child.kill();
+    }
+    let status = daemon.child.wait().map_err(|e| format!("waiting for daemon: {e}"))?;
+    outcome?;
+    if !status.success() {
+        return Err(format!("daemon exited with {status}"));
+    }
+    println!(
+        "==> serve-smoke: prewarmed first queries hit exact byte-identically, \
+         4-connection replay clean ({:.1}s)",
+        started.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 /// `cargo xtask serve-bench`: build, launch the daemon, replay the pinned
 /// `star-load` stream and append the measurement to `BENCH_serve.json`.
 fn serve_bench(rest: &[String]) -> ExitCode {
@@ -471,13 +601,16 @@ fn serve_bench(rest: &[String]) -> ExitCode {
         eprintln!("\nserve-bench FAILED at {e}");
         return ExitCode::FAILURE;
     }
-    let daemon = match spawn_daemon() {
-        Ok(daemon) => daemon,
-        Err(e) => {
-            eprintln!("\nserve-bench FAILED: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
+    // the pinned daemon configuration: the sharded cache at its default
+    // width, prewarmed with the very pool star-load draws from
+    let daemon =
+        match spawn_daemon(&["--shards", "8", "--prewarm", "pool", "--prewarm-rates", "24"]) {
+            Ok(daemon) => daemon,
+            Err(e) => {
+                eprintln!("\nserve-bench FAILED: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
     let mut daemon = daemon;
     println!("==> star-serve listening on {}", daemon.addr);
     let load = release_bin("star-load");
@@ -494,6 +627,8 @@ fn serve_bench(rest: &[String]) -> ExitCode {
         "0.5",
         "--pipeline",
         "8",
+        "--connections",
+        "4",
         "--rates",
         "24",
         "--json",

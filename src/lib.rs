@@ -98,8 +98,8 @@ pub use star_sim::{
 #[allow(deprecated)]
 pub use star_workloads::NetworkKind;
 pub use star_workloads::{
-    encode_estimate, scenario_fingerprint, shard_sweeps, CiTarget, Discipline, EstimateDetail,
-    Evaluator, ModelBackend, OperatingPoint, PointEstimate, ReportSink, RunReport, RunRow,
-    Scenario, SimBackend, SimBudget, SweepReport, SweepRunner, SweepSpec, TopologyKind,
-    WireScenario,
+    default_config_pool, encode_estimate, load_rate_grid, scenario_fingerprint, shard_sweeps,
+    CiTarget, Discipline, EstimateDetail, Evaluator, ModelBackend, OperatingPoint, PointEstimate,
+    ReportSink, RunReport, RunRow, Scenario, SimBackend, SimBudget, SweepReport, SweepRunner,
+    SweepSpec, TopologyKind, WireScenario,
 };

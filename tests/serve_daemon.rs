@@ -12,12 +12,20 @@ use std::thread::{self, JoinHandle};
 use star_wormhole::serve::protocol::{query_line, Query, SolveMode};
 use star_wormhole::serve::{Daemon, ServeConfig, ServerState};
 use star_wormhole::{
-    encode_estimate, Discipline, Evaluator as _, ModelBackend, Scenario, TopologyKind, WireScenario,
+    encode_estimate, load_rate_grid, Discipline, Evaluator as _, ModelBackend, Scenario,
+    TopologyKind, WireScenario,
 };
 
 /// Binds a daemon on an ephemeral loopback port and runs it on a thread.
 fn spawn_daemon() -> (SocketAddr, Arc<ServerState>, JoinHandle<std::io::Result<()>>) {
-    let daemon = Daemon::bind(ServeConfig::default()).expect("bind an ephemeral port");
+    spawn_daemon_with(ServeConfig::default())
+}
+
+/// [`spawn_daemon`] with explicit tuning (prewarm lists, connection budgets).
+fn spawn_daemon_with(
+    config: ServeConfig,
+) -> (SocketAddr, Arc<ServerState>, JoinHandle<std::io::Result<()>>) {
+    let daemon = Daemon::bind(config).expect("bind an ephemeral port");
     let addr = daemon.local_addr();
     let state = daemon.state();
     (addr, state, thread::spawn(move || daemon.run()))
@@ -176,6 +184,132 @@ fn warm_mode_stays_within_solver_tolerance_of_exact() {
     assert!(relative < 1e-6, "warm-started solve drifted {relative:e} from the cold one");
     client.send("{\"op\":\"shutdown\",\"id\":3}");
     let _ = client.recv();
+    handle.join().expect("daemon thread").expect("clean drain");
+}
+
+#[test]
+fn prewarmed_daemon_answers_its_first_query_from_the_cache_byte_identically() {
+    let wire = WireScenario {
+        kind: TopologyKind::Star,
+        size: 4,
+        discipline: Discipline::EnhancedNbc,
+        virtual_channels: 6,
+        message_length: 16,
+    };
+    let config =
+        ServeConfig { prewarm: vec![wire], prewarm_rates: 3, shards: 4, ..ServeConfig::default() };
+    let daemon = Daemon::bind(config).expect("bind and prewarm");
+    let report = *daemon.prewarmed().expect("a prewarm report when --prewarm is set");
+    assert_eq!((report.configs, report.solves), (1, 3), "one config × three grid rates");
+    let addr = daemon.local_addr();
+    let handle = thread::spawn(move || daemon.run());
+
+    // the very first client query at a grid rate is already cached — and
+    // byte-identical to a batch solve of the same operating point
+    let scenario = wire.scenario();
+    let rate = load_rate_grid(&scenario, 3)[1];
+    let expected = encode_estimate(&ModelBackend::new().evaluate(&scenario.at(rate)));
+    let mut client = Client::connect(addr);
+    client.send(&query_line(&Query { id: 1, wire, rate, mode: SolveMode::Exact }));
+    let response = client.recv();
+    assert!(
+        response.starts_with("{\"id\":1,\"status\":\"ok\",\"cached\":\"exact\""),
+        "the first query must hit the prewarmed cache: {response}"
+    );
+    assert!(
+        response.ends_with(&format!("\"result\":{expected}}}")),
+        "prewarmed answer diverged from the batch solve\n  daemon:   {response}\n  \
+         expected: …{expected}"
+    );
+    client.send("{\"op\":\"shutdown\",\"id\":2}");
+    let _ = client.recv();
+    handle.join().expect("daemon thread").expect("clean drain");
+}
+
+#[test]
+fn duplicate_in_flight_queries_coalesce_into_one_solve() {
+    let (addr, state, handle) = spawn_daemon();
+    let wire = WireScenario {
+        kind: TopologyKind::Star,
+        size: 4,
+        discipline: Discipline::EnhancedNbc,
+        virtual_channels: 6,
+        message_length: 16,
+    };
+    let rate = 0.003;
+    let expected = encode_estimate(
+        &ModelBackend::new().evaluate(&Scenario::star(4).with_message_length(16).at(rate)),
+    );
+
+    // one pipelined burst of identical queries: the first becomes the
+    // flight leader, the rest coalesce onto it (or hit the cache if the
+    // daemon split the burst across windows) — never a repeated solve
+    let mut client = Client::connect(addr);
+    for id in 0..6 {
+        client.send(&query_line(&Query { id, wire, rate, mode: SolveMode::Exact }));
+    }
+    for id in 0..6 {
+        let response = client.recv();
+        assert!(
+            response.starts_with(&format!("{{\"id\":{id},\"status\":\"ok\"")),
+            "responses stay in request order: {response}"
+        );
+        assert!(
+            response.ends_with(&format!("\"result\":{expected}}}")),
+            "every duplicate gets the same bytes as a batch solve: {response}"
+        );
+    }
+
+    let stats = state.stats();
+    let solves = stats.get("solves").expect("a solves stats block");
+    let count = |key: &str| solves.get(key).and_then(|v| v.as_u64()).expect("a counter");
+    assert_eq!(count("inserted"), 1, "six duplicates must cost exactly one solve: {stats:?}");
+    assert_eq!(count("entries"), 1, "one cache entry stored: {stats:?}");
+    assert_eq!(
+        count("coalesced") + count("hits"),
+        5,
+        "the other five queries coalesced in-window or hit the cache: {stats:?}"
+    );
+
+    client.send("{\"op\":\"shutdown\",\"id\":9}");
+    let _ = client.recv();
+    handle.join().expect("daemon thread").expect("clean drain");
+}
+
+#[test]
+fn connections_past_the_budget_get_a_busy_line_then_eof() {
+    let config = ServeConfig { max_connections: 1, ..ServeConfig::default() };
+    let (addr, _state, handle) = spawn_daemon_with(config);
+
+    // occupy the whole budget: one answered query pins the worker thread
+    let mut first = Client::connect(addr);
+    first.send(
+        "{\"id\":1,\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":0.002,\"mode\":\"exact\"}",
+    );
+    let ok = first.recv();
+    assert!(ok.starts_with("{\"id\":1,\"status\":\"ok\""), "got {ok}");
+
+    // a second connection is refused gracefully: one busy line, then EOF
+    let second = TcpStream::connect(addr).expect("connect past the budget");
+    let mut reader = BufReader::new(second);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read the busy line");
+    assert_eq!(
+        line,
+        "{\"id\":null,\"status\":\"busy\",\"error\":\"connection budget (1) exhausted; \
+         retry later\"}\n"
+    );
+    line.clear();
+    assert_eq!(reader.read_line(&mut line).expect("read after busy"), 0, "busy closes the stream");
+
+    // the admitted connection is unaffected and can still drain the daemon
+    first.send(
+        "{\"id\":2,\"topology\":\"star\",\"size\":4,\"m\":16,\"rate\":0.002,\"mode\":\"exact\"}",
+    );
+    let again = first.recv();
+    assert!(again.starts_with("{\"id\":2,\"status\":\"ok\",\"cached\":\"exact\""), "got {again}");
+    first.send("{\"op\":\"shutdown\",\"id\":3}");
+    let _ = first.recv();
     handle.join().expect("daemon thread").expect("clean drain");
 }
 

@@ -3,23 +3,30 @@
 //! `sim-equiv-smoke` step of `cargo xtask ci`.
 //!
 //! ```text
-//! sim-bench [--messages N] [--seed N] [--json PATH]
+//! sim-bench [--messages N] [--seed N] [--points LIST] [--json PATH]
 //! sim-bench --equiv
 //! ```
 //!
-//! The default mode runs one pinned operating point — `S5`, Enhanced-NBC,
-//! `V = 6`, `M = 16`, ~10% channel utilisation — once per engine
-//! ([`SimCore::Ticking`] and [`SimCore::EventDriven`]), checks the two
-//! reports are byte-identical (the equivalence contract rides along on every
-//! benchmark run), and reports wall-clock flits/sec per engine plus the
-//! event-over-ticking speedup.  With `--json PATH` the measurement is
-//! appended to the JSON trajectory file — how `cargo xtask sim-bench`
-//! maintains `BENCH_sim.json` at the repository root.
+//! The default mode runs the pinned `light` operating point — `S5`,
+//! Enhanced-NBC, `V = 6`, `M = 16`, ~10% channel utilisation — once per
+//! engine ([`SimCore::Ticking`] and [`SimCore::EventDriven`]), checks the
+//! two reports are byte-identical (the equivalence contract rides along on
+//! every benchmark run), and reports wall-clock flits/sec per engine, the
+//! event-over-ticking speedup, and the per-stage cycle-cost breakdown the
+//! stage-skip counters afford (how many active cycles each pipeline stage
+//! actually ran).  `--points light,moderate,heavy` sweeps the same pinned
+//! scenario across several utilisations (10%/30%/45%) so the profile covers
+//! the stage-skip spectrum, not just the idle-dominated end.  With
+//! `--json PATH` one measurement object **per point** is appended to the
+//! JSON trajectory file — how `cargo xtask sim-bench` maintains
+//! `BENCH_sim.json` at the repository root.
 //!
 //! `--equiv` instead runs the CI smoke: a quick ticking-vs-event byte-compare
-//! on every topology family (`S4`/`Q5`/`T6`/`R8`), then one `S6` light-load
-//! point on the event-driven default checked against the analytical model's
-//! 10% light-load band.
+//! on every topology family (`S4`/`Q5`/`T6`/`R8`) asserting non-zero
+//! stage-skip counters at light load, a parallel-replicate byte-compare
+//! (`R = 3`, width 2 vs width 1), then one `S6` light-load point on the
+//! event-driven default checked against the analytical model's 10%
+//! light-load band.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,28 +37,58 @@ use serde_json::Value;
 use star_bench::loadgen::append_trajectory;
 use star_graph::{Hypercube, Ring, StarGraph, Topology, Torus};
 use star_routing::EnhancedNbc;
-use star_sim::{ReplicateReport, ReplicateRun, SimConfig, SimCore, SimReport, TrafficPattern};
+use star_sim::{
+    ReplicateReport, ReplicateRun, SimConfig, SimCore, SimReport, StageSkips, TrafficPattern,
+};
 use star_workloads::{Discipline, Evaluator as _, ModelBackend, Scenario, SimBackend, SimBudget};
 
 fn usage() -> &'static str {
-    "usage: sim-bench [--messages N] [--seed N] [--json PATH]\n\
+    "usage: sim-bench [--messages N] [--seed N] [--points LIST] [--json PATH]\n\
      \x20      sim-bench --equiv\n\
      \n\
-     --messages N  measured messages per engine in bench mode (default 20000)\n\
-     --seed N      simulation seed (default 42)\n\
-     --json PATH   append the measurement to this trajectory file\n\
-     --equiv       run the engine-equivalence smoke instead of the benchmark"
+     --messages N   measured messages per engine in bench mode (default 20000)\n\
+     --seed N       simulation seed (default 42)\n\
+     --points LIST  comma-separated utilisation points to profile, from\n\
+     \x20              light (10%), moderate (30%), heavy (45%); default light\n\
+     --json PATH    append one measurement per point to this trajectory file\n\
+     --equiv        run the engine-equivalence smoke instead of the benchmark"
 }
 
-/// Knobs of the pinned benchmark point that the command line may override.
+/// One named utilisation point of the multi-point benchmark mode.  `light`
+/// is the historical pinned point every committed `BENCH_sim.json` entry
+/// measures, so its flits/sec stay comparable across the whole trajectory;
+/// `moderate` and `heavy` profile the busier end of the stage-skip spectrum
+/// (heavy sits near but below the `S5` adaptive saturation point).
+#[derive(Clone, Copy, PartialEq)]
+struct BenchPoint {
+    name: &'static str,
+    utilisation: f64,
+}
+
+const BENCH_POINTS: [BenchPoint; 3] = [
+    BenchPoint { name: "light", utilisation: 0.10 },
+    BenchPoint { name: "moderate", utilisation: 0.30 },
+    BenchPoint { name: "heavy", utilisation: 0.45 },
+];
+
+fn bench_point(name: &str) -> Result<BenchPoint, String> {
+    BENCH_POINTS
+        .iter()
+        .copied()
+        .find(|p| p.name == name)
+        .ok_or_else(|| format!("unknown point `{name}` (expected light, moderate or heavy)"))
+}
+
+/// Knobs of the pinned benchmark scenario that the command line may override.
 struct BenchConfig {
     messages: u64,
     seed: u64,
+    points: Vec<BenchPoint>,
 }
 
 impl Default for BenchConfig {
     fn default() -> Self {
-        Self { messages: 20_000, seed: 42 }
+        Self { messages: 20_000, seed: 42, points: vec![BENCH_POINTS[0]] }
     }
 }
 
@@ -77,6 +114,18 @@ fn parse_args(args: &[String]) -> Result<Mode, String> {
             "--seed" => {
                 config.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?;
             }
+            "--points" => {
+                let list = value("--points")?;
+                config.points = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|name| !name.is_empty())
+                    .map(bench_point)
+                    .collect::<Result<Vec<_>, _>>()?;
+                if config.points.is_empty() {
+                    return Err("--points needs at least one point".to_string());
+                }
+            }
             "--json" => json = Some(PathBuf::from(value("--json")?)),
             "--equiv" => equiv = true,
             "--help" | "-h" => return Err(usage().to_string()),
@@ -98,11 +147,12 @@ fn rate_at_utilisation(topology: &dyn Topology, u: f64, m: usize) -> f64 {
     u * topology.degree() as f64 / (topology.mean_distance() * m as f64)
 }
 
-/// Runs the pinned benchmark point on one engine and times it.
-fn timed_run(config: &BenchConfig, core: SimCore) -> (SimReport, f64) {
+/// Runs the pinned benchmark scenario at one utilisation point on one
+/// engine and times it.
+fn timed_run(config: &BenchConfig, point: BenchPoint, core: SimCore) -> (SimReport, f64) {
     let topology: Arc<dyn Topology> = Arc::new(StarGraph::new(5));
     let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
-    let rate = rate_at_utilisation(topology.as_ref(), 0.10, 16);
+    let rate = rate_at_utilisation(topology.as_ref(), point.utilisation, 16);
     let sim_config = SimConfig::builder()
         .message_length(16)
         .traffic_rate(rate)
@@ -132,24 +182,72 @@ fn engine_point(seconds: f64, flits_per_sec: f64) -> Value {
     ])
 }
 
+/// The stage-skip counters as a JSON object.
+fn skips_json(skips: &StageSkips) -> Value {
+    Value::Object(vec![
+        ("generation".to_string(), Value::from(skips.generation)),
+        ("injection".to_string(), Value::from(skips.injection)),
+        ("routing".to_string(), Value::from(skips.routing)),
+        ("switching".to_string(), Value::from(skips.switching)),
+        ("staged".to_string(), Value::from(skips.staged)),
+    ])
+}
+
+/// Prints the per-stage cycle-cost breakdown the skip counters afford: of
+/// the cycles where *anything* happened, how many each stage actually ran.
+fn print_stage_breakdown(report: &SimReport) {
+    let active = report.active_cycles;
+    let skips = &report.stage_skips;
+    println!("stages      active cycles {active} (of {} total)", report.cycles);
+    for (stage, skipped) in [
+        ("generation", skips.generation),
+        ("injection", skips.injection),
+        ("routing", skips.routing),
+        ("switching", skips.switching),
+        ("staged", skips.staged),
+    ] {
+        let ran = active - skipped;
+        let pct = if active > 0 { ran as f64 / active as f64 * 100.0 } else { 0.0 };
+        println!("  {stage:<10}  ran {ran:>10}  skipped {skipped:>10}  ({pct:5.1}% of active)");
+    }
+}
+
 fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
-    let (ticking, ticking_secs) = timed_run(config, SimCore::Ticking);
-    let (event, event_secs) = timed_run(config, SimCore::EventDriven);
+    for (i, &point) in config.points.iter().enumerate() {
+        if i > 0 {
+            println!();
+        }
+        bench_one(config, point, json)?;
+    }
+    Ok(())
+}
+
+/// Benchmarks both engines at one utilisation point, prints the profile and
+/// appends one trajectory object.
+fn bench_one(
+    config: &BenchConfig,
+    point: BenchPoint,
+    json: Option<&PathBuf>,
+) -> Result<(), String> {
+    let (ticking, ticking_secs) = timed_run(config, point, SimCore::Ticking);
+    let (event, event_secs) = timed_run(config, point, SimCore::EventDriven);
     if ticking != event {
         return Err(format!(
-            "engines diverged on the benchmark point (seed {}):\n  ticking: {ticking:?}\n  \
+            "engines diverged on the {} benchmark point (seed {}):\n  ticking: {ticking:?}\n  \
              event:   {event:?}",
-            config.seed
+            point.name, config.seed
         ));
     }
     if event.saturated || event.deadlock_detected {
-        return Err("the pinned benchmark point must run below saturation".to_string());
+        return Err(format!("the {} benchmark point must run below saturation", point.name));
     }
     let ticking_fps = ticking.flit_transfers as f64 / ticking_secs;
     let event_fps = event.flit_transfers as f64 / event_secs;
     let speedup = ticking_secs / event_secs;
     println!(
-        "point       {} / {} / V{} / M{} @ rate {:.6} (seed {})",
+        "point       {} ({:.0}% util): {} / {} / V{} / M{} @ rate {:.6} (seed {})",
+        point.name,
+        point.utilisation * 100.0,
         event.topology,
         event.routing,
         event.virtual_channels,
@@ -161,11 +259,12 @@ fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
         "cycles      {} ({} flit transfers, byte-identical engines)",
         event.cycles, event.flit_transfers
     );
+    print_stage_breakdown(&event);
     println!("ticking     {ticking_secs:.3}s  ({ticking_fps:.0} flits/sec)");
     println!("event       {event_secs:.3}s  ({event_fps:.0} flits/sec)");
     println!("speedup     {speedup:.2}x event over ticking");
     if let Some(path) = json {
-        let point = Value::Object(vec![
+        let entry = Value::Object(vec![
             (
                 "config".to_string(),
                 Value::Object(vec![
@@ -173,6 +272,8 @@ fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
                     ("routing".to_string(), Value::from(event.routing.clone())),
                     ("virtual_channels".to_string(), Value::from(event.virtual_channels)),
                     ("message_length".to_string(), Value::from(event.message_length)),
+                    ("point".to_string(), Value::from(point.name)),
+                    ("utilisation".to_string(), Value::from(point.utilisation)),
                     ("rate".to_string(), Value::from(event.offered_rate)),
                     ("messages".to_string(), Value::from(config.messages)),
                     ("seed".to_string(), Value::from(config.seed)),
@@ -181,11 +282,13 @@ fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
             ("cycles".to_string(), Value::from(event.cycles)),
             ("flits".to_string(), Value::from(event.flit_transfers)),
             ("mean_latency".to_string(), Value::from(round3(event.mean_message_latency))),
+            ("active_cycles".to_string(), Value::from(event.active_cycles)),
+            ("stage_skips".to_string(), skips_json(&event.stage_skips)),
             ("ticking".to_string(), engine_point(ticking_secs, ticking_fps)),
             ("event".to_string(), engine_point(event_secs, event_fps)),
             ("speedup".to_string(), Value::from(round3(speedup))),
         ]);
-        append_trajectory(path, &point).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        append_trajectory(path, &entry).map_err(|e| format!("writing {}: {e}", path.display()))?;
         println!("trajectory  appended to {}", path.display());
     }
     Ok(())
@@ -195,8 +298,14 @@ fn bench(config: &BenchConfig, json: Option<&PathBuf>) -> Result<(), String> {
 /// replicate-seed derivation is part of the smoke.
 const EQUIV_REPLICATES: usize = 2;
 
-/// Runs one quick operating point on one engine.
-fn equiv_run(topology: &Arc<dyn Topology>, rate: f64, seed: u64, core: SimCore) -> ReplicateReport {
+/// The replicate fan-out for one quick operating point on one engine.
+fn equiv_fanout(
+    topology: &Arc<dyn Topology>,
+    rate: f64,
+    seed: u64,
+    core: SimCore,
+    replicates: usize,
+) -> ReplicateRun {
     let routing = Arc::new(EnhancedNbc::for_topology(topology.as_ref(), 6));
     let config = SimConfig::builder()
         .message_length(16)
@@ -207,14 +316,12 @@ fn equiv_run(topology: &Arc<dyn Topology>, rate: f64, seed: u64, core: SimCore) 
         .seed(seed)
         .core(core)
         .build();
-    ReplicateRun::new(
-        Arc::clone(topology),
-        routing,
-        config,
-        TrafficPattern::Uniform,
-        EQUIV_REPLICATES,
-    )
-    .run()
+    ReplicateRun::new(Arc::clone(topology), routing, config, TrafficPattern::Uniform, replicates)
+}
+
+/// Runs one quick operating point on one engine.
+fn equiv_run(topology: &Arc<dyn Topology>, rate: f64, seed: u64, core: SimCore) -> ReplicateReport {
+    equiv_fanout(topology, rate, seed, core, EQUIV_REPLICATES).run()
 }
 
 /// The CI equivalence smoke: byte-identical engines on every topology
@@ -240,9 +347,42 @@ fn equiv() -> Result<(), String> {
         if event.saturated || event.deadlock_detected {
             return Err(format!("{label}: the smoke point must run below saturation"));
         }
+        // At light load most cycles have work in *some* stage but not all of
+        // them, so the stage-skip counters must be present and counting;
+        // all-zero skips would mean the stage-activity accounting went dead.
+        for (i, run) in event.runs.iter().enumerate() {
+            if run.active_cycles == 0 {
+                return Err(format!("{label}: replicate {i} reports no active cycles"));
+            }
+            if run.stage_skips.total() == 0 {
+                return Err(format!(
+                    "{label}: replicate {i} reports zero stage skips at light load \
+                     (active cycles {}, skip accounting looks dead)",
+                    run.active_cycles
+                ));
+            }
+        }
         println!(
-            "==> sim-equiv: {label} byte-identical across engines ({EQUIV_REPLICATES} replicates)"
+            "==> sim-equiv: {label} byte-identical across engines ({EQUIV_REPLICATES} replicates, \
+             {} stage skips over {} active cycles)",
+            event.runs[0].stage_skips.total(),
+            event.runs[0].active_cycles
         );
+    }
+    // parallel replicate fan-out: R = 3 across two pool workers must fold to
+    // exactly the width-1 (inline) bytes
+    {
+        let topology: Arc<dyn Topology> = Arc::new(Ring::new(8));
+        let fanout = equiv_fanout(&topology, 0.010, 9105, SimCore::EventDriven, 3);
+        let serial = fanout.run_parallel(1);
+        let parallel = fanout.run_parallel(2);
+        if serial != parallel {
+            return Err(format!(
+                "R8: parallel replicate fan-out diverged from the serial fold\n  width 1: \
+                 {serial:?}\n  width 2: {parallel:?}"
+            ));
+        }
+        println!("==> sim-equiv: R8 parallel replicates (R=3, width 2) byte-identical to width 1");
     }
     // one size class above the historical validation ceiling, affordable in
     // the CI budget only because the event-driven default skips idle channels

@@ -113,6 +113,15 @@ impl EventCalendar {
         None
     }
 
+    /// Whether any live event is due at or before `now` — the one-branch
+    /// guard the event engine's generation stage tests before doing any
+    /// work.  Discards stale entries encountered on the way, like
+    /// [`Self::next_time`].
+    #[must_use]
+    pub fn has_due(&mut self, now: u64) -> bool {
+        self.next_time().is_some_and(|t| t <= now)
+    }
+
     /// Pops every live event with `time <= now` into `out`, in `(time, seq)`
     /// order (earliest first, FIFO within one time).  Popped keys become
     /// unscheduled.

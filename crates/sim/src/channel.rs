@@ -148,24 +148,28 @@ impl InputVcTable {
 
     /// Whether the virtual channel is free.
     #[must_use]
+    #[inline]
     pub fn is_free(&self, idx: usize) -> bool {
         self.owner[idx] == FREE
     }
 
     /// The owning message slot, if any.
     #[must_use]
+    #[inline]
     pub fn owner(&self, idx: usize) -> Option<u32> {
         (self.owner[idx] != FREE).then_some(self.owner[idx])
     }
 
     /// Flits currently buffered.
     #[must_use]
+    #[inline]
     pub fn buffered(&self, idx: usize) -> u32 {
         self.buffered[idx]
     }
 
     /// Flits of the current message received so far.
     #[must_use]
+    #[inline]
     pub fn received(&self, idx: usize) -> u32 {
         self.received[idx]
     }
@@ -173,6 +177,7 @@ impl InputVcTable {
     /// The output `(port, vc)` assigned by the routing stage, `None` until
     /// the header has been routed.
     #[must_use]
+    #[inline]
     pub fn route(&self, idx: usize) -> Option<(usize, usize)> {
         (self.route_port[idx] != NO_ROUTE)
             .then(|| (self.route_port[idx] as usize, self.route_vc[idx] as usize))
@@ -181,6 +186,7 @@ impl InputVcTable {
     /// Claims the channel for a locally injected message whose `length` flits
     /// are all supplied by the source queue (mirrors
     /// [`InputVc::claim_for_injection`]).
+    #[inline]
     pub fn claim_for_injection(&mut self, idx: usize, slot: u32, length: u32) {
         debug_assert!(self.is_free(idx));
         debug_assert_ne!(slot, FREE);
@@ -194,6 +200,7 @@ impl InputVcTable {
     /// Claims the channel for a message whose header flit is arriving from
     /// the network (buffered/received start at zero and count up via
     /// [`Self::push_flit`]).
+    #[inline]
     pub fn claim_for_arrival(&mut self, idx: usize, slot: u32) {
         debug_assert!(self.is_free(idx));
         debug_assert_ne!(slot, FREE);
@@ -205,24 +212,28 @@ impl InputVcTable {
     }
 
     /// Records one flit arriving into the buffer.
+    #[inline]
     pub fn push_flit(&mut self, idx: usize) {
         self.buffered[idx] += 1;
         self.received[idx] += 1;
     }
 
     /// Records one flit leaving the buffer.
+    #[inline]
     pub fn pop_flit(&mut self, idx: usize) {
         debug_assert!(self.buffered[idx] > 0);
         self.buffered[idx] -= 1;
     }
 
     /// Sets the routing decision for the buffered header.
+    #[inline]
     pub fn set_route(&mut self, idx: usize, port: usize, vc: usize) {
         self.route_port[idx] = port as u16;
         self.route_vc[idx] = vc as u16;
     }
 
     /// Resets the channel to the free state.
+    #[inline]
     pub fn release(&mut self, idx: usize) {
         self.owner[idx] = FREE;
         self.buffered[idx] = 0;
@@ -264,24 +275,28 @@ impl OutputVcTable {
 
     /// Whether the channel is free for allocation.
     #[must_use]
+    #[inline]
     pub fn is_free(&self, idx: usize) -> bool {
         self.owner[idx] == FREE
     }
 
     /// The owning message slot, if any.
     #[must_use]
+    #[inline]
     pub fn owner(&self, idx: usize) -> Option<u32> {
         (self.owner[idx] != FREE).then_some(self.owner[idx])
     }
 
     /// Free buffer slots at the downstream input virtual channel.
     #[must_use]
+    #[inline]
     pub fn credits(&self, idx: usize) -> u32 {
         self.credits[idx]
     }
 
     /// The input `(port, vc)` feeding this channel, if allocated.
     #[must_use]
+    #[inline]
     pub fn source(&self, idx: usize) -> Option<(usize, usize)> {
         (self.source_port[idx] != NO_ROUTE)
             .then(|| (self.source_port[idx] as usize, self.source_vc[idx] as usize))
@@ -291,12 +306,14 @@ impl OutputVcTable {
     /// available and not all flits sent (mirrors the ticking engine's switch
     /// guard).
     #[must_use]
+    #[inline]
     pub fn ready_to_send(&self, idx: usize) -> bool {
         self.owner[idx] != FREE && self.credits[idx] > 0 && self.flits_sent[idx] < self.length[idx]
     }
 
     /// Allocates the channel to a message of `length` flits fed from the
     /// given input (mirrors [`OutputVc::allocate`]).
+    #[inline]
     pub fn allocate(&mut self, idx: usize, slot: u32, source: (usize, usize), length: u32) {
         debug_assert!(self.is_free(idx));
         debug_assert_ne!(slot, FREE);
@@ -308,6 +325,7 @@ impl OutputVcTable {
     }
 
     /// Records one flit sent downstream (consumes a credit).
+    #[inline]
     pub fn send_flit(&mut self, idx: usize) {
         debug_assert!(self.credits[idx] > 0);
         self.credits[idx] -= 1;
@@ -315,18 +333,21 @@ impl OutputVcTable {
     }
 
     /// Returns one credit from downstream.
+    #[inline]
     pub fn return_credit(&mut self, idx: usize) {
         self.credits[idx] += 1;
     }
 
     /// Whether the tail flit has been sent downstream.
     #[must_use]
+    #[inline]
     pub fn tail_sent(&self, idx: usize) -> bool {
         self.owner[idx] != FREE && self.flits_sent[idx] >= self.length[idx]
     }
 
     /// Releases the channel (tail sent and downstream drained).  Credits are
     /// preserved: they track downstream buffer space, not ownership.
+    #[inline]
     pub fn release(&mut self, idx: usize) {
         self.owner[idx] = FREE;
         self.flits_sent[idx] = 0;

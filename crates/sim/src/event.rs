@@ -21,14 +21,22 @@
 //!   [`EventNetwork::next_scheduled_arrival`]) — cycles a ticking loop must
 //!   burn one by one.
 //!
+//! Stages with an empty work set are **skipped outright** inside
+//! [`EventNetwork::step`]: no pending headers means `route_and_allocate`
+//! costs one branch, no active channels skips `switch_and_transfer`, no
+//! staged work skips `apply_staged`.  Each skip is counted per stage
+//! ([`StageSkips`](crate::network::StageSkips)) with definitions the ticking
+//! engine evaluates identically, so the counters ride inside the
+//! byte-identity contract rather than around it.
+//!
 //! # Determinism / equivalence invariants
 //!
 //! The engine is pinned **byte-identical** to the ticking engine (see
 //! `tests/sim_equivalence.rs`).  That rests on four ordering facts:
 //!
-//! 1. The active sets are `BTreeSet`s over dense indices whose ascending
-//!    order equals the ticking engine's scan order (node-major, then
-//!    network ports before injection slots, then VC), so the shared
+//! 1. The active sets are dense-index [`ActiveSet`] bitsets whose ascending
+//!    iteration order equals the ticking engine's scan order (node-major,
+//!    then network ports before injection slots, then VC), so the shared
 //!    `dest_rng`/`select_rng` streams are consumed in the same order.
 //! 2. Staged arrivals and credits are pushed in that same scan order, so
 //!    end-of-cycle application — and with it the float summation order of
@@ -46,15 +54,16 @@
 //! [`OutputVcTable`]) and messages in a dense [`MessageStore`] slab, so the
 //! per-flit hot path is vector indexing only.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use star_graph::{NodeId, Topology};
 use star_queueing::sampling::{seeded_rng, PoissonProcess};
-use star_routing::RoutingAlgorithm;
+use star_routing::{CandidateVc, RoutingAlgorithm};
 
+use crate::activeset::ActiveSet;
 use crate::calendar::EventCalendar;
 use crate::channel::{InputVcTable, OutputVcTable};
 use crate::config::{SelectionPolicy, SimConfig};
@@ -99,13 +108,13 @@ pub struct EventNetwork {
     delivered: Vec<Message>,
     counters: NetworkCounters,
     /// Nodes with a non-empty source queue, ascending.
-    queued_nodes: BTreeSet<u32>,
+    queued_nodes: ActiveSet,
     /// Input VCs holding an unrouted header, by global input index ascending
     /// (== the ticking engine's routing scan order).
-    pending_headers: BTreeSet<u32>,
+    pending_headers: ActiveSet,
     /// Physical channels (`node * degree + port`) with ≥ 1 owned output VC,
     /// ascending (== the ticking engine's switch scan order).
-    active_channels: BTreeSet<u32>,
+    active_channels: ActiveSet,
     /// Owned-VC count per physical channel (the busy count the occupancy
     /// sampler observes).
     owned_vcs: Vec<u32>,
@@ -117,6 +126,11 @@ pub struct EventNetwork {
     /// idle cycles).
     processed_cycles: u64,
     scratch: Vec<u32>,
+    /// Reused buffer for the free admissible candidates of one header —
+    /// avoids a heap allocation per routed header on the hot path.
+    free_scratch: Vec<CandidateVc>,
+    /// Reused buffer for the selection policy's filtered candidate subset.
+    select_scratch: Vec<CandidateVc>,
 }
 
 impl EventNetwork {
@@ -177,14 +191,16 @@ impl EventNetwork {
             staged_credits: Vec::new(),
             delivered: Vec::new(),
             counters: NetworkCounters::default(),
-            queued_nodes: BTreeSet::new(),
-            pending_headers: BTreeSet::new(),
-            active_channels: BTreeSet::new(),
+            queued_nodes: ActiveSet::new(nodes),
+            pending_headers: ActiveSet::new(nodes * input_stride),
+            active_channels: ActiveSet::new(nodes * degree),
             owned_vcs: vec![0; nodes * degree],
             busy_sum: 0,
             busy_sq_sum: 0,
             processed_cycles: 0,
             scratch: Vec::new(),
+            free_scratch: Vec::new(),
+            select_scratch: Vec::new(),
             topology,
             routing,
             config,
@@ -252,7 +268,7 @@ impl EventNetwork {
     /// queue — so the check costs activity, not network size.
     #[must_use]
     pub fn queue_saturated(&self, limit: usize) -> bool {
-        self.queued_nodes.iter().any(|&node| self.source_queues[node as usize].len() > limit)
+        self.queued_nodes.iter().any(|node| self.source_queues[node as usize].len() > limit)
     }
 
     /// Cycles actually processed by [`Self::step`]; the gap to the driver's
@@ -291,14 +307,41 @@ impl EventNetwork {
     }
 
     /// Advances the network by one cycle (same stage order as the ticking
-    /// engine).
+    /// engine), skipping every stage whose work set is empty.
+    ///
+    /// Each skip costs one branch on the corresponding active set; the flags
+    /// also feed [`NetworkCounters::record_stage_activity`], sampled at the
+    /// same stage-entry points the ticking engine samples, so the skip
+    /// counters are byte-identical across engines.
     pub fn step(&mut self, cycle: u64) {
         self.processed_cycles += 1;
-        self.generate_messages(cycle);
-        self.fill_injection_slots();
-        self.route_and_allocate(cycle);
-        self.switch_and_transfer(cycle);
-        self.apply_staged(cycle);
+        let generation_due = self.arrivals.has_due(cycle);
+        if generation_due {
+            self.generate_messages(cycle);
+        }
+        let had_queued = !self.queued_nodes.is_empty();
+        if had_queued {
+            self.fill_injection_slots();
+        }
+        let had_pending = !self.pending_headers.is_empty();
+        if had_pending {
+            self.route_and_allocate(cycle);
+        }
+        let had_owned = !self.active_channels.is_empty();
+        if had_owned {
+            self.switch_and_transfer(cycle);
+        }
+        let had_staged = !self.staged_arrivals.is_empty() || !self.staged_credits.is_empty();
+        if had_staged {
+            self.apply_staged(cycle);
+        }
+        self.counters.record_stage_activity(
+            generation_due,
+            had_queued,
+            had_pending,
+            had_owned,
+            had_staged,
+        );
         if cycle % 8 == 0 {
             self.counters.busy_vc_sum += self.busy_sum;
             self.counters.busy_vc_sq_sum += self.busy_sq_sum;
@@ -343,8 +386,7 @@ impl EventNetwork {
 
     fn fill_injection_slots(&mut self) {
         let mut nodes = std::mem::take(&mut self.scratch);
-        nodes.clear();
-        nodes.extend(self.queued_nodes.iter().copied());
+        self.queued_nodes.collect_into(&mut nodes);
         for &node in &nodes {
             for slot in 0..self.inj_slots {
                 let idx = self.inj_idx(node, slot);
@@ -357,7 +399,7 @@ impl EventNetwork {
                 self.pending_headers.insert(idx as u32);
             }
             if self.source_queues[node as usize].is_empty() {
-                self.queued_nodes.remove(&node);
+                self.queued_nodes.remove(node);
             }
         }
         self.scratch = nodes;
@@ -366,10 +408,11 @@ impl EventNetwork {
     fn route_and_allocate(&mut self, cycle: u64) {
         let layout = self.routing.layout();
         let mut pending = std::mem::take(&mut self.scratch);
-        pending.clear();
         // ascending input-VC index == node-major, network ports before
         // injection slots — the ticking engine's routing scan order
-        pending.extend(self.pending_headers.iter().copied());
+        self.pending_headers.collect_into(&mut pending);
+        let mut free = std::mem::take(&mut self.free_scratch);
+        let mut subset = std::mem::take(&mut self.select_scratch);
         for &idx32 in &pending {
             let idx = idx32 as usize;
             let node = (idx / self.input_stride) as NodeId;
@@ -388,35 +431,37 @@ impl EventNetwork {
             debug_assert_ne!(node, dest, "flits at the destination are consumed, not routed");
             self.counters.header_allocation_attempts += 1;
             let candidates = self.routing.candidates(self.topology.as_ref(), node, dest, &state);
-            let free: Vec<_> = candidates
-                .iter()
-                .copied()
-                .filter(|c| self.outputs.is_free(self.out_idx(node, c.port, c.vc)))
-                .collect();
+            free.clear();
+            free.extend(
+                candidates
+                    .iter()
+                    .copied()
+                    .filter(|c| self.outputs.is_free(self.out_idx(node, c.port, c.vc))),
+            );
             if free.is_empty() {
                 self.counters.blocked_header_cycles += 1;
                 continue;
             }
+            // the filtered subsets feeding `choose` have the same contents
+            // (and so the same lengths) as the per-header Vecs they replace,
+            // which keeps the select_rng draw sequence unchanged
             let choice = match self.config.selection {
                 SelectionPolicy::FirstFree => free[0],
                 SelectionPolicy::Random => *free.choose(&mut self.select_rng).expect("non-empty"),
                 SelectionPolicy::AdaptiveFirst => {
-                    let adaptive: Vec<_> =
-                        free.iter().copied().filter(|c| layout.is_adaptive(c.vc)).collect();
-                    if adaptive.is_empty() {
+                    subset.clear();
+                    subset.extend(free.iter().copied().filter(|c| layout.is_adaptive(c.vc)));
+                    if subset.is_empty() {
                         let min_vc = free.iter().map(|c| c.vc).min().expect("non-empty");
-                        let lowest: Vec<_> =
-                            free.iter().copied().filter(|c| c.vc == min_vc).collect();
-                        *lowest.choose(&mut self.select_rng).expect("non-empty")
-                    } else {
-                        *adaptive.choose(&mut self.select_rng).expect("non-empty")
+                        subset.extend(free.iter().copied().filter(|c| c.vc == min_vc));
                     }
+                    *subset.choose(&mut self.select_rng).expect("non-empty")
                 }
             };
             let out = self.out_idx(node, choice.port, choice.vc);
             self.outputs.allocate(out, slot, (in_port, in_vc), length as u32);
             self.inputs.set_route(idx, choice.port, choice.vc);
-            self.pending_headers.remove(&idx32);
+            self.pending_headers.remove(idx32);
             // the channel gained an owned VC: update the active set and the
             // incremental occupancy sums (b → b + 1 adds 2b + 1 to Σb²)
             let chan = node as usize * self.degree + choice.port;
@@ -440,15 +485,16 @@ impl EventNetwork {
             }
         }
         self.scratch = pending;
+        self.free_scratch = free;
+        self.select_scratch = subset;
     }
 
     fn switch_and_transfer(&mut self, cycle: u64) {
         let mut channels = std::mem::take(&mut self.scratch);
-        channels.clear();
         // ascending physical-channel index == node-major, port-major — the
         // ticking engine's switch scan order, which fixes the order staged
         // arrivals (and so delivered messages) are produced in
-        channels.extend(self.active_channels.iter().copied());
+        self.active_channels.collect_into(&mut channels);
         for &chan in &channels {
             let node = (chan as usize / self.degree) as NodeId;
             let port = chan as usize % self.degree;
@@ -553,7 +599,7 @@ impl EventNetwork {
                 self.busy_sum -= 1;
                 self.busy_sq_sum -= 2 * u64::from(busy) - 1;
                 if busy == 1 {
-                    self.active_channels.remove(&(chan as u32));
+                    self.active_channels.remove(chan as u32);
                 }
             }
         }

@@ -59,6 +59,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod activeset;
 pub mod calendar;
 pub mod channel;
 pub mod config;
@@ -70,11 +71,13 @@ pub mod replicate;
 pub mod sim;
 pub mod traffic;
 
+pub use activeset::ActiveSet;
 pub use calendar::EventCalendar;
 pub use config::{SelectionPolicy, SimConfig, SimConfigBuilder, SimCore};
 pub use event::EventNetwork;
 pub use message::{Message, MessageId};
 pub use metrics::{ReplicateReport, SimReport};
+pub use network::StageSkips;
 pub use replicate::ReplicateRun;
 pub use sim::Simulation;
 pub use traffic::TrafficPattern;

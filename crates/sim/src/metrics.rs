@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use star_queueing::{ReplicateStats, RunningStats};
 
 use crate::config::SimConfig;
-use crate::network::NetworkCounters;
+use crate::network::{NetworkCounters, StageSkips};
 
 /// Result of one simulation run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +64,15 @@ pub struct SimReport {
     /// Fraction of header allocation attempts that found every admissible
     /// virtual channel busy.
     pub blocking_probability: f64,
+    /// Cycles in which at least one pipeline stage had work.  Fully idle
+    /// cycles (which the event engine fast-forwards over) are excluded, so
+    /// the field is engine-independent like everything else in the report.
+    pub active_cycles: u64,
+    /// Per-stage skip counts over the active cycles: how often each pipeline
+    /// stage started with an empty work set.  `active_cycles − skips[stage]`
+    /// is the number of cycles the stage actually ran — the per-stage cost
+    /// breakdown `sim-bench` reports.
+    pub stage_skips: StageSkips,
 }
 
 impl SimReport {
@@ -291,6 +300,8 @@ impl MeasurementAccumulator {
             flit_transfers: counters.flit_transfers,
             observed_multiplexing: outcome.observed_multiplexing,
             blocking_probability,
+            active_cycles: counters.active_cycles,
+            stage_skips: counters.stage_skips,
         }
     }
 }
@@ -337,6 +348,8 @@ mod tests {
             flit_transfers: 1_000_000,
             observed_multiplexing: 1.8,
             blocking_probability: 0.05,
+            active_cycles: 90_000,
+            stage_skips: StageSkips::default(),
         };
         let header_fields = SimReport::csv_header().split(',').count();
         let row_fields = report.to_csv_row().split(',').count();

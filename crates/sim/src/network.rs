@@ -26,6 +26,7 @@ use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
+use serde::{Deserialize, Serialize};
 use star_graph::{NodeId, Topology};
 use star_queueing::sampling::{seeded_rng, PoissonProcess};
 use star_routing::RoutingAlgorithm;
@@ -46,8 +47,43 @@ struct StagedArrival {
     message: MessageId,
 }
 
+/// Per-stage skip counters: how many *active* cycles found a given pipeline
+/// stage with an empty work set.
+///
+/// Both engines account these identically from the same per-cycle facts —
+/// "did this stage have any work when it started?" — so the counters are
+/// part of the byte-identity contract even though only the event-driven
+/// engine turns an empty stage into an actual skipped branch.  Cycles where
+/// *every* stage is empty (a fully idle network) count nothing: the event
+/// engine fast-forwards over them while the ticking engine burns them, and
+/// the contract must not see the difference.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSkips {
+    /// Active cycles with no source arrival due (`generate_messages` empty).
+    pub generation: u64,
+    /// Active cycles with every source queue empty (`fill_injection_slots`
+    /// empty).
+    pub injection: u64,
+    /// Active cycles with no unrouted header pending (`route_and_allocate`
+    /// empty).
+    pub routing: u64,
+    /// Active cycles with no owned output VC anywhere (`switch_and_transfer`
+    /// empty).
+    pub switching: u64,
+    /// Active cycles with no staged arrival or credit (`apply_staged` empty).
+    pub staged: u64,
+}
+
+impl StageSkips {
+    /// Total stage skips across all five stages.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.generation + self.injection + self.routing + self.switching + self.staged
+    }
+}
+
 /// Aggregate counters maintained by the network while it runs.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetworkCounters {
     /// Messages generated so far.
     pub generated: u64,
@@ -65,6 +101,36 @@ pub struct NetworkCounters {
     pub busy_vc_samples: u64,
     /// Cycle at which the last flit transfer happened (deadlock watchdog).
     pub last_transfer_cycle: u64,
+    /// Cycles in which at least one pipeline stage had work.
+    pub active_cycles: u64,
+    /// Per-stage skip counts over the active cycles.
+    pub stage_skips: StageSkips,
+}
+
+impl NetworkCounters {
+    /// Folds one cycle's stage-activity facts into `active_cycles` and
+    /// `stage_skips`.  Each flag says whether the stage had any work when it
+    /// started; a cycle with no work anywhere is idle and counts nothing.
+    /// Both engines call this with identically defined flags, which is what
+    /// keeps the counters inside the byte-identity contract.
+    pub fn record_stage_activity(
+        &mut self,
+        generation: bool,
+        injection: bool,
+        routing: bool,
+        switching: bool,
+        staged: bool,
+    ) {
+        if !(generation || injection || routing || switching || staged) {
+            return;
+        }
+        self.active_cycles += 1;
+        self.stage_skips.generation += u64::from(!generation);
+        self.stage_skips.injection += u64::from(!injection);
+        self.stage_skips.routing += u64::from(!routing);
+        self.stage_skips.switching += u64::from(!switching);
+        self.stage_skips.staged += u64::from(!staged);
+    }
 }
 
 /// The full mutable state of the simulated network.
@@ -91,6 +157,10 @@ pub struct Network {
     staged_credits: Vec<usize>,
     delivered: Vec<Message>,
     counters: NetworkCounters,
+    /// Output VCs currently owned by a message, across the whole network —
+    /// maintained on allocate/release so the stage-activity accounting can
+    /// ask "did the switch stage have work?" without a scan.
+    owned_outputs: u64,
 }
 
 impl Network {
@@ -156,6 +226,7 @@ impl Network {
             staged_credits: Vec::new(),
             delivered: Vec::new(),
             counters: NetworkCounters::default(),
+            owned_outputs: 0,
         }
     }
 
@@ -224,20 +295,39 @@ impl Network {
     }
 
     /// Advances the network by one cycle.
+    ///
+    /// The stage-activity flags feeding
+    /// [`NetworkCounters::record_stage_activity`] are sampled at each stage's
+    /// entry, exactly where the event-driven engine tests its active sets, so
+    /// both engines account identical skip counters.
     pub fn step(&mut self, cycle: u64) {
-        self.generate_messages(cycle);
+        let generated = self.generate_messages(cycle);
+        let had_queued = self.source_queues.iter().any(|q| !q.is_empty());
         self.fill_injection_slots();
-        self.route_and_allocate(cycle);
+        let had_pending = self.route_and_allocate(cycle);
+        let had_owned = self.owned_outputs > 0;
         self.switch_and_transfer(cycle);
+        let had_staged = !self.staged_arrivals.is_empty() || !self.staged_credits.is_empty();
         self.apply_staged(cycle);
+        self.counters.record_stage_activity(
+            generated,
+            had_queued,
+            had_pending,
+            had_owned,
+            had_staged,
+        );
         if cycle % 8 == 0 {
             self.sample_vc_occupancy();
         }
     }
 
-    fn generate_messages(&mut self, cycle: u64) {
+    /// Returns whether any message was generated this cycle (the generation
+    /// stage had work).
+    fn generate_messages(&mut self, cycle: u64) -> bool {
+        let mut generated = false;
         for node in 0..self.nodes as NodeId {
             let count = self.sources[node as usize].arrivals_at(cycle);
+            generated |= count > 0;
             for _ in 0..count {
                 let dest =
                     self.pattern.pick_destination(self.topology.as_ref(), node, &mut self.dest_rng);
@@ -250,6 +340,7 @@ impl Network {
                 self.counters.generated += 1;
             }
         }
+        generated
     }
 
     fn fill_injection_slots(&mut self) {
@@ -268,7 +359,10 @@ impl Network {
         }
     }
 
-    fn route_and_allocate(&mut self, cycle: u64) {
+    /// Returns whether any unrouted header was pending this cycle (the
+    /// routing stage had work).
+    fn route_and_allocate(&mut self, cycle: u64) -> bool {
+        let mut had_pending = false;
         let layout = self.routing.layout();
         for node in 0..self.nodes as NodeId {
             // network input ports first, then injection slots
@@ -289,6 +383,7 @@ impl Network {
                     pending.push((self.degree, slot, idx));
                 }
             }
+            had_pending |= !pending.is_empty();
             for (in_port, in_vc, idx) in pending {
                 let msg_id = self.input_vcs[idx].owner.expect("pending input VC has an owner");
                 let (dest, state) = {
@@ -332,6 +427,7 @@ impl Network {
                 let out = self.out_idx(node, choice.port, choice.vc);
                 let length = self.messages[&msg_id].length;
                 self.output_vcs[out].allocate(msg_id, (in_port, in_vc), length);
+                self.owned_outputs += 1;
                 self.input_vcs[idx].route = Some((choice.port, choice.vc));
                 // Update the message's routing state to reflect the hop it is
                 // now committed to.
@@ -349,6 +445,7 @@ impl Network {
                 }
             }
         }
+        had_pending
     }
 
     fn switch_and_transfer(&mut self, cycle: u64) {
@@ -469,6 +566,7 @@ impl Network {
             // been sent and the downstream buffer has fully drained.
             if ovc.tail_sent() && ovc.credits == self.config.buffer_depth {
                 ovc.release();
+                self.owned_outputs -= 1;
             }
         }
     }

@@ -9,6 +9,14 @@
 //! instead of stepping empty cycles one at a time, which changes nothing
 //! observable (idle cycles touch no counter the report reads) but skips the
 //! work.
+//!
+//! Within a stepped cycle both engines additionally skip empty pipeline
+//! stages and account for the skips identically (see
+//! [`NetworkCounters::record_stage_activity`]): fully idle cycles — whether
+//! stepped by the ticking engine or fast-forwarded over here — contribute to
+//! neither `active_cycles` nor any [`StageSkips`](crate::StageSkips)
+//! counter, which is what keeps the skip statistics byte-identical across
+//! engines.
 
 use std::sync::Arc;
 

@@ -24,8 +24,10 @@
 //!   errors — the serving contract plus the scale-out path, enforced on
 //!   every push), a **sim-equiv smoke** (`sim-bench --equiv`:
 //!   the ticking and event-driven simulator engines byte-compared on every
-//!   topology family plus one `S6` light-load point on the event-driven
-//!   default cross-checked against the analytical model — the
+//!   topology family with non-zero stage-skip counters asserted at light
+//!   load, a parallel replicate fan-out (`R = 3`, width 2) byte-compared
+//!   against the serial fold, plus one `S6` light-load point on the
+//!   event-driven default cross-checked against the analytical model — the
 //!   engine-equivalence contract, enforced on every push), and
 //!   `cargo doc --no-deps` with `RUSTDOCFLAGS="-D warnings"` so broken
 //!   intra-doc links fail the pipeline.
@@ -47,10 +49,12 @@
 //!   repository root; extra arguments are forwarded to `star-load` and
 //!   override the pinned knobs.
 //! * `cargo xtask sim-bench` — runs the pinned `sim-bench` flit-throughput
-//!   point (S5, Enhanced-NBC, 20 000 measured messages, seed 42) on both
-//!   simulator engines and appends flits/sec per engine plus the speedup to
-//!   `BENCH_sim.json` at the repository root; extra arguments are forwarded
-//!   to `sim-bench` and override the pinned knobs.
+//!   scenario (S5, Enhanced-NBC, 20 000 measured messages, seed 42) at the
+//!   light/moderate/heavy utilisation points on both simulator engines and
+//!   appends one measurement per point — flits/sec per engine, the speedup
+//!   and the stage-skip counters — to `BENCH_sim.json` at the repository
+//!   root; extra arguments are forwarded to `sim-bench` and override the
+//!   pinned knobs.
 
 use std::env;
 use std::fs;
@@ -123,8 +127,9 @@ fn print_help() {
          builds: cargo build --release -p star-serve -p star-bench)"
     );
     eprintln!(
-        "  sim-bench     run the pinned sim-bench point on both simulator engines and \
-         append flits/sec to BENCH_sim.json (forwards extra args to sim-bench)"
+        "  sim-bench     run the pinned sim-bench scenario at the light/moderate/heavy \
+         utilisation points on both simulator engines and append flits/sec plus \
+         stage-skip counters per point to BENCH_sim.json (forwards extra args to sim-bench)"
     );
     eprintln!("  sim-equiv-smoke  just the ci engine-equivalence check (sim-bench --equiv)");
 }
@@ -661,8 +666,9 @@ fn serve_bench(rest: &[String]) -> ExitCode {
     }
 }
 
-/// `cargo xtask sim-bench`: build, run the pinned flit-throughput point on
-/// both simulator engines and append the measurement to `BENCH_sim.json`.
+/// `cargo xtask sim-bench`: build, run the pinned flit-throughput scenario
+/// at every utilisation point (light/moderate/heavy) on both simulator
+/// engines and append one measurement per point to `BENCH_sim.json`.
 fn sim_bench(rest: &[String]) -> ExitCode {
     if let Err(e) = step("build", &["build", "--release", "-p", "star-bench"]) {
         eprintln!("\nsim-bench FAILED at {e}");
@@ -671,9 +677,18 @@ fn sim_bench(rest: &[String]) -> ExitCode {
     let binary = release_bin("sim-bench");
     // the pinned trajectory configuration; forwarded args come last so they
     // win over the pins (sim-bench's parser keeps the last assignment)
-    let mut args: Vec<String> = ["--messages", "20000", "--seed", "42", "--json", "BENCH_sim.json"]
-        .map(str::to_string)
-        .to_vec();
+    let mut args: Vec<String> = [
+        "--messages",
+        "20000",
+        "--seed",
+        "42",
+        "--points",
+        "light,moderate,heavy",
+        "--json",
+        "BENCH_sim.json",
+    ]
+    .map(str::to_string)
+    .to_vec();
     args.extend(rest.iter().filter(|a| a.as_str() != "--").cloned());
     println!("==> sim-bench {}", args.join(" "));
     // the trajectory file actually written (a forwarded --json overrides the pin)

@@ -104,6 +104,66 @@ fn engines_agree_on_the_saturated_side_too() {
     }
 }
 
+#[test]
+fn engines_agree_on_stage_skips_near_saturation() {
+    // Heavy load exercises the opposite end of the stage-skip spectrum from
+    // the light-load family cases above: nearly every cycle is active and
+    // most stages run, so the skip counters are dominated by the few stages
+    // that still idle (e.g. generation between Poisson arrivals).  The
+    // counters ride inside the full-struct replicate comparison, but assert
+    // them explicitly so a skip-accounting regression names itself.
+    for (label, topology, rate, seed) in [
+        ("T6 heavy", Arc::new(Torus::new(6)) as Arc<dyn Topology>, 0.030, 1106),
+        ("R8 heavy", Arc::new(Ring::new(8)) as Arc<dyn Topology>, 0.024, 1107),
+    ] {
+        let (t, e) = both(topology, rate, seed, |b| b);
+        assert!(!e.deadlock_detected, "{label}");
+        for (i, (tr, er)) in t.runs.iter().zip(&e.runs).enumerate() {
+            assert_eq!(
+                (tr.active_cycles, tr.stage_skips),
+                (er.active_cycles, er.stage_skips),
+                "{label}: replicate {i} skip counters must match across engines"
+            );
+            assert!(tr.active_cycles > 0, "{label}: replicate {i} must have active cycles");
+            // near saturation the network stays busy: most active cycles
+            // run the switching stage, so its skips stay a small fraction
+            assert!(
+                tr.stage_skips.switching < tr.active_cycles / 2,
+                "{label}: replicate {i} should rarely skip switching under heavy load \
+                 ({} skips over {} active cycles)",
+                tr.stage_skips.switching,
+                tr.active_cycles
+            );
+        }
+        assert_identical(label, &t, &e);
+    }
+}
+
+#[test]
+fn engines_agree_on_zero_rate_idle_fast_forward() {
+    // Zero traffic: the event engine fast-forwards the entire run without
+    // stepping a single cycle, the ticking engine steps every one of them.
+    // The active-cycle rule (fully idle cycles count nothing) is what makes
+    // the skip counters — and thus the full report — identical anyway.
+    for (label, topology) in [
+        ("T6 idle", Arc::new(Torus::new(6)) as Arc<dyn Topology>),
+        ("R8 idle", Arc::new(Ring::new(8)) as Arc<dyn Topology>),
+    ] {
+        let (t, e) = both(topology, 0.0, 1108, |b| b.measured_messages(10));
+        for (i, (tr, er)) in t.runs.iter().zip(&e.runs).enumerate() {
+            assert_eq!(
+                (tr.active_cycles, tr.stage_skips),
+                (er.active_cycles, er.stage_skips),
+                "{label}: replicate {i} skip counters must match across engines"
+            );
+            assert_eq!(tr.active_cycles, 0, "{label}: an idle run has no active cycles");
+            assert_eq!(tr.stage_skips.total(), 0, "{label}: idle cycles must count no skips");
+            assert_eq!(tr.measured_messages, 0, "{label}");
+        }
+        assert_identical(label, &t, &e);
+    }
+}
+
 /// Event-scheduled injection regression: the exact flit counts the arrival
 /// calendar produces, pinned per seed against the legacy per-cycle Poisson
 /// polling.  A change to arrival scheduling (the RNG stream, the
